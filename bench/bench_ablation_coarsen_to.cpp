@@ -1,0 +1,37 @@
+// Ablation: the coarsening stop size ("for example 100 nodes -- this is a
+// parameter in our implementation", Section IV-A). Smaller coarsest graphs
+// give the greedy initial partitioning a more global view but lose detail;
+// larger ones cost time.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppnpart;
+
+  bench::InstanceFamily family;
+  family.nodes = 2000;
+  family.k = 4;
+  family.resource_slack = 1.2;
+  family.bandwidth_slack = 1.3;
+  const int kInstances = 4;
+
+  bench::print_header(
+      "Ablation: coarsen_to stop size (GP, 4 PN instances, n=2000, K=4)",
+      "coarsen_to   feasible    mean-cut    mean-time");
+  for (graph::NodeId target : {25u, 50u, 100u, 200u, 400u, 800u}) {
+    part::GpOptions options;
+    options.coarsen_to = target;
+    options.max_cycles = 6;
+    bench::RunSummary summary;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto inst = family.make(i);
+      part::GpPartitioner gp(options);
+      summary.add(gp.run(inst.graph, inst.request));
+    }
+    std::printf("%10u %6d/%-4d %11.1f %10.3fs\n", target, summary.feasible,
+                summary.total, summary.mean_cut(), summary.mean_seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the paper's claim (Section IV-A) that running all three matching
+// heuristics side by side and keeping the best beats committing to any
+// single one. Measures feasibility rate / mean cut / time over a family of
+// PN-shaped instances.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppnpart;
+  using part::MatchingKind;
+
+  bench::InstanceFamily family;
+  family.nodes = 400;
+  family.k = 4;
+  family.resource_slack = 1.15;
+  family.bandwidth_slack = 1.2;
+  const int kInstances = 8;
+
+  struct Config {
+    const char* name;
+    std::vector<MatchingKind> matchings;
+  };
+  const std::vector<Config> configs = {
+      {"random-only", {MatchingKind::kRandom}},
+      {"hem-only", {MatchingKind::kHeavyEdge}},
+      {"kmeans-only", {MatchingKind::kKMeans}},
+      {"all-three (paper)", {MatchingKind::kRandom, MatchingKind::kHeavyEdge,
+                             MatchingKind::kKMeans}},
+  };
+
+  bench::print_header(
+      "Ablation: coarsening matching strategies (GP, 8 PN instances, n=400, "
+      "K=4)",
+      "strategy            feasible    mean-cut   mean-max-bw    mean-time");
+  for (const Config& config : configs) {
+    part::GpOptions options;
+    options.matchings = config.matchings;
+    bench::RunSummary summary;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto inst = family.make(i);
+      part::GpPartitioner gp(options);
+      summary.add(gp.run(inst.graph, inst.request));
+    }
+    std::printf("%-18s %4d/%-4d %11.1f %13.1f %11.3fs\n", config.name,
+                summary.feasible, summary.total, summary.mean_cut(),
+                summary.max_bw_sum / summary.total, summary.mean_seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: initial-partitioning restart count (paper Section IV-B: the
+// greedy growth "is sensitive to the initial node selection", default 10
+// random seeds).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppnpart;
+
+  bench::InstanceFamily family;
+  family.nodes = 300;
+  family.k = 4;
+  family.resource_slack = 1.12;
+  family.bandwidth_slack = 1.1;
+  const int kInstances = 8;
+
+  bench::print_header(
+      "Ablation: greedy-growth restarts (GP, 8 PN instances, n=300, K=4)",
+      "restarts   feasible    mean-cut    mean-time");
+  for (std::uint32_t restarts : {1u, 2u, 5u, 10u, 20u, 50u}) {
+    part::GpOptions options;
+    options.restarts = restarts;
+    bench::RunSummary summary;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto inst = family.make(i);
+      part::GpPartitioner gp(options);
+      summary.add(gp.run(inst.graph, inst.request));
+    }
+    std::printf("%8u %6d/%-4d %11.1f %10.3fs\n", restarts, summary.feasible,
+                summary.total, summary.mean_cut(), summary.mean_seconds());
+  }
+  return 0;
+}

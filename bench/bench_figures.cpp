@@ -1,0 +1,68 @@
+// Regenerates the paper's Figures 2-13 as Graphviz files: for each of the
+// three experiment instances, four views — plain topology, weighted
+// topology, GP partitioning, METIS partitioning. Files land in ./figures/.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "table_common.hpp"
+#include "viz/dot.hpp"
+
+int main() {
+  using namespace ppnpart;
+  namespace fs = std::filesystem;
+  const fs::path dir = "figures";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.string().c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  // Figure numbering follows the paper: experiment e (1-based) uses figures
+  // 4e-2 .. 4e+1 (2..5, 6..9, 10..13).
+  for (int e = 1; e <= 3; ++e) {
+    const ppn::PaperInstance inst = ppn::paper_instance(e);
+    const int base = 4 * e - 2;
+    char name[64];
+
+    viz::DotOptions plain;
+    plain.show_edge_weights = false;
+    plain.show_node_weights = false;
+    plain.size_by_resources = false;
+    std::snprintf(name, sizeof(name), "figures/fig%02d_exp%d_plain.dot", base,
+                  e);
+    viz::write_network_dot_file(name, inst.network, plain);
+    std::printf("%s: unpartitioned graph %d (plain)\n", name, e);
+
+    viz::DotOptions weighted;  // defaults: radii by weight, labels on
+    std::snprintf(name, sizeof(name), "figures/fig%02d_exp%d_weighted.dot",
+                  base + 1, e);
+    viz::write_network_dot_file(name, inst.network, weighted);
+    std::printf("%s: weighted graph %d (radius ~ resources)\n", name, e);
+
+    const part::PartitionResult gp = bench::run_gp(inst, 7);
+    std::snprintf(name, sizeof(name), "figures/fig%02d_exp%d_gp.dot",
+                  base + 2, e);
+    viz::write_partitioned_dot_file(name, inst.network, gp.partition);
+    std::printf("%s: GP partitioning (cut=%lld maxR=%lld maxB=%lld %s)\n",
+                name, static_cast<long long>(gp.metrics.total_cut),
+                static_cast<long long>(gp.metrics.max_load),
+                static_cast<long long>(gp.metrics.max_pairwise_cut),
+                gp.feasible ? "feasible" : "INFEASIBLE");
+
+    const part::PartitionResult metis = bench::run_metis_baseline(inst, 7);
+    std::snprintf(name, sizeof(name), "figures/fig%02d_exp%d_metis.dot",
+                  base + 3, e);
+    viz::write_partitioned_dot_file(name, inst.network, metis.partition);
+    std::printf("%s: METIS partitioning (cut=%lld maxR=%lld maxB=%lld %s)\n",
+                name, static_cast<long long>(metis.metrics.total_cut),
+                static_cast<long long>(metis.metrics.max_load),
+                static_cast<long long>(metis.metrics.max_pairwise_cut),
+                metis.feasible ? "feasible" : "violates constraints");
+  }
+  std::printf("12 figure files written to ./figures (render with graphviz: "
+              "dot -Tpdf <file>)\n");
+  return 0;
+}

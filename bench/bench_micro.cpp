@@ -1,0 +1,120 @@
+// google-benchmark microbenchmarks for the library's hot kernels: the three
+// matching heuristics, contraction, FM passes, metrics, and the exact solver
+// at the paper's instance size. Performance guardrails rather than paper
+// reproduction.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/exact.hpp"
+#include "partition/initial.hpp"
+#include "partition/refine.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace {
+
+using namespace ppnpart;
+
+graph::Graph make_pn(graph::NodeId n, std::uint64_t seed) {
+  graph::ProcessNetworkParams params;
+  params.num_nodes = n;
+  params.layers = std::max<std::uint32_t>(8, n / 32);
+  support::Rng rng(seed);
+  return graph::random_process_network(params, rng);
+}
+
+void BM_RandomMatching(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 1);
+  support::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::random_maximal_matching(g, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_RandomMatching)->Arg(1000)->Arg(10000);
+
+void BM_HeavyEdgeMatching(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 3);
+  support::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::heavy_edge_matching(g, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_HeavyEdgeMatching)->Arg(1000)->Arg(10000);
+
+void BM_KMeansMatching(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 5);
+  support::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::kmeans_matching(g, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_KMeansMatching)->Arg(1000)->Arg(4000);
+
+void BM_Contract(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 7);
+  support::Rng rng(8);
+  const part::Matching m = part::heavy_edge_matching(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::contract(g, m));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_Contract)->Arg(1000)->Arg(10000);
+
+void BM_ComputeMetrics(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 9);
+  support::Rng rng(10);
+  const part::Partition p = part::random_balanced_partition(g, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::compute_metrics(g, p));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_ComputeMetrics)->Arg(1000)->Arg(10000);
+
+void BM_ConstrainedFmPass(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 11);
+  support::Rng rng(12);
+  part::Constraints c;
+  c.rmax = g.total_node_weight() / 4 + g.max_node_weight();
+  c.bmax = g.total_edge_weight() / 4;
+  part::FmOptions options;
+  options.max_passes = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    part::Partition p = part::random_balanced_partition(g, 4, rng);
+    state.ResumeTiming();
+    part::constrained_fm_refine(g, p, c, options, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_ConstrainedFmPass)->Arg(1000)->Arg(5000);
+
+void BM_GreedyGrowInitial(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 13);
+  support::Rng rng(14);
+  part::Constraints c;
+  c.rmax = g.total_node_weight() / 4 + g.max_node_weight();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        part::greedy_grow_initial(g, 4, c, part::GreedyGrowOptions{}, rng));
+  }
+}
+BENCHMARK(BM_GreedyGrowInitial)->Arg(100)->Arg(1000);
+
+void BM_ExactPaperScale(benchmark::State& state) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        part::exact_min_cut(inst.graph, inst.k, inst.constraints));
+  }
+}
+BENCHMARK(BM_ExactPaperScale);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,10 @@
+// Regenerates the paper's experiment tables. Compiled three times with
+// PPNPART_TABLE_INDEX = 1, 2, 3 into bench_table1/2/3.
+
+#include "table_common.hpp"
+
+#ifndef PPNPART_TABLE_INDEX
+#define PPNPART_TABLE_INDEX 1
+#endif
+
+int main() { return ppnpart::bench::run_table(PPNPART_TABLE_INDEX); }

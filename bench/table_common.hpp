@@ -1,0 +1,73 @@
+#pragma once
+// Shared harness for the paper's Tables I-III: run MetisLike (the METIS
+// stand-in, configured the way the paper ran METIS) and GP on a paper
+// instance and print the table's four columns next to the published values.
+
+#include <cstdio>
+
+#include "partition/gp.hpp"
+#include "partition/metislike.hpp"
+#include "partition/partitioner.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart::bench {
+
+inline part::PartitionResult run_metis_baseline(
+    const ppn::PaperInstance& inst, std::uint64_t seed) {
+  part::MetisLikeOptions options;
+  options.unit_vertex_balance = true;  // how the paper's authors ran METIS
+  part::MetisLikePartitioner metis(options);
+  part::PartitionRequest request;
+  request.k = inst.k;
+  request.constraints = inst.constraints;
+  request.seed = seed;
+  return metis.run(inst.graph, request);
+}
+
+inline part::PartitionResult run_gp(const ppn::PaperInstance& inst,
+                                    std::uint64_t seed) {
+  part::GpPartitioner gp;
+  part::PartitionRequest request;
+  request.k = inst.k;
+  request.constraints = inst.constraints;
+  request.seed = seed;
+  return gp.run(inst.graph, request);
+}
+
+inline void print_row(const char* name, const part::PartitionResult& r,
+                      const ppn::PaperReported& paper,
+                      const part::Constraints& c) {
+  const bool res_ok = r.metrics.max_load <= c.rmax;
+  const bool bw_ok = r.metrics.max_pairwise_cut <= c.bmax;
+  std::printf(
+      "%-10s %10lld %10.3f %12lld %12lld   %-9s %-9s | paper: cut=%lld "
+      "maxR=%lld maxB=%lld t=%.2fs\n",
+      name, static_cast<long long>(r.metrics.total_cut), r.seconds,
+      static_cast<long long>(r.metrics.max_load),
+      static_cast<long long>(r.metrics.max_pairwise_cut),
+      res_ok ? "R:met" : "R:VIOLATED", bw_ok ? "B:met" : "B:VIOLATED",
+      static_cast<long long>(paper.total_cut),
+      static_cast<long long>(paper.max_alloc),
+      static_cast<long long>(paper.max_bandwidth), paper.seconds);
+}
+
+inline int run_table(int index) {
+  const ppn::PaperInstance inst = ppn::paper_instance(index);
+  std::printf(
+      "=== Experiment %d (Table %s): n=%u m=%llu K=%d Bmax=%lld Rmax=%lld "
+      "===\n",
+      index, index == 1 ? "I" : index == 2 ? "II" : "III",
+      inst.graph.num_nodes(),
+      static_cast<unsigned long long>(inst.graph.num_edges()), inst.k,
+      static_cast<long long>(inst.constraints.bmax),
+      static_cast<long long>(inst.constraints.rmax));
+  std::printf("%-10s %10s %10s %12s %12s   %-9s %-9s\n", "algorithm",
+              "edge-cut", "time(s)", "max-resource", "max-local-bw", "", "");
+  const part::PartitionResult metis = run_metis_baseline(inst, 7);
+  print_row("METIS", metis, inst.metis_paper, inst.constraints);
+  const part::PartitionResult gp = run_gp(inst, 7);
+  print_row("GP", gp, inst.gp_paper, inst.constraints);
+  return 0;
+}
+
+}  // namespace ppnpart::bench

@@ -1,0 +1,112 @@
+// Design-space exploration: given an application PPN, sweep the platform
+// axes (FPGA count K, per-FPGA resources Rmax, per-link bandwidth Bmax) and
+// report the cheapest configurations GP can feasibly map — the "how many
+// FPGAs do I actually need, and how fat must the links be" question a
+// multi-FPGA architect asks before committing to a board design.
+//
+//   ./design_space_exploration [--workload sobel] [--size 48]
+
+#include <cstdio>
+#include <vector>
+
+#include "partition/gp.hpp"
+#include "ppn/workloads.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppnpart;
+
+  support::ArgParser args("multi-FPGA design space exploration");
+  args.add_string("workload", "sobel", "application (see ppn::workload_names)");
+  args.add_int("size", 48, "workload spatial scale");
+  args.add_int("stages", 4, "workload pipeline depth (where applicable)");
+  if (auto status = args.parse(argc, argv); !status) {
+    std::fprintf(stderr, "%s\n", status.message().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help_text().c_str());
+    return 0;
+  }
+
+  ppn::WorkloadScale scale;
+  scale.size = args.get_int("size");
+  scale.stages = static_cast<std::uint32_t>(args.get_int("stages"));
+  const ppn::ProcessNetwork network =
+      ppn::make_workload(args.get_string("workload"), scale);
+  const graph::Graph g = ppn::to_graph(network);
+  const graph::Weight total_r = g.total_node_weight();
+  const graph::Weight total_b = g.total_edge_weight();
+
+  std::printf("workload '%s': %u processes, %zu channels, total R=%lld, "
+              "total channel weight=%lld\n\n",
+              network.name().c_str(), network.num_processes(),
+              network.num_channels(), static_cast<long long>(total_r),
+              static_cast<long long>(total_b));
+
+  std::printf("%3s %10s %10s   %-10s %10s %10s\n", "K", "Rmax", "Bmax",
+              "feasible?", "cut", "max-bw");
+
+  struct Winner {
+    part::PartId k;
+    graph::Weight rmax, bmax, cut;
+    double platform_cost;
+  };
+  std::vector<Winner> winners;
+
+  for (part::PartId k : {2, 3, 4, 6}) {
+    // Resource axis: from barely-fits to comfortable.
+    for (double r_slack : {1.05, 1.2, 1.5}) {
+      const auto rmax = static_cast<graph::Weight>(
+          r_slack * static_cast<double>(total_r) / k);
+      // Bandwidth axis: fractions of the total traffic.
+      for (graph::Weight divisor : {4, 8, 16}) {
+        const graph::Weight bmax =
+            std::max<graph::Weight>(1, total_b / divisor);
+        part::PartitionRequest request;
+        request.k = k;
+        request.constraints.rmax = rmax;
+        request.constraints.bmax = bmax;
+        request.seed = 11;
+        part::GpOptions options;
+        options.max_cycles = 8;
+        part::GpPartitioner gp(options);
+        const part::PartitionResult result = gp.run(g, request);
+        std::printf("%3d %10lld %10lld   %-10s %10lld %10lld\n", k,
+                    static_cast<long long>(rmax),
+                    static_cast<long long>(bmax),
+                    result.feasible ? "yes" : "no",
+                    static_cast<long long>(result.metrics.total_cut),
+                    static_cast<long long>(result.metrics.max_pairwise_cut));
+        if (result.feasible) {
+          // A crude board cost: FPGA area dominates, links are cheaper.
+          const double cost =
+              static_cast<double>(k) * static_cast<double>(rmax) +
+              0.5 * static_cast<double>(k * (k - 1) / 2) *
+                  static_cast<double>(bmax);
+          winners.push_back(
+              {k, rmax, bmax, result.metrics.total_cut, cost});
+        }
+      }
+    }
+  }
+
+  if (winners.empty()) {
+    std::printf("\nno feasible platform in the swept space — enlarge the "
+                "sweep or shrink the workload\n");
+    return 2;
+  }
+  std::sort(winners.begin(), winners.end(),
+            [](const Winner& a, const Winner& b) {
+              return a.platform_cost < b.platform_cost;
+            });
+  std::printf("\ncheapest feasible platforms (cost = K*Rmax + links*Bmax/2):\n");
+  for (std::size_t i = 0; i < winners.size() && i < 3; ++i) {
+    const Winner& w = winners[i];
+    std::printf("  #%zu: K=%d, Rmax=%lld, Bmax=%lld  (cost %.0f, cut %lld)\n",
+                i + 1, w.k, static_cast<long long>(w.rmax),
+                static_cast<long long>(w.bmax), w.platform_cost,
+                static_cast<long long>(w.cut));
+  }
+  return 0;
+}

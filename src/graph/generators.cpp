@@ -1,0 +1,195 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace ppnpart::graph {
+
+namespace {
+
+Weight draw(WeightRange r, support::Rng& rng) {
+  if (r.lo > r.hi) std::swap(r.lo, r.hi);
+  return rng.uniform_int(r.lo, r.hi);
+}
+
+void assign_node_weights(GraphBuilder& builder, NodeId n, WeightRange node_w,
+                         support::Rng& rng) {
+  for (NodeId u = 0; u < n; ++u) builder.set_node_weight(u, draw(node_w, rng));
+}
+
+}  // namespace
+
+Graph erdos_renyi_gnm(NodeId n, std::uint64_t m, support::Rng& rng,
+                      WeightRange node_w, WeightRange edge_w) {
+  GraphBuilder builder(n);
+  assign_node_weights(builder, n, node_w, rng);
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  while (chosen.size() < m) {
+    NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+    NodeId v = static_cast<NodeId>(rng.uniform_index(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (chosen.insert({u, v}).second) {
+      builder.add_edge(u, v, draw(edge_w, rng));
+    }
+  }
+  return builder.build();
+}
+
+Graph random_geometric(NodeId n, double radius, support::Rng& rng,
+                       WeightRange node_w, WeightRange edge_w) {
+  GraphBuilder builder(n);
+  assign_node_weights(builder, n, node_w, rng);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform_real(), rng.uniform_real()};
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) builder.add_edge(u, v, draw(edge_w, rng));
+    }
+  }
+  return builder.build();
+}
+
+Graph preferential_attachment(NodeId n, std::uint32_t attach,
+                              support::Rng& rng, WeightRange node_w,
+                              WeightRange edge_w) {
+  if (n == 0) return Graph();
+  attach = std::max(1u, attach);
+  GraphBuilder builder(n);
+  assign_node_weights(builder, n, node_w, rng);
+  // `targets` holds one entry per edge endpoint; sampling from it is
+  // sampling proportional to degree.
+  std::vector<NodeId> targets;
+  const NodeId seed_nodes = std::min<NodeId>(n, attach + 1);
+  for (NodeId u = 1; u < seed_nodes; ++u) {
+    builder.add_edge(u, u - 1, draw(edge_w, rng));
+    targets.push_back(u);
+    targets.push_back(u - 1);
+  }
+  for (NodeId u = seed_nodes; u < n; ++u) {
+    std::set<NodeId> picked;
+    while (picked.size() < attach && picked.size() < u) {
+      const NodeId t = targets[rng.uniform_index(targets.size())];
+      picked.insert(t);
+    }
+    for (NodeId t : picked) {
+      builder.add_edge(u, t, draw(edge_w, rng));
+      targets.push_back(u);
+      targets.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+Graph random_process_network(const ProcessNetworkParams& params,
+                             support::Rng& rng) {
+  const NodeId n = params.num_nodes;
+  if (n == 0) return Graph();
+  const std::uint32_t layers = std::max(1u, std::min(params.layers, n));
+  GraphBuilder builder(n);
+
+  // Assign nodes round-robin to layers so each layer is populated.
+  std::vector<std::uint32_t> layer_of(n);
+  std::vector<std::vector<NodeId>> layer_nodes(layers);
+  for (NodeId u = 0; u < n; ++u) {
+    layer_of[u] = u % layers;
+    layer_nodes[u % layers].push_back(u);
+  }
+
+  // Resource weights: uniform base with a scaled-up hub subset.
+  for (NodeId u = 0; u < n; ++u) {
+    Weight w = draw(params.resource, rng);
+    if (rng.bernoulli(params.hub_fraction)) w *= 3;
+    builder.set_node_weight(u, std::max<Weight>(w, 1));
+  }
+
+  // Pipeline spine: guarantees connectivity layer to layer.
+  for (std::uint32_t l = 0; l + 1 < layers; ++l) {
+    const NodeId a = layer_nodes[l][rng.uniform_index(layer_nodes[l].size())];
+    const NodeId b =
+        layer_nodes[l + 1][rng.uniform_index(layer_nodes[l + 1].size())];
+    builder.add_edge(a, b, draw(params.bandwidth, rng));
+  }
+  // Connect every node to something in an adjacent layer.
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint32_t l = layer_of[u];
+    const std::uint32_t tl = (l + 1 < layers) ? l + 1 : (l == 0 ? 0 : l - 1);
+    if (tl == l) continue;
+    const auto& pool = layer_nodes[tl];
+    const NodeId v = pool[rng.uniform_index(pool.size())];
+    if (v != u) builder.add_edge(u, v, draw(params.bandwidth, rng));
+  }
+  // Forward edges up to the requested average degree.
+  const std::uint64_t extra = static_cast<std::uint64_t>(
+      std::max(0.0, params.forward_degree - 1.0) * n);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.uniform_index(n));
+    const std::uint32_t l = layer_of[u];
+    std::uint32_t tl;
+    if (rng.bernoulli(params.skip_probability) && l + 2 < layers) {
+      tl = l + 2 + static_cast<std::uint32_t>(
+                       rng.uniform_index(layers - l - 2));
+    } else if (l + 1 < layers) {
+      tl = l + 1;
+    } else {
+      continue;
+    }
+    const auto& pool = layer_nodes[tl];
+    const NodeId v = pool[rng.uniform_index(pool.size())];
+    if (v != u) builder.add_edge(u, v, draw(params.bandwidth, rng));
+  }
+  return builder.build();
+}
+
+Graph ring_of_cliques(std::uint32_t cliques, std::uint32_t clique_size,
+                      Weight intra_weight, Weight inter_weight) {
+  if (cliques == 0 || clique_size == 0) return Graph();
+  const NodeId n = cliques * clique_size;
+  GraphBuilder builder(n);
+  for (std::uint32_t c = 0; c < cliques; ++c) {
+    const NodeId base = c * clique_size;
+    for (std::uint32_t i = 0; i < clique_size; ++i) {
+      for (std::uint32_t j = i + 1; j < clique_size; ++j) {
+        builder.add_edge(base + i, base + j, intra_weight);
+      }
+    }
+  }
+  if (cliques > 1) {
+    for (std::uint32_t c = 0; c < cliques; ++c) {
+      const NodeId a = c * clique_size;                       // first of clique c
+      const NodeId b = ((c + 1) % cliques) * clique_size + 1 % clique_size;
+      if (a != b) builder.add_edge(a, b, inter_weight);
+    }
+  }
+  return builder.build();
+}
+
+Graph grid2d(std::uint32_t rows, std::uint32_t cols, WeightRange node_w,
+             WeightRange edge_w, support::Rng* rng) {
+  support::Rng fallback(42);
+  support::Rng& r = rng != nullptr ? *rng : fallback;
+  const NodeId n = rows * cols;
+  GraphBuilder builder(n);
+  assign_node_weights(builder, n, node_w, r);
+  auto id = [cols](std::uint32_t i, std::uint32_t j) {
+    return static_cast<NodeId>(i * cols + j);
+  };
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t j = 0; j < cols; ++j) {
+      if (j + 1 < cols) builder.add_edge(id(i, j), id(i, j + 1), draw(edge_w, r));
+      if (i + 1 < rows) builder.add_edge(id(i, j), id(i + 1, j), draw(edge_w, r));
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace ppnpart::graph

@@ -1,0 +1,160 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::graph {
+
+Graph::Graph(std::vector<std::uint64_t> xadj, std::vector<NodeId> adj,
+             std::vector<Weight> edge_weights,
+             std::vector<Weight> node_weights)
+    : xadj_(std::move(xadj)),
+      adj_(std::move(adj)),
+      ewgt_(std::move(edge_weights)),
+      vwgt_(std::move(node_weights)) {
+  assert(xadj_.size() == vwgt_.size() + 1);
+  assert(adj_.size() == ewgt_.size());
+  total_node_weight_ =
+      std::accumulate(vwgt_.begin(), vwgt_.end(), Weight{0});
+  total_edge_weight_ =
+      std::accumulate(ewgt_.begin(), ewgt_.end(), Weight{0}) / 2;
+}
+
+Weight Graph::incident_weight(NodeId u) const {
+  Weight sum = 0;
+  for (Weight w : edge_weights(u)) sum += w;
+  return sum;
+}
+
+Weight Graph::max_node_weight() const {
+  Weight m = 0;
+  for (Weight w : vwgt_) m = std::max(m, w);
+  return m;
+}
+
+Weight Graph::edge_weight_between(NodeId u, NodeId v) const {
+  auto nbrs = neighbors(u);
+  auto wgts = edge_weights(u);
+  // Adjacency is sorted by construction; binary search.
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0;
+  return wgts[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+std::string Graph::validate() const {
+  using support::str_format;
+  const NodeId n = num_nodes();
+  if (n == 0 && xadj_.empty() && adj_.empty()) return {};  // default-built
+  if (xadj_.size() != static_cast<std::size_t>(n) + 1)
+    return "xadj size mismatch";
+  if (!xadj_.empty() && xadj_.front() != 0) return "xadj[0] != 0";
+  if (xadj_.back() != adj_.size()) return "xadj[n] != |adj|";
+  for (NodeId u = 0; u < n; ++u) {
+    if (xadj_[u] > xadj_[u + 1])
+      return str_format("xadj not monotone at node %u", u);
+    auto nbrs = neighbors(u);
+    auto wgts = edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (v >= n) return str_format("edge (%u, %u) out of range", u, v);
+      if (v == u) return str_format("self loop at node %u", u);
+      if (i > 0 && nbrs[i - 1] >= v)
+        return str_format("adjacency of node %u not strictly sorted", u);
+      if (wgts[i] <= 0)
+        return str_format("non-positive weight on edge (%u, %u)", u, v);
+      const Weight back = edge_weight_between(v, u);
+      if (back != wgts[i])
+        return str_format("asymmetric edge (%u, %u): %lld vs %lld", u, v,
+                          static_cast<long long>(wgts[i]),
+                          static_cast<long long>(back));
+    }
+    if (vwgt_[u] < 0) return str_format("negative weight on node %u", u);
+  }
+  return {};
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : vwgt_(num_nodes, 1) {}
+
+NodeId GraphBuilder::add_nodes(NodeId count) {
+  const NodeId first = num_nodes();
+  vwgt_.resize(vwgt_.size() + count, 1);
+  return first;
+}
+
+NodeId GraphBuilder::add_node(Weight weight) {
+  vwgt_.push_back(weight);
+  return static_cast<NodeId>(vwgt_.size() - 1);
+}
+
+void GraphBuilder::set_node_weight(NodeId u, Weight w) {
+  if (u >= num_nodes()) throw std::out_of_range("set_node_weight: bad node");
+  if (w < 0) throw std::invalid_argument("set_node_weight: negative weight");
+  vwgt_[u] = w;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u >= num_nodes() || v >= num_nodes())
+    throw std::out_of_range("add_edge: node out of range");
+  if (w <= 0) throw std::invalid_argument("add_edge: weight must be positive");
+  if (u == v) return;  // self loops never contribute to a cut
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w});
+}
+
+Graph GraphBuilder::build() const {
+  const NodeId n = num_nodes();
+  // Merge duplicates: sort canonical (u < v) edge records, fold equal pairs.
+  std::vector<RawEdge> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end(), [](const RawEdge& a, const RawEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  std::vector<RawEdge> merged;
+  merged.reserve(sorted.size());
+  for (const RawEdge& e : sorted) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  std::vector<std::uint64_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  for (const RawEdge& e : merged) {
+    ++xadj[e.u + 1];
+    ++xadj[e.v + 1];
+  }
+  for (NodeId u = 0; u < n; ++u) xadj[u + 1] += xadj[u];
+
+  std::vector<NodeId> adj(merged.size() * 2);
+  std::vector<Weight> ewgt(merged.size() * 2);
+  std::vector<std::uint64_t> cursor(xadj.begin(), xadj.end() - 1);
+  // Emitting from a (u,v)-sorted list fills each adjacency in sorted order
+  // for the u side; the v side needs a final per-node sort only if some
+  // v-side neighbours arrive out of order — they do, so sort both below.
+  for (const RawEdge& e : merged) {
+    adj[cursor[e.u]] = e.v;
+    ewgt[cursor[e.u]++] = e.w;
+    adj[cursor[e.v]] = e.u;
+    ewgt[cursor[e.v]++] = e.w;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t lo = xadj[u], hi = xadj[u + 1];
+    // Sort (neighbour, weight) pairs by neighbour id.
+    std::vector<std::pair<NodeId, Weight>> row;
+    row.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) row.emplace_back(adj[i], ewgt[i]);
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      adj[i] = row[i - lo].first;
+      ewgt[i] = row[i - lo].second;
+    }
+  }
+  return Graph(std::move(xadj), std::move(adj), std::move(ewgt),
+               std::vector<Weight>(vwgt_));
+}
+
+}  // namespace ppnpart::graph

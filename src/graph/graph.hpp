@@ -1,0 +1,114 @@
+#pragma once
+// Immutable undirected weighted graph in compressed-sparse-row form.
+//
+// This is the substrate every partitioner in the library operates on: node
+// weights model per-process FPGA resource demand (R_p in the paper), edge
+// weights model sustained FIFO bandwidth between processes. Both are kept as
+// 64-bit integers — the polyhedral channel-volume computation produces exact
+// integer token counts, and integer arithmetic keeps FM gain updates exact.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppnpart::graph {
+
+using NodeId = std::uint32_t;
+using Weight = std::int64_t;
+
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Constructs from CSR arrays. Each undirected edge must appear in both
+  /// endpoints' adjacency lists with equal weight; `validate()` checks this.
+  Graph(std::vector<std::uint64_t> xadj, std::vector<NodeId> adj,
+        std::vector<Weight> edge_weights, std::vector<Weight> node_weights);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(vwgt_.size()); }
+  /// Number of undirected edges (each stored twice internally).
+  std::uint64_t num_edges() const { return adj_.size() / 2; }
+  bool empty() const { return vwgt_.empty(); }
+
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {adj_.data() + xadj_[u], adj_.data() + xadj_[u + 1]};
+  }
+  std::span<const Weight> edge_weights(NodeId u) const {
+    return {ewgt_.data() + xadj_[u], ewgt_.data() + xadj_[u + 1]};
+  }
+
+  std::uint32_t degree(NodeId u) const {
+    return static_cast<std::uint32_t>(xadj_[u + 1] - xadj_[u]);
+  }
+
+  Weight node_weight(NodeId u) const { return vwgt_[u]; }
+  /// Sum of weights of edges incident to u.
+  Weight incident_weight(NodeId u) const;
+
+  Weight total_node_weight() const { return total_node_weight_; }
+  /// Sum over undirected edges of their weight.
+  Weight total_edge_weight() const { return total_edge_weight_; }
+
+  Weight max_node_weight() const;
+
+  /// Weight of edge (u, v), or 0 if absent. O(degree(u)).
+  Weight edge_weight_between(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const {
+    return edge_weight_between(u, v) != 0;
+  }
+
+  const std::vector<std::uint64_t>& xadj() const { return xadj_; }
+  const std::vector<NodeId>& adj() const { return adj_; }
+  const std::vector<Weight>& raw_edge_weights() const { return ewgt_; }
+  const std::vector<Weight>& node_weights() const { return vwgt_; }
+
+  /// Checks CSR invariants: sorted adjacency, symmetric edges with symmetric
+  /// weights, no self loops, positive weights. Returns a description of the
+  /// first violation, or empty if consistent.
+  std::string validate() const;
+
+ private:
+  std::vector<std::uint64_t> xadj_;
+  std::vector<NodeId> adj_;
+  std::vector<Weight> ewgt_;
+  std::vector<Weight> vwgt_;
+  Weight total_node_weight_ = 0;
+  Weight total_edge_weight_ = 0;
+};
+
+/// Accumulating edge-list builder. Duplicate edges (in either orientation)
+/// are merged by summing weights; self loops are dropped (they never cross a
+/// partition boundary, so they cannot affect any cut). Node weights default
+/// to 1.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Adds nodes so that `count` exist; returns first new id.
+  NodeId add_nodes(NodeId count);
+  NodeId add_node(Weight weight = 1);
+
+  void set_node_weight(NodeId u, Weight w);
+
+  /// Adds (u, v) with weight w; u and v must already exist, w must be > 0.
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(vwgt_.size()); }
+
+  /// Builds the CSR graph. The builder may be reused afterwards.
+  Graph build() const;
+
+ private:
+  struct RawEdge {
+    NodeId u, v;
+    Weight w;
+  };
+  std::vector<RawEdge> edges_;
+  std::vector<Weight> vwgt_;
+};
+
+}  // namespace ppnpart::graph

@@ -1,0 +1,192 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::graph {
+
+using support::Result;
+using support::Status;
+using support::str_format;
+
+void write_metis(std::ostream& out, const Graph& g) {
+  out << g.num_nodes() << ' ' << g.num_edges() << " 011\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out << g.node_weight(u);
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      out << ' ' << (nbrs[i] + 1) << ' ' << wgts[i];
+    }
+    out << '\n';
+  }
+}
+
+Status write_metis_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) return Status::error("cannot open for writing: " + path);
+  write_metis(out, g);
+  return out ? Status::ok() : Status::error("write failed: " + path);
+}
+
+Result<Graph> read_metis(std::istream& in) {
+  std::string line;
+  // Header (skipping comments).
+  std::uint64_t n = 0, m = 0;
+  std::string fmt = "0";
+  std::uint32_t ncon = 1;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    auto t = support::trim(line);
+    if (t.empty() || t[0] == '%') continue;
+    auto tokens = support::split_ws(t);
+    if (tokens.size() < 2 || tokens.size() > 4)
+      return Result<Graph>::error("metis: malformed header");
+    std::int64_t vn = 0, vm = 0;
+    if (!support::parse_i64(tokens[0], vn) || !support::parse_i64(tokens[1], vm))
+      return Result<Graph>::error("metis: malformed header numbers");
+    n = static_cast<std::uint64_t>(vn);
+    m = static_cast<std::uint64_t>(vm);
+    if (tokens.size() >= 3) fmt = tokens[2];
+    if (tokens.size() == 4) {
+      std::int64_t vncon = 1;
+      if (!support::parse_i64(tokens[3], vncon) || vncon != 1)
+        return Result<Graph>::error("metis: only ncon=1 supported");
+      ncon = 1;
+    }
+    have_header = true;
+    break;
+  }
+  (void)ncon;
+  if (!have_header) return Result<Graph>::error("metis: empty input");
+  // fmt is up to 3 chars: [has_vertex_sizes][has_vertex_weights][has_edge_weights]
+  while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
+  if (fmt[0] == '1')
+    return Result<Graph>::error("metis: vertex sizes unsupported");
+  const bool has_vwgt = fmt[1] == '1';
+  const bool has_ewgt = fmt[2] == '1';
+
+  GraphBuilder builder(static_cast<NodeId>(n));
+  std::uint64_t read_nodes = 0;
+  while (read_nodes < n && std::getline(in, line)) {
+    auto t = support::trim(line);
+    if (!t.empty() && t[0] == '%') continue;
+    const NodeId u = static_cast<NodeId>(read_nodes++);
+    auto tokens = support::split_ws(t);
+    std::size_t pos = 0;
+    if (has_vwgt) {
+      if (tokens.empty())
+        return Result<Graph>::error(
+            str_format("metis: node %u missing weight", u + 1));
+      std::int64_t w = 1;
+      if (!support::parse_i64(tokens[pos++], w) || w < 0)
+        return Result<Graph>::error(
+            str_format("metis: node %u bad weight", u + 1));
+      builder.set_node_weight(u, w);
+    }
+    const std::size_t stride = has_ewgt ? 2 : 1;
+    if ((tokens.size() - pos) % stride != 0)
+      return Result<Graph>::error(
+          str_format("metis: node %u odd token count", u + 1));
+    for (; pos < tokens.size(); pos += stride) {
+      std::int64_t v1 = 0, w = 1;
+      if (!support::parse_i64(tokens[pos], v1) || v1 < 1 ||
+          static_cast<std::uint64_t>(v1) > n)
+        return Result<Graph>::error(
+            str_format("metis: node %u bad neighbour", u + 1));
+      if (has_ewgt &&
+          (!support::parse_i64(tokens[pos + 1], w) || w <= 0))
+        return Result<Graph>::error(
+            str_format("metis: node %u bad edge weight", u + 1));
+      const NodeId v = static_cast<NodeId>(v1 - 1);
+      // Each undirected edge appears twice in the file; add once.
+      if (u < v) builder.add_edge(u, v, w);
+    }
+  }
+  if (read_nodes != n)
+    return Result<Graph>::error("metis: fewer node lines than header claims");
+  Graph g = builder.build();
+  if (g.num_edges() != m) {
+    // Tolerated: some writers count self loops or miscount; the builder
+    // result is still a consistent graph. Strict readers may check.
+  }
+  return g;
+}
+
+Result<Graph> read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Result<Graph>::error("cannot open: " + path);
+  return read_metis(in);
+}
+
+void write_adjacency_matrix(std::ostream& out, const Graph& g) {
+  const NodeId n = g.num_nodes();
+  out << n << '\n';
+  for (NodeId u = 0; u < n; ++u) {
+    std::vector<Weight> row(n, 0);
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) row[nbrs[i]] = wgts[i];
+    for (NodeId v = 0; v < n; ++v) out << row[v] << (v + 1 < n ? ' ' : '\n');
+  }
+  for (NodeId u = 0; u < n; ++u)
+    out << g.node_weight(u) << (u + 1 < n ? ' ' : '\n');
+}
+
+Result<Graph> read_adjacency_matrix(std::istream& in) {
+  std::int64_t n = 0;
+  if (!(in >> n) || n < 0) return Result<Graph>::error("matrix: bad size");
+  GraphBuilder builder(static_cast<NodeId>(n));
+  std::vector<std::vector<Weight>> mat(
+      static_cast<std::size_t>(n), std::vector<Weight>(n, 0));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (!(in >> mat[i][j]))
+        return Result<Graph>::error("matrix: truncated rows");
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      if (mat[i][j] != mat[j][i])
+        return Result<Graph>::error(
+            str_format("matrix: asymmetric at (%lld, %lld)",
+                       static_cast<long long>(i), static_cast<long long>(j)));
+      if (mat[i][j] < 0)
+        return Result<Graph>::error("matrix: negative edge weight");
+      if (mat[i][j] > 0)
+        builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                         mat[i][j]);
+    }
+  }
+  for (std::int64_t i = 0; i < n; ++i) {
+    Weight w = 1;
+    if (!(in >> w)) return Result<Graph>::error("matrix: missing node weights");
+    if (w < 0) return Result<Graph>::error("matrix: negative node weight");
+    builder.set_node_weight(static_cast<NodeId>(i), w);
+  }
+  return builder.build();
+}
+
+void write_dot(std::ostream& out, const Graph& g, const std::string& name) {
+  out << "graph " << name << " {\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out << "  n" << u << " [label=\"" << u << " (" << g.node_weight(u)
+        << ")\"];\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        out << "  n" << u << " -- n" << nbrs[i] << " [label=\"" << wgts[i]
+            << "\"];\n";
+      }
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace ppnpart::graph

@@ -1,0 +1,38 @@
+#pragma once
+// Graph serialization.
+//
+//  * METIS `.graph` format — the interchange format of the baseline tool the
+//    paper compares against (node+edge weighted variant, fmt code 011).
+//  * Dense adjacency-matrix text — the paper feeds MATLAB "incidence
+//    matrices"; we read/write symmetric weighted adjacency matrices, which
+//    is what their MATLAB code actually consumes for undirected networks.
+//  * DOT — for the figure pipeline (viz module adds partition colouring).
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "support/status.hpp"
+
+namespace ppnpart::graph {
+
+/// Writes METIS format: header "n m 011", one line per node:
+/// "vwgt (nbr wgt)*" with 1-based neighbour ids.
+void write_metis(std::ostream& out, const Graph& g);
+support::Status write_metis_file(const std::string& path, const Graph& g);
+
+/// Reads METIS format (fmt codes 0/1/10/11/001/010/011/100…; vertex sizes
+/// unsupported). Comment lines start with '%'.
+support::Result<Graph> read_metis(std::istream& in);
+support::Result<Graph> read_metis_file(const std::string& path);
+
+/// Dense symmetric adjacency matrix: first line n, then n lines of n
+/// integers (weight, 0 = no edge), then one line of n node weights.
+void write_adjacency_matrix(std::ostream& out, const Graph& g);
+support::Result<Graph> read_adjacency_matrix(std::istream& in);
+
+/// Plain DOT dump (no partition info; see viz/dot.hpp for the figure writer).
+void write_dot(std::ostream& out, const Graph& g,
+               const std::string& name = "G");
+
+}  // namespace ppnpart::graph

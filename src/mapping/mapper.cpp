@@ -1,0 +1,276 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::mapping {
+
+using part::PartId;
+
+std::string MappingViolation::describe() const {
+  using support::str_format;
+  switch (kind) {
+    case Kind::kResource:
+      return str_format("device %u over resources: %lld > %lld", a,
+                        static_cast<long long>(demand),
+                        static_cast<long long>(budget));
+    case Kind::kBandwidth:
+      return str_format("link %u-%u over bandwidth: %lld > %lld", a, b,
+                        static_cast<long long>(demand),
+                        static_cast<long long>(budget));
+    case Kind::kNoLink:
+      return str_format("devices %u-%u exchange %lld but have no link", a, b,
+                        static_cast<long long>(demand));
+  }
+  return "?";
+}
+
+std::string MappingReport::summary() const {
+  if (feasible) return "mapping feasible";
+  std::string out = support::str_format("mapping INFEASIBLE (%zu violations):",
+                                        violations.size());
+  for (const MappingViolation& v : violations) {
+    out += "\n  " + v.describe();
+  }
+  return out;
+}
+
+namespace {
+
+/// Part-pair traffic from the partition (k x k, row-major).
+std::vector<Weight> part_traffic(const graph::Graph& g,
+                                 const part::Partition& partition) {
+  const PartId k = partition.k();
+  std::vector<Weight> traffic(static_cast<std::size_t>(k) * k, 0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::NodeId v = nbrs[i];
+      if (u < v && partition[u] != partition[v]) {
+        const auto a = static_cast<std::size_t>(partition[u]);
+        const auto b = static_cast<std::size_t>(partition[v]);
+        traffic[a * k + b] += wgts[i];
+        traffic[b * k + a] += wgts[i];
+      }
+    }
+  }
+  return traffic;
+}
+
+struct PlacementCost {
+  std::uint64_t violations = 0;
+  Weight overflow = 0;
+  bool operator<(const PlacementCost& o) const {
+    if (violations != o.violations) return violations < o.violations;
+    return overflow < o.overflow;
+  }
+};
+
+PlacementCost placement_cost(const std::vector<Weight>& loads,
+                             const std::vector<Weight>& traffic, PartId k,
+                             const std::vector<std::uint32_t>& device_of,
+                             const Platform& platform) {
+  PlacementCost cost;
+  for (PartId p = 0; p < k; ++p) {
+    const Weight budget =
+        platform.device(device_of[static_cast<std::size_t>(p)]).resources;
+    const Weight load = loads[static_cast<std::size_t>(p)];
+    if (load > budget) {
+      ++cost.violations;
+      cost.overflow += load - budget;
+    }
+  }
+  for (PartId a = 0; a < k; ++a) {
+    for (PartId b = a + 1; b < k; ++b) {
+      const Weight demand = traffic[static_cast<std::size_t>(a) * k + b];
+      if (demand == 0) continue;
+      const Weight capacity = platform.link_capacity(
+          device_of[static_cast<std::size_t>(a)],
+          device_of[static_cast<std::size_t>(b)]);
+      if (capacity == 0) {
+        ++cost.violations;
+        cost.overflow += demand;
+      } else if (demand > capacity) {
+        ++cost.violations;
+        cost.overflow += demand - capacity;
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+Mapping map_network(const graph::Graph& g, const part::Partition& partition,
+                    const Platform& platform, const MapOptions& options) {
+  const PartId k = partition.k();
+  if (static_cast<std::uint32_t>(k) > platform.num_devices())
+    throw std::invalid_argument("map_network: more parts than devices");
+
+  std::vector<Weight> loads(static_cast<std::size_t>(k), 0);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    loads[static_cast<std::size_t>(partition[u])] += g.node_weight(u);
+  }
+  const std::vector<Weight> traffic = part_traffic(g, partition);
+
+  Mapping mapping;
+  mapping.partition = partition;
+
+  std::vector<std::uint32_t> devices(platform.num_devices());
+  std::iota(devices.begin(), devices.end(), 0u);
+
+  if (static_cast<std::uint32_t>(k) <= options.exhaustive_limit &&
+      platform.num_devices() <= options.exhaustive_limit + 2) {
+    // Exhaustive over device subsets/permutations (k! x C(n,k) is tiny for
+    // board-scale k); keeps the best placement cost.
+    std::vector<std::uint32_t> best;
+    PlacementCost best_cost{std::numeric_limits<std::uint64_t>::max(),
+                            std::numeric_limits<Weight>::max()};
+    std::vector<std::uint32_t> current(static_cast<std::size_t>(k));
+    std::vector<bool> used(platform.num_devices(), false);
+    auto rec = [&](auto&& self, PartId depth) -> void {
+      if (depth == k) {
+        const PlacementCost cost =
+            placement_cost(loads, traffic, k, current, platform);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = current;
+        }
+        return;
+      }
+      for (std::uint32_t d = 0; d < platform.num_devices(); ++d) {
+        if (used[d]) continue;
+        used[d] = true;
+        current[static_cast<std::size_t>(depth)] = d;
+        self(self, depth + 1);
+        used[d] = false;
+      }
+    };
+    rec(rec, 0);
+    mapping.device_of_part = std::move(best);
+  } else {
+    // Greedy: place part pairs in decreasing traffic order onto the best
+    // remaining linked device pairs.
+    mapping.device_of_part.assign(static_cast<std::size_t>(k),
+                                  std::numeric_limits<std::uint32_t>::max());
+    std::vector<bool> device_used(platform.num_devices(), false);
+    struct PairDemand {
+      Weight demand;
+      PartId a, b;
+    };
+    std::vector<PairDemand> pairs;
+    for (PartId a = 0; a < k; ++a) {
+      for (PartId b = a + 1; b < k; ++b) {
+        const Weight demand = traffic[static_cast<std::size_t>(a) * k + b];
+        if (demand > 0) pairs.push_back({demand, a, b});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairDemand& x, const PairDemand& y) {
+                return x.demand > y.demand;
+              });
+    auto place = [&](PartId p, std::uint32_t near) {
+      if (mapping.device_of_part[static_cast<std::size_t>(p)] !=
+          std::numeric_limits<std::uint32_t>::max())
+        return;
+      // Prefer an unused device linked to `near` with the largest capacity.
+      std::uint32_t best_dev = std::numeric_limits<std::uint32_t>::max();
+      Weight best_cap = -1;
+      for (std::uint32_t d = 0; d < platform.num_devices(); ++d) {
+        if (device_used[d]) continue;
+        const Weight cap = near == std::numeric_limits<std::uint32_t>::max()
+                               ? 1
+                               : platform.link_capacity(near, d);
+        if (cap > best_cap) {
+          best_cap = cap;
+          best_dev = d;
+        }
+      }
+      if (best_dev == std::numeric_limits<std::uint32_t>::max()) return;
+      mapping.device_of_part[static_cast<std::size_t>(p)] = best_dev;
+      device_used[best_dev] = true;
+    };
+    for (const PairDemand& pd : pairs) {
+      const auto da = mapping.device_of_part[static_cast<std::size_t>(pd.a)];
+      const auto db = mapping.device_of_part[static_cast<std::size_t>(pd.b)];
+      if (da == std::numeric_limits<std::uint32_t>::max() &&
+          db == std::numeric_limits<std::uint32_t>::max()) {
+        place(pd.a, std::numeric_limits<std::uint32_t>::max());
+        place(pd.b, mapping.device_of_part[static_cast<std::size_t>(pd.a)]);
+      } else if (da == std::numeric_limits<std::uint32_t>::max()) {
+        place(pd.a, db);
+      } else if (db == std::numeric_limits<std::uint32_t>::max()) {
+        place(pd.b, da);
+      }
+    }
+    // Any part with no traffic at all: first free device.
+    for (PartId p = 0; p < k; ++p) {
+      if (mapping.device_of_part[static_cast<std::size_t>(p)] ==
+          std::numeric_limits<std::uint32_t>::max()) {
+        place(p, std::numeric_limits<std::uint32_t>::max());
+      }
+    }
+  }
+  return mapping;
+}
+
+MappingReport validate_mapping(const graph::Graph& g, const Mapping& mapping,
+                               const Platform& platform) {
+  MappingReport report;
+  report.num_devices = platform.num_devices();
+  report.device_loads.assign(platform.num_devices(), 0);
+  report.pair_traffic.assign(
+      static_cast<std::size_t>(platform.num_devices()) *
+          platform.num_devices(),
+      0);
+
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    report.device_loads[mapping.device_of_node(u)] += g.node_weight(u);
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const graph::NodeId v = nbrs[i];
+      if (u >= v) continue;
+      const std::uint32_t da = mapping.device_of_node(u);
+      const std::uint32_t db = mapping.device_of_node(v);
+      if (da == db) continue;
+      report.pair_traffic[static_cast<std::size_t>(da) * report.num_devices +
+                          db] += wgts[i];
+      report.pair_traffic[static_cast<std::size_t>(db) * report.num_devices +
+                          da] += wgts[i];
+    }
+  }
+
+  for (std::uint32_t d = 0; d < platform.num_devices(); ++d) {
+    if (report.device_loads[d] > platform.device(d).resources) {
+      report.violations.push_back({MappingViolation::Kind::kResource, d, d,
+                                   report.device_loads[d],
+                                   platform.device(d).resources});
+    }
+  }
+  for (std::uint32_t a = 0; a < platform.num_devices(); ++a) {
+    for (std::uint32_t b = a + 1; b < platform.num_devices(); ++b) {
+      const Weight demand = report.traffic(a, b);
+      if (demand == 0) continue;
+      const Weight capacity = platform.link_capacity(a, b);
+      if (capacity == 0) {
+        report.violations.push_back(
+            {MappingViolation::Kind::kNoLink, a, b, demand, 0});
+      } else if (demand > capacity) {
+        report.violations.push_back(
+            {MappingViolation::Kind::kBandwidth, a, b, demand, capacity});
+      }
+    }
+  }
+  report.feasible = report.violations.empty();
+  return report;
+}
+
+}  // namespace ppnpart::mapping

@@ -1,0 +1,67 @@
+#pragma once
+// Partition -> device assignment and mapping validation.
+//
+// On an all-to-all platform the assignment is the identity; on sparser
+// topologies (ring, mesh, star) the parts must be *placed*: heavy-talking
+// part pairs need direct links with enough capacity. For the k's that make
+// sense on multi-FPGA boards (k <= 8) exhaustive placement is instant; a
+// greedy edge-driven placement covers larger k.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/platform.hpp"
+#include "partition/partition.hpp"
+#include "ppn/network.hpp"
+
+namespace ppnpart::mapping {
+
+struct Mapping {
+  part::Partition partition;
+  /// device_of_part[p] = device hosting part p.
+  std::vector<std::uint32_t> device_of_part;
+
+  std::uint32_t device_of_node(graph::NodeId u) const {
+    return device_of_part[static_cast<std::size_t>(partition[u])];
+  }
+};
+
+struct MappingViolation {
+  enum class Kind { kResource, kBandwidth, kNoLink } kind = Kind::kResource;
+  /// Device (resource) or device pair (bandwidth / missing link).
+  std::uint32_t a = 0, b = 0;
+  Weight demand = 0;
+  Weight budget = 0;
+  std::string describe() const;
+};
+
+struct MappingReport {
+  bool feasible = true;
+  std::vector<MappingViolation> violations;
+  std::vector<Weight> device_loads;
+  /// Traffic demanded between each device pair (flattened k x k, row-major).
+  std::vector<Weight> pair_traffic;
+  std::uint32_t num_devices = 0;
+
+  Weight traffic(std::uint32_t a, std::uint32_t b) const {
+    return pair_traffic[static_cast<std::size_t>(a) * num_devices + b];
+  }
+  std::string summary() const;
+};
+
+struct MapOptions {
+  /// Try all part->device permutations when k <= this (exact placement).
+  std::uint32_t exhaustive_limit = 8;
+};
+
+/// Places parts onto devices minimizing (violation count, overflow sum).
+/// Requires partition.k() <= platform.num_devices().
+Mapping map_network(const graph::Graph& g, const part::Partition& partition,
+                    const Platform& platform, const MapOptions& options = {});
+
+/// Checks a given mapping against resource budgets and link capacities.
+MappingReport validate_mapping(const graph::Graph& g, const Mapping& mapping,
+                               const Platform& platform);
+
+}  // namespace ppnpart::mapping

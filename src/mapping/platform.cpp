@@ -1,0 +1,111 @@
+#include "mapping/platform.hpp"
+
+#include <algorithm>
+
+#include <limits>
+#include <stdexcept>
+
+namespace ppnpart::mapping {
+
+std::uint32_t Platform::add_device(FpgaDevice device) {
+  if (device.resources < 0)
+    throw std::invalid_argument("add_device: negative resources");
+  devices_.push_back(std::move(device));
+  return static_cast<std::uint32_t>(devices_.size() - 1);
+}
+
+void Platform::add_link(std::uint32_t a, std::uint32_t b, Weight capacity) {
+  if (a >= num_devices() || b >= num_devices())
+    throw std::out_of_range("add_link: device out of range");
+  if (a == b) throw std::invalid_argument("add_link: self link");
+  if (capacity <= 0)
+    throw std::invalid_argument("add_link: capacity must be positive");
+  if (link_capacity(a, b) > 0)
+    throw std::invalid_argument("add_link: duplicate link");
+  links_.push_back({a, b, capacity});
+}
+
+Weight Platform::link_capacity(std::uint32_t a, std::uint32_t b) const {
+  if (a == b) return std::numeric_limits<Weight>::max();
+  for (const Link& l : links_) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return l.capacity;
+  }
+  return 0;
+}
+
+namespace {
+Platform homogeneous(const std::string& name, std::uint32_t count,
+                     Weight rmax) {
+  Platform p(name);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    p.add_device({"fpga" + std::to_string(i), rmax});
+  }
+  return p;
+}
+}  // namespace
+
+Platform Platform::all_to_all(std::uint32_t devices, Weight rmax,
+                              Weight bmax) {
+  Platform p = homogeneous("all-to-all", devices, rmax);
+  for (std::uint32_t a = 0; a < devices; ++a) {
+    for (std::uint32_t b = a + 1; b < devices; ++b) p.add_link(a, b, bmax);
+  }
+  return p;
+}
+
+Platform Platform::ring(std::uint32_t devices, Weight rmax, Weight bmax) {
+  Platform p = homogeneous("ring", devices, rmax);
+  if (devices == 2) {
+    p.add_link(0, 1, bmax);
+  } else if (devices > 2) {
+    for (std::uint32_t a = 0; a < devices; ++a) {
+      p.add_link(a, (a + 1) % devices, bmax);
+    }
+  }
+  return p;
+}
+
+Platform Platform::mesh2d(std::uint32_t rows, std::uint32_t cols, Weight rmax,
+                          Weight bmax) {
+  Platform p = homogeneous("mesh2d", rows * cols, rmax);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) { return r * cols + c; };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) p.add_link(id(r, c), id(r, c + 1), bmax);
+      if (r + 1 < rows) p.add_link(id(r, c), id(r + 1, c), bmax);
+    }
+  }
+  return p;
+}
+
+Platform Platform::star(std::uint32_t leaves, Weight rmax, Weight bmax) {
+  Platform p = homogeneous("star", leaves + 1, rmax);
+  for (std::uint32_t leaf = 1; leaf <= leaves; ++leaf) {
+    p.add_link(0, leaf, bmax);
+  }
+  return p;
+}
+
+
+part::Constraints Platform::to_constraints() const {
+  part::Constraints c;
+  bool uniform = true;
+  for (const FpgaDevice& d : devices_) {
+    if (d.resources != devices_.front().resources) uniform = false;
+  }
+  if (devices_.empty()) return c;
+  if (uniform) {
+    c.rmax = devices_.front().resources;
+  } else {
+    c.rmax_per_part.reserve(devices_.size());
+    for (const FpgaDevice& d : devices_) c.rmax_per_part.push_back(d.resources);
+  }
+  if (!links_.empty()) {
+    Weight min_cap = links_.front().capacity;
+    for (const Link& l : links_) min_cap = std::min(min_cap, l.capacity);
+    c.bmax = min_cap;
+  }
+  return c;
+}
+
+}  // namespace ppnpart::mapping

@@ -1,0 +1,78 @@
+#pragma once
+// Multi-FPGA platform model: devices with resource budgets, inter-device
+// links with bandwidth capacities. The paper's evaluation assumes the
+// homogeneous all-to-all case (every FPGA Rmax, every pair Bmax); ring,
+// mesh and star topologies generalise it for the mapping studies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+
+namespace ppnpart::mapping {
+
+using graph::Weight;
+
+struct FpgaDevice {
+  std::string name;
+  /// Single-resource budget (the paper's Rmax; e.g. LUTs).
+  Weight resources = 0;
+};
+
+struct Link {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  /// Bandwidth capacity per unit time (the paper's Bmax).
+  Weight capacity = 0;
+};
+
+class Platform {
+ public:
+  Platform() = default;
+  explicit Platform(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  std::uint32_t add_device(FpgaDevice device);
+  /// Adds an undirected link; duplicate pairs are rejected.
+  void add_link(std::uint32_t a, std::uint32_t b, Weight capacity);
+
+  std::uint32_t num_devices() const {
+    return static_cast<std::uint32_t>(devices_.size());
+  }
+  const FpgaDevice& device(std::uint32_t i) const { return devices_.at(i); }
+  const std::vector<FpgaDevice>& devices() const { return devices_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Capacity of the direct link a-b; 0 when absent (a == b returns
+  /// "unlimited": on-chip traffic never crosses a link).
+  Weight link_capacity(std::uint32_t a, std::uint32_t b) const;
+  bool connected(std::uint32_t a, std::uint32_t b) const {
+    return a == b || link_capacity(a, b) > 0;
+  }
+
+  // --- Topology factories (homogeneous devices). -----------------------
+  static Platform all_to_all(std::uint32_t devices, Weight rmax, Weight bmax);
+  static Platform ring(std::uint32_t devices, Weight rmax, Weight bmax);
+  static Platform mesh2d(std::uint32_t rows, std::uint32_t cols, Weight rmax,
+                         Weight bmax);
+  static Platform star(std::uint32_t leaves, Weight rmax, Weight bmax);
+
+  /// Partitioning constraints induced by this platform: per-part resource
+  /// budgets follow the devices (heterogeneous boards produce
+  /// rmax_per_part), and bmax is the *minimum* link capacity — the only
+  /// per-pair bound a placement-oblivious partitioner can guarantee. On
+  /// all-to-all homogeneous platforms this is exact; on sparser
+  /// topologies it is conservative and the mapper re-validates pair by
+  /// pair after placement.
+  part::Constraints to_constraints() const;
+
+ private:
+  std::string name_;
+  std::vector<FpgaDevice> devices_;
+  std::vector<Link> links_;
+};
+
+}  // namespace ppnpart::mapping

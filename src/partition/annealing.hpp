@@ -1,0 +1,55 @@
+#pragma once
+// Simulated annealing — the paper's Section II-A describes non-greedy
+// "hill-climbing algorithms [that] will sometimes accept a solution that is
+// worse than the existing solution … to avoid getting trapped in local
+// minima". This module realizes that family as a constraint-aware annealer
+// so the benches can compare it against GP's multilevel approach on equal
+// footing (same Rmax/Bmax-first objective).
+//
+// Energy is the scalarized goodness
+//     E = penalty * (resource_excess + bandwidth_excess) + cut
+// with `penalty` chosen above the total edge weight, which makes any
+// feasibility improvement dominate any cut change — a smooth analogue of
+// the lexicographic goodness GP optimizes.
+//
+// The move set mixes single-node reassignments (cheap, changes loads) and
+// cross-part pair swaps (load-neutral, what tight Rmax instances need).
+// Cooling is geometric with an initial temperature calibrated from the
+// mean |ΔE| of sampled random moves, so the same options work across
+// instance scales.
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct AnnealingOptions {
+  /// Total proposed moves ~ moves_per_node * n (the budget knob).
+  std::uint32_t moves_per_node = 200;
+  /// Proposals evaluated at each temperature step.
+  std::uint32_t moves_per_temperature = 64;
+  double cooling = 0.97;              // geometric factor per step
+  double initial_acceptance = 0.80;   // calibrates T0 from sampled |dE|
+  double min_temperature = 1e-3;
+  double swap_probability = 0.35;     // pair swap vs single reassignment
+  /// Restart from the best-seen state after this many consecutive
+  /// temperature steps without improving it (0 disables reheating).
+  std::uint32_t reheat_after_stall = 12;
+};
+
+class AnnealingPartitioner : public Partitioner {
+ public:
+  explicit AnnealingPartitioner(AnnealingOptions options = {});
+
+  std::string name() const override { return "Annealing"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  const AnnealingOptions& options() const { return options_; }
+
+ private:
+  AnnealingOptions options_;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,186 @@
+#include "partition/coarsen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ppnpart::part {
+
+std::string to_string(MatchingKind kind) {
+  switch (kind) {
+    case MatchingKind::kRandom:
+      return "random";
+    case MatchingKind::kHeavyEdge:
+      return "heavy-edge";
+    case MatchingKind::kKMeans:
+      return "k-means";
+  }
+  return "?";
+}
+
+CoarseLevel contract(const Graph& fine, const Matching& matching) {
+  const NodeId n = fine.num_nodes();
+  if (matching.size() != n)
+    throw std::invalid_argument("contract: matching size mismatch");
+
+  CoarseLevel out;
+  out.fine_to_coarse.assign(n, graph::kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (out.fine_to_coarse[u] != graph::kInvalidNode) continue;
+    const NodeId v = matching[u];
+    out.fine_to_coarse[u] = next;
+    if (v != u) out.fine_to_coarse[v] = next;
+    ++next;
+  }
+
+  graph::GraphBuilder builder(next);
+  // Coarse node weight = sum of merged fine node weights.
+  std::vector<Weight> cw(next, 0);
+  for (NodeId u = 0; u < n; ++u) cw[out.fine_to_coarse[u]] += fine.node_weight(u);
+  for (NodeId c = 0; c < next; ++c) builder.set_node_weight(c, cw[c]);
+  // Coarse edges: fold every fine edge whose endpoints land in different
+  // coarse nodes; GraphBuilder merges parallel edges by summing weights,
+  // which implements the paper's "weights are merged into one and the new
+  // edge has a weight equal to the sum of the weights of the merged edges".
+  for (NodeId u = 0; u < n; ++u) {
+    auto nbrs = fine.neighbors(u);
+    auto wgts = fine.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (u >= v) continue;
+      const NodeId cu = out.fine_to_coarse[u];
+      const NodeId cv = out.fine_to_coarse[v];
+      if (cu != cv) builder.add_edge(cu, cv, wgts[i]);
+    }
+  }
+  out.graph = builder.build();
+  return out;
+}
+
+Matching run_matching(const Graph& g, MatchingKind kind, support::Rng& rng) {
+  switch (kind) {
+    case MatchingKind::kRandom:
+      return random_maximal_matching(g, rng);
+    case MatchingKind::kHeavyEdge:
+      return heavy_edge_matching(g, rng);
+    case MatchingKind::kKMeans:
+      return kmeans_matching(g, rng);
+  }
+  throw std::logic_error("run_matching: bad kind");
+}
+
+std::vector<PartId> Hierarchy::project_to_level(
+    const std::vector<PartId>& coarse_assign, std::size_t level) const {
+  assert(!graphs.empty());
+  if (coarse_assign.size() != coarsest().num_nodes())
+    throw std::invalid_argument("project_to_level: size mismatch");
+  std::vector<PartId> assign = coarse_assign;
+  // maps[i] : level i -> level i+1; walk backwards from the coarsest.
+  for (std::size_t i = maps.size(); i-- > level;) {
+    std::vector<PartId> finer(graphs[i].num_nodes());
+    for (NodeId u = 0; u < graphs[i].num_nodes(); ++u) {
+      finer[u] = assign[maps[i][u]];
+    }
+    assign = std::move(finer);
+  }
+  return assign;
+}
+
+RestrictedHierarchy coarsen_restricted(const Graph& g,
+                                       const std::vector<PartId>& parts,
+                                       const CoarsenOptions& options,
+                                       support::Rng& rng) {
+  if (parts.size() != g.num_nodes())
+    throw std::invalid_argument("coarsen_restricted: parts size mismatch");
+  RestrictedHierarchy out;
+  Hierarchy& h = out.hierarchy;
+  h.graphs.push_back(g);
+  std::vector<PartId> level_parts = parts;
+  while (h.coarsest().num_nodes() > options.coarsen_to &&
+         h.num_levels() <= options.max_levels) {
+    const Graph& current = h.coarsest();
+    Matching best_matching;
+    MatchingKind best_kind = options.strategies.front();
+    Weight best_weight = -1;
+    std::uint32_t best_pairs = 0;
+    for (MatchingKind kind : options.strategies) {
+      support::Rng stream = rng.derive(
+          static_cast<std::uint64_t>(kind) * 977 + h.num_levels() * 131071);
+      Matching m = run_matching(current, kind, stream);
+      // Unmatch pairs that straddle parts; the projection must stay exact.
+      for (NodeId u = 0; u < current.num_nodes(); ++u) {
+        const NodeId v = m[u];
+        if (v != u && level_parts[u] != level_parts[v]) {
+          m[u] = u;
+          m[v] = v;
+        }
+      }
+      const Weight w = matched_edge_weight(current, m);
+      const std::uint32_t pairs = matched_pair_count(m);
+      if (w > best_weight || (w == best_weight && pairs > best_pairs)) {
+        best_weight = w;
+        best_pairs = pairs;
+        best_matching = std::move(m);
+        best_kind = kind;
+      }
+    }
+    if (best_pairs == 0) break;
+    CoarseLevel level = contract(current, best_matching);
+    const double shrink = static_cast<double>(level.graph.num_nodes()) /
+                          static_cast<double>(current.num_nodes());
+    if (shrink > options.min_shrink_factor) break;
+    std::vector<PartId> coarse_parts(level.graph.num_nodes(), kUnassigned);
+    for (NodeId u = 0; u < current.num_nodes(); ++u) {
+      coarse_parts[level.fine_to_coarse[u]] = level_parts[u];
+    }
+    level_parts = std::move(coarse_parts);
+    h.maps.push_back(std::move(level.fine_to_coarse));
+    h.winners.push_back(best_kind);
+    h.graphs.push_back(std::move(level.graph));
+  }
+  out.coarse_parts = std::move(level_parts);
+  return out;
+}
+
+Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
+                  support::Rng& rng) {
+  if (options.strategies.empty())
+    throw std::invalid_argument("coarsen: no matching strategies enabled");
+  Hierarchy h;
+  h.graphs.push_back(g);
+  while (h.coarsest().num_nodes() > options.coarsen_to &&
+         h.num_levels() <= options.max_levels) {
+    const Graph& current = h.coarsest();
+    // Compete the enabled heuristics; keep the one hiding the most weight
+    // (ties: more matched pairs, then strategy order).
+    Matching best_matching;
+    MatchingKind best_kind = options.strategies.front();
+    Weight best_weight = -1;
+    std::uint32_t best_pairs = 0;
+    for (MatchingKind kind : options.strategies) {
+      support::Rng stream = rng.derive(
+          static_cast<std::uint64_t>(kind) * 977 + h.num_levels() * 131071);
+      Matching m = run_matching(current, kind, stream);
+      const Weight w = matched_edge_weight(current, m);
+      const std::uint32_t pairs = matched_pair_count(m);
+      if (w > best_weight || (w == best_weight && pairs > best_pairs)) {
+        best_weight = w;
+        best_pairs = pairs;
+        best_matching = std::move(m);
+        best_kind = kind;
+      }
+    }
+    if (best_pairs == 0) break;  // nothing contractible (e.g. no edges)
+    CoarseLevel level = contract(current, best_matching);
+    const double shrink = static_cast<double>(level.graph.num_nodes()) /
+                          static_cast<double>(current.num_nodes());
+    if (shrink > options.min_shrink_factor) break;
+    h.maps.push_back(std::move(level.fine_to_coarse));
+    h.winners.push_back(best_kind);
+    h.graphs.push_back(std::move(level.graph));
+  }
+  return h;
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,84 @@
+#pragma once
+// Coarsening phase (paper Section IV-A).
+//
+// At each level all enabled matching heuristics are computed, scored by the
+// total weight of matched edges (hidden weight can no longer be cut at
+// coarser levels — the standard Karypis–Kumar argument), and the winner is
+// contracted: matched pairs become single coarse nodes whose weight is the
+// sum of the pair's weights; parallel coarse edges are folded by summing
+// weights. Coarsening stops at `coarsen_to` nodes (paper default: 100) or
+// when a level fails to shrink the graph by `min_shrink_factor`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "partition/matching.hpp"
+#include "partition/partition.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+enum class MatchingKind { kRandom, kHeavyEdge, kKMeans };
+
+std::string to_string(MatchingKind kind);
+
+/// One contracted level: the coarse graph plus fine-to-coarse node map.
+struct CoarseLevel {
+  Graph graph;
+  std::vector<NodeId> fine_to_coarse;
+  MatchingKind used_matching = MatchingKind::kRandom;
+};
+
+/// Contracts `fine` along `matching` (must be valid, see validate_matching).
+CoarseLevel contract(const Graph& fine, const Matching& matching);
+
+struct CoarsenOptions {
+  NodeId coarsen_to = 100;  // paper's default
+  std::vector<MatchingKind> strategies = {
+      MatchingKind::kRandom, MatchingKind::kHeavyEdge, MatchingKind::kKMeans};
+  /// Stop if a level shrinks the node count by less than this factor.
+  double min_shrink_factor = 0.98;
+  std::uint32_t max_levels = 64;
+};
+
+/// The whole multilevel hierarchy. graphs[0] is the input; maps[i] sends
+/// node ids of graphs[i] to graphs[i+1]. levels_used[i] records which
+/// heuristic won level i.
+struct Hierarchy {
+  std::vector<Graph> graphs;
+  std::vector<std::vector<NodeId>> maps;
+  std::vector<MatchingKind> winners;
+
+  const Graph& coarsest() const { return graphs.back(); }
+  std::size_t num_levels() const { return graphs.size(); }
+
+  /// Projects a coarsest-level part assignment down to level `level`
+  /// (0 = original graph). `coarse_assign` indexes coarsest-graph nodes.
+  std::vector<PartId> project_to_level(
+      const std::vector<PartId>& coarse_assign, std::size_t level) const;
+};
+
+/// Builds the hierarchy, selecting the best of the enabled matchings at each
+/// level (ties by matched pair count, then strategy order).
+Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
+                  support::Rng& rng);
+
+/// Runs one matching heuristic.
+Matching run_matching(const Graph& g, MatchingKind kind, support::Rng& rng);
+
+/// Partition-preserving ("restricted") coarsening for the paper's cyclic
+/// re-coarsening: only node pairs inside the same part may match, so the
+/// current partition projects exactly onto every level of the new hierarchy.
+/// Returns the hierarchy plus the induced coarsest-level assignment.
+struct RestrictedHierarchy {
+  Hierarchy hierarchy;
+  std::vector<PartId> coarse_parts;
+};
+RestrictedHierarchy coarsen_restricted(const Graph& g,
+                                       const std::vector<PartId>& parts,
+                                       const CoarsenOptions& options,
+                                       support::Rng& rng);
+
+}  // namespace ppnpart::part

@@ -1,0 +1,161 @@
+#include "partition/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace ppnpart::part {
+
+namespace {
+
+struct SearchState {
+  const Graph* g;
+  PartId k;
+  Constraints c;
+  ExactOptions options;
+  support::Timer timer;
+
+  std::vector<NodeId> order;      // assignment order
+  std::vector<PartId> assign;     // by node id; kUnassigned when free
+  std::vector<Weight> loads;
+  PairwiseCut pairwise;
+  Weight cut = 0;
+
+  Weight best_cut = std::numeric_limits<Weight>::max();
+  std::vector<PartId> best_assign;
+  bool found = false;
+  bool truncated = false;
+  std::uint64_t states = 0;
+
+  bool out_of_budget() {
+    if (options.max_states != 0 && states > options.max_states) return true;
+    // Timer checks are cheap but not free; sample every 4096 states.
+    if ((states & 0xFFF) == 0 &&
+        timer.seconds() > options.time_limit_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  void dfs(std::size_t depth, PartId parts_open) {
+    ++states;
+    if (out_of_budget()) {
+      truncated = true;
+      return;
+    }
+    if (depth == order.size()) {
+      if (options.require_all_parts && parts_open < k) return;
+      if (cut < best_cut) {
+        best_cut = cut;
+        best_assign = assign;
+        found = true;
+      }
+      return;
+    }
+    // Non-emptiness pruning: the remaining nodes must suffice to open the
+    // parts that are still empty.
+    if (options.require_all_parts) {
+      const auto remaining = static_cast<PartId>(order.size() - depth);
+      if (remaining < k - parts_open) return;
+    }
+    const NodeId u = order[depth];
+    const Weight w = g->node_weight(u);
+    // Connection of u to each currently used part.
+    std::vector<Weight> conn(static_cast<std::size_t>(k), 0);
+    Weight assigned_incident = 0;
+    auto nbrs = g->neighbors(u);
+    auto wgts = g->edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const PartId pv = assign[nbrs[i]];
+      if (pv != kUnassigned) {
+        conn[static_cast<std::size_t>(pv)] += wgts[i];
+        assigned_incident += wgts[i];
+      }
+    }
+    // Symmetry breaking: u may join any open part or open exactly one new.
+    const PartId limit = std::min<PartId>(k, parts_open + 1);
+    for (PartId p = 0; p < limit; ++p) {
+      if (truncated) return;
+      const Weight budget = c.rmax_of(p);
+      if (budget != Constraints::kUnlimited && loads[p] + w > budget) continue;
+      const Weight added_cut = assigned_incident - conn[p];
+      if (cut + added_cut >= best_cut) continue;
+      // Pairwise bandwidth pruning (monotone: entries only ever grow).
+      bool bw_ok = true;
+      if (c.bmax != Constraints::kUnlimited) {
+        for (PartId q = 0; q < k && bw_ok; ++q) {
+          if (q == p || conn[q] == 0) continue;
+          if (pairwise.at(p, q) + conn[q] > c.bmax) bw_ok = false;
+        }
+      }
+      if (!bw_ok) continue;
+
+      assign[u] = p;
+      loads[p] += w;
+      cut += added_cut;
+      for (PartId q = 0; q < k; ++q) {
+        if (q != p && conn[q] > 0) pairwise.add(p, q, conn[q]);
+      }
+
+      dfs(depth + 1, std::max<PartId>(parts_open, p + 1));
+
+      for (PartId q = 0; q < k; ++q) {
+        if (q != p && conn[q] > 0) pairwise.add(p, q, -conn[q]);
+      }
+      cut -= added_cut;
+      loads[p] -= w;
+      assign[u] = kUnassigned;
+    }
+  }
+};
+
+}  // namespace
+
+ExactResult exact_min_cut(const Graph& g, PartId k, const Constraints& c,
+                          const ExactOptions& options) {
+  if (k <= 0) throw std::invalid_argument("exact_min_cut: k must be positive");
+  if (g.num_nodes() > options.max_nodes) {
+    throw std::invalid_argument(
+        "exact_min_cut: instance larger than ExactOptions::max_nodes");
+  }
+  SearchState s;
+  s.g = &g;
+  s.k = k;
+  s.c = c;
+  s.options = options;
+  s.assign.assign(g.num_nodes(), kUnassigned);
+  s.loads.assign(static_cast<std::size_t>(k), 0);
+  s.pairwise = PairwiseCut(k);
+  s.order.resize(g.num_nodes());
+  std::iota(s.order.begin(), s.order.end(), NodeId{0});
+  // Heaviest-connectivity-first maximizes early pruning.
+  std::sort(s.order.begin(), s.order.end(), [&](NodeId a, NodeId b) {
+    const Weight ia = g.incident_weight(a), ib = g.incident_weight(b);
+    if (ia != ib) return ia > ib;
+    return a < b;
+  });
+
+  s.dfs(0, 0);
+
+  ExactResult result;
+  result.states_explored = s.states;
+  result.seconds = s.timer.seconds();
+  result.found = s.found;
+  // A completed search is conclusive either way: optimum found, or proven
+  // infeasible. Only a truncated search is inconclusive.
+  result.optimal = !s.truncated;
+  result.cut = s.found ? s.best_cut : 0;
+  result.partition = Partition(g.num_nodes(), k);
+  if (s.found) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      result.partition.set(u, s.best_assign[u]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,59 @@
+#pragma once
+// Genetic-algorithm partitioner — the evolutionary family of related work
+// (paper ref. [12], Bui & Moon, IEEE ToC 1996). Implemented as a memetic
+// GA: every offspring is polished with a short constrained-FM pass, the
+// standard recipe that makes GA partitioners competitive (pure bitstring
+// GAs drown in the permutation symmetry of part labels).
+//
+// Representation  : assignment vector (node -> part).
+// Fitness         : the lexicographic goodness (violations first, cut
+//                   second) — individuals are compared directly, no scalar
+//                   fitness needed.
+// Selection       : tournament of `tournament_size`.
+// Crossover       : per-node uniform inheritance after greedy part-label
+//                   alignment (parent 2's labels are permuted to maximize
+//                   agreement with parent 1, neutralizing label symmetry).
+// Mutation        : each node reassigned with probability mutation_rate.
+// Replacement     : elitist generational (the best `elites` survive).
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct GeneticOptions {
+  std::uint32_t population = 24;
+  std::uint32_t generations = 40;
+  std::uint32_t tournament_size = 3;
+  std::uint32_t elites = 2;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.02;   // per-node reassignment probability
+  std::uint32_t polish_fm_passes = 2;
+  /// Stop early after this many generations without incumbent improvement.
+  std::uint32_t stall_generations = 12;
+};
+
+class GeneticPartitioner : public Partitioner {
+ public:
+  explicit GeneticPartitioner(GeneticOptions options = {});
+
+  std::string name() const override { return "Genetic"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  const GeneticOptions& options() const { return options_; }
+
+ private:
+  GeneticOptions options_;
+};
+
+/// Greedy label alignment used by the crossover: returns a permutation
+/// `perm` of parent-2 labels such that relabelling parent 2 by `perm`
+/// maximizes per-node agreement with parent 1 (greedy on the k x k
+/// agreement-count matrix). Exposed for testing.
+std::vector<PartId> align_labels(const std::vector<PartId>& parent1,
+                                 const std::vector<PartId>& parent2,
+                                 PartId k);
+
+}  // namespace ppnpart::part

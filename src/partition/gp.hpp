@@ -1,0 +1,84 @@
+#pragma once
+// GP — the paper's constraint-aware multilevel k-way partitioner
+// (Section IV). The name follows the paper: "We refer to the Graph
+// Partitioner of this work as GP."
+//
+// One run executes up to `max_cycles` V-cycles:
+//   * cycle 0 (and every `fresh_restart_period`-th cycle): a fresh
+//     multilevel descent — multi-matching coarsening to `coarsen_to` nodes,
+//     greedy seeded-growth initial partitioning with `restarts` random
+//     seeds, constrained-FM refinement at every uncoarsening level;
+//   * other cycles: partition-preserving re-coarsening around the best
+//     solution so far ("un-coarsened up to an intermediate level and then
+//     coarsened back"), refined back down with fresh randomness.
+// Candidates are compared with the lexicographic goodness (resource excess,
+// bandwidth excess, cut); iteration stops early once a feasible partition
+// exists at the finest level. If no cycle reaches feasibility the best
+// infeasible partition is returned with `feasible == false`, mirroring the
+// paper's "either impossible or give the tool more time" outcome.
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/refine.hpp"
+
+namespace ppnpart::part {
+
+struct GpOptions {
+  NodeId coarsen_to = 100;          // paper default
+  std::uint32_t restarts = 10;      // paper default
+  std::uint32_t max_cycles = 16;
+  std::uint32_t fresh_restart_period = 3;  // every Nth cycle restarts fresh
+  std::uint32_t refine_passes = 8;
+  std::vector<MatchingKind> matchings = {
+      MatchingKind::kRandom, MatchingKind::kHeavyEdge, MatchingKind::kKMeans};
+  double balance_slack = 1.0;  // growth cap slack in greedy initial
+  bool parallel_restarts = true;
+  /// Once a feasible finest-level partition exists, run this many further
+  /// cycles to polish the cut before stopping (0 = stop immediately; the
+  /// paper's Table II shows GP beating METIS on cut, which needs polish).
+  std::uint32_t extra_cycles_after_feasible = 2;
+  /// Random kick applied before refining a re-coarsened incumbent
+  /// (iterated-local-search escape from FM local optima); number of random
+  /// node moves, scaled up with graph size.
+  std::uint32_t perturbation_moves = 3;
+};
+
+/// Per-level trace of one V-cycle; regenerates the paper's Figure 1 (the
+/// multilevel scheme) as a text diagram.
+struct GpLevelTrace {
+  std::uint32_t cycle = 0;
+  std::size_t level = 0;  // 0 = finest
+  NodeId nodes = 0;
+  std::uint64_t edges = 0;
+  MatchingKind matching = MatchingKind::kRandom;
+  /// Goodness after refinement at this level (uncoarsening only).
+  Goodness goodness;
+  enum class Phase { kCoarsen, kInitial, kUncoarsen } phase = Phase::kCoarsen;
+};
+
+struct GpResult : PartitionResult {
+  std::uint32_t cycles_used = 0;
+  std::vector<GpLevelTrace> trace;
+};
+
+class GpPartitioner : public Partitioner {
+ public:
+  explicit GpPartitioner(GpOptions options = {});
+
+  std::string name() const override { return "GP"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  /// Full-detail entry point (trace, cycle count).
+  GpResult run_detailed(const Graph& g, const PartitionRequest& request);
+
+  const GpOptions& options() const { return options_; }
+
+ private:
+  GpOptions options_;
+};
+
+}  // namespace ppnpart::part

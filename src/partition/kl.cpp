@@ -1,0 +1,232 @@
+#include "partition/kl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "support/timer.hpp"
+
+namespace ppnpart::part {
+
+namespace {
+
+/// D-value of classic KL: external minus internal connection weight.
+std::vector<Weight> compute_d_values(const Graph& g, const Partition& p) {
+  const NodeId n = g.num_nodes();
+  std::vector<Weight> d(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      d[u] += p[nbrs[i]] == p[u] ? -wgts[i] : wgts[i];
+    }
+  }
+  return d;
+}
+
+struct SwapPick {
+  NodeId a = graph::kInvalidNode;  // in part 0
+  NodeId b = graph::kInvalidNode;  // in part 1
+  Weight gain = std::numeric_limits<Weight>::min();
+};
+
+}  // namespace
+
+bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, const KlOptions& options,
+                         support::Rng& rng) {
+  if (p.k() != 2) throw std::invalid_argument("kl_bisection_refine: k != 2");
+  const NodeId n = g.num_nodes();
+  if (n < 2) return false;
+
+  Weight load[2] = {0, 0};
+  for (NodeId u = 0; u < n; ++u) load[p[u]] += g.node_weight(u);
+
+  bool improved_any = false;
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    std::vector<Weight> d = compute_d_values(g, p);
+    std::vector<bool> locked(n, false);
+
+    // Node lists per side, visited in random order so that equal-gain pairs
+    // are broken differently across passes/restarts.
+    std::vector<NodeId> side[2];
+    for (NodeId u = 0; u < n; ++u) side[p[u]].push_back(u);
+    rng.shuffle(side[0]);
+    rng.shuffle(side[1]);
+
+    struct Step {
+      NodeId a, b;
+      Weight gain;
+    };
+    std::vector<Step> steps;
+    Weight l0 = load[0], l1 = load[1];
+
+    const std::size_t max_steps = std::min(side[0].size(), side[1].size());
+    for (std::size_t step = 0; step < max_steps; ++step) {
+      SwapPick pick;
+      for (NodeId a : side[0]) {
+        if (locked[a]) continue;
+        const Weight wa = g.node_weight(a);
+        for (NodeId b : side[1]) {
+          if (locked[b]) continue;
+          const Weight wb = g.node_weight(b);
+          // Generalized balance admissibility: the swap may not push either
+          // side past its cap (unless it strictly reduces that side's
+          // overflow, which lets KL escape an infeasible start).
+          const Weight n0 = l0 - wa + wb;
+          const Weight n1 = l1 - wb + wa;
+          const bool admissible =
+              (n0 <= cap0 || n0 < l0) && (n1 <= cap1 || n1 < l1);
+          if (!admissible) continue;
+          const Weight gain = d[a] + d[b] - 2 * g.edge_weight_between(a, b);
+          if (gain > pick.gain) pick = SwapPick{a, b, gain};
+        }
+      }
+      if (pick.a == graph::kInvalidNode) break;
+
+      // Tentatively swap (update partition so D-updates below see it), lock.
+      p.set(pick.a, 1);
+      p.set(pick.b, 0);
+      locked[pick.a] = locked[pick.b] = true;
+      const Weight wa = g.node_weight(pick.a);
+      const Weight wb = g.node_weight(pick.b);
+      l0 += wb - wa;
+      l1 += wa - wb;
+      steps.push_back({pick.a, pick.b, pick.gain});
+
+      // KL D-value update for unlocked nodes adjacent to the swapped pair.
+      // After the swap, a is in part 1 and b in part 0: for an unlocked
+      // node v, an edge to a now behaves as if to part 1, etc. The classic
+      // closed form: for v in part 0: D[v] += 2w(v,a) - 2w(v,b); part 1 the
+      // mirror. (v's own part is the *current* one, already updated.)
+      auto update_around = [&](NodeId moved, PartId now_in) {
+        auto nbrs = g.neighbors(moved);
+        auto wgts = g.edge_weights(moved);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if (locked[v]) continue;
+          // Edge (v, moved) flipped from cut/internal status.
+          d[v] += p[v] == now_in ? -2 * wgts[i] : 2 * wgts[i];
+        }
+      };
+      update_around(pick.a, 1);
+      update_around(pick.b, 0);
+    }
+
+    // Best prefix by cumulative gain.
+    Weight best_sum = 0, run_sum = 0;
+    std::size_t best_len = 0;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      run_sum += steps[i].gain;
+      if (run_sum > best_sum) {
+        best_sum = run_sum;
+        best_len = i + 1;
+      }
+    }
+    // Undo the tail beyond the best prefix.
+    for (std::size_t i = steps.size(); i-- > best_len;) {
+      p.set(steps[i].a, 0);
+      p.set(steps[i].b, 1);
+      const Weight wa = g.node_weight(steps[i].a);
+      const Weight wb = g.node_weight(steps[i].b);
+      l0 += wa - wb;
+      l1 += wb - wa;
+    }
+    load[0] = l0;
+    load[1] = l1;
+    if (best_sum <= 0) break;
+    improved_any = true;
+  }
+  return improved_any;
+}
+
+KlPartitioner::KlPartitioner(KlOptions options) : options_(options) {
+  if (options_.imbalance < 1.0)
+    throw std::invalid_argument("KlOptions: imbalance must be >= 1");
+}
+
+namespace {
+
+/// Recursive KL bisection of `g` into parts [part_lo, part_lo + k).
+void kl_recurse(const Graph& g, const std::vector<NodeId>& original_of,
+                Partition& out, PartId part_lo, PartId k,
+                const KlOptions& options, support::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (k <= 1 || n == 0) {
+    for (NodeId u = 0; u < n; ++u) out.set(original_of[u], part_lo);
+    return;
+  }
+
+  const PartId k0 = k / 2;
+  const PartId k1 = k - k0;
+  const double frac0 = static_cast<double>(k0) / static_cast<double>(k);
+  const Weight total = g.total_node_weight();
+  const Weight target0 =
+      static_cast<Weight>(std::llround(frac0 * static_cast<double>(total)));
+
+  // Random initial split at the target weight (paper: "the initial
+  // partition is generated randomly").
+  std::vector<NodeId> order(n);
+  for (NodeId u = 0; u < n; ++u) order[u] = u;
+  rng.shuffle(order);
+  Partition bisect(n, 2);
+  Weight acc = 0;
+  for (NodeId u : order) {
+    const PartId side = acc < target0 ? 0 : 1;
+    bisect.set(u, side);
+    if (side == 0) acc += g.node_weight(u);
+  }
+  // Guard against degenerate empty sides (tiny n or huge first node).
+  if (acc == total && n >= 2) bisect.set(order.back(), 1);
+  if (acc == 0 && n >= 1) bisect.set(order.front(), 0);
+
+  const auto cap = [&](double frac) {
+    return static_cast<Weight>(
+        std::ceil(options.imbalance * frac * static_cast<double>(total)));
+  };
+  kl_bisection_refine(g, bisect, cap(frac0), cap(1.0 - frac0), options, rng);
+
+  std::vector<NodeId> half0, half1;
+  for (NodeId u = 0; u < n; ++u) (bisect[u] == 0 ? half0 : half1).push_back(u);
+
+  const auto recurse_half = [&](const std::vector<NodeId>& half, PartId lo,
+                                PartId kk, std::uint64_t tag) {
+    graph::Subgraph sub = graph::induced_subgraph(g, half);
+    std::vector<NodeId> orig(half.size());
+    for (std::size_t i = 0; i < half.size(); ++i)
+      orig[i] = original_of[sub.original_of[i]];
+    support::Rng child = rng.derive(tag);
+    kl_recurse(sub.graph, orig, out, lo, kk, options, child);
+  };
+  recurse_half(half0, part_lo, k0, 0x5A + static_cast<std::uint64_t>(part_lo));
+  recurse_half(half1, part_lo + k0, k1,
+               0xA5 + static_cast<std::uint64_t>(part_lo));
+}
+
+}  // namespace
+
+PartitionResult KlPartitioner::run(const Graph& g,
+                                   const PartitionRequest& request) {
+  if (request.k <= 0) throw std::invalid_argument("KL: k must be positive");
+  if (g.num_nodes() > options_.max_nodes)
+    throw std::invalid_argument(
+        "KL: instance exceeds KlOptions::max_nodes (quadratic passes)");
+  support::Timer timer;
+  PartitionResult result;
+  result.algorithm = name();
+  result.partition = Partition(g.num_nodes(), request.k);
+
+  std::vector<NodeId> identity(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) identity[u] = u;
+  support::Rng rng(request.seed);
+  kl_recurse(g, identity, result.partition, 0, request.k, options_, rng);
+
+  result.finalize(g, request.constraints);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ppnpart::part

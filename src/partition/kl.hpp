@@ -1,0 +1,67 @@
+#pragma once
+// Kernighan–Lin partitioning — the oldest local-search baseline the paper
+// surveys (Section II-A-1).
+//
+// Classic KL improves a *bisection* by repeatedly selecting the pair of
+// nodes (a in part 0, b in part 1) whose exchange most reduces the cut,
+// tentatively swapping and locking them, and finally committing the best
+// prefix of the tentative swap sequence. The paper lists its drawbacks —
+// unit node weights, exact bisections only, O(n^3) passes — and we keep the
+// algorithm faithful to that profile on purpose: it is the historical
+// yardstick the multilevel scheme is measured against, not a contender.
+//
+// Two faithful extensions make it usable on our weighted instances:
+//   * node weights: a swap is admissible only if it keeps both part loads
+//     within `imbalance` of the target split (KL's "acceptable solution"
+//     balance rule, generalized from node counts to node weights);
+//   * k-way: recursive bisection, splitting k into floor/ceil halves with
+//     proportional target weights (the standard KL-to-k-way lift).
+//
+// Complexity: each swap selection scans all unlocked cross pairs, so one
+// pass costs O(n^2 · max_degree) time in the worst case — matching the
+// paper's "time complexity of a pass is high" remark. Use on graphs of at
+// most a few thousand nodes (see KlOptions::max_nodes).
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct KlOptions {
+  /// Maximum KL improvement passes per bisection (each pass is one full
+  /// tentative swap sequence + best-prefix commit).
+  std::uint32_t max_passes = 8;
+  /// Allowed max-load factor over a perfectly proportional split.
+  double imbalance = 1.10;
+  /// Hard size guard: run() throws on larger inputs (KL passes are
+  /// quadratic; this baseline is for small instances by design).
+  NodeId max_nodes = 4096;
+};
+
+/// One KL improvement run on an existing bisection (parts 0/1 of `p`).
+/// `cap0`/`cap1` bound the loads of parts 0 and 1. Returns true if the cut
+/// improved. Partition must be complete and 2-way.
+bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, const KlOptions& options,
+                         support::Rng& rng);
+
+/// Kernighan–Lin k-way partitioner via recursive bisection. Ignores the
+/// request's Rmax/Bmax constraints (like every pre-constraint-aware
+/// baseline in the paper's related work); the harness reports violations
+/// after the fact.
+class KlPartitioner : public Partitioner {
+ public:
+  explicit KlPartitioner(KlOptions options = {});
+
+  std::string name() const override { return "KL"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  const KlOptions& options() const { return options_; }
+
+ private:
+  KlOptions options_;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,222 @@
+#include "partition/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::part {
+
+namespace {
+
+Matching identity_matching(NodeId n) {
+  Matching m(n);
+  std::iota(m.begin(), m.end(), NodeId{0});
+  return m;
+}
+
+}  // namespace
+
+Matching random_maximal_matching(const Graph& g, support::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  Matching match = identity_matching(n);
+  const auto order = rng.permutation(n);
+  std::vector<NodeId> candidates;
+  for (NodeId u_idx : order) {
+    const NodeId u = u_idx;
+    if (match[u] != u) continue;
+    candidates.clear();
+    for (NodeId v : g.neighbors(u)) {
+      if (match[v] == v) candidates.push_back(v);
+    }
+    if (candidates.empty()) continue;
+    const NodeId v = candidates[rng.uniform_index(candidates.size())];
+    match[u] = v;
+    match[v] = u;
+  }
+  return match;
+}
+
+Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
+                             bool globally_sorted) {
+  const NodeId n = g.num_nodes();
+  Matching match = identity_matching(n);
+  if (globally_sorted) {
+    // Literal description from the paper: sort all edges by weight
+    // descending, sweep, match edges whose both endpoints are free.
+    struct E {
+      Weight w;
+      NodeId u, v;
+    };
+    std::vector<E> edges;
+    edges.reserve(g.num_edges());
+    for (NodeId u = 0; u < n; ++u) {
+      auto nbrs = g.neighbors(u);
+      auto wgts = g.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (u < nbrs[i]) edges.push_back({wgts[i], u, nbrs[i]});
+      }
+    }
+    // Random tie-break among equal weights keeps the heuristic stochastic
+    // across V-cycles, as the multi-restart design expects.
+    rng.shuffle(edges);
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const E& a, const E& b) { return a.w > b.w; });
+    for (const E& e : edges) {
+      if (match[e.u] == e.u && match[e.v] == e.v) {
+        match[e.u] = e.v;
+        match[e.v] = e.u;
+      }
+    }
+    return match;
+  }
+  // Node-local HEM (Karypis-Kumar style): random visit order, pick the
+  // heaviest free incident edge.
+  const auto order = rng.permutation(n);
+  for (NodeId u : order) {
+    if (match[u] != u) continue;
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    NodeId best = graph::kInvalidNode;
+    Weight best_w = std::numeric_limits<Weight>::min();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (match[v] != v) continue;
+      if (wgts[i] > best_w) {
+        best_w = wgts[i];
+        best = v;
+      }
+    }
+    if (best != graph::kInvalidNode) {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  return match;
+}
+
+Matching kmeans_matching(const Graph& g, support::Rng& rng,
+                         const KMeansMatchingOptions& options) {
+  const NodeId n = g.num_nodes();
+  Matching match = identity_matching(n);
+  if (n < 2) return match;
+
+  std::uint32_t k = options.clusters;
+  if (k == 0) k = std::max<std::uint32_t>(1, (n + 7) / 8);
+  k = std::min<std::uint32_t>(k, n);
+
+  // --- 1-D k-means on node weight. --------------------------------------
+  // 1-D structure makes the usual O(n*k) Lloyd step unnecessary: with
+  // centroids kept sorted, the nearest centroid of a weight w is found by
+  // binary search over the k-1 midpoints, so one iteration costs
+  // O(n log k). Seeding uses jittered quantiles of the weight distribution
+  // (the 1-D equivalent of k-means++ spread, at O(n log n) once).
+  std::vector<double> centroid(k);
+  {
+    std::vector<double> weight_of(n);
+    for (NodeId u = 0; u < n; ++u)
+      weight_of[u] = static_cast<double>(g.node_weight(u));
+
+    std::vector<double> sorted_w = weight_of;
+    std::sort(sorted_w.begin(), sorted_w.end());
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const double jitter = rng.uniform_real(-0.25, 0.25);
+      const double pos =
+          (static_cast<double>(c) + 0.5 + jitter) * n / static_cast<double>(k);
+      const auto idx = static_cast<std::size_t>(std::clamp(
+          pos, 0.0, static_cast<double>(n - 1)));
+      centroid[c] = sorted_w[idx];
+    }
+    std::sort(centroid.begin(), centroid.end());
+
+    std::vector<std::uint32_t> cluster_of(n, 0);
+    std::vector<double> midpoints(k > 0 ? k - 1 : 0);
+    for (std::uint32_t it = 0; it < options.max_iterations; ++it) {
+      for (std::uint32_t c = 0; c + 1 < k; ++c)
+        midpoints[c] = 0.5 * (centroid[c] + centroid[c + 1]);
+      bool changed = false;
+      std::vector<double> sum(k, 0);
+      std::vector<std::uint32_t> cnt(k, 0);
+      for (NodeId u = 0; u < n; ++u) {
+        const auto best = static_cast<std::uint32_t>(
+            std::upper_bound(midpoints.begin(), midpoints.end(),
+                             weight_of[u]) -
+            midpoints.begin());
+        if (cluster_of[u] != best) {
+          cluster_of[u] = best;
+          changed = true;
+        }
+        sum[best] += weight_of[u];
+        ++cnt[best];
+      }
+      for (std::uint32_t c = 0; c < k; ++c) {
+        if (cnt[c] > 0) centroid[c] = sum[c] / cnt[c];
+      }
+      // Means of disjoint sorted intervals stay sorted; re-sort only to
+      // guard against empty-cluster carry-overs.
+      std::sort(centroid.begin(), centroid.end());
+      if (!changed) break;
+    }
+
+    // --- Match within clusters, heaviest incident edge first. ----------
+    struct E {
+      Weight w;
+      NodeId u, v;
+    };
+    std::vector<E> intra;
+    for (NodeId u = 0; u < n; ++u) {
+      auto nbrs = g.neighbors(u);
+      auto wgts = g.edge_weights(u);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (u < v && cluster_of[u] == cluster_of[v]) {
+          intra.push_back({wgts[i], u, v});
+        }
+      }
+    }
+    rng.shuffle(intra);
+    std::stable_sort(intra.begin(), intra.end(),
+                     [](const E& a, const E& b) { return a.w > b.w; });
+    for (const E& e : intra) {
+      if (match[e.u] == e.u && match[e.v] == e.v) {
+        match[e.u] = e.v;
+        match[e.v] = e.u;
+      }
+    }
+  }
+  return match;
+}
+
+Weight matched_edge_weight(const Graph& g, const Matching& m) {
+  Weight sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId v = m[u];
+    if (v != u && u < v) sum += g.edge_weight_between(u, v);
+  }
+  return sum;
+}
+
+std::uint32_t matched_pair_count(const Matching& m) {
+  std::uint32_t count = 0;
+  for (NodeId u = 0; u < m.size(); ++u) {
+    if (m[u] != u && u < m[u]) ++count;
+  }
+  return count;
+}
+
+std::string validate_matching(const Graph& g, const Matching& m) {
+  using support::str_format;
+  if (m.size() != g.num_nodes()) return "matching size mismatch";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId v = m[u];
+    if (v >= g.num_nodes()) return str_format("match[%u] out of range", u);
+    if (m[v] != u) return str_format("matching not symmetric at %u", u);
+    if (v != u && !g.has_edge(u, v))
+      return str_format("matched pair (%u, %u) not adjacent", u, v);
+  }
+  return {};
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,60 @@
+#pragma once
+// The three matching heuristics of the paper's coarsening phase
+// (Section IV-A): Random Maximal Matching, Heavy Edge Matching and K-Means
+// Matching. All three are run side by side at every coarsening level and the
+// best-scoring matching is contracted (see coarsen.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+/// match[u] == v means u and v are contracted together (match[v] == u);
+/// match[u] == u means u stays single.
+using Matching = std::vector<NodeId>;
+
+/// Visits nodes in random order; each unmatched node picks a uniformly
+/// random unmatched neighbour (paper: "Random Maximal Matching").
+Matching random_maximal_matching(const Graph& g, support::Rng& rng);
+
+/// Visits nodes in random order; each unmatched node picks its heaviest
+/// unmatched incident edge. (The paper describes the global sorted-edge
+/// variant; the node-local variant is the standard equivalent — it selects
+/// the same matchings up to ties and is O(m) instead of O(m log m). Set
+/// `globally_sorted` to use the literal sorted-edge sweep.)
+Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
+                             bool globally_sorted = false);
+
+struct KMeansMatchingOptions {
+  /// Number of weight-clusters; 0 means ceil(n / 8).
+  std::uint32_t clusters = 0;
+  std::uint32_t max_iterations = 16;
+};
+
+/// The paper's "K-Means Matching": nodes are clustered by weight (1-D
+/// k-means with k-means++ seeding); within each cluster, adjacent pairs are
+/// matched heaviest-edge-first. Nodes whose neighbours all fall in other
+/// clusters remain unmatched (maximality within clusters only), which is why
+/// this heuristic is only ever used in competition with the other two.
+Matching kmeans_matching(const Graph& g, support::Rng& rng,
+                         const KMeansMatchingOptions& options = {});
+
+/// Sum of weights of matched edges — the standard proxy for matching quality
+/// (hidden weight cannot be cut at coarser levels).
+Weight matched_edge_weight(const Graph& g, const Matching& m);
+
+std::uint32_t matched_pair_count(const Matching& m);
+
+/// Validates symmetry (match[match[u]] == u), adjacency of matched pairs and
+/// range; returns first problem or empty string.
+std::string validate_matching(const Graph& g, const Matching& m);
+
+}  // namespace ppnpart::part

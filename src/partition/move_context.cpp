@@ -1,0 +1,160 @@
+#include "partition/move_context.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppnpart::part {
+
+namespace {
+inline Weight over(Weight value, Weight cap) {
+  return cap == Constraints::kUnlimited ? 0 : std::max<Weight>(0, value - cap);
+}
+}  // namespace
+
+MoveContext::MoveContext(const Graph& g, Partition& p, const Constraints& c)
+    : graph_(&g), partition_(&p), constraints_(c), k_(p.k()) {
+  if (p.size() != g.num_nodes())
+    throw std::invalid_argument("MoveContext: size mismatch");
+  if (!p.complete())
+    throw std::invalid_argument("MoveContext: incomplete partition");
+  conn_.assign(static_cast<std::size_t>(g.num_nodes()) * k_, 0);
+  loads_.assign(static_cast<std::size_t>(k_), 0);
+  counts_.assign(static_cast<std::size_t>(k_), 0);
+  pairwise_ = PairwiseCut(k_);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const PartId pu = p[u];
+    loads_[static_cast<std::size_t>(pu)] += g.node_weight(u);
+    ++counts_[static_cast<std::size_t>(pu)];
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      conn_[static_cast<std::size_t>(u) * k_ + static_cast<std::size_t>(p[v])] +=
+          wgts[i];
+      if (u < v && pu != p[v]) {
+        cut_ += wgts[i];
+        pairwise_.add(pu, p[v], wgts[i]);
+      }
+    }
+  }
+  for (PartId r = 0; r < k_; ++r) {
+    resource_excess_ +=
+        over(loads_[static_cast<std::size_t>(r)], constraints_.rmax_of(r));
+  }
+  for (PartId a = 0; a < k_; ++a) {
+    for (PartId b = a + 1; b < k_; ++b) {
+      bandwidth_excess_ += over(pairwise_.at(a, b), constraints_.bmax);
+    }
+  }
+}
+
+Goodness MoveContext::goodness_after(NodeId u, PartId q) const {
+  const PartId p = part_of(u);
+  if (p == q) return goodness();
+  const Weight w = graph_->node_weight(u);
+  const Weight cup = conn(u, p);
+  const Weight cuq = conn(u, q);
+
+  Weight res = resource_excess_;
+  res -= over(load(p), constraints_.rmax_of(p));
+  res += over(load(p) - w, constraints_.rmax_of(p));
+  res -= over(load(q), constraints_.rmax_of(q));
+  res += over(load(q) + w, constraints_.rmax_of(q));
+
+  Weight bw = bandwidth_excess_;
+  if (constraints_.bmax != Constraints::kUnlimited) {
+    const Weight pq_old = pairwise_.at(p, q);
+    const Weight pq_new = pq_old + cup - cuq;
+    bw += over(pq_new, constraints_.bmax) - over(pq_old, constraints_.bmax);
+    for (PartId r = 0; r < k_; ++r) {
+      if (r == p || r == q) continue;
+      const Weight cur = conn(u, r);
+      if (cur == 0) continue;
+      const Weight pr_old = pairwise_.at(p, r);
+      const Weight qr_old = pairwise_.at(q, r);
+      bw += over(pr_old - cur, constraints_.bmax) -
+            over(pr_old, constraints_.bmax);
+      bw += over(qr_old + cur, constraints_.bmax) -
+            over(qr_old, constraints_.bmax);
+    }
+  }
+
+  return Goodness{res, bw, cut_ + cup - cuq};
+}
+
+void MoveContext::apply(NodeId u, PartId q) {
+  const PartId p = part_of(u);
+  if (p == q) return;
+  const Weight w = graph_->node_weight(u);
+  const Weight cup = conn(u, p);
+  const Weight cuq = conn(u, q);
+
+  // Pairwise cuts and bandwidth excess (uses conn before neighbour updates).
+  auto update_pair = [&](PartId a, PartId b, Weight delta) {
+    if (delta == 0) return;
+    const Weight old = pairwise_.at(a, b);
+    pairwise_.add(a, b, delta);
+    bandwidth_excess_ +=
+        over(old + delta, constraints_.bmax) - over(old, constraints_.bmax);
+  };
+  update_pair(p, q, cup - cuq);
+  for (PartId r = 0; r < k_; ++r) {
+    if (r == p || r == q) continue;
+    const Weight cur = conn(u, r);
+    if (cur == 0) continue;
+    update_pair(p, r, -cur);
+    update_pair(q, r, cur);
+  }
+  cut_ += cup - cuq;
+
+  // Loads and resource excess.
+  resource_excess_ -= over(load(p), constraints_.rmax_of(p));
+  resource_excess_ -= over(load(q), constraints_.rmax_of(q));
+  loads_[static_cast<std::size_t>(p)] -= w;
+  loads_[static_cast<std::size_t>(q)] += w;
+  resource_excess_ += over(load(p), constraints_.rmax_of(p));
+  resource_excess_ += over(load(q), constraints_.rmax_of(q));
+  --counts_[static_cast<std::size_t>(p)];
+  ++counts_[static_cast<std::size_t>(q)];
+
+  // Neighbour connectivity.
+  auto nbrs = graph_->neighbors(u);
+  auto wgts = graph_->edge_weights(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const std::size_t base = static_cast<std::size_t>(nbrs[i]) * k_;
+    conn_[base + static_cast<std::size_t>(p)] -= wgts[i];
+    conn_[base + static_cast<std::size_t>(q)] += wgts[i];
+  }
+
+  partition_->set(u, q);
+}
+
+bool MoveContext::is_boundary(NodeId u) const {
+  const PartId p = part_of(u);
+  const Weight internal = conn(u, p);
+  const Weight total = graph_->incident_weight(u);
+  return total > internal;
+}
+
+std::vector<NodeId> MoveContext::boundary_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
+    if (is_boundary(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::optional<MoveContext::Candidate> MoveContext::best_move(
+    NodeId u, bool allow_emptying) const {
+  const PartId p = part_of(u);
+  if (!allow_emptying && part_size(p) <= 1) return std::nullopt;
+  std::optional<Candidate> best;
+  for (PartId q = 0; q < k_; ++q) {
+    if (q == p) continue;
+    const Goodness after = goodness_after(u, q);
+    if (!best || after < best->after) best = Candidate{q, after};
+  }
+  return best;
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,79 @@
+#pragma once
+// Incremental bookkeeping for node moves during refinement.
+//
+// MoveContext maintains, under single-node moves:
+//   * conn(u, r): total weight of edges from u into part r,
+//   * per-part loads and node counts,
+//   * the k x k pairwise cut matrix and global cut,
+//   * the aggregate resource/bandwidth constraint excesses.
+// A move costs O(degree(u) + k); evaluating a hypothetical move costs O(k).
+// compute_metrics() (full recomputation) is the reference implementation the
+// tests compare against.
+
+#include <optional>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace ppnpart::part {
+
+class MoveContext {
+ public:
+  /// Partition must be complete. The context takes a reference: callers
+  /// mutate the partition exclusively through apply().
+  MoveContext(const Graph& g, Partition& p, const Constraints& c);
+
+  const Graph& graph() const { return *graph_; }
+  const Partition& partition() const { return *partition_; }
+  const Constraints& constraints() const { return constraints_; }
+  PartId k() const { return k_; }
+  PartId part_of(NodeId u) const { return (*partition_)[u]; }
+
+  Weight conn(NodeId u, PartId r) const {
+    return conn_[static_cast<std::size_t>(u) * k_ + static_cast<std::size_t>(r)];
+  }
+  Weight load(PartId p) const { return loads_[static_cast<std::size_t>(p)]; }
+  std::uint32_t part_size(PartId p) const {
+    return counts_[static_cast<std::size_t>(p)];
+  }
+  Weight cut() const { return cut_; }
+  const PairwiseCut& pairwise() const { return pairwise_; }
+
+  Goodness goodness() const {
+    return Goodness{resource_excess_, bandwidth_excess_, cut_};
+  }
+
+  /// Goodness of the partition if u moved to part q (u's part unchanged is
+  /// allowed and returns current goodness). O(k).
+  Goodness goodness_after(NodeId u, PartId q) const;
+
+  /// Moves u to part q, updating all incremental state. O(degree(u) + k).
+  void apply(NodeId u, PartId q);
+
+  /// True iff u has at least one neighbour in another part.
+  bool is_boundary(NodeId u) const;
+  std::vector<NodeId> boundary_nodes() const;
+
+  struct Candidate {
+    PartId target = kUnassigned;
+    Goodness after;
+  };
+  /// Best target part for u by resulting goodness; never empties u's part
+  /// when `allow_emptying` is false. nullopt when no legal target exists.
+  std::optional<Candidate> best_move(NodeId u, bool allow_emptying = false) const;
+
+ private:
+  const Graph* graph_;
+  Partition* partition_;
+  Constraints constraints_;
+  PartId k_;
+  std::vector<Weight> conn_;       // n x k
+  std::vector<Weight> loads_;      // k
+  std::vector<std::uint32_t> counts_;  // k
+  PairwiseCut pairwise_;
+  Weight cut_ = 0;
+  Weight resource_excess_ = 0;
+  Weight bandwidth_excess_ = 0;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,142 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::part {
+
+bool Partition::complete() const {
+  for (PartId p : assign_) {
+    if (p == kUnassigned || p >= k_) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> Partition::members(PartId p) const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < size(); ++u) {
+    if (assign_[u] == p) out.push_back(u);
+  }
+  return out;
+}
+
+bool Partition::all_parts_nonempty() const {
+  std::vector<bool> seen(static_cast<std::size_t>(k_), false);
+  for (PartId p : assign_) {
+    if (p >= 0 && p < k_) seen[static_cast<std::size_t>(p)] = true;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+Weight PairwiseCut::max_pairwise() const {
+  Weight best = 0;
+  for (PartId a = 0; a < k_; ++a) {
+    for (PartId b = a + 1; b < k_; ++b) best = std::max(best, at(a, b));
+  }
+  return best;
+}
+
+Weight PairwiseCut::total() const {
+  Weight sum = 0;
+  for (PartId a = 0; a < k_; ++a) {
+    for (PartId b = a + 1; b < k_; ++b) sum += at(a, b);
+  }
+  return sum;
+}
+
+PartitionMetrics compute_metrics(const Graph& g, const Partition& p) {
+  if (p.size() != g.num_nodes())
+    throw std::invalid_argument("compute_metrics: size mismatch");
+  if (!p.complete())
+    throw std::invalid_argument("compute_metrics: incomplete partition");
+  PartitionMetrics m;
+  const PartId k = p.k();
+  m.loads.assign(static_cast<std::size_t>(k), 0);
+  m.pairwise = PairwiseCut(k);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    m.loads[static_cast<std::size_t>(p[u])] += g.node_weight(u);
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (u < v && p[u] != p[v]) {
+        m.total_cut += wgts[i];
+        m.pairwise.add(p[u], p[v], wgts[i]);
+      }
+    }
+  }
+  m.max_load = m.loads.empty()
+                   ? 0
+                   : *std::max_element(m.loads.begin(), m.loads.end());
+  m.max_pairwise_cut = m.pairwise.max_pairwise();
+  const Weight total = g.total_node_weight();
+  m.imbalance = (total > 0 && k > 0)
+                    ? static_cast<double>(m.max_load) /
+                          (static_cast<double>(total) / k)
+                    : 0.0;
+  return m;
+}
+
+Violation compute_violation(const PartitionMetrics& m, const Constraints& c) {
+  Violation v;
+  if (c.rmax != Constraints::kUnlimited || c.heterogeneous()) {
+    for (PartId p = 0; p < static_cast<PartId>(m.loads.size()); ++p) {
+      const Weight budget = c.rmax_of(p);
+      if (budget == Constraints::kUnlimited) continue;
+      v.resource_excess +=
+          std::max<Weight>(0, m.loads[static_cast<std::size_t>(p)] - budget);
+    }
+  }
+  if (c.bmax != Constraints::kUnlimited) {
+    const PartId k = m.pairwise.k();
+    for (PartId a = 0; a < k; ++a) {
+      for (PartId b = a + 1; b < k; ++b) {
+        v.bandwidth_excess += std::max<Weight>(0, m.pairwise.at(a, b) - c.bmax);
+      }
+    }
+  }
+  return v;
+}
+
+bool operator<(const Goodness& a, const Goodness& b) {
+  if (a.resource_excess != b.resource_excess)
+    return a.resource_excess < b.resource_excess;
+  if (a.bandwidth_excess != b.bandwidth_excess)
+    return a.bandwidth_excess < b.bandwidth_excess;
+  return a.cut < b.cut;
+}
+
+Goodness compute_goodness(const Graph& g, const Partition& p,
+                          const Constraints& c) {
+  const PartitionMetrics m = compute_metrics(g, p);
+  const Violation v = compute_violation(m, c);
+  return Goodness{v.resource_excess, v.bandwidth_excess, m.total_cut};
+}
+
+std::string describe(const PartitionMetrics& m, const Constraints& c) {
+  using support::str_format;
+  std::string s = str_format(
+      "cut=%lld max_load=%lld max_pair_bw=%lld imbalance=%.3f",
+      static_cast<long long>(m.total_cut), static_cast<long long>(m.max_load),
+      static_cast<long long>(m.max_pairwise_cut), m.imbalance);
+  if (!c.unconstrained()) {
+    const Violation v = compute_violation(m, c);
+    s += str_format(" [Rmax=%s Bmax=%lld -> %s",
+                    c.heterogeneous()
+                        ? "per-part"
+                        : std::to_string(c.rmax).c_str(),
+                    static_cast<long long>(c.bmax),
+                    v.feasible() ? "FEASIBLE]" : "");
+    if (!v.feasible()) {
+      s += str_format("res_excess=%lld bw_excess=%lld VIOLATED]",
+                      static_cast<long long>(v.resource_excess),
+                      static_cast<long long>(v.bandwidth_excess));
+    }
+  }
+  return s;
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,150 @@
+#pragma once
+// Partition representation, quality metrics and the paper's constraint model.
+//
+// The paper's problem (Section I): divide the process-network graph into K
+// parts such that
+//   (1) for every pair of parts (a, b), the total weight of edges crossing
+//       exactly between a and b is <= Bmax   (inter-FPGA link bandwidth), and
+//   (2) every part's total node weight is   <= Rmax (per-FPGA resources),
+// minimizing global edge cut subject to (1) and (2).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppnpart::part {
+
+using graph::Graph;
+using graph::NodeId;
+using graph::Weight;
+
+using PartId = std::int32_t;
+constexpr PartId kUnassigned = -1;
+
+/// Assignment of nodes to parts 0..k-1 (or kUnassigned during construction).
+class Partition {
+ public:
+  Partition() = default;
+  Partition(NodeId num_nodes, PartId k)
+      : assign_(num_nodes, kUnassigned), k_(k) {}
+
+  PartId k() const { return k_; }
+  NodeId size() const { return static_cast<NodeId>(assign_.size()); }
+
+  PartId operator[](NodeId u) const { return assign_[u]; }
+  void set(NodeId u, PartId p) { assign_[u] = p; }
+
+  bool complete() const;
+  /// Nodes assigned to part p.
+  std::vector<NodeId> members(PartId p) const;
+  const std::vector<PartId>& assignments() const { return assign_; }
+
+  /// True iff every part in [0, k) has at least one node.
+  bool all_parts_nonempty() const;
+
+ private:
+  std::vector<PartId> assign_;
+  PartId k_ = 0;
+};
+
+/// Symmetric k x k matrix of inter-part cut weights (diagonal unused = 0).
+class PairwiseCut {
+ public:
+  PairwiseCut() = default;
+  explicit PairwiseCut(PartId k) : k_(k), m_(static_cast<std::size_t>(k) * k, 0) {}
+
+  PartId k() const { return k_; }
+  Weight at(PartId a, PartId b) const { return m_[index(a, b)]; }
+  void add(PartId a, PartId b, Weight w) {
+    m_[index(a, b)] += w;
+    m_[index(b, a)] += w;
+  }
+
+  /// Largest entry — the paper's "Maximum Local Bandwidth".
+  Weight max_pairwise() const;
+  /// Sum over unordered pairs — equals the global edge cut.
+  Weight total() const;
+
+ private:
+  std::size_t index(PartId a, PartId b) const {
+    return static_cast<std::size_t>(a) * k_ + static_cast<std::size_t>(b);
+  }
+  PartId k_ = 0;
+  std::vector<Weight> m_;
+};
+
+struct PartitionMetrics {
+  Weight total_cut = 0;            // paper: "Total Edge-Cuts"
+  Weight max_load = 0;             // paper: "Maximum Resource Allocation"
+  Weight max_pairwise_cut = 0;     // paper: "Maximum Local bandwidth"
+  std::vector<Weight> loads;       // per-part node-weight sums
+  PairwiseCut pairwise;
+  double imbalance = 0;            // max_load / (total_weight / k)
+};
+
+/// Full recomputation from scratch; the reference the incremental movers are
+/// tested against. Partition must be complete.
+PartitionMetrics compute_metrics(const Graph& g, const Partition& p);
+
+/// The two FPGA-mapping constraints. `kUnlimited` disables one side.
+struct Constraints {
+  static constexpr Weight kUnlimited = std::numeric_limits<Weight>::max();
+  Weight rmax = kUnlimited;  // per-part resource budget (uniform case)
+  Weight bmax = kUnlimited;  // per-pair bandwidth budget
+
+  /// Heterogeneous platforms: budget of part p is rmax_per_part[p] and
+  /// `rmax` is ignored. Empty (default) = uniform. Size must cover every
+  /// part id used; extra entries are harmless.
+  std::vector<Weight> rmax_per_part;
+
+  bool heterogeneous() const { return !rmax_per_part.empty(); }
+
+  /// Resource budget of part p under either regime.
+  Weight rmax_of(PartId p) const {
+    return rmax_per_part.empty()
+               ? rmax
+               : rmax_per_part[static_cast<std::size_t>(p)];
+  }
+
+  bool unconstrained() const {
+    return rmax == kUnlimited && bmax == kUnlimited &&
+           rmax_per_part.empty();
+  }
+};
+
+/// Aggregate constraint violation; 0/0 means feasible.
+struct Violation {
+  Weight resource_excess = 0;   // sum over parts of max(0, load - Rmax)
+  Weight bandwidth_excess = 0;  // sum over pairs of max(0, cut(a,b) - Bmax)
+
+  bool feasible() const {
+    return resource_excess == 0 && bandwidth_excess == 0;
+  }
+};
+
+Violation compute_violation(const PartitionMetrics& m, const Constraints& c);
+
+/// The paper's "goodness function": candidates are compared
+/// constraint-violation first, cut second (Section IV, "the best (i.e. the
+/// one that is nearest to meeting the constraints) is chosen").
+struct Goodness {
+  Weight resource_excess = 0;
+  Weight bandwidth_excess = 0;
+  Weight cut = 0;
+
+  friend bool operator==(const Goodness&, const Goodness&) = default;
+};
+
+/// Lexicographic: smaller is better.
+bool operator<(const Goodness& a, const Goodness& b);
+
+Goodness compute_goodness(const Graph& g, const Partition& p,
+                          const Constraints& c);
+
+/// Human-readable one-line summary for reports/logs.
+std::string describe(const PartitionMetrics& m, const Constraints& c);
+
+}  // namespace ppnpart::part

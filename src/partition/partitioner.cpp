@@ -1,0 +1,11 @@
+#include "partition/partitioner.hpp"
+
+namespace ppnpart::part {
+
+void PartitionResult::finalize(const Graph& g, const Constraints& c) {
+  metrics = compute_metrics(g, partition);
+  violation = compute_violation(metrics, c);
+  feasible = violation.feasible();
+}
+
+}  // namespace ppnpart::part

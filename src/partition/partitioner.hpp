@@ -1,0 +1,43 @@
+#pragma once
+// Common partitioner interface used by the benchmark harness and examples.
+//
+// Every algorithm in the library (GP, MetisLike, Spectral, Exact, Random)
+// answers the same request so the paper's comparison tables can iterate over
+// a heterogeneous set of partitioners.
+
+#include <memory>
+#include <string>
+
+#include "partition/partition.hpp"
+
+namespace ppnpart::part {
+
+struct PartitionRequest {
+  PartId k = 2;
+  /// GP honours these; cut-only baselines (MetisLike, Spectral, Random)
+  /// ignore them, exactly like METIS in the paper's experiments.
+  Constraints constraints;
+  std::uint64_t seed = 1;
+};
+
+struct PartitionResult {
+  Partition partition;
+  PartitionMetrics metrics;
+  Violation violation;
+  bool feasible = false;
+  double seconds = 0;
+  std::string algorithm;
+
+  /// Fills metrics/violation/feasible from the partition.
+  void finalize(const Graph& g, const Constraints& c);
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string name() const = 0;
+  virtual PartitionResult run(const Graph& g,
+                              const PartitionRequest& request) = 0;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,386 @@
+#include "partition/refine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace ppnpart::part {
+
+namespace {
+
+/// A move's gain, componentwise: goodness after minus goodness now.
+/// Lexicographic like Goodness; negative components are improvements.
+struct Delta {
+  Weight resource, bandwidth, cut;
+};
+
+bool operator<(const Delta& a, const Delta& b) {
+  if (a.resource != b.resource) return a.resource < b.resource;
+  if (a.bandwidth != b.bandwidth) return a.bandwidth < b.bandwidth;
+  return a.cut < b.cut;
+}
+
+/// One FM pass over the constrained goodness. Returns the pass's best
+/// goodness (state of `p` on return corresponds to it).
+Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
+                             support::Rng& rng) {
+  const Graph& g = ctx.graph();
+  const NodeId n = g.num_nodes();
+
+  // Lazy max-improvement heap keyed by the move's *gain delta* — goodness
+  // after minus goodness now, componentwise. Keying on the absolute
+  // goodness-after would invalidate every entry whenever any move changes
+  // the global cut; deltas only drift for nodes whose neighbourhood or
+  // parts were touched, so the lazy revalidation below stays local (this
+  // is what keeps a pass near-linear on large graphs).
+  auto delta_of = [&](const Goodness& after) {
+    const Goodness now = ctx.goodness();
+    return Delta{after.resource_excess - now.resource_excess,
+                 after.bandwidth_excess - now.bandwidth_excess,
+                 after.cut - now.cut};
+  };
+  struct Entry {
+    Delta delta;
+    NodeId node;
+    PartId target;
+    std::uint64_t stamp;
+  };
+  struct WorseDelta {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return b.delta < a.delta;  // min-heap on delta (best gain first)
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, WorseDelta> heap;
+  std::vector<std::uint64_t> stamp(n, 0);
+  std::vector<bool> locked(n, false);
+
+  auto push_candidate = [&](NodeId u) {
+    if (locked[u]) return;
+    auto cand = ctx.best_move(u);
+    if (!cand) return;
+    heap.push(Entry{delta_of(cand->after), u, cand->target, stamp[u]});
+  };
+
+  // Seed: boundary nodes plus every node of an over-capacity part (those
+  // repair resource violations but need not touch the boundary), in random
+  // order so equal-goodness candidates break ties stochastically.
+  {
+    std::vector<NodeId> seeds;
+    if (options.seed_boundary_only) {
+      seeds = ctx.boundary_nodes();
+      if (ctx.goodness().resource_excess > 0) {
+        std::vector<bool> seeded(n, false);
+        for (NodeId u : seeds) seeded[u] = true;
+        const Constraints& c = ctx.constraints();
+        for (NodeId u = 0; u < n; ++u) {
+          const PartId pu = ctx.part_of(u);
+          if (!seeded[u] && ctx.load(pu) > c.rmax_of(pu)) seeds.push_back(u);
+        }
+      }
+    } else {
+      seeds.resize(n);
+      for (NodeId u = 0; u < n; ++u) seeds[u] = u;
+    }
+    rng.shuffle(seeds);
+    for (NodeId u : seeds) push_candidate(u);
+  }
+
+  struct MoveRecord {
+    NodeId node;
+    PartId from;
+  };
+  std::vector<MoveRecord> log;
+  Goodness best = ctx.goodness();
+  std::size_t best_prefix = 0;
+  const std::uint64_t limit =
+      options.move_limit == 0 ? n : options.move_limit;
+
+  // Safety valve: lazy revalidation is amortized-cheap, but adversarial
+  // weight patterns could ping-pong reinsertions; cap total pops.
+  std::uint64_t pops = 0;
+  const std::uint64_t pop_limit = 16ull * std::max<std::uint64_t>(n, 64) ;
+
+  while (!heap.empty() && log.size() < limit && pops++ < pop_limit) {
+    Entry e = heap.top();
+    heap.pop();
+    if (locked[e.node] || e.stamp != stamp[e.node]) continue;
+    // Revalidate lazily: the stored delta may have drifted because a
+    // neighbouring move changed loads or pairwise cuts. Recompute; if the
+    // move is now *worse* than advertised, reinsert with the fresh key
+    // (someone else may beat it); if it is as good or better, take it —
+    // it still dominates everything below it in the heap.
+    auto cand = ctx.best_move(e.node);
+    if (!cand) continue;
+    const Delta actual = delta_of(cand->after);
+    if (e.delta < actual) {
+      ++stamp[e.node];
+      heap.push(Entry{actual, e.node, cand->target, stamp[e.node]});
+      continue;
+    }
+    const PartId from = ctx.part_of(e.node);
+    ctx.apply(e.node, cand->target);
+    locked[e.node] = true;
+    log.push_back({e.node, from});
+    const Goodness now = ctx.goodness();
+    if (now < best) {
+      best = now;
+      best_prefix = log.size();
+    }
+    for (NodeId v : g.neighbors(e.node)) {
+      if (!locked[v]) {
+        ++stamp[v];
+        push_candidate(v);
+      }
+    }
+  }
+
+  // Roll back to the best prefix.
+  for (std::size_t i = log.size(); i-- > best_prefix;) {
+    ctx.apply(log[i].node, log[i].from);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
+                           const FmOptions& options, support::Rng& rng) {
+  MoveContext ctx(g, p, c);
+  const Goodness initial = ctx.goodness();
+  Goodness current = initial;
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    support::Rng pass_rng = rng.derive(0x9d5ull * (pass + 1));
+    const Goodness after = constrained_fm_pass(ctx, options, pass_rng);
+    if (!(after < current)) break;
+    current = after;
+  }
+  return current < initial;
+}
+
+bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
+                 const SwapRefineOptions& options, support::Rng& rng) {
+  const NodeId n = g.num_nodes();
+  if (n > options.max_nodes || n < 2) return false;
+  MoveContext ctx(g, p, c);
+  const Goodness initial = ctx.goodness();
+
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    bool improved_this_pass = false;
+    // Steepest descent: repeatedly take the best improving swap.
+    for (std::uint64_t step = 0; step < n; ++step) {
+      const Goodness current = ctx.goodness();
+      NodeId best_u = graph::kInvalidNode, best_v = graph::kInvalidNode;
+      Goodness best_after = current;
+      for (NodeId u = 0; u < n; ++u) {
+        const PartId pu = ctx.part_of(u);
+        for (NodeId v = u + 1; v < n; ++v) {
+          const PartId pv = ctx.part_of(v);
+          if (pu == pv) continue;
+          // Evaluate the swap by applying half of it temporarily.
+          ctx.apply(u, pv);
+          const Goodness after = ctx.goodness_after(v, pu);
+          ctx.apply(u, pu);
+          if (after < best_after) {
+            best_after = after;
+            best_u = u;
+            best_v = v;
+          }
+        }
+      }
+      if (best_u == graph::kInvalidNode) break;
+      const PartId pu = ctx.part_of(best_u);
+      const PartId pv = ctx.part_of(best_v);
+      ctx.apply(best_u, pv);
+      ctx.apply(best_v, pu);
+      improved_this_pass = true;
+    }
+    if (!improved_this_pass) break;
+  }
+  (void)rng;
+  return ctx.goodness() < initial;
+}
+
+bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
+                       const GreedyRefineOptions& options, support::Rng& rng) {
+  // Balance modelled as a hard cap; cut via the goodness cut component.
+  Constraints cap;
+  cap.rmax = max_load;
+  MoveContext ctx(g, p, cap);
+  const Weight initial_cut = ctx.cut();
+  for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    bool moved = false;
+    std::vector<NodeId> order = ctx.boundary_nodes();
+    rng.shuffle(order);
+    for (NodeId u : order) {
+      const PartId from = ctx.part_of(u);
+      if (ctx.part_size(from) <= 1) continue;
+      const Weight w = g.node_weight(u);
+      PartId best_target = kUnassigned;
+      Weight best_gain = 0;
+      Weight best_target_load = std::numeric_limits<Weight>::max();
+      for (PartId q = 0; q < ctx.k(); ++q) {
+        if (q == from) continue;
+        if (ctx.conn(u, q) == 0) continue;        // only toward neighbours
+        if (ctx.load(q) + w > max_load) continue;  // hard balance cap
+        const Weight gain = ctx.conn(u, q) - ctx.conn(u, from);
+        const bool acceptable =
+            gain > 0 || (gain == 0 && ctx.load(q) + w < ctx.load(from));
+        if (!acceptable) continue;
+        if (best_target == kUnassigned || gain > best_gain ||
+            (gain == best_gain && ctx.load(q) < best_target_load)) {
+          best_gain = gain;
+          best_target = q;
+          best_target_load = ctx.load(q);
+        }
+      }
+      if (best_target != kUnassigned) {
+        ctx.apply(u, best_target);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+  return ctx.cut() < initial_cut;
+}
+
+bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, std::uint32_t max_passes,
+                         support::Rng& rng) {
+  if (p.k() != 2)
+    throw std::invalid_argument("bisection_fm_refine: k must be 2");
+  const NodeId n = g.num_nodes();
+
+  auto overweight = [&](Weight l0, Weight l1) {
+    return std::max<Weight>(0, l0 - cap0) + std::max<Weight>(0, l1 - cap1);
+  };
+
+  // Local 2-way state: conn-to-own / conn-to-other per node.
+  std::vector<Weight> internal(n, 0), external(n, 0);
+  Weight load[2] = {0, 0};
+  std::uint32_t count[2] = {0, 0};
+  Weight cut = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    load[p[u]] += g.node_weight(u);
+    ++count[p[u]];
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (p[nbrs[i]] == p[u]) {
+        internal[u] += wgts[i];
+      } else {
+        external[u] += wgts[i];
+        if (u < nbrs[i]) cut += wgts[i];
+      }
+    }
+  }
+
+  struct State {
+    Weight over, cut;
+  };
+  auto better = [](const State& a, const State& b) {
+    return a.over != b.over ? a.over < b.over : a.cut < b.cut;
+  };
+
+  const State initial{overweight(load[0], load[1]), cut};
+  State current = initial;
+
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    std::vector<bool> locked(n, false);
+    struct MoveRecord {
+      NodeId node;
+    };
+    std::vector<MoveRecord> log;
+    State best = current;
+    std::size_t best_prefix = 0;
+
+    // Simple selection: scan for the best unlocked move each step. The
+    // bisection runs on coarsest-level graphs (hundreds of nodes), so the
+    // O(n) scan per move is irrelevant next to correctness.
+    for (std::uint64_t step = 0; step < n; ++step) {
+      NodeId pick = graph::kInvalidNode;
+      State pick_state{std::numeric_limits<Weight>::max(),
+                       std::numeric_limits<Weight>::max()};
+      for (NodeId u = 0; u < n; ++u) {
+        if (locked[u]) continue;
+        const PartId from = p[u];
+        if (count[from] <= 1) continue;
+        const Weight w = g.node_weight(u);
+        const Weight l_from = load[from] - w;
+        const Weight l_to = load[1 - from] + w;
+        const State s{from == 0 ? overweight(l_from, l_to)
+                                : overweight(l_to, l_from),
+                      cut + internal[u] - external[u]};
+        if (pick == graph::kInvalidNode || better(s, pick_state)) {
+          pick = u;
+          pick_state = s;
+        }
+      }
+      if (pick == graph::kInvalidNode) break;
+      // Apply the move.
+      const PartId from = p[pick];
+      const PartId to = 1 - from;
+      const Weight w = g.node_weight(pick);
+      load[from] -= w;
+      load[to] += w;
+      --count[from];
+      ++count[to];
+      cut += internal[pick] - external[pick];
+      std::swap(internal[pick], external[pick]);
+      auto nbrs = g.neighbors(pick);
+      auto wgts = g.edge_weights(pick);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        if (p[v] == to) {
+          internal[v] += wgts[i];
+          external[v] -= wgts[i];
+        } else {
+          internal[v] -= wgts[i];
+          external[v] += wgts[i];
+        }
+      }
+      p.set(pick, to);
+      locked[pick] = true;
+      log.push_back({pick});
+      const State now{overweight(load[0], load[1]), cut};
+      if (better(now, best)) {
+        best = now;
+        best_prefix = log.size();
+      }
+    }
+
+    // Roll back to best prefix (re-run the same update in reverse).
+    for (std::size_t i = log.size(); i-- > best_prefix;) {
+      const NodeId u = log[i].node;
+      const PartId from = p[u];
+      const PartId to = 1 - from;
+      const Weight w = g.node_weight(u);
+      load[from] -= w;
+      load[to] += w;
+      --count[from];
+      ++count[to];
+      cut += internal[u] - external[u];
+      std::swap(internal[u], external[u]);
+      auto nbrs = g.neighbors(u);
+      auto wgts = g.edge_weights(u);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const NodeId v = nbrs[j];
+        if (p[v] == to) {
+          internal[v] += wgts[j];
+          external[v] -= wgts[j];
+        } else {
+          internal[v] -= wgts[j];
+          external[v] += wgts[j];
+        }
+      }
+      p.set(u, to);
+    }
+    if (!better(best, current)) break;
+    current = best;
+    (void)rng;
+  }
+  return better(current, initial);
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,71 @@
+#pragma once
+// Refinement algorithms (paper Sections IV-B / IV-C).
+//
+//  * constrained_fm_refine — the paper's "FM-based algorithm": a
+//    Fiduccia–Mattheyses pass generalised to k parts whose gain is the
+//    lexicographic goodness (resource excess, bandwidth excess, cut). Each
+//    pass moves every node at most once, accepts temporarily-worsening moves
+//    and commits the best prefix (classic FM hill-climbing), so it can
+//    escape local minima while repairing constraint violations.
+//  * greedy_cut_refine — METIS-style k-way boundary refinement: positive
+//    cut-gain moves only, subject to a hard balance cap. Used by the
+//    MetisLike baseline, which models METIS's behavioural contract.
+//  * bisection_fm_refine — 2-way FM with per-side weight caps, used inside
+//    the MetisLike recursive-bisection initial partitioning.
+
+#include <cstdint>
+
+#include "partition/move_context.hpp"
+#include "partition/partition.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct FmOptions {
+  std::uint32_t max_passes = 8;
+  /// Per-pass move budget; 0 means every node may move once.
+  std::uint64_t move_limit = 0;
+  /// Seed the candidate heap with boundary nodes plus the nodes of
+  /// overloaded parts (false: every node).
+  bool seed_boundary_only = true;
+};
+
+/// Refines `p` in place toward lower goodness under `c`. Returns true iff
+/// the goodness strictly improved.
+bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
+                           const FmOptions& options, support::Rng& rng);
+
+struct GreedyRefineOptions {
+  std::uint32_t max_passes = 8;
+};
+
+/// Cut-only greedy boundary refinement with hard max-load cap. Moves are
+/// applied immediately when they strictly reduce the cut (or keep it equal
+/// while improving the load spread) and respect the cap. Returns true iff
+/// the cut improved.
+bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
+                       const GreedyRefineOptions& options, support::Rng& rng);
+
+/// 2-way FM with independent side caps (cap0 for part 0, cap1 for part 1).
+/// Minimizes (total overweight, cut) lexicographically. Returns true iff
+/// improved.
+bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, std::uint32_t max_passes,
+                         support::Rng& rng);
+
+struct SwapRefineOptions {
+  std::uint32_t max_passes = 4;
+  /// Skip graphs larger than this (the pair scan is quadratic; it is meant
+  /// for coarsest-level graphs and small instances).
+  NodeId max_nodes = 200;
+};
+
+/// Steepest-descent over the pairwise *swap* neighbourhood under the
+/// goodness objective. When Rmax is tight every part is full, so any single
+/// FM move transits a deep resource violation — swaps sidestep that by
+/// exchanging near-equal weights, which is exactly the move the paper's
+/// tight Experiment 3 needs. Returns true iff goodness improved.
+bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
+                 const SwapRefineOptions& options, support::Rng& rng);
+
+}  // namespace ppnpart::part

@@ -1,0 +1,114 @@
+#include "partition/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::part {
+
+Report analyze(const Graph& g, const Partition& p, const Constraints& c) {
+  Report report;
+  report.metrics = compute_metrics(g, p);
+  report.violation = compute_violation(report.metrics, c);
+  report.feasible = report.violation.feasible();
+
+  const PartId k = p.k();
+  report.parts.resize(static_cast<std::size_t>(k));
+  for (PartId q = 0; q < k; ++q) {
+    PartSummary& s = report.parts[static_cast<std::size_t>(q)];
+    s.part = q;
+    s.load = report.metrics.loads[static_cast<std::size_t>(q)];
+    s.budget = c.rmax_of(q);
+    s.occupancy = s.budget != Constraints::kUnlimited && s.budget > 0
+                      ? static_cast<double>(s.load) /
+                            static_cast<double>(s.budget)
+                      : 0.0;
+  }
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const PartId pu = p[u];
+    report.parts[static_cast<std::size_t>(pu)].nodes += 1;
+    bool on_boundary = false;
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (p[nbrs[i]] != pu) {
+        on_boundary = true;
+        report.parts[static_cast<std::size_t>(pu)].boundary_weight += wgts[i];
+      }
+    }
+    if (on_boundary) ++report.boundary_nodes;
+  }
+
+  for (PartId a = 0; a < k; ++a) {
+    for (PartId b = a + 1; b < k; ++b) {
+      const Weight cut = report.metrics.pairwise.at(a, b);
+      if (cut == 0) continue;
+      PairSummary pair;
+      pair.a = a;
+      pair.b = b;
+      pair.cut = cut;
+      pair.budget = c.bmax;
+      pair.occupancy = c.bmax != Constraints::kUnlimited && c.bmax > 0
+                           ? static_cast<double>(cut) /
+                                 static_cast<double>(c.bmax)
+                           : 0.0;
+      report.hot_pairs.push_back(pair);
+    }
+  }
+  std::sort(report.hot_pairs.begin(), report.hot_pairs.end(),
+            [](const PairSummary& x, const PairSummary& y) {
+              if (x.cut != y.cut) return x.cut > y.cut;
+              return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+            });
+  return report;
+}
+
+std::string Report::to_string() const {
+  using support::str_format;
+  std::string out;
+  out += str_format("%s: cut=%lld, %u boundary node(s)\n",
+                    feasible ? "FEASIBLE" : "VIOLATED",
+                    static_cast<long long>(metrics.total_cut),
+                    boundary_nodes);
+  out += "  part     nodes       load     budget   occupancy   boundary-w\n";
+  for (const PartSummary& s : parts) {
+    const std::string budget =
+        s.budget == Constraints::kUnlimited ? "inf"
+                                            : std::to_string(s.budget);
+    const std::string occ =
+        s.budget == Constraints::kUnlimited
+            ? "-"
+            : str_format("%5.1f%%%s", 100.0 * s.occupancy,
+                         s.load > s.budget ? " (!)" : "");
+    out += str_format("  %4d %9u %10lld %10s %11s %12lld\n", s.part, s.nodes,
+                      static_cast<long long>(s.load), budget.c_str(),
+                      occ.c_str(), static_cast<long long>(s.boundary_weight));
+  }
+  if (!hot_pairs.empty()) {
+    out += "  hottest pairs (cut / Bmax):\n";
+    const std::size_t shown = std::min<std::size_t>(hot_pairs.size(), 5);
+    for (std::size_t i = 0; i < shown; ++i) {
+      const PairSummary& pair = hot_pairs[i];
+      const std::string budget =
+          pair.budget == Constraints::kUnlimited
+              ? "inf"
+              : std::to_string(pair.budget);
+      out += str_format("    (%d,%d): %lld / %s%s\n", pair.a, pair.b,
+                        static_cast<long long>(pair.cut), budget.c_str(),
+                        pair.budget != Constraints::kUnlimited &&
+                                pair.cut > pair.budget
+                            ? "  (!)"
+                            : "");
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& out, const Report& report) {
+  return out << report.to_string();
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,48 @@
+#pragma once
+// Human-readable mapping reports: what a designer needs to see after a
+// partitioning run — per-FPGA occupancy against its budget, the bandwidth
+// hot pairs, and where the boundary sits. The CLI's default output and the
+// examples print these.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+
+namespace ppnpart::part {
+
+struct PartSummary {
+  PartId part = 0;
+  std::uint32_t nodes = 0;
+  Weight load = 0;
+  Weight budget = Constraints::kUnlimited;
+  double occupancy = 0;       // load / budget (0 when unlimited)
+  Weight boundary_weight = 0; // summed weight of edges leaving the part
+};
+
+struct PairSummary {
+  PartId a = 0, b = 0;
+  Weight cut = 0;
+  Weight budget = Constraints::kUnlimited;
+  double occupancy = 0;  // cut / budget (0 when unlimited)
+};
+
+struct Report {
+  PartitionMetrics metrics;
+  Violation violation;
+  bool feasible = false;
+  std::vector<PartSummary> parts;       // by part id
+  std::vector<PairSummary> hot_pairs;   // nonzero pairs, heaviest first
+  std::uint32_t boundary_nodes = 0;     // nodes with a cross-part edge
+
+  /// Multi-line fixed-width table (ends with a newline).
+  std::string to_string() const;
+};
+
+/// Full analysis of a complete partition under `c`.
+Report analyze(const Graph& g, const Partition& p, const Constraints& c);
+
+std::ostream& operator<<(std::ostream& out, const Report& report);
+
+}  // namespace ppnpart::part

@@ -1,0 +1,47 @@
+#pragma once
+// Recursive spectral bisection — the "global search" family of related work
+// (paper Section II-B): partition from the Fiedler vector of the weighted
+// graph Laplacian, computed here with deflated power iteration (no external
+// eigensolver). Serves as a quality baseline in the ablation benches and as
+// an alternative coarsest-level seeding strategy.
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct SpectralOptions {
+  std::uint32_t power_iterations = 300;
+  double tolerance = 1e-9;
+  std::uint32_t fm_passes = 6;
+  double imbalance = 1.03;
+};
+
+/// Approximate Fiedler vector (eigenvector of the second-smallest Laplacian
+/// eigenvalue); empty when n < 2.
+std::vector<double> fiedler_vector(const Graph& g,
+                                   const SpectralOptions& options,
+                                   support::Rng& rng);
+
+class SpectralPartitioner : public Partitioner {
+ public:
+  explicit SpectralPartitioner(SpectralOptions options = {});
+
+  std::string name() const override { return "Spectral"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+ private:
+  SpectralOptions options_;
+};
+
+/// Uniformly random balanced assignment; the control baseline.
+class RandomPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "Random"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,55 @@
+#pragma once
+// Tabu search — the paper's Section II-A singles it out as the local-search
+// family that "eliminate[s] this restriction as far as possible, i.e. a
+// node can be moved different times during one iteration" (unlike FM's
+// one-move-per-pass lock). This module provides
+//
+//   * tabu_refine():  a constraint-aware tabu walk over single-node moves —
+//     every iteration applies the best admissible move even when it worsens
+//     the goodness, recently moved nodes are tabu for `tenure` iterations,
+//     and a tabu move is still allowed when it beats the best solution seen
+//     (the classic aspiration criterion);
+//   * TabuPartitioner: greedy growth seeding followed by tabu_refine, usable
+//     wherever the harness wants a standalone related-work baseline.
+//
+// Like GP, the walk optimizes the lexicographic goodness (violations first,
+// cut second), so it honours Rmax/Bmax rather than only the global cut.
+
+#include <cstdint>
+
+#include "partition/partitioner.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart::part {
+
+struct TabuOptions {
+  /// Iterations ~ iterations_per_node * n (each applies exactly one move).
+  std::uint32_t iterations_per_node = 24;
+  /// How long a moved node stays tabu; 0 derives n/10 + k automatically.
+  std::uint32_t tenure = 0;
+  /// Stop after this many iterations without improving the incumbent.
+  std::uint32_t stall_limit = 512;
+  /// Candidate moves examined per iteration (sampled from the boundary);
+  /// 0 examines every boundary node.
+  std::uint32_t candidate_sample = 64;
+};
+
+/// Runs the tabu walk in place; returns true if the goodness improved over
+/// the initial partition. Partition must be complete.
+bool tabu_refine(const Graph& g, Partition& p, const Constraints& c,
+                 const TabuOptions& options, support::Rng& rng);
+
+class TabuPartitioner : public Partitioner {
+ public:
+  explicit TabuPartitioner(TabuOptions options = {});
+
+  std::string name() const override { return "Tabu"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  const TabuOptions& options() const { return options_; }
+
+ private:
+  TabuOptions options_;
+};
+
+}  // namespace ppnpart::part

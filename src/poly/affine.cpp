@@ -1,0 +1,72 @@
+#include "poly/affine.hpp"
+
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::poly {
+
+std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> point) const {
+  if (point.size() != coeffs_.size())
+    throw std::invalid_argument("AffineExpr::evaluate: dimension mismatch");
+  std::int64_t acc = constant_;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    acc += coeffs_[i] * point[i];
+  }
+  return acc;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr& o) const {
+  if (o.dims() != dims())
+    throw std::invalid_argument("AffineExpr: dimension mismatch");
+  AffineExpr out = *this;
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) out.coeffs_[i] += o.coeffs_[i];
+  out.constant_ += o.constant_;
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr& o) const {
+  return *this + (o * -1);
+}
+
+AffineExpr AffineExpr::operator*(std::int64_t s) const {
+  AffineExpr out = *this;
+  for (auto& c : out.coeffs_) c *= s;
+  out.constant_ *= s;
+  return out;
+}
+
+AffineExpr AffineExpr::operator+(std::int64_t c) const {
+  AffineExpr out = *this;
+  out.constant_ += c;
+  return out;
+}
+
+AffineExpr AffineExpr::operator-(std::int64_t c) const { return *this + (-c); }
+
+std::string AffineExpr::to_string() const {
+  static const char* kNames = "ijklmnpq";
+  std::string out;
+  for (std::size_t d = 0; d < coeffs_.size(); ++d) {
+    const std::int64_t c = coeffs_[d];
+    if (c == 0) continue;
+    const char name = d < 8 ? kNames[d] : '?';
+    if (!out.empty()) out += c > 0 ? " + " : " - ";
+    else if (c < 0) out += "-";
+    const std::int64_t mag = c < 0 ? -c : c;
+    if (mag != 1) out += support::str_format("%lld*", static_cast<long long>(mag));
+    out += name;
+  }
+  if (constant_ != 0 || out.empty()) {
+    if (out.empty()) {
+      out = support::str_format("%lld", static_cast<long long>(constant_));
+    } else {
+      out += constant_ > 0 ? " + " : " - ";
+      out += support::str_format(
+          "%lld", static_cast<long long>(constant_ < 0 ? -constant_ : constant_));
+    }
+  }
+  return out;
+}
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,59 @@
+#pragma once
+// Affine expressions over loop iteration variables.
+//
+// This is the "polyhedral-lite" layer the PPN derivation rests on: statement
+// iteration domains are integer boxes with affine guard constraints, array
+// accesses are affine index functions, and dependences are computed by exact
+// integer-point evaluation (domains in the workload library are small enough
+// for exhaustive enumeration, which keeps the volume counts exact instead of
+// estimated).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppnpart::poly {
+
+/// constant + sum_i coeff[i] * iter[i].
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+  explicit AffineExpr(std::size_t dims, std::int64_t constant = 0)
+      : coeffs_(dims, 0), constant_(constant) {}
+
+  static AffineExpr constant(std::size_t dims, std::int64_t value) {
+    return AffineExpr(dims, value);
+  }
+  /// The expression `iter[dim]`.
+  static AffineExpr var(std::size_t dims, std::size_t dim) {
+    AffineExpr e(dims);
+    e.coeffs_.at(dim) = 1;
+    return e;
+  }
+
+  std::size_t dims() const { return coeffs_.size(); }
+  std::int64_t coeff(std::size_t dim) const { return coeffs_.at(dim); }
+  void set_coeff(std::size_t dim, std::int64_t c) { coeffs_.at(dim) = c; }
+  std::int64_t constant_term() const { return constant_; }
+  void set_constant(std::int64_t c) { constant_ = c; }
+
+  std::int64_t evaluate(std::span<const std::int64_t> point) const;
+
+  AffineExpr operator+(const AffineExpr& o) const;
+  AffineExpr operator-(const AffineExpr& o) const;
+  AffineExpr operator*(std::int64_t s) const;
+  AffineExpr operator+(std::int64_t c) const;
+  AffineExpr operator-(std::int64_t c) const;
+
+  bool operator==(const AffineExpr& o) const = default;
+
+  /// e.g. "2*i + j - 1" with names i, j, k, l, m…
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> coeffs_;
+  std::int64_t constant_ = 0;
+};
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,66 @@
+#include "poly/dependence.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace ppnpart::poly {
+
+DependenceAnalysis compute_dependences(const Program& program,
+                                       const DependenceOptions& options) {
+  const std::string problem = program.validate();
+  if (!problem.empty())
+    throw std::invalid_argument("compute_dependences: " + problem);
+
+  DependenceAnalysis out;
+
+  // Produced index sets, one per written array (exact enumeration).
+  std::map<std::string, std::set<std::vector<std::int64_t>>> produced;
+  for (const Statement& s : program.statements) {
+    if (!s.write) continue;
+    if (s.domain.box_volume() > options.enumeration_cap)
+      throw std::runtime_error("compute_dependences: domain of " + s.name +
+                               " exceeds enumeration cap");
+    auto& set = produced[s.write->array];
+    s.domain.for_each_point([&](std::span<const std::int64_t> point) {
+      set.insert(s.write->evaluate(point));
+    });
+  }
+
+  for (std::size_t ci = 0; ci < program.statements.size(); ++ci) {
+    const Statement& consumer = program.statements[ci];
+    if (consumer.domain.box_volume() > options.enumeration_cap)
+      throw std::runtime_error("compute_dependences: domain of " +
+                               consumer.name + " exceeds enumeration cap");
+    for (std::size_t ri = 0; ri < consumer.reads.size(); ++ri) {
+      const ArrayAccess& read = consumer.reads[ri];
+      const std::int64_t writer = program.writer_of(read.array);
+      if (writer < 0) {
+        // External input: every read is a token from the source process.
+        DependenceAnalysis::ExternalRead ext;
+        ext.consumer = ci;
+        ext.read_index = ri;
+        ext.array = read.array;
+        ext.volume = consumer.domain.cardinality();
+        out.external_reads.push_back(ext);
+        continue;
+      }
+      const auto& set = produced[read.array];
+      std::uint64_t volume = 0;
+      consumer.domain.for_each_point([&](std::span<const std::int64_t> point) {
+        if (set.find(read.evaluate(point)) != set.end()) ++volume;
+      });
+      if (volume == 0 && options.drop_empty) continue;
+      Dependence dep;
+      dep.producer = static_cast<std::size_t>(writer);
+      dep.consumer = ci;
+      dep.array = read.array;
+      dep.read_index = ri;
+      dep.volume = volume;
+      out.flows.push_back(dep);
+    }
+  }
+  return out;
+}
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,51 @@
+#pragma once
+// Flow-dependence analysis by exact integer-point evaluation.
+//
+// For every (producer statement P writing array A, consumer statement C
+// reading A through access a) pair we count the consumer iterations whose
+// read address was produced by P — that count is the channel volume of the
+// P -> C FIFO in the derived process network. External-input arrays are
+// handled by the ppn layer (they become source processes).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/program.hpp"
+
+namespace ppnpart::poly {
+
+struct Dependence {
+  std::size_t producer = 0;  // statement index in the program
+  std::size_t consumer = 0;
+  std::string array;
+  std::size_t read_index = 0;  // which read access of the consumer
+  std::uint64_t volume = 0;    // tokens over the whole execution
+};
+
+struct DependenceOptions {
+  /// Refuse to enumerate domains whose box volume exceeds this.
+  std::uint64_t enumeration_cap = 1ull << 24;
+  /// Drop dependences with zero volume (no point actually communicates).
+  bool drop_empty = true;
+};
+
+/// All flow dependences of the program, plus per-(statement, read-access)
+/// counts of reads served by external input arrays.
+struct DependenceAnalysis {
+  std::vector<Dependence> flows;
+  /// (consumer statement, read index, array, read count) for reads whose
+  /// array has no writer.
+  struct ExternalRead {
+    std::size_t consumer = 0;
+    std::size_t read_index = 0;
+    std::string array;
+    std::uint64_t volume = 0;
+  };
+  std::vector<ExternalRead> external_reads;
+};
+
+DependenceAnalysis compute_dependences(const Program& program,
+                                       const DependenceOptions& options = {});
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,75 @@
+#include "poly/domain.hpp"
+
+#include <stdexcept>
+
+namespace ppnpart::poly {
+
+void IterationDomain::add_guard(AffineExpr guard) {
+  if (guard.dims() != dims())
+    throw std::invalid_argument("add_guard: dimension mismatch");
+  guards_.push_back(std::move(guard));
+}
+
+bool IterationDomain::contains(std::span<const std::int64_t> point) const {
+  if (point.size() != dims()) return false;
+  for (std::size_t d = 0; d < dims(); ++d) {
+    if (point[d] < bounds_[d].lo || point[d] > bounds_[d].hi) return false;
+  }
+  for (const AffineExpr& g : guards_) {
+    if (g.evaluate(point) < 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t IterationDomain::box_volume() const {
+  std::uint64_t volume = 1;
+  for (const Bound& b : bounds_) {
+    if (b.hi < b.lo) return 0;
+    volume *= static_cast<std::uint64_t>(b.hi - b.lo + 1);
+  }
+  return volume;
+}
+
+std::uint64_t IterationDomain::cardinality() const {
+  if (guards_.empty()) return box_volume();
+  std::uint64_t count = 0;
+  for_each_point([&](std::span<const std::int64_t>) { ++count; });
+  return count;
+}
+
+void IterationDomain::for_each_point(
+    const std::function<void(std::span<const std::int64_t>)>& fn) const {
+  if (box_volume() == 0) return;
+  constexpr std::uint64_t kEnumerationCap = 1ull << 26;
+  if (box_volume() > kEnumerationCap)
+    throw std::runtime_error(
+        "IterationDomain::for_each_point: domain too large to enumerate");
+  std::vector<std::int64_t> point(dims());
+  for (std::size_t d = 0; d < dims(); ++d) point[d] = bounds_[d].lo;
+  if (dims() == 0) {
+    fn(point);
+    return;
+  }
+  for (;;) {
+    bool ok = true;
+    for (const AffineExpr& g : guards_) {
+      if (g.evaluate(point) < 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) fn(point);
+    // Lexicographic increment (last dimension fastest).
+    std::size_t d = dims();
+    while (d-- > 0) {
+      if (point[d] < bounds_[d].hi) {
+        ++point[d];
+        for (std::size_t e = d + 1; e < dims(); ++e) point[e] = bounds_[e].lo;
+        break;
+      }
+      if (d == 0) return;
+    }
+  }
+}
+
+}  // namespace ppnpart::poly

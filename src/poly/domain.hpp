@@ -1,0 +1,59 @@
+#pragma once
+// Integer iteration domains: a rectangular box per dimension plus optional
+// affine guard constraints (expr >= 0). Exact cardinality and point
+// enumeration; all loop nests in the workload library fit comfortably.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "poly/affine.hpp"
+
+namespace ppnpart::poly {
+
+class IterationDomain {
+ public:
+  IterationDomain() = default;
+
+  /// Box [lo, hi] inclusive per dimension.
+  struct Bound {
+    std::int64_t lo = 0;
+    std::int64_t hi = -1;  // empty by default
+  };
+
+  explicit IterationDomain(std::vector<Bound> bounds)
+      : bounds_(std::move(bounds)) {}
+
+  static IterationDomain box(std::initializer_list<Bound> bounds) {
+    return IterationDomain(std::vector<Bound>(bounds));
+  }
+
+  std::size_t dims() const { return bounds_.size(); }
+  const Bound& bound(std::size_t d) const { return bounds_.at(d); }
+
+  /// Adds the constraint guard >= 0.
+  void add_guard(AffineExpr guard);
+  const std::vector<AffineExpr>& guards() const { return guards_; }
+
+  bool contains(std::span<const std::int64_t> point) const;
+
+  /// Exact number of integer points (guards honoured by enumeration).
+  std::uint64_t cardinality() const;
+
+  bool empty() const { return cardinality() == 0; }
+
+  /// Visits every point in lexicographic order.
+  void for_each_point(
+      const std::function<void(std::span<const std::int64_t>)>& fn) const;
+
+  /// Product of box extents (ignores guards); an upper bound on cardinality
+  /// and a cheap guard against runaway enumeration.
+  std::uint64_t box_volume() const;
+
+ private:
+  std::vector<Bound> bounds_;
+  std::vector<AffineExpr> guards_;
+};
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,60 @@
+#include "poly/program.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::poly {
+
+std::vector<std::string> Program::external_inputs() const {
+  std::set<std::string> written, read;
+  for (const Statement& s : statements) {
+    if (s.write) written.insert(s.write->array);
+    for (const ArrayAccess& a : s.reads) read.insert(a.array);
+  }
+  std::vector<std::string> out;
+  for (const std::string& array : read) {
+    if (written.find(array) == written.end()) out.push_back(array);
+  }
+  return out;
+}
+
+std::int64_t Program::writer_of(const std::string& array) const {
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    if (statements[i].write && statements[i].write->array == array) {
+      return static_cast<std::int64_t>(i);
+    }
+  }
+  return -1;
+}
+
+std::string Program::validate() const {
+  std::set<std::string> written;
+  std::set<std::string> names;
+  for (const Statement& s : statements) {
+    if (s.name.empty()) return "statement with empty name";
+    if (!names.insert(s.name).second)
+      return "duplicate statement name: " + s.name;
+    if (s.write) {
+      if (!written.insert(s.write->array).second)
+        return "array written by two statements (not single-assignment): " +
+               s.write->array;
+      if (s.write->indices.empty())
+        return "scalar write unsupported in statement " + s.name;
+      for (const AffineExpr& e : s.write->indices) {
+        if (e.dims() != s.domain.dims())
+          return "write access dimension mismatch in " + s.name;
+      }
+    }
+    for (const ArrayAccess& a : s.reads) {
+      for (const AffineExpr& e : a.indices) {
+        if (e.dims() != s.domain.dims())
+          return "read access dimension mismatch in " + s.name;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ppnpart::poly

@@ -1,0 +1,59 @@
+#pragma once
+// Static affine loop programs: the input language of the PPN derivation.
+//
+// A Program is a list of Statements. Each statement has an iteration
+// domain, at most one array write access and any number of read accesses —
+// the single-assignment shape PPN derivation tools (pn / ESPAM / Compaan
+// lineage) expect. Arrays read but never written are external inputs; they
+// become source processes in the derived network.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "poly/affine.hpp"
+#include "poly/domain.hpp"
+
+namespace ppnpart::poly {
+
+/// array[index_0][index_1]… with affine indices over the statement's
+/// iteration variables.
+struct ArrayAccess {
+  std::string array;
+  std::vector<AffineExpr> indices;
+
+  std::vector<std::int64_t> evaluate(
+      std::span<const std::int64_t> point) const {
+    std::vector<std::int64_t> out;
+    out.reserve(indices.size());
+    for (const AffineExpr& e : indices) out.push_back(e.evaluate(point));
+    return out;
+  }
+};
+
+struct Statement {
+  std::string name;
+  IterationDomain domain;
+  std::optional<ArrayAccess> write;
+  std::vector<ArrayAccess> reads;
+  /// Arithmetic operations per iteration — drives the resource estimate.
+  std::uint32_t ops_per_iteration = 1;
+};
+
+struct Program {
+  std::string name;
+  std::vector<Statement> statements;
+
+  /// Names of arrays read somewhere but written nowhere (external inputs).
+  std::vector<std::string> external_inputs() const;
+
+  /// Index of the statement writing `array`, or -1 (single-assignment: at
+  /// most one writer per array; validate() enforces it).
+  std::int64_t writer_of(const std::string& array) const;
+
+  /// Empty string when consistent; otherwise the first problem found.
+  std::string validate() const;
+};
+
+}  // namespace ppnpart::poly

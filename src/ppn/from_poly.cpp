@@ -1,0 +1,76 @@
+#include "ppn/from_poly.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ppnpart::ppn {
+
+ProcessNetwork derive_network(const poly::Program& program,
+                              const DerivationOptions& options) {
+  ProcessNetwork network(program.name);
+  const poly::DependenceAnalysis analysis =
+      poly::compute_dependences(program, options.dependence);
+
+  // Port counts feed the resource estimate; gather them first.
+  std::vector<std::uint32_t> in_ports(program.statements.size(), 0);
+  std::vector<std::uint32_t> out_ports(program.statements.size(), 0);
+  for (const poly::Dependence& d : analysis.flows) {
+    if (options.drop_self_channels && d.producer == d.consumer) continue;
+    ++out_ports[d.producer];
+    ++in_ports[d.consumer];
+  }
+  for (const auto& ext : analysis.external_reads) ++in_ports[ext.consumer];
+
+  // Steady-state horizon: the longest-running statement's firing count.
+  std::uint64_t horizon = 1;
+  for (const poly::Statement& s : program.statements) {
+    horizon = std::max(horizon, s.domain.cardinality());
+  }
+
+  // One process per statement.
+  std::vector<std::uint32_t> process_of(program.statements.size());
+  for (std::size_t i = 0; i < program.statements.size(); ++i) {
+    const poly::Statement& s = program.statements[i];
+    Process p;
+    p.name = s.name;
+    p.firings = std::max<std::uint64_t>(1, s.domain.cardinality());
+    p.resources = options.resource_model.estimate(
+        s.ops_per_iteration, in_ports[i], out_ports[i]);
+    process_of[i] = network.add_process(std::move(p));
+  }
+
+  // One source process per external input array.
+  std::map<std::string, std::uint32_t> source_of;
+  for (const std::string& array : program.external_inputs()) {
+    Process p;
+    p.name = "src_" + array;
+    p.resources = options.source_resources;
+    p.firings = 1;  // adjusted below to the total tokens it must emit
+    source_of[array] = network.add_process(std::move(p));
+  }
+
+  auto bandwidth_of = [&](std::uint64_t volume) {
+    return static_cast<graph::Weight>(
+        std::max<std::uint64_t>(1, (volume + horizon - 1) / horizon));
+  };
+
+  for (const poly::Dependence& d : analysis.flows) {
+    if (options.drop_self_channels && d.producer == d.consumer) continue;
+    network.add_channel(process_of[d.producer], process_of[d.consumer],
+                        bandwidth_of(d.volume), d.volume,
+                        d.array + "#" + std::to_string(d.read_index));
+  }
+  for (const auto& ext : analysis.external_reads) {
+    const std::uint32_t src = source_of.at(ext.array);
+    network.add_channel(src, process_of[ext.consumer],
+                        bandwidth_of(ext.volume), ext.volume,
+                        ext.array + "#" + std::to_string(ext.read_index));
+    // The source streams one token per firing per channel; its firing count
+    // is the largest single-channel demand (SDF rates absorb the rest).
+    network.process(src).firings =
+        std::max(network.process(src).firings, ext.volume);
+  }
+  return network;
+}
+
+}  // namespace ppnpart::ppn

@@ -1,0 +1,34 @@
+#pragma once
+// PPN derivation: static affine loop program -> process network.
+//
+// This substitutes for the paper's unnamed "suitable tools" (the pn/ESPAM
+// lineage): one process per statement plus one source process per external
+// input array; one FIFO channel per flow dependence / external read, with
+//   volume    = exact token count from dependence analysis, and
+//   bandwidth = ceil(volume / T), T = the maximum statement firing count —
+// i.e. sustained tokens per steady-state firing slot, which is the "amount
+// of sustained data transferred" the paper weighs edges with.
+
+#include "poly/dependence.hpp"
+#include "poly/program.hpp"
+#include "ppn/network.hpp"
+#include "ppn/resource_model.hpp"
+
+namespace ppnpart::ppn {
+
+struct DerivationOptions {
+  ResourceModel resource_model;
+  poly::DependenceOptions dependence;
+  /// Resource weight of external-input source processes (stream readers).
+  graph::Weight source_resources = 12;
+  /// Self-dependences (a statement reading its own array, e.g. reduction
+  /// accumulators) become on-chip reuse buffers, never FIFOs between
+  /// distinct processes; they cannot cross a partition boundary and are
+  /// dropped from the network by default.
+  bool drop_self_channels = true;
+};
+
+ProcessNetwork derive_network(const poly::Program& program,
+                              const DerivationOptions& options = {});
+
+}  // namespace ppnpart::ppn

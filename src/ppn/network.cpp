@@ -1,0 +1,126 @@
+#include "ppn/network.hpp"
+
+#include <stdexcept>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::ppn {
+
+std::uint32_t ProcessNetwork::add_process(Process p) {
+  if (p.resources < 0)
+    throw std::invalid_argument("add_process: negative resources");
+  processes_.push_back(std::move(p));
+  return static_cast<std::uint32_t>(processes_.size() - 1);
+}
+
+std::uint32_t ProcessNetwork::add_process(const std::string& name,
+                                          Weight resources,
+                                          std::uint64_t firings) {
+  Process p;
+  p.name = name;
+  p.resources = resources;
+  p.firings = firings;
+  return add_process(std::move(p));
+}
+
+void ProcessNetwork::add_channel(Channel c) {
+  if (c.src >= num_processes() || c.dst >= num_processes())
+    throw std::out_of_range("add_channel: endpoint out of range");
+  if (c.src == c.dst)
+    throw std::invalid_argument("add_channel: self channel");
+  if (c.bandwidth <= 0)
+    throw std::invalid_argument("add_channel: bandwidth must be positive");
+  if (c.volume == 0) c.volume = static_cast<std::uint64_t>(c.bandwidth);
+  channels_.push_back(std::move(c));
+}
+
+void ProcessNetwork::add_channel(std::uint32_t src, std::uint32_t dst,
+                                 Weight bandwidth, std::uint64_t volume,
+                                 std::string label) {
+  Channel c;
+  c.src = src;
+  c.dst = dst;
+  c.bandwidth = bandwidth;
+  c.volume = volume;
+  c.label = std::move(label);
+  add_channel(std::move(c));
+}
+
+Weight ProcessNetwork::total_resources() const {
+  Weight sum = 0;
+  for (const Process& p : processes_) sum += p.resources;
+  return sum;
+}
+
+Weight ProcessNetwork::total_bandwidth() const {
+  Weight sum = 0;
+  for (const Channel& c : channels_) sum += c.bandwidth;
+  return sum;
+}
+
+std::vector<std::size_t> ProcessNetwork::in_channels(std::uint32_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].dst == i) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ProcessNetwork::out_channels(std::uint32_t i) const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].src == i) out.push_back(c);
+  }
+  return out;
+}
+
+std::string ProcessNetwork::validate() const {
+  using support::str_format;
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    if (processes_[i].resources < 0)
+      return str_format("process %zu has negative resources", i);
+    if (processes_[i].firings == 0)
+      return str_format("process %zu has zero firings", i);
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const Channel& ch = channels_[c];
+    if (ch.src >= processes_.size() || ch.dst >= processes_.size())
+      return str_format("channel %zu endpoint out of range", c);
+    if (ch.src == ch.dst) return str_format("channel %zu is a self loop", c);
+    if (ch.bandwidth <= 0)
+      return str_format("channel %zu has non-positive bandwidth", c);
+  }
+  return {};
+}
+
+graph::Graph to_graph(const ProcessNetwork& network) {
+  graph::GraphBuilder builder(network.num_processes());
+  for (std::uint32_t i = 0; i < network.num_processes(); ++i) {
+    builder.set_node_weight(i, network.process(i).resources);
+  }
+  // GraphBuilder merges parallel/bidirectional channels by summing weights.
+  for (const Channel& c : network.channels()) {
+    builder.add_edge(c.src, c.dst, c.bandwidth);
+  }
+  return builder.build();
+}
+
+ProcessNetwork from_graph(const graph::Graph& g, const std::string& name) {
+  ProcessNetwork network(name);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    network.add_process("p" + std::to_string(u), g.node_weight(u));
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto nbrs = g.neighbors(u);
+    auto wgts = g.edge_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        network.add_channel(u, nbrs[i], wgts[i],
+                            static_cast<std::uint64_t>(wgts[i]) * 64);
+      }
+    }
+  }
+  return network;
+}
+
+}  // namespace ppnpart::ppn

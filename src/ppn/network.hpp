@@ -1,0 +1,90 @@
+#pragma once
+// Process network model (PPN/KPN): processes with FPGA resource demands,
+// directed FIFO channels with sustained bandwidths. This is the paper's
+// application model — "each node (process) represents a potentially
+// recurrent, potentially periodic task, while edges (channels) represent
+// FIFOs between processes".
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppnpart::ppn {
+
+using graph::Weight;
+
+struct Process {
+  std::string name;
+  /// R_p — resources needed to implement the process on an FPGA (the paper
+  /// tracks a single resource kind, e.g. LUTs).
+  Weight resources = 1;
+  /// Firings over one complete execution (drives the simulator).
+  std::uint64_t firings = 1;
+};
+
+struct Channel {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  /// Sustained bandwidth (tokens per unit time) — the edge weight the
+  /// partitioner sees.
+  Weight bandwidth = 1;
+  /// Total tokens over one complete execution (drives the simulator).
+  std::uint64_t volume = 1;
+  std::string label;
+};
+
+class ProcessNetwork {
+ public:
+  ProcessNetwork() = default;
+  explicit ProcessNetwork(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  std::uint32_t add_process(Process p);
+  std::uint32_t add_process(const std::string& name, Weight resources,
+                            std::uint64_t firings = 1);
+  /// Adds a FIFO src -> dst; src/dst must exist; self channels rejected.
+  void add_channel(Channel c);
+  void add_channel(std::uint32_t src, std::uint32_t dst, Weight bandwidth,
+                   std::uint64_t volume = 0, std::string label = "");
+
+  std::uint32_t num_processes() const {
+    return static_cast<std::uint32_t>(processes_.size());
+  }
+  std::size_t num_channels() const { return channels_.size(); }
+
+  const Process& process(std::uint32_t i) const { return processes_.at(i); }
+  Process& process(std::uint32_t i) { return processes_.at(i); }
+  const std::vector<Process>& processes() const { return processes_; }
+  const std::vector<Channel>& channels() const { return channels_; }
+
+  Weight total_resources() const;
+  Weight total_bandwidth() const;
+
+  /// Channels entering / leaving process i.
+  std::vector<std::size_t> in_channels(std::uint32_t i) const;
+  std::vector<std::size_t> out_channels(std::uint32_t i) const;
+
+  /// Empty string when consistent.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Process> processes_;
+  std::vector<Channel> channels_;
+};
+
+/// Undirected partitioning view: node weight = process resources, edge
+/// weight = summed bandwidth of all channels between the pair (either
+/// direction) — only traffic crossing a partition boundary consumes
+/// inter-FPGA bandwidth, and it does so regardless of direction.
+graph::Graph to_graph(const ProcessNetwork& network);
+
+/// Inverse-ish convenience for generator-produced graphs: node i becomes
+/// process "p<i>", each undirected edge one channel (lower id -> higher id).
+ProcessNetwork from_graph(const graph::Graph& g, const std::string& name);
+
+}  // namespace ppnpart::ppn

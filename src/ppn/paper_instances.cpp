@@ -1,0 +1,147 @@
+#include "ppn/paper_instances.hpp"
+
+#include <stdexcept>
+
+namespace ppnpart::ppn {
+
+namespace {
+
+struct EdgeSpec {
+  std::uint32_t u, v;
+  graph::Weight w;
+};
+
+ProcessNetwork build(const char* name,
+                     const std::vector<graph::Weight>& resources,
+                     const std::vector<EdgeSpec>& edges) {
+  ProcessNetwork network(name);
+  for (std::size_t i = 0; i < resources.size(); ++i) {
+    network.add_process("p" + std::to_string(i), resources[i]);
+  }
+  for (const EdgeSpec& e : edges) {
+    network.add_channel(e.u, e.v, e.w,
+                        static_cast<std::uint64_t>(e.w) * 64);
+  }
+  return network;
+}
+
+PaperInstance experiment1() {
+  PaperInstance inst;
+  inst.index = 1;
+  inst.k = 4;
+  inst.constraints.rmax = 165;
+  inst.constraints.bmax = 16;
+  inst.metis_paper = {58, 172, 20, 0.02};
+  inst.gp_paper = {70, 163, 16, 0.33};
+
+  // Natural (cut-minimal) clusters: {0,1,11} {2,3,9} {4,5,10} {6,7,8}.
+  // Resource-feasible split: {0,1} {2,3,9,11,10} {4,5} {6,7,8}.
+  const std::vector<graph::Weight> resources = {
+      93, 70, 55, 45, 50, 45, 60, 55, 35, 30, 20, 9};
+  const std::vector<EdgeSpec> edges = {
+      // cluster {0,1,11}: heavy pair + steal bait
+      {0, 1, 13}, {0, 11, 7}, {1, 11, 5},
+      // cluster {2,3,9}
+      {2, 3, 7}, {2, 9, 6}, {3, 9, 6},
+      // cluster {4,5,10}
+      {4, 5, 8}, {4, 10, 5}, {5, 10, 5},
+      // cluster {6,7,8}
+      {6, 7, 8}, {6, 8, 7}, {7, 8, 6},
+      // p11's ties into cluster {2,3,9}
+      {2, 11, 2}, {3, 11, 2}, {9, 11, 2},
+      // base crossings
+      {0, 2, 2}, {1, 3, 2},                                    // A-B
+      {4, 6, 3}, {5, 7, 4}, {10, 6, 4}, {10, 7, 4}, {4, 8, 2},
+      {5, 8, 3},                                               // C-D: 20
+      {2, 4, 2}, {9, 5, 1}, {2, 5, 1}, {9, 10, 1},             // B-C
+      {3, 6, 2}, {8, 9, 1},                                    // B-D
+      {0, 4, 2}, {1, 5, 2},                                    // A-C
+      {0, 6, 2}, {1, 7, 1},                                    // A-D
+  };
+  inst.network = build("paper_exp1", resources, edges);
+  inst.graph = to_graph(inst.network);
+  return inst;
+}
+
+PaperInstance experiment2() {
+  PaperInstance inst;
+  inst.index = 2;
+  inst.k = 4;
+  inst.constraints.rmax = 130;
+  inst.constraints.bmax = 25;
+  inst.metis_paper = {77, 137, 25, 0.02};
+  inst.gp_paper = {62, 127, 18, 0.25};
+
+  // Natural clusters: {0,1} {2,3,4,5} {6,7,8} {9,10,11}. Count balance
+  // forces one node of {2,3,4,5} (cheapest: p5) into {0,1}: 127 + 10 = 137.
+  const std::vector<graph::Weight> resources = {
+      72, 55, 40, 35, 30, 10, 45, 40, 35, 45, 40, 25};
+  const std::vector<EdgeSpec> edges = {
+      {0, 1, 10},                                               // A
+      {2, 3, 8}, {2, 4, 7}, {3, 4, 6}, {2, 5, 6}, {3, 5, 5},
+      {4, 5, 5},                                                // B
+      {6, 7, 8}, {6, 8, 7}, {7, 8, 6},                          // C
+      {9, 10, 8}, {9, 11, 7}, {10, 11, 6},                      // D
+      {0, 5, 3}, {1, 5, 2},                                     // steal bait
+      {0, 2, 4}, {1, 3, 3},                                     // A-B
+      {0, 6, 4}, {1, 7, 3},                                     // A-C
+      {0, 9, 3}, {1, 10, 3},                                    // A-D
+      {2, 6, 4}, {4, 8, 3}, {2, 7, 2},                          // B-C
+      {3, 9, 4}, {4, 10, 3}, {5, 9, 2},                         // B-D
+      {6, 9, 6}, {7, 10, 5}, {8, 11, 5},                        // C-D
+  };
+  inst.network = build("paper_exp2", resources, edges);
+  inst.graph = to_graph(inst.network);
+  return inst;
+}
+
+PaperInstance experiment3() {
+  PaperInstance inst;
+  inst.index = 3;
+  inst.k = 4;
+  inst.constraints.rmax = 78;
+  inst.constraints.bmax = 20;
+  inst.metis_paper = {90, 78, 38, 0.02};
+  inst.gp_paper = {96, 76, 19, 7.76};
+
+  // Natural clusters: {0,1,2} {3,4,5} {6,7,8} {9,10,11}; resources all
+  // within a hair of Rmax, and a 38-unit channel bundle between {6,7,8} and
+  // {9,10,11}. Feasible split needs cross-cluster swaps (2<->9, 5<->10).
+  const std::vector<graph::Weight> resources = {
+      27, 26, 25, 25, 25, 24, 26, 25, 25, 23, 24, 27};
+  const std::vector<EdgeSpec> edges = {
+      {0, 1, 12}, {0, 2, 4}, {1, 2, 4},      // A
+      {3, 4, 12}, {3, 5, 4}, {4, 5, 4},      // B
+      {6, 7, 12}, {6, 8, 11}, {7, 8, 11},    // C
+      {9, 10, 10}, {9, 11, 11}, {10, 11, 11},  // D
+      // C-D bandwidth trap: 38 units
+      {6, 9, 10}, {7, 10, 10}, {6, 10, 9}, {8, 11, 9},
+      // base crossings + swap lanes
+      {0, 3, 3}, {1, 4, 3}, {1, 3, 1},                 // A-B
+      {0, 6, 4}, {0, 7, 2},                            // A-C
+      {0, 9, 2}, {1, 9, 2},                            // A-D (swap lane 9->A)
+      {3, 10, 2}, {4, 10, 2},                          // B-D (swap lane 10->B)
+      {2, 5, 2}, {2, 11, 2}, {5, 11, 2},               // D' internal lanes
+      {8, 2, 3}, {8, 5, 3}, {7, 2, 2}, {6, 2, 2},      // C-D' lanes
+  };
+  inst.network = build("paper_exp3", resources, edges);
+  inst.graph = to_graph(inst.network);
+  return inst;
+}
+
+}  // namespace
+
+PaperInstance paper_instance(int index) {
+  switch (index) {
+    case 1:
+      return experiment1();
+    case 2:
+      return experiment2();
+    case 3:
+      return experiment3();
+    default:
+      throw std::invalid_argument("paper_instance: index must be 1, 2 or 3");
+  }
+}
+
+}  // namespace ppnpart::ppn

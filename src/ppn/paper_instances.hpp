@@ -1,0 +1,55 @@
+#pragma once
+// The three 12-node sample networks of the paper's Experiments 1-3
+// (Tables I-III, Figures 2-13).
+//
+// The published figures are unreadable in the available text, so the exact
+// weights are not recoverable; these instances are *reconstructions* built
+// to the paper's published envelope: the same node/edge counts, the same
+// constraints, and weight structures engineered so the published failure
+// modes re-occur:
+//
+//   Experiment 1 — a "steal-bait" light process (11) tied to the two
+//     heaviest processes: count-balanced min-cut absorbs it, pushing one
+//     FPGA to 172 resources (> Rmax 165), while a dense channel bundle
+//     between two natural clusters carries 20 bandwidth (> Bmax 16). A
+//     feasible 4-way split exists at a higher cut. METIS violates both;
+//     GP meets both at a larger cut (Table I).
+//
+//   Experiment 2 — natural clusters of sizes {2,4,3,3}: count balance
+//     forces METIS to move one process into the 2-cluster (resources 137 >
+//     Rmax 130) and pays cut for it; GP keeps the natural clusters, so GP's
+//     cut is *lower* (Table II's inversion: 62 vs 77).
+//
+//   Experiment 3 — resources near-exactly tight (Rmax 78, all parts 74-78)
+//     and a 38-bandwidth channel bundle between two clusters: METIS meets
+//     resources "incidentally" but ships 38 > Bmax 20 across one FPGA pair;
+//     GP must disperse that bundle across several pairs with swaps, at a
+//     cut premium (Table III).
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "ppn/network.hpp"
+
+namespace ppnpart::ppn {
+
+struct PaperReported {
+  graph::Weight total_cut = 0;
+  graph::Weight max_alloc = 0;
+  graph::Weight max_bandwidth = 0;
+  double seconds = 0;
+};
+
+struct PaperInstance {
+  int index = 1;
+  ProcessNetwork network;
+  graph::Graph graph;  // undirected partitioning view (to_graph(network))
+  part::Constraints constraints;
+  part::PartId k = 4;
+  PaperReported metis_paper;  // Table row "METIS"
+  PaperReported gp_paper;     // Table row "GP"
+};
+
+/// index in {1, 2, 3}. Deterministic, no randomness involved.
+PaperInstance paper_instance(int index);
+
+}  // namespace ppnpart::ppn

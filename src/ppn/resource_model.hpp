@@ -1,0 +1,29 @@
+#pragma once
+// FPGA resource estimation for derived processes.
+//
+// The paper tracks a single resource kind per process ("only one resource is
+// considered at this time, for example LUTs"). This linear model mirrors how
+// HLS-era estimators price a streaming process: a fixed control/FSM cost,
+// a per-operation datapath cost, and a per-FIFO-port interface cost.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace ppnpart::ppn {
+
+struct ResourceModel {
+  graph::Weight base_process_cost = 20;  // control FSM + firing logic
+  graph::Weight per_op_cost = 12;        // datapath LUTs per arithmetic op
+  graph::Weight per_port_cost = 4;       // FIFO handshake per channel port
+
+  graph::Weight estimate(std::uint32_t ops_per_iteration,
+                         std::uint32_t in_ports,
+                         std::uint32_t out_ports) const {
+    return base_process_cost +
+           per_op_cost * static_cast<graph::Weight>(ops_per_iteration) +
+           per_port_cost * static_cast<graph::Weight>(in_ports + out_ports);
+  }
+};
+
+}  // namespace ppnpart::ppn

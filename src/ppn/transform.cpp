@@ -1,0 +1,322 @@
+#include "ppn/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::ppn {
+
+namespace {
+
+/// Splits an integer total into `ways` near-equal positive shares.
+std::vector<Weight> fair_shares(Weight total, std::uint32_t ways) {
+  std::vector<Weight> shares(ways, total / ways);
+  Weight remainder = total - shares[0] * ways;
+  for (std::uint32_t i = 0; i < ways && remainder > 0; ++i, --remainder)
+    ++shares[i];
+  // Channels must keep positive weight: round zero shares up (slightly
+  // over-approximating traffic is the conservative direction for Bmax).
+  for (Weight& s : shares)
+    if (s <= 0) s = 1;
+  return shares;
+}
+
+std::vector<std::uint64_t> fair_shares_u64(std::uint64_t total,
+                                           std::uint32_t ways) {
+  std::vector<std::uint64_t> shares(ways, total / ways);
+  std::uint64_t remainder = total - shares[0] * ways;
+  for (std::uint32_t i = 0; i < ways && remainder > 0; ++i, --remainder)
+    ++shares[i];
+  return shares;
+}
+
+}  // namespace
+
+SplitResult split_process(const ProcessNetwork& net, std::uint32_t target,
+                          std::uint32_t ways, const SplitOptions& options) {
+  if (target >= net.num_processes())
+    throw std::invalid_argument("split_process: target out of range");
+  if (ways < 2) throw std::invalid_argument("split_process: ways must be >= 2");
+  if (options.resource_overhead < 0)
+    throw std::invalid_argument("split_process: negative resource_overhead");
+
+  const Process& original = net.process(target);
+
+  SplitResult out;
+  out.network.set_name(net.name());
+  out.copies.reserve(ways);
+
+  // Copy 0 reuses the target slot so other ids are stable.
+  const Weight copy_resources = std::max<Weight>(
+      1, original.resources +
+             static_cast<Weight>(std::llround(
+                 options.resource_overhead *
+                 static_cast<double>(original.resources))));
+  const auto firing_shares = fair_shares_u64(original.firings, ways);
+
+  for (std::uint32_t i = 0; i < net.num_processes(); ++i) {
+    if (i == target) {
+      Process copy0 = original;
+      copy0.name = original.name + "#0";
+      copy0.resources = copy_resources;
+      copy0.firings = firing_shares[0];
+      out.network.add_process(std::move(copy0));
+      out.copies.push_back(i);
+      out.origin_of.push_back(target);
+    } else {
+      out.network.add_process(net.process(i));
+      out.origin_of.push_back(i);
+    }
+  }
+  for (std::uint32_t w = 1; w < ways; ++w) {
+    Process copy = original;
+    copy.name = support::str_format("%s#%u", original.name.c_str(), w);
+    copy.resources = copy_resources;
+    copy.firings = firing_shares[w];
+    out.copies.push_back(out.network.add_process(std::move(copy)));
+    out.origin_of.push_back(target);
+  }
+
+  // Channels: those touching the target fan out across the copies with the
+  // traffic divided; everything else copies through unchanged.
+  for (const Channel& ch : net.channels()) {
+    if (ch.src != target && ch.dst != target) {
+      out.network.add_channel(ch);
+      continue;
+    }
+    const auto bw_shares = fair_shares(ch.bandwidth, ways);
+    const auto vol_shares = fair_shares_u64(ch.volume, ways);
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      Channel piece = ch;
+      piece.bandwidth = bw_shares[w];
+      piece.volume = vol_shares[w];
+      piece.label = ch.label.empty()
+                        ? ch.label
+                        : support::str_format("%s#%u", ch.label.c_str(), w);
+      if (ch.src == target) piece.src = out.copies[w];
+      if (ch.dst == target) piece.dst = out.copies[w];
+      out.network.add_channel(piece);
+    }
+  }
+  return out;
+}
+
+MergeResult merge_processes(const ProcessNetwork& net,
+                            const std::vector<std::uint32_t>& group) {
+  if (group.size() < 2)
+    throw std::invalid_argument("merge_processes: group must have >= 2 ids");
+  std::vector<bool> in_group(net.num_processes(), false);
+  for (std::uint32_t id : group) {
+    if (id >= net.num_processes())
+      throw std::invalid_argument("merge_processes: id out of range");
+    if (in_group[id])
+      throw std::invalid_argument("merge_processes: duplicate id in group");
+    in_group[id] = true;
+  }
+  const std::uint32_t anchor =
+      *std::min_element(group.begin(), group.end());
+
+  MergeResult out;
+  out.network.set_name(net.name());
+  out.merged_into.resize(net.num_processes());
+
+  // New compacted ids: group members collapse onto the anchor's slot.
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < net.num_processes(); ++i) {
+    if (in_group[i] && i != anchor) continue;
+    out.merged_into[i] = next++;
+  }
+  for (std::uint32_t id : group) out.merged_into[id] = out.merged_into[anchor];
+
+  // Build the merged process.
+  Process merged;
+  merged.resources = 0;
+  merged.firings = 0;
+  std::string merged_name = "m(";
+  bool first = true;
+  for (std::uint32_t i = 0; i < net.num_processes(); ++i) {
+    if (!in_group[i]) continue;
+    merged.resources += net.process(i).resources;
+    merged.firings += net.process(i).firings;
+    if (!first) merged_name += "+";
+    merged_name += net.process(i).name;
+    first = false;
+  }
+  merged.name = merged_name + ")";
+
+  for (std::uint32_t i = 0; i < net.num_processes(); ++i) {
+    if (in_group[i] && i != anchor) continue;
+    if (i == anchor) {
+      out.network.add_process(merged);
+    } else {
+      out.network.add_process(net.process(i));
+    }
+  }
+
+  // Channels: internal ones vanish; external ones re-target; parallel
+  // channels between the same (src, dst) coalesce by summing traffic.
+  struct Key {
+    std::uint32_t src, dst;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return (static_cast<std::size_t>(k.src) << 32) ^ k.dst;
+    }
+  };
+  std::unordered_map<Key, Channel, KeyHash> coalesced;
+  std::vector<Key> order;  // deterministic output ordering
+  for (const Channel& ch : net.channels()) {
+    const std::uint32_t s = out.merged_into[ch.src];
+    const std::uint32_t d = out.merged_into[ch.dst];
+    if (s == d) continue;  // internal to the merged process (or self)
+    const Key key{s, d};
+    auto [it, inserted] = coalesced.try_emplace(key, ch);
+    if (inserted) {
+      it->second.src = s;
+      it->second.dst = d;
+      order.push_back(key);
+    } else {
+      it->second.bandwidth += ch.bandwidth;
+      it->second.volume += ch.volume;
+      if (!ch.label.empty()) {
+        if (!it->second.label.empty()) it->second.label += "+";
+        it->second.label += ch.label;
+      }
+    }
+  }
+  for (const Key& key : order) out.network.add_channel(coalesced.at(key));
+  return out;
+}
+
+MergeResult merge_heavy_channels(const ProcessNetwork& net, Weight rmax_cap,
+                                 std::size_t max_merges) {
+  MergeResult out;
+  out.network = net;
+  out.merged_into.resize(net.num_processes());
+  std::iota(out.merged_into.begin(), out.merged_into.end(), 0u);
+
+  std::size_t merges = 0;
+  while (max_merges == 0 || merges < max_merges) {
+    // Heaviest channel whose fused endpoints stay under the cap.
+    const ProcessNetwork& cur = out.network;
+    std::size_t best = cur.num_channels();
+    Weight best_bw = std::numeric_limits<Weight>::min();
+    for (std::size_t i = 0; i < cur.num_channels(); ++i) {
+      const Channel& ch = cur.channels()[i];
+      const Weight fused = cur.process(ch.src).resources +
+                           cur.process(ch.dst).resources;
+      if (fused > rmax_cap) continue;
+      if (ch.bandwidth > best_bw) {
+        best_bw = ch.bandwidth;
+        best = i;
+      }
+    }
+    if (best == cur.num_channels()) break;  // nothing mergeable
+
+    const Channel& ch = cur.channels()[best];
+    MergeResult step = merge_processes(cur, {ch.src, ch.dst});
+    // Compose the id maps.
+    for (std::uint32_t& id : out.merged_into) id = step.merged_into[id];
+    out.network = std::move(step.network);
+    ++merges;
+  }
+  return out;
+}
+
+AutoSplitReport auto_split_until_feasible(const ProcessNetwork& net,
+                                          part::PartId k,
+                                          const part::Constraints& c,
+                                          const AutoSplitOptions& options) {
+  AutoSplitReport report;
+  report.network = net;
+
+  part::PartitionRequest request;
+  request.k = k;
+  request.constraints = c;
+  request.seed = options.seed;
+
+  for (std::uint32_t round = 0;; ++round) {
+    part::GpPartitioner gp(options.gp);
+    const graph::Graph g = to_graph(report.network);
+    report.result = gp.run(g, request);
+    report.feasible = report.result.feasible;
+    if (report.feasible) {
+      report.actions.push_back(support::str_format(
+          "round %u: feasible (cut=%lld, maxB=%lld, maxR=%lld)", round,
+          static_cast<long long>(report.result.metrics.total_cut),
+          static_cast<long long>(report.result.metrics.max_pairwise_cut),
+          static_cast<long long>(report.result.metrics.max_load)));
+      return report;
+    }
+    if (report.result.violation.bandwidth_excess == 0) {
+      // Resource-side infeasibility: replication cannot help.
+      report.actions.push_back(support::str_format(
+          "round %u: resource-infeasible (excess=%lld); splitting cannot "
+          "repair resources — stopping",
+          round,
+          static_cast<long long>(report.result.violation.resource_excess)));
+      return report;
+    }
+    if (report.splits_performed >= options.max_splits) {
+      report.actions.push_back(support::str_format(
+          "round %u: split budget (%u) exhausted, still infeasible", round,
+          options.max_splits));
+      return report;
+    }
+
+    // Find the most violated FPGA pair and the process shipping the most
+    // traffic across it — the split candidate.
+    const part::Partition& p = report.result.partition;
+    const part::PairwiseCut& pw = report.result.metrics.pairwise;
+    part::PartId worst_a = 0, worst_b = 1;
+    Weight worst_excess = std::numeric_limits<Weight>::min();
+    for (part::PartId a = 0; a < k; ++a) {
+      for (part::PartId b = a + 1; b < k; ++b) {
+        const Weight excess = pw.at(a, b) - c.bmax;
+        if (excess > worst_excess) {
+          worst_excess = excess;
+          worst_a = a;
+          worst_b = b;
+        }
+      }
+    }
+    std::vector<Weight> traffic(report.network.num_processes(), 0);
+    for (const Channel& ch : report.network.channels()) {
+      const part::PartId ps = p[ch.src];
+      const part::PartId pd = p[ch.dst];
+      const bool crosses_worst = (ps == worst_a && pd == worst_b) ||
+                                 (ps == worst_b && pd == worst_a);
+      if (!crosses_worst) continue;
+      traffic[ch.src] += ch.bandwidth;
+      traffic[ch.dst] += ch.bandwidth;
+    }
+    const auto hottest = static_cast<std::uint32_t>(
+        std::max_element(traffic.begin(), traffic.end()) - traffic.begin());
+    if (traffic[hottest] == 0) {
+      report.actions.push_back(support::str_format(
+          "round %u: no traffic on the violated pair (%d,%d)? stopping",
+          round, worst_a, worst_b));
+      return report;
+    }
+
+    report.actions.push_back(support::str_format(
+        "round %u: infeasible (B-excess=%lld on pair (%d,%d)); splitting "
+        "'%s' (traffic %lld) %u-way",
+        round,
+        static_cast<long long>(report.result.violation.bandwidth_excess),
+        worst_a, worst_b, report.network.process(hottest).name.c_str(),
+        static_cast<long long>(traffic[hottest]), options.ways_per_split));
+    SplitResult split = split_process(report.network, hottest,
+                                      options.ways_per_split, options.split);
+    report.network = std::move(split.network);
+    ++report.splits_performed;
+  }
+}
+
+}  // namespace ppnpart::ppn

@@ -1,0 +1,107 @@
+#pragma once
+// Process-network transformations.
+//
+// The paper's abstract leans on the PPN literature's "well-known techniques
+// to automatically manipulate" process networks (process splitting/merging
+// à la Meijer-Nikolov-Stefanov, the Daedalus/ESPAM toolchain). This module
+// supplies the two canonical transformations and a driver that couples them
+// to the partitioner:
+//
+//  * split_process — replace one process by `ways` round-robin copies.
+//    Firings and channel traffic divide across the copies; resources
+//    replicate (each copy is a full hardware instance, plus a small
+//    distribution/collection overhead). Splitting is *the* lever for Bmax
+//    feasibility: a single FIFO carrying more than Bmax can never cross a
+//    partition boundary, but after a c-way split its traffic arrives on c
+//    channels of bandwidth/c that the partitioner can route across
+//    different FPGA pairs.
+//
+//  * merge_processes — fuse a process group into one sequential process.
+//    Resources and firings sum, internal channels disappear (they become
+//    on-chip buffers), parallel external channels coalesce. Merging is the
+//    lever for cut: chatty neighbours fused before partitioning can never
+//    be separated by it.
+//
+//  * auto_split_until_feasible — the end-to-end loop: partition with GP;
+//    while infeasible on bandwidth, split the process incident to the most
+//    overloaded traffic and retry. Mirrors how a designer iterates a PPN
+//    until the tool finds a feasible multi-FPGA mapping.
+//
+// All transformations are pure: they return a new network plus id maps.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/gp.hpp"
+#include "partition/partition.hpp"
+#include "ppn/network.hpp"
+
+namespace ppnpart::ppn {
+
+struct SplitOptions {
+  /// Fractional resource overhead per copy for the token
+  /// distribution/collection logic (0.05 = 5% of the original R_p).
+  double resource_overhead = 0.05;
+};
+
+struct SplitResult {
+  ProcessNetwork network;
+  /// Ids (in `network`) of the copies created from the target.
+  std::vector<std::uint32_t> copies;
+  /// origin_of[new_id] = id in the source network the process came from.
+  std::vector<std::uint32_t> origin_of;
+};
+
+/// Splits `target` into `ways` >= 2 copies. Throws std::invalid_argument
+/// on bad ids or ways < 2. Process ids other than `target` are preserved;
+/// copy 0 reuses the target's slot, further copies append.
+SplitResult split_process(const ProcessNetwork& net, std::uint32_t target,
+                          std::uint32_t ways, const SplitOptions& options = {});
+
+struct MergeResult {
+  ProcessNetwork network;
+  /// merged_into[old_id] = id in `network` (group members share one id).
+  std::vector<std::uint32_t> merged_into;
+};
+
+/// Merges `group` (>= 2 distinct, valid ids) into a single process placed
+/// at the group's smallest id; ids compact downward afterwards.
+MergeResult merge_processes(const ProcessNetwork& net,
+                            const std::vector<std::uint32_t>& group);
+
+/// Greedy pre-clustering: repeatedly merges the heaviest channel's
+/// endpoints while the merged process stays within `rmax_cap` resources,
+/// at most `max_merges` times (0 = unlimited). Returns the final network
+/// and the old-id -> new-id map (composition of all merges).
+MergeResult merge_heavy_channels(const ProcessNetwork& net, Weight rmax_cap,
+                                 std::size_t max_merges = 0);
+
+struct AutoSplitOptions {
+  std::uint32_t max_splits = 8;
+  /// Ways added per split step (a hot process is split 2-way, then if
+  /// still hot its copies split again, etc.).
+  std::uint32_t ways_per_split = 2;
+  SplitOptions split;
+  part::GpOptions gp;
+  std::uint64_t seed = 1;
+};
+
+struct AutoSplitReport {
+  ProcessNetwork network;              // final (possibly split) network
+  part::PartitionResult result;        // GP result on the final network
+  std::vector<std::string> actions;    // one line per transformation step
+  std::uint32_t splits_performed = 0;
+  bool feasible = false;
+};
+
+/// Partition -> if bandwidth-infeasible, split the process contributing
+/// most traffic to the most-violated FPGA pair -> repeat. Resource-only
+/// infeasibility is not repaired by splitting (replication adds resources)
+/// and stops the loop.
+AutoSplitReport auto_split_until_feasible(const ProcessNetwork& net,
+                                          part::PartId k,
+                                          const part::Constraints& c,
+                                          const AutoSplitOptions& options = {});
+
+}  // namespace ppnpart::ppn

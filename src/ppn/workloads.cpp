@@ -1,0 +1,551 @@
+#include "ppn/workloads.hpp"
+
+#include <stdexcept>
+
+#include "ppn/from_poly.hpp"
+
+namespace ppnpart::ppn {
+
+using poly::AffineExpr;
+using poly::ArrayAccess;
+using poly::IterationDomain;
+using poly::Program;
+using poly::Statement;
+
+namespace {
+
+/// 1-D access helper: array[i + offset] for a statement with `dims` vars,
+/// indexing with variable `dim`.
+ArrayAccess acc1(const std::string& array, std::size_t dims, std::size_t dim,
+                 std::int64_t offset) {
+  ArrayAccess a;
+  a.array = array;
+  a.indices.push_back(AffineExpr::var(dims, dim) + offset);
+  return a;
+}
+
+/// 2-D access helper: array[i + di][j + dj].
+ArrayAccess acc2(const std::string& array, std::size_t dims, std::size_t d0,
+                 std::int64_t off0, std::size_t d1, std::int64_t off1) {
+  ArrayAccess a;
+  a.array = array;
+  a.indices.push_back(AffineExpr::var(dims, d0) + off0);
+  a.indices.push_back(AffineExpr::var(dims, d1) + off1);
+  return a;
+}
+
+}  // namespace
+
+Program jacobi1d_program(std::int64_t width, std::uint32_t stages) {
+  if (width < 3 || stages == 0)
+    throw std::invalid_argument("jacobi1d: width >= 3, stages >= 1");
+  Program prog;
+  prog.name = "jacobi1d";
+  std::string prev = "A0";  // external input
+  for (std::uint32_t s = 1; s <= stages; ++s) {
+    Statement st;
+    st.name = "J" + std::to_string(s);
+    st.domain = IterationDomain({{1, width - 2}});
+    const std::string out = "A" + std::to_string(s);
+    st.write = acc1(out, 1, 0, 0);
+    st.reads = {acc1(prev, 1, 0, -1), acc1(prev, 1, 0, 0),
+                acc1(prev, 1, 0, 1)};
+    st.ops_per_iteration = 4;  // 2 adds + mul + shift
+    prog.statements.push_back(std::move(st));
+    prev = out;
+  }
+  return prog;
+}
+
+Program jacobi2d_program(std::int64_t n, std::uint32_t stages) {
+  if (n < 3 || stages == 0)
+    throw std::invalid_argument("jacobi2d: n >= 3, stages >= 1");
+  Program prog;
+  prog.name = "jacobi2d";
+  std::string prev = "A0";
+  for (std::uint32_t s = 1; s <= stages; ++s) {
+    Statement st;
+    st.name = "J" + std::to_string(s);
+    st.domain = IterationDomain({{1, n - 2}, {1, n - 2}});
+    const std::string out = "A" + std::to_string(s);
+    st.write = acc2(out, 2, 0, 0, 1, 0);
+    st.reads = {acc2(prev, 2, 0, -1, 1, 0), acc2(prev, 2, 0, 1, 1, 0),
+                acc2(prev, 2, 0, 0, 1, -1), acc2(prev, 2, 0, 0, 1, 1),
+                acc2(prev, 2, 0, 0, 1, 0)};
+    st.ops_per_iteration = 6;
+    prog.statements.push_back(std::move(st));
+    prev = out;
+  }
+  return prog;
+}
+
+Program matmul_program(std::int64_t n, std::int64_t m, std::int64_t p) {
+  if (n < 1 || m < 1 || p < 1)
+    throw std::invalid_argument("matmul: dimensions must be positive");
+  Program prog;
+  prog.name = "matmul";
+
+  // Smul(i,j,k): P[i][j][k] = A[i][k] * B[k][j]
+  Statement mul;
+  mul.name = "Smul";
+  mul.domain = IterationDomain({{0, n - 1}, {0, p - 1}, {0, m - 1}});
+  {
+    ArrayAccess w;
+    w.array = "P";
+    w.indices = {AffineExpr::var(3, 0), AffineExpr::var(3, 1),
+                 AffineExpr::var(3, 2)};
+    mul.write = w;
+    ArrayAccess ra;
+    ra.array = "A";
+    ra.indices = {AffineExpr::var(3, 0), AffineExpr::var(3, 2)};
+    ArrayAccess rb;
+    rb.array = "B";
+    rb.indices = {AffineExpr::var(3, 2), AffineExpr::var(3, 1)};
+    mul.reads = {ra, rb};
+  }
+  mul.ops_per_iteration = 1;
+  prog.statements.push_back(std::move(mul));
+
+  // Sacc(i,j,k): S[i][j][k] = S[i][j][k-1] + P[i][j][k]   (self-dep folded
+  // into an on-chip accumulator; the P channel is the real FIFO)
+  Statement acc;
+  acc.name = "Sacc";
+  acc.domain = IterationDomain({{0, n - 1}, {0, p - 1}, {0, m - 1}});
+  {
+    ArrayAccess w;
+    w.array = "S";
+    w.indices = {AffineExpr::var(3, 0), AffineExpr::var(3, 1),
+                 AffineExpr::var(3, 2)};
+    acc.write = w;
+    ArrayAccess rp;
+    rp.array = "P";
+    rp.indices = {AffineExpr::var(3, 0), AffineExpr::var(3, 1),
+                  AffineExpr::var(3, 2)};
+    ArrayAccess rs;
+    rs.array = "S";
+    rs.indices = {AffineExpr::var(3, 0), AffineExpr::var(3, 1),
+                  AffineExpr::var(3, 2) - 1};
+    acc.reads = {rp, rs};
+  }
+  acc.ops_per_iteration = 1;
+  prog.statements.push_back(std::move(acc));
+
+  // Sout(i,j): C[i][j] = S[i][j][m-1]
+  Statement out;
+  out.name = "Sout";
+  out.domain = IterationDomain({{0, n - 1}, {0, p - 1}});
+  {
+    ArrayAccess w;
+    w.array = "C";
+    w.indices = {AffineExpr::var(2, 0), AffineExpr::var(2, 1)};
+    out.write = w;
+    ArrayAccess rs;
+    rs.array = "S";
+    rs.indices = {AffineExpr::var(2, 0), AffineExpr::var(2, 1),
+                  AffineExpr::constant(2, m - 1)};
+    out.reads = {rs};
+  }
+  out.ops_per_iteration = 1;
+  prog.statements.push_back(std::move(out));
+  return prog;
+}
+
+Program fir_program(std::uint32_t taps, std::int64_t samples) {
+  if (taps == 0 || samples <= static_cast<std::int64_t>(taps))
+    throw std::invalid_argument("fir: need taps >= 1, samples > taps");
+  Program prog;
+  prog.name = "fir";
+  // acc_0[n] = h0 * x[n]; acc_t[n] = acc_{t-1}[n] + h_t * x[n - t]
+  for (std::uint32_t t = 0; t < taps; ++t) {
+    Statement st;
+    st.name = "MAC" + std::to_string(t);
+    st.domain =
+        IterationDomain({{static_cast<std::int64_t>(taps) - 1, samples - 1}});
+    st.write = acc1("acc" + std::to_string(t), 1, 0, 0);
+    st.reads = {acc1("x", 1, 0, -static_cast<std::int64_t>(t))};
+    if (t > 0) {
+      st.reads.push_back(acc1("acc" + std::to_string(t - 1), 1, 0, 0));
+    }
+    st.ops_per_iteration = 2;  // mul + add
+    prog.statements.push_back(std::move(st));
+  }
+  return prog;
+}
+
+Program sobel_program(std::int64_t width, std::int64_t height) {
+  if (width < 3 || height < 3)
+    throw std::invalid_argument("sobel: image must be at least 3x3");
+  Program prog;
+  prog.name = "sobel";
+  const IterationDomain interior({{1, height - 2}, {1, width - 2}});
+
+  Statement gx;
+  gx.name = "Gx";
+  gx.domain = interior;
+  gx.write = acc2("GX", 2, 0, 0, 1, 0);
+  gx.reads = {acc2("img", 2, 0, -1, 1, -1), acc2("img", 2, 0, -1, 1, 1),
+              acc2("img", 2, 0, 0, 1, -1),  acc2("img", 2, 0, 0, 1, 1),
+              acc2("img", 2, 0, 1, 1, -1),  acc2("img", 2, 0, 1, 1, 1)};
+  gx.ops_per_iteration = 8;
+  prog.statements.push_back(std::move(gx));
+
+  Statement gy;
+  gy.name = "Gy";
+  gy.domain = interior;
+  gy.write = acc2("GY", 2, 0, 0, 1, 0);
+  gy.reads = {acc2("img", 2, 0, -1, 1, -1), acc2("img", 2, 0, -1, 1, 0),
+              acc2("img", 2, 0, -1, 1, 1),  acc2("img", 2, 0, 1, 1, -1),
+              acc2("img", 2, 0, 1, 1, 0),   acc2("img", 2, 0, 1, 1, 1)};
+  gy.ops_per_iteration = 8;
+  prog.statements.push_back(std::move(gy));
+
+  Statement mag;
+  mag.name = "Mag";
+  mag.domain = interior;
+  mag.write = acc2("MAG", 2, 0, 0, 1, 0);
+  mag.reads = {acc2("GX", 2, 0, 0, 1, 0), acc2("GY", 2, 0, 0, 1, 0)};
+  mag.ops_per_iteration = 5;  // abs + abs + add (|gx|+|gy| approximation)
+  prog.statements.push_back(std::move(mag));
+
+  Statement threshold;
+  threshold.name = "Thresh";
+  threshold.domain = interior;
+  threshold.write = acc2("OUT", 2, 0, 0, 1, 0);
+  threshold.reads = {acc2("MAG", 2, 0, 0, 1, 0)};
+  threshold.ops_per_iteration = 1;
+  prog.statements.push_back(std::move(threshold));
+  return prog;
+}
+
+Program producer_consumer_program(std::uint32_t depth, std::int64_t width) {
+  if (depth == 0 || width < 1)
+    throw std::invalid_argument("producer_consumer: depth/width positive");
+  Program prog;
+  prog.name = "producer_consumer";
+  std::string prev = "in";
+  for (std::uint32_t d = 0; d < depth; ++d) {
+    Statement st;
+    st.name = "Stage" + std::to_string(d);
+    st.domain = IterationDomain({{0, width - 1}});
+    const std::string out = "buf" + std::to_string(d);
+    st.write = acc1(out, 1, 0, 0);
+    st.reads = {acc1(prev, 1, 0, 0)};
+    st.ops_per_iteration = 2 + d % 3;  // vary per-stage compute a little
+    prog.statements.push_back(std::move(st));
+    prev = out;
+  }
+  return prog;
+}
+
+Program split_join_program(std::uint32_t branches, std::int64_t width) {
+  if (branches == 0 || width < 1)
+    throw std::invalid_argument("split_join: branches/width positive");
+  Program prog;
+  prog.name = "split_join";
+
+  Statement split;
+  split.name = "Split";
+  split.domain = IterationDomain({{0, width - 1}});
+  split.write = acc1("SP", 1, 0, 0);
+  split.reads = {acc1("in", 1, 0, 0)};
+  split.ops_per_iteration = 1;
+  prog.statements.push_back(std::move(split));
+
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    Statement worker;
+    worker.name = "Worker" + std::to_string(b);
+    worker.domain = IterationDomain({{0, width - 1}});
+    worker.write = acc1("W" + std::to_string(b), 1, 0, 0);
+    worker.reads = {acc1("SP", 1, 0, 0)};
+    worker.ops_per_iteration = 3 + b;  // heterogeneous branches
+    prog.statements.push_back(std::move(worker));
+  }
+
+  Statement join;
+  join.name = "Join";
+  join.domain = IterationDomain({{0, width - 1}});
+  join.write = acc1("OUT", 1, 0, 0);
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    join.reads.push_back(acc1("W" + std::to_string(b), 1, 0, 0));
+  }
+  join.ops_per_iteration = branches;
+  prog.statements.push_back(std::move(join));
+  return prog;
+}
+
+Program heat3d_program(std::int64_t n, std::uint32_t stages) {
+  if (n < 3 || stages == 0)
+    throw std::invalid_argument("heat3d: n >= 3, stages >= 1");
+  Program prog;
+  prog.name = "heat3d";
+  std::string prev = "H0";
+  const auto acc3 = [](const std::string& array, std::int64_t d0,
+                       std::int64_t d1, std::int64_t d2) {
+    ArrayAccess a;
+    a.array = array;
+    a.indices = {AffineExpr::var(3, 0) + d0, AffineExpr::var(3, 1) + d1,
+                 AffineExpr::var(3, 2) + d2};
+    return a;
+  };
+  for (std::uint32_t s = 1; s <= stages; ++s) {
+    Statement st;
+    st.name = "H" + std::to_string(s);
+    st.domain = IterationDomain({{1, n - 2}, {1, n - 2}, {1, n - 2}});
+    const std::string out = "H" + std::to_string(s);
+    st.write = acc3(out, 0, 0, 0);
+    st.reads = {acc3(prev, -1, 0, 0), acc3(prev, 1, 0, 0),
+                acc3(prev, 0, -1, 0), acc3(prev, 0, 1, 0),
+                acc3(prev, 0, 0, -1), acc3(prev, 0, 0, 1),
+                acc3(prev, 0, 0, 0)};
+    st.ops_per_iteration = 8;  // 6 adds + mul + shift
+    prog.statements.push_back(std::move(st));
+    prev = out;
+  }
+  return prog;
+}
+
+Program conv2d_program(std::int64_t width, std::int64_t height,
+                       std::int64_t kernel) {
+  if (kernel < 1 || kernel % 2 == 0)
+    throw std::invalid_argument("conv2d: kernel must be odd and positive");
+  if (width < kernel || height < kernel)
+    throw std::invalid_argument("conv2d: image smaller than kernel");
+  Program prog;
+  prog.name = "conv2d";
+  const std::int64_t r = kernel / 2;
+
+  Statement conv;
+  conv.name = "Conv";
+  conv.domain = IterationDomain({{r, height - 1 - r}, {r, width - 1 - r}});
+  conv.write = acc2("OUT", 2, 0, 0, 1, 0);
+  for (std::int64_t dy = -r; dy <= r; ++dy) {
+    for (std::int64_t dx = -r; dx <= r; ++dx) {
+      conv.reads.push_back(acc2("img", 2, 0, dy, 1, dx));
+    }
+  }
+  conv.ops_per_iteration =
+      static_cast<std::uint32_t>(2 * kernel * kernel);  // MACs
+  const IterationDomain interior = conv.domain;
+  prog.statements.push_back(std::move(conv));
+
+  // Post-processing stage (bias + clamp) so the network has a pipeline.
+  Statement post;
+  post.name = "Post";
+  post.domain = interior;
+  post.write = acc2("RES", 2, 0, 0, 1, 0);
+  post.reads = {acc2("OUT", 2, 0, 0, 1, 0)};
+  post.ops_per_iteration = 2;
+  prog.statements.push_back(std::move(post));
+  return prog;
+}
+
+Program lu_program(std::int64_t n) {
+  if (n < 2) throw std::invalid_argument("lu: n >= 2");
+  Program prog;
+  prog.name = "lu";
+  // Doolittle LU without pivoting, unrolled over the elimination step k
+  // with versioned trailing submatrices A0 (external) .. A{n-1}; each step
+  // contributes a divider row, a rank-1 update over the guarded triangular
+  // domain, and the emitted U row.
+  const auto a_of = [](std::int64_t k) { return "A" + std::to_string(k); };
+  for (std::int64_t k = 0; k + 1 < n; ++k) {
+    Statement div;
+    div.name = "Div" + std::to_string(k);
+    div.domain = IterationDomain({{k + 1, n - 1}});
+    {
+      ArrayAccess w;
+      w.array = "L" + std::to_string(k);
+      w.indices = {AffineExpr::var(1, 0)};
+      div.write = w;
+      ArrayAccess pivot_row;  // A_k[i][k]
+      pivot_row.array = a_of(k);
+      pivot_row.indices = {AffineExpr::var(1, 0), AffineExpr::constant(1, k)};
+      ArrayAccess pivot;  // A_k[k][k]
+      pivot.array = a_of(k);
+      pivot.indices = {AffineExpr::constant(1, k), AffineExpr::constant(1, k)};
+      div.reads = {pivot_row, pivot};
+    }
+    div.ops_per_iteration = 8;  // divider
+    prog.statements.push_back(std::move(div));
+
+    Statement upd;
+    upd.name = "Upd" + std::to_string(k);
+    upd.domain = IterationDomain({{k + 1, n - 1}, {k + 1, n - 1}});
+    {
+      ArrayAccess w;  // A_{k+1}[i][j]
+      w.array = a_of(k + 1);
+      w.indices = {AffineExpr::var(2, 0), AffineExpr::var(2, 1)};
+      upd.write = w;
+      ArrayAccess prev;  // A_k[i][j]
+      prev.array = a_of(k);
+      prev.indices = {AffineExpr::var(2, 0), AffineExpr::var(2, 1)};
+      ArrayAccess lcol;  // L_k[i]
+      lcol.array = "L" + std::to_string(k);
+      lcol.indices = {AffineExpr::var(2, 0)};
+      ArrayAccess urow;  // A_k[k][j]
+      urow.array = a_of(k);
+      urow.indices = {AffineExpr::constant(2, k), AffineExpr::var(2, 1)};
+      upd.reads = {prev, lcol, urow};
+    }
+    upd.ops_per_iteration = 2;  // mul + sub
+    prog.statements.push_back(std::move(upd));
+  }
+  for (std::int64_t k = 0; k < n; ++k) {
+    Statement urow;
+    urow.name = "Urow" + std::to_string(k);
+    urow.domain = IterationDomain({{k, n - 1}});
+    {
+      ArrayAccess w;
+      w.array = "U" + std::to_string(k);
+      w.indices = {AffineExpr::var(1, 0)};
+      urow.write = w;
+      ArrayAccess row;  // A_k[k][j]
+      row.array = a_of(k);
+      row.indices = {AffineExpr::constant(1, k), AffineExpr::var(1, 0)};
+      urow.reads = {row};
+    }
+    urow.ops_per_iteration = 1;
+    prog.statements.push_back(std::move(urow));
+  }
+  return prog;
+}
+
+ProcessNetwork fft_network(std::uint32_t log2n) {
+  if (log2n < 1 || log2n > 10)
+    throw std::invalid_argument("fft: log2n in [1, 10]");
+  // Radix-2 decimation-in-time butterfly network: one process per
+  // butterfly, log2n stages of n/2 butterflies. Built directly (butterfly
+  // index arithmetic is XOR-based, outside the affine fragment).
+  const std::uint32_t n = 1u << log2n;
+  const std::uint32_t half = n / 2;
+  ProcessNetwork net("fft" + std::to_string(n));
+
+  // Source: sample streamer; sink: spectrum consumer. Both fire n/2 times
+  // like the butterflies (emitting / consuming two tokens per firing), so
+  // every process runs at the same steady-state rate and each channel's
+  // nominal bandwidth equals its sustained per-step demand — the property
+  // that makes Bmax verdicts operationally meaningful in the simulator.
+  const std::uint32_t src = net.add_process("samples", 12, half);
+  std::vector<std::uint32_t> owner_of(n);  // butterfly owning lane l
+  std::vector<std::uint32_t> prev_stage(half);
+
+  for (std::uint32_t stage = 0; stage < log2n; ++stage) {
+    const std::uint32_t span = 1u << stage;  // partner distance
+    std::vector<std::uint32_t> cur_stage(half);
+    std::vector<std::uint32_t> new_owner(n);
+    for (std::uint32_t b = 0; b < half; ++b) {
+      // Lanes of butterfly b at this stage (standard DIT indexing).
+      const std::uint32_t lo = (b / span) * span * 2 + (b % span);
+      const std::uint32_t hi = lo + span;
+      const std::uint32_t id = net.add_process(
+          "bf_s" + std::to_string(stage) + "_" + std::to_string(b),
+          18,  // complex MAC + twiddle ROM
+          n / 2);
+      cur_stage[b] = id;
+      new_owner[lo] = id;
+      new_owner[hi] = id;
+      if (stage == 0) {
+        net.add_channel(src, id, 2, n);  // two samples per butterfly
+      } else {
+        // Each input lane comes from the butterfly that owned it.
+        for (const std::uint32_t lane : {lo, hi}) {
+          net.add_channel(owner_of[lane], id, 1, n / 2);
+        }
+      }
+    }
+    owner_of = std::move(new_owner);
+    prev_stage = std::move(cur_stage);
+  }
+
+  const std::uint32_t sink = net.add_process("spectrum", 10, half);
+  for (const std::uint32_t id : prev_stage) {
+    net.add_channel(id, sink, 2, n);
+  }
+  return net;
+}
+
+ProcessNetwork mjpeg_network() {
+  // Weights follow the usual HLS area ranking of the stages: DCT is the
+  // giant, VLE is control-heavy, colour conversion is multiplier-bound.
+  ProcessNetwork network("mjpeg");
+  const std::uint32_t src = network.add_process("video_in", 30, 1024);
+  const std::uint32_t cc = network.add_process("rgb2ycbcr", 180, 1024);
+  const std::uint32_t dct_y = network.add_process("dct_y", 320, 1024);
+  const std::uint32_t dct_cb = network.add_process("dct_cb", 320, 512);
+  const std::uint32_t dct_cr = network.add_process("dct_cr", 320, 512);
+  const std::uint32_t q_y = network.add_process("quant_y", 90, 1024);
+  const std::uint32_t q_c = network.add_process("quant_c", 90, 1024);
+  const std::uint32_t zz = network.add_process("zigzag", 60, 2048);
+  const std::uint32_t vle = network.add_process("vle", 240, 2048);
+  const std::uint32_t sink = network.add_process("stream_out", 25, 2048);
+
+  network.add_channel(src, cc, 12, 12288, "rgb");
+  network.add_channel(cc, dct_y, 8, 8192, "y");
+  network.add_channel(cc, dct_cb, 4, 4096, "cb");
+  network.add_channel(cc, dct_cr, 4, 4096, "cr");
+  network.add_channel(dct_y, q_y, 8, 8192, "y_coef");
+  network.add_channel(dct_cb, q_c, 4, 4096, "cb_coef");
+  network.add_channel(dct_cr, q_c, 4, 4096, "cr_coef");
+  network.add_channel(q_y, zz, 8, 8192, "y_q");
+  network.add_channel(q_c, zz, 8, 8192, "c_q");
+  network.add_channel(zz, vle, 16, 16384, "zz");
+  network.add_channel(vle, sink, 6, 6144, "bits");
+  return network;
+}
+
+std::vector<std::string> workload_names() {
+  return {"jacobi1d", "jacobi2d",          "matmul",     "fir",
+          "sobel",    "mjpeg",             "producer_consumer",
+          "split_join", "heat3d",          "conv2d",     "lu",
+          "fft"};
+}
+
+ProcessNetwork make_workload(const std::string& name,
+                             const WorkloadScale& scale) {
+  DerivationOptions options;
+  if (name == "jacobi1d") {
+    return derive_network(jacobi1d_program(scale.size, scale.stages), options);
+  }
+  if (name == "jacobi2d") {
+    return derive_network(jacobi2d_program(scale.size, scale.stages), options);
+  }
+  if (name == "matmul") {
+    return derive_network(
+        matmul_program(scale.size, scale.size, scale.size), options);
+  }
+  if (name == "fir") {
+    return derive_network(
+        fir_program(std::max(2u, scale.stages * 2), scale.size * 8), options);
+  }
+  if (name == "sobel") {
+    return derive_network(sobel_program(scale.size, scale.size), options);
+  }
+  if (name == "mjpeg") return mjpeg_network();
+  if (name == "producer_consumer") {
+    return derive_network(
+        producer_consumer_program(scale.stages * 2, scale.size), options);
+  }
+  if (name == "split_join") {
+    return derive_network(split_join_program(scale.stages, scale.size),
+                          options);
+  }
+  if (name == "heat3d") {
+    // Cap the grid: dependence analysis enumerates n^3 points per stage.
+    return derive_network(
+        heat3d_program(std::min<std::int64_t>(scale.size, 24), scale.stages),
+        options);
+  }
+  if (name == "conv2d") {
+    return derive_network(conv2d_program(scale.size, scale.size, 3), options);
+  }
+  if (name == "lu") {
+    return derive_network(
+        lu_program(std::max<std::int64_t>(2, scale.size / 4)), options);
+  }
+  if (name == "fft") {
+    return fft_network(std::max(2u, scale.stages));
+  }
+  throw std::invalid_argument("make_workload: unknown workload " + name);
+}
+
+}  // namespace ppnpart::ppn

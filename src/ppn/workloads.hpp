@@ -1,0 +1,79 @@
+#pragma once
+// Workload library: the affine streaming kernels PPN tooling is typically
+// demonstrated on (stencils, filters, image pipelines) plus structural
+// topologies (chains, split/join). Each returns either a poly::Program to be
+// fed through derive_network(), or a ready ProcessNetwork.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poly/program.hpp"
+#include "ppn/network.hpp"
+
+namespace ppnpart::ppn {
+
+// --- Affine kernels (poly programs). -----------------------------------
+
+/// `stages` unrolled time steps of a 3-point 1D stencil over `width` cells.
+poly::Program jacobi1d_program(std::int64_t width, std::uint32_t stages);
+
+/// `stages` unrolled steps of the 5-point 2D stencil on an n x n grid.
+poly::Program jacobi2d_program(std::int64_t n, std::uint32_t stages);
+
+/// C = A * B with explicit multiply / accumulate / writeback statements.
+poly::Program matmul_program(std::int64_t n, std::int64_t m, std::int64_t p);
+
+/// `taps`-tap FIR filter over `samples` samples, one MAC statement per tap.
+poly::Program fir_program(std::uint32_t taps, std::int64_t samples);
+
+/// Sobel edge detection on a w x h image: Gx, Gy, magnitude, threshold.
+poly::Program sobel_program(std::int64_t width, std::int64_t height);
+
+/// Linear pipeline of `depth` map stages over `width` elements.
+poly::Program producer_consumer_program(std::uint32_t depth,
+                                        std::int64_t width);
+
+/// Fork/join: split -> `branches` parallel workers -> join.
+poly::Program split_join_program(std::uint32_t branches, std::int64_t width);
+
+/// `stages` steps of the 7-point 3D stencil on an n^3 grid.
+poly::Program heat3d_program(std::int64_t n, std::uint32_t stages);
+
+/// k x k convolution (odd k) over a w x h image plus a post-process stage.
+poly::Program conv2d_program(std::int64_t width, std::int64_t height,
+                             std::int64_t kernel);
+
+/// Doolittle LU decomposition (no pivoting) on an n x n matrix, unrolled
+/// over the elimination step with triangular guarded domains: ~3n
+/// heterogeneous processes (dividers, rank-1 updates, U-row emitters).
+poly::Program lu_program(std::int64_t n);
+
+// --- Direct networks. ---------------------------------------------------
+
+/// M-JPEG-style encoder pipeline (the canonical multi-FPGA PPN demo):
+/// source -> colour conversion -> per-component DCT -> quantisation ->
+/// zigzag -> VLE -> sink, with HLS-calibre resource weights.
+ProcessNetwork mjpeg_network();
+
+/// Radix-2 DIT FFT butterfly network over 2^log2n samples: one process per
+/// butterfly (log2n stages of 2^(log2n-1) butterflies), plus sample source
+/// and spectrum sink. Built directly — butterfly lane indexing is XOR
+/// arithmetic, outside the affine fragment the poly layer models.
+ProcessNetwork fft_network(std::uint32_t log2n);
+
+// --- Catalog (drives benches/examples uniformly). ------------------------
+
+struct WorkloadScale {
+  std::int64_t size = 32;      // spatial extent
+  std::uint32_t stages = 4;    // pipeline depth where applicable
+};
+
+std::vector<std::string> workload_names();
+
+/// Builds the named workload as a process network (deriving through the
+/// polyhedral layer where applicable). Throws on unknown name.
+ProcessNetwork make_workload(const std::string& name,
+                             const WorkloadScale& scale = {});
+
+}  // namespace ppnpart::ppn

@@ -1,0 +1,226 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::string SimStats::summary() const {
+  std::string out = support::str_format(
+      "steps=%llu firings=%llu sink_throughput=%.4f starved=%llu "
+      "blocked=%llu drained=%s",
+      static_cast<unsigned long long>(steps),
+      static_cast<unsigned long long>(total_firings), sink_throughput,
+      static_cast<unsigned long long>(input_starved_stalls),
+      static_cast<unsigned long long>(output_blocked_stalls),
+      drained ? "yes" : "no");
+  for (const LinkStats& l : links) {
+    out += support::str_format(
+        "\n  link %u-%u: moved=%.0f util=%.3f sat=%llu", l.device_a,
+        l.device_b, l.units_moved, l.utilization,
+        static_cast<unsigned long long>(l.saturated_steps));
+  }
+  return out;
+}
+
+SimStats simulate(const ppn::ProcessNetwork& network,
+                  const mapping::Mapping& mapping,
+                  const mapping::Platform& platform,
+                  const SimOptions& options) {
+  const std::uint32_t n = network.num_processes();
+  const std::size_t m = network.num_channels();
+
+  SimStats stats;
+  stats.firings.assign(n, 0);
+  stats.tokens_delivered.assign(m, 0.0);
+
+  // Per-process channel lists and per-channel SDF rates.
+  std::vector<std::vector<std::size_t>> ins(n), outs(n);
+  std::vector<double> prod_rate(m, 1.0), cons_rate(m, 1.0), cap(m, 0.0);
+  for (std::size_t c = 0; c < m; ++c) {
+    const auto& ch = network.channels()[c];
+    outs[ch.src].push_back(c);
+    ins[ch.dst].push_back(c);
+    const double volume = static_cast<double>(std::max<std::uint64_t>(
+        ch.volume, 1));
+    prod_rate[c] = volume / static_cast<double>(
+                                std::max<std::uint64_t>(
+                                    network.process(ch.src).firings, 1));
+    cons_rate[c] = volume / static_cast<double>(
+                                std::max<std::uint64_t>(
+                                    network.process(ch.dst).firings, 1));
+    // One producer deposit plus one consumer demand must always fit.
+    cap[c] = std::max(options.fifo_capacity, prod_rate[c] + cons_rate[c]);
+  }
+
+  // Device of each process; link index per inter-device channel.
+  std::vector<std::uint32_t> device_of(n);
+  for (std::uint32_t i = 0; i < n; ++i) device_of[i] = mapping.device_of_node(i);
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::size_t> link_index;
+  std::vector<LinkStats> links;
+  std::vector<std::vector<std::size_t>> link_channels;
+  constexpr std::size_t kOnChip = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> channel_link(m, kOnChip);
+  for (std::size_t c = 0; c < m; ++c) {
+    const auto& ch = network.channels()[c];
+    const std::uint32_t da = device_of[ch.src];
+    const std::uint32_t db = device_of[ch.dst];
+    if (da == db) continue;
+    const auto key = std::minmax(da, db);
+    auto it = link_index.find(key);
+    if (it == link_index.end()) {
+      LinkStats ls;
+      ls.device_a = key.first;
+      ls.device_b = key.second;
+      ls.capacity = platform.link_capacity(da, db);
+      it = link_index.emplace(key, links.size()).first;
+      links.push_back(ls);
+      link_channels.emplace_back();
+    }
+    channel_link[c] = it->second;
+    link_channels[it->second].push_back(c);
+  }
+
+  // FIFO state in tokens: ready at consumer, pending on the link, arriving
+  // this step (visible next step).
+  std::vector<double> ready(m, 0.0), pending(m, 0.0), arriving(m, 0.0);
+
+  std::uint64_t idle_steps = 0;
+  constexpr std::uint64_t kDeadlockWindow = 1024;
+
+  for (stats.steps = 0; stats.steps < options.max_steps; ++stats.steps) {
+    bool any_activity = false;
+
+    // --- Fire processes. -------------------------------------------------
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (stats.firings[i] >= network.process(i).firings) continue;
+      bool starved = false;
+      for (std::size_t c : ins[i]) {
+        if (ready[c] + kEps < cons_rate[c]) {
+          starved = true;
+          break;
+        }
+      }
+      if (starved) {
+        ++stats.input_starved_stalls;
+        continue;
+      }
+      bool blocked = false;
+      for (std::size_t c : outs[i]) {
+        if (ready[c] + pending[c] + arriving[c] + prod_rate[c] >
+            cap[c] + kEps) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) {
+        ++stats.output_blocked_stalls;
+        continue;
+      }
+      for (std::size_t c : ins[i]) ready[c] -= cons_rate[c];
+      for (std::size_t c : outs[i]) {
+        if (channel_link[c] == kOnChip) {
+          arriving[c] += prod_rate[c];  // lands next step
+        } else {
+          pending[c] += prod_rate[c];  // must traverse the link first
+        }
+      }
+      ++stats.firings[i];
+      ++stats.total_firings;
+      any_activity = true;
+    }
+
+    // --- Drain links (moving one token costs one bandwidth unit). --------
+    for (std::size_t l = 0; l < links.size(); ++l) {
+      double budget = static_cast<double>(links[l].capacity);
+      for (std::size_t c : link_channels[l]) {
+        if (budget <= kEps) break;
+        if (pending[c] <= kEps) continue;
+        const double space = cap[c] - ready[c] - arriving[c];
+        const double move = std::min({pending[c], budget, std::max(space, 0.0)});
+        if (move <= kEps) continue;
+        pending[c] -= move;
+        arriving[c] += move;
+        stats.tokens_delivered[c] += move;
+        links[l].units_moved += move;
+        budget -= move;
+        any_activity = true;
+      }
+      bool has_pending = false;
+      for (std::size_t c : link_channels[l]) has_pending |= pending[c] > kEps;
+      if (has_pending && budget <= kEps) ++links[l].saturated_steps;
+    }
+
+    // --- Deliver arrived tokens. ------------------------------------------
+    for (std::size_t c = 0; c < m; ++c) {
+      if (arriving[c] > 0.0) {
+        if (channel_link[c] == kOnChip) stats.tokens_delivered[c] += arriving[c];
+        ready[c] += arriving[c];
+        arriving[c] = 0.0;
+      }
+    }
+
+    // --- Termination. ------------------------------------------------------
+    if (options.stop_when_drained) {
+      bool all_done = true;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (stats.firings[i] < network.process(i).firings) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        stats.drained = true;
+        ++stats.steps;
+        break;
+      }
+    }
+    idle_steps = any_activity ? 0 : idle_steps + 1;
+    if (idle_steps >= kDeadlockWindow) break;  // deadlock (e.g. missing link)
+  }
+
+  // Throughput of the sinks (no outgoing channels).
+  std::uint64_t sink_firings = 0;
+  bool has_sink = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (outs[i].empty()) {
+      has_sink = true;
+      sink_firings += stats.firings[i];
+    }
+  }
+  if (!has_sink) sink_firings = stats.total_firings;
+  stats.sink_throughput =
+      stats.steps > 0
+          ? static_cast<double>(sink_firings) / static_cast<double>(stats.steps)
+          : 0;
+  for (LinkStats& l : links) {
+    l.utilization = (l.capacity > 0 && stats.steps > 0)
+                        ? l.units_moved / (static_cast<double>(l.capacity) *
+                                           static_cast<double>(stats.steps))
+                        : 0;
+  }
+  stats.links = std::move(links);
+  return stats;
+}
+
+SimStats simulate_single_device(const ppn::ProcessNetwork& network,
+                                const SimOptions& options) {
+  mapping::Platform platform("single");
+  platform.add_device({"fpga0", network.total_resources()});
+  mapping::Mapping mapping;
+  mapping.partition = part::Partition(network.num_processes(), 1);
+  for (std::uint32_t i = 0; i < network.num_processes(); ++i) {
+    mapping.partition.set(i, 0);
+  }
+  mapping.device_of_part = {0};
+  return simulate(network, mapping, platform, options);
+}
+
+}  // namespace ppnpart::sim

@@ -1,0 +1,75 @@
+#pragma once
+// Cycle-approximate discrete-event simulation of a mapped process network.
+//
+// This closes the loop the paper's introduction motivates: a mapping is only
+// as good as the throughput the multi-FPGA system sustains, and bandwidth-
+// infeasible mappings stall on their inter-FPGA links.
+//
+// The model is multi-rate SDF. For a channel with total volume V between a
+// producer firing F_p times and a consumer firing F_c times:
+//   * each producer firing deposits V / F_p tokens,
+//   * each consumer firing requires   V / F_c tokens,
+// so derived networks (whose stages legitimately run at different rates —
+// e.g. a matmul accumulator feeding a once-per-result writeback) drain
+// exactly. Time advances in unit steps; a process fires at most once per
+// step when every input FIFO holds enough tokens and every output FIFO has
+// room. On-chip channels deliver next step. Inter-device channels share
+// their device pair's link: moving one token costs one bandwidth unit, so a
+// channel's long-run link demand equals its edge weight (V / horizon) and a
+// pair of parts is sustainable exactly when its total crossing weight fits
+// the link capacity — the paper's Bmax constraint, made operational.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+#include "ppn/network.hpp"
+
+namespace ppnpart::sim {
+
+struct SimOptions {
+  std::uint64_t max_steps = 50'000;
+  /// FIFO capacity in tokens (raised per channel when a single firing's
+  /// deposit/demand would not fit).
+  double fifo_capacity = 16;
+  /// Stop early when every process exhausted its firing budget.
+  bool stop_when_drained = true;
+};
+
+struct LinkStats {
+  std::uint32_t device_a = 0;
+  std::uint32_t device_b = 0;
+  graph::Weight capacity = 0;
+  double units_moved = 0;
+  std::uint64_t saturated_steps = 0;
+  double utilization = 0;  // units_moved / (capacity * steps)
+};
+
+struct SimStats {
+  std::uint64_t steps = 0;
+  std::vector<std::uint64_t> firings;     // per process
+  std::vector<double> tokens_delivered;   // per channel
+  std::uint64_t total_firings = 0;
+  /// Sink (no outgoing channel) firings per step — the pipeline throughput.
+  double sink_throughput = 0;
+  std::uint64_t input_starved_stalls = 0;
+  std::uint64_t output_blocked_stalls = 0;
+  std::vector<LinkStats> links;
+  bool drained = false;
+
+  std::string summary() const;
+};
+
+/// Simulates `network` placed by `mapping` on `platform`.
+SimStats simulate(const ppn::ProcessNetwork& network,
+                  const mapping::Mapping& mapping,
+                  const mapping::Platform& platform,
+                  const SimOptions& options = {});
+
+/// Convenience: single-FPGA run (everything on-chip) — the baseline any
+/// multi-FPGA mapping is compared against.
+SimStats simulate_single_device(const ppn::ProcessNetwork& network,
+                                const SimOptions& options = {});
+
+}  // namespace ppnpart::sim

@@ -1,0 +1,170 @@
+#include "support/cli.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::support {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+ArgParser& ArgParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  Option o;
+  o.kind = Kind::kFlag;
+  o.help = help;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_int(const std::string& name,
+                              std::int64_t default_value,
+                              const std::string& help) {
+  Option o;
+  o.kind = Kind::kInt;
+  o.help = help;
+  o.int_value = default_value;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_double(const std::string& name, double default_value,
+                                 const std::string& help) {
+  Option o;
+  o.kind = Kind::kDouble;
+  o.help = help;
+  o.double_value = default_value;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+ArgParser& ArgParser::add_string(const std::string& name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  Option o;
+  o.kind = Kind::kString;
+  o.help = help;
+  o.string_value = default_value;
+  options_[name] = std::move(o);
+  order_.push_back(name);
+  return *this;
+}
+
+Status ArgParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return Status::ok();
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(name);
+    if (it == options_.end())
+      return Status::error("unknown option --" + name);
+    Option& opt = it->second;
+    if (opt.kind == Kind::kFlag) {
+      if (has_value) return Status::error("--" + name + " takes no value");
+      opt.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        return Status::error("--" + name + " expects a value");
+      value = argv[++i];
+    }
+    switch (opt.kind) {
+      case Kind::kInt: {
+        std::int64_t v = 0;
+        if (!parse_i64(value, v))
+          return Status::error("--" + name + ": not an integer: " + value);
+        opt.int_value = v;
+        break;
+      }
+      case Kind::kDouble: {
+        double v = 0;
+        if (!parse_f64(value, v))
+          return Status::error("--" + name + ": not a number: " + value);
+        opt.double_value = v;
+        break;
+      }
+      case Kind::kString:
+        opt.string_value = value;
+        break;
+      case Kind::kFlag:
+        break;  // unreachable
+    }
+  }
+  return Status::ok();
+}
+
+const ArgParser::Option* ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const Option* o = find(name, Kind::kFlag);
+  return o != nullptr && o->flag_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const Option* o = find(name, Kind::kInt);
+  return o != nullptr ? o->int_value : 0;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const Option* o = find(name, Kind::kDouble);
+  return o != nullptr ? o->double_value : 0.0;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  static const std::string kEmpty;
+  const Option* o = find(name, Kind::kString);
+  return o != nullptr ? o->string_value : kEmpty;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream out;
+  if (!description_.empty()) out << description_ << "\n\n";
+  out << "usage: " << (program_name_.empty() ? "prog" : program_name_)
+      << " [options]\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& o = options_.at(name);
+    out << "  --" << name;
+    switch (o.kind) {
+      case Kind::kFlag:
+        break;
+      case Kind::kInt:
+        out << " <int, default " << o.int_value << ">";
+        break;
+      case Kind::kDouble:
+        out << " <float, default " << o.double_value << ">";
+        break;
+      case Kind::kString:
+        out << " <string, default \"" << o.string_value << "\">";
+        break;
+    }
+    out << "\n      " << o.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ppnpart::support

@@ -1,0 +1,63 @@
+#pragma once
+// Tiny declarative command-line parser used by the bench harnesses and
+// examples. Supports `--name value`, `--name=value` and boolean `--flag`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace ppnpart::support {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description = "");
+
+  ArgParser& add_flag(const std::string& name, const std::string& help);
+  ArgParser& add_int(const std::string& name, std::int64_t default_value,
+                     const std::string& help);
+  ArgParser& add_double(const std::string& name, double default_value,
+                        const std::string& help);
+  ArgParser& add_string(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help);
+
+  /// Parses argv; unknown options or missing values produce an error Status.
+  /// `--help` sets help_requested() and returns OK.
+  Status parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Non-option positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool help_requested() const { return help_requested_; }
+  std::string help_text() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Kind kind;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+  };
+
+  const Option* find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+  std::string program_name_;
+};
+
+}  // namespace ppnpart::support

@@ -1,0 +1,39 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace ppnpart::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug]";
+    case LogLevel::kInfo:
+      return "[info ]";
+    case LogLevel::kWarn:
+      return "[warn ]";
+    case LogLevel::kError:
+      return "[error]";
+    case LogLevel::kOff:
+      return "[off  ]";
+  }
+  return "[?    ]";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "%s %s\n", prefix(level), message.c_str());
+}
+
+}  // namespace ppnpart::support

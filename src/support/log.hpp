@@ -1,0 +1,44 @@
+#pragma once
+// Leveled logging to stderr. Thread-safe, globally configurable, off by
+// default above WARN so library users control verbosity.
+
+#include <sstream>
+#include <string>
+
+namespace ppnpart::support {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line (with level prefix) if `level` >= the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define PPNPART_LOG(level) ::ppnpart::support::detail::LogLine(level)
+#define PPNPART_DEBUG PPNPART_LOG(::ppnpart::support::LogLevel::kDebug)
+#define PPNPART_INFO PPNPART_LOG(::ppnpart::support::LogLevel::kInfo)
+#define PPNPART_WARN PPNPART_LOG(::ppnpart::support::LogLevel::kWarn)
+#define PPNPART_ERROR PPNPART_LOG(::ppnpart::support::LogLevel::kError)
+
+}  // namespace ppnpart::support

@@ -1,0 +1,71 @@
+#pragma once
+// Deterministic pseudo-random number generation for ppnpart.
+//
+// Every stochastic component of the library (matchings, initial-partitioning
+// restarts, V-cycles, graph generators) draws from an explicitly seeded
+// xoshiro256** stream so that a given seed reproduces the same result on any
+// platform. Parallel tasks derive independent child streams with
+// `Rng::derive`, which keeps results independent of thread scheduling.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ppnpart::support {
+
+/// SplitMix64 step; used to seed xoshiro and to derive child streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform_real();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream; deterministic in (this stream's
+  /// seed, tag). Does not advance this stream.
+  Rng derive(std::uint64_t tag) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::uint32_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace ppnpart::support

@@ -1,0 +1,63 @@
+#pragma once
+// Minimal Status / Result<T> error handling (header-only).
+//
+// The library reports recoverable errors (bad input files, infeasible
+// configurations, malformed graphs) through Result<T> instead of exceptions,
+// per the project convention; exceptions remain for programming errors.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ppnpart::support {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status ok() { return Status(); }
+  static Status error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  static Result error(std::string message) {
+    return Result(Status::error(std::move(message)));
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  explicit operator bool() const { return is_ok(); }
+  const Status& status() const { return status_; }
+  const std::string& message() const { return status_.message(); }
+
+  /// Precondition: is_ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace ppnpart::support

@@ -1,0 +1,35 @@
+#pragma once
+// Small string utilities shared across I/O, CLI and report code.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppnpart::support {
+
+/// Splits on `sep`; empty tokens are dropped when `keep_empty` is false.
+std::vector<std::string> split(std::string_view text, char sep,
+                               bool keep_empty = false);
+
+/// Splits on any ASCII whitespace; empty tokens always dropped.
+std::vector<std::string> split_ws(std::string_view text);
+
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed integer / double; returns false on trailing garbage.
+bool parse_i64(std::string_view text, std::int64_t& out);
+bool parse_f64(std::string_view text, double& out);
+
+/// "1234567" -> "1,234,567" (for report tables).
+std::string with_thousands(std::int64_t value);
+
+}  // namespace ppnpart::support

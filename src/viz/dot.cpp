@@ -1,0 +1,118 @@
+#include "viz/dot.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <ostream>
+
+#include "support/strings.hpp"
+
+namespace ppnpart::viz {
+
+namespace {
+
+const char* kPalette[] = {"#e6194b", "#3cb44b", "#4363d8", "#f58231",
+                          "#911eb4", "#46f0f0", "#f032e6", "#bcf60c",
+                          "#fabebe", "#008080", "#e6beff", "#9a6324"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+void emit_node(std::ostream& out, const ppn::ProcessNetwork& network,
+               std::uint32_t i, const DotOptions& options,
+               const char* fill_color, const char* indent) {
+  const ppn::Process& p = network.process(i);
+  out << indent << "n" << i << " [label=\"" << p.name;
+  if (options.show_node_weights) out << "\\nR=" << p.resources;
+  out << "\"";
+  if (options.size_by_resources) {
+    const double diameter =
+        0.4 + 0.12 * std::sqrt(static_cast<double>(p.resources));
+    out << support::str_format(", width=%.2f, height=%.2f, fixedsize=true",
+                               diameter, diameter);
+  }
+  out << ", shape=circle, style=filled, fillcolor=\"" << fill_color
+      << "\"];\n";
+}
+
+void emit_channels(std::ostream& out, const ppn::ProcessNetwork& network,
+                   const DotOptions& options) {
+  for (const ppn::Channel& c : network.channels()) {
+    out << "  n" << c.src << " -> n" << c.dst;
+    if (options.show_edge_weights) {
+      out << " [label=\"" << c.bandwidth << "\"]";
+    }
+    out << ";\n";
+  }
+}
+
+}  // namespace
+
+void write_network_dot(std::ostream& out, const ppn::ProcessNetwork& network,
+                       const DotOptions& options) {
+  out << "digraph " << options.graph_name << " {\n"
+      << "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+  for (std::uint32_t i = 0; i < network.num_processes(); ++i) {
+    emit_node(out, network, i, options, "#d0d0d0", "  ");
+  }
+  emit_channels(out, network, options);
+  out << "}\n";
+}
+
+void write_partitioned_dot(std::ostream& out,
+                           const ppn::ProcessNetwork& network,
+                           const part::Partition& partition,
+                           const DotOptions& options) {
+  out << "digraph " << options.graph_name << " {\n"
+      << "  rankdir=LR;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+  if (options.cluster_parts) {
+    for (part::PartId p = 0; p < partition.k(); ++p) {
+      out << "  subgraph cluster_" << p << " {\n"
+          << "    label=\"FPGA " << p << "\";\n    style=rounded;\n";
+      for (std::uint32_t i = 0; i < network.num_processes(); ++i) {
+        if (partition[i] == p) {
+          emit_node(out, network, i, options,
+                    kPalette[static_cast<std::size_t>(p) % kPaletteSize],
+                    "    ");
+        }
+      }
+      out << "  }\n";
+    }
+  } else {
+    for (std::uint32_t i = 0; i < network.num_processes(); ++i) {
+      const auto p = static_cast<std::size_t>(partition[i]);
+      emit_node(out, network, i, options, kPalette[p % kPaletteSize], "  ");
+    }
+  }
+  emit_channels(out, network, options);
+  out << "}\n";
+}
+
+namespace {
+support::Status write_file(
+    const std::string& path,
+    const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) return support::Status::error("cannot open for writing: " + path);
+  writer(out);
+  return out ? support::Status::ok()
+             : support::Status::error("write failed: " + path);
+}
+}  // namespace
+
+support::Status write_network_dot_file(const std::string& path,
+                                       const ppn::ProcessNetwork& network,
+                                       const DotOptions& options) {
+  return write_file(path, [&](std::ostream& out) {
+    write_network_dot(out, network, options);
+  });
+}
+
+support::Status write_partitioned_dot_file(const std::string& path,
+                                           const ppn::ProcessNetwork& network,
+                                           const part::Partition& partition,
+                                           const DotOptions& options) {
+  return write_file(path, [&](std::ostream& out) {
+    write_partitioned_dot(out, network, partition, options);
+  });
+}
+
+}  // namespace ppnpart::viz

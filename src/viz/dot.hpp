@@ -1,0 +1,44 @@
+#pragma once
+// Graphviz/DOT export of (partitioned) process networks — regenerates the
+// paper's Figures 2-13: node radius proportional to resource weight, edge
+// labels carrying bandwidth, one colour/cluster per partition.
+
+#include <iosfwd>
+#include <string>
+
+#include "partition/partition.hpp"
+#include "ppn/network.hpp"
+#include "support/status.hpp"
+
+namespace ppnpart::viz {
+
+struct DotOptions {
+  /// Scale node diameter with sqrt(resources) (the paper's "radius of nodes
+  /// proportional to weight").
+  bool size_by_resources = true;
+  bool show_edge_weights = true;
+  bool show_node_weights = true;
+  /// Group each part into a clustered subgraph with a fill colour.
+  bool cluster_parts = true;
+  std::string graph_name = "ppn";
+};
+
+/// Unpartitioned network (Figures 2, 6, 10 — plain; 3, 7, 11 — weighted).
+void write_network_dot(std::ostream& out, const ppn::ProcessNetwork& network,
+                       const DotOptions& options = {});
+
+/// Partitioned network (Figures 4/5, 8/9, 12/13).
+void write_partitioned_dot(std::ostream& out,
+                           const ppn::ProcessNetwork& network,
+                           const part::Partition& partition,
+                           const DotOptions& options = {});
+
+support::Status write_network_dot_file(const std::string& path,
+                                       const ppn::ProcessNetwork& network,
+                                       const DotOptions& options = {});
+support::Status write_partitioned_dot_file(const std::string& path,
+                                           const ppn::ProcessNetwork& network,
+                                           const part::Partition& partition,
+                                           const DotOptions& options = {});
+
+}  // namespace ppnpart::viz

@@ -1,0 +1,396 @@
+// Tests for the related-work baseline partitioners the paper surveys in
+// Section II: Kernighan-Lin, simulated annealing (non-greedy hill
+// climbing), tabu search and the genetic algorithm. Each baseline must (a)
+// produce complete partitions, (b) be deterministic given a seed, and (c)
+// show its characteristic behaviour (KL improves cuts over random splits,
+// tabu escapes FM-style lock-in, the GA's label alignment neutralizes part
+// symmetry, ...).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "partition/annealing.hpp"
+#include "partition/genetic.hpp"
+#include "partition/kl.hpp"
+#include "partition/spectral.hpp"
+#include "partition/tabu.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+using graph::Graph;
+
+Graph test_graph(std::uint64_t seed, graph::NodeId n = 60,
+                 std::uint64_t m = 180) {
+  support::Rng rng(seed);
+  return graph::erdos_renyi_gnm(n, m, rng, {1, 8}, {1, 12});
+}
+
+PartitionRequest basic_request(PartId k, std::uint64_t seed) {
+  PartitionRequest r;
+  r.k = k;
+  r.seed = seed;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Kernighan-Lin
+// ---------------------------------------------------------------------------
+
+TEST(KL, ProducesCompletePartition) {
+  const Graph g = test_graph(11);
+  const PartitionResult r = KlPartitioner().run(g, basic_request(4, 3));
+  EXPECT_TRUE(r.partition.complete());
+  EXPECT_EQ(r.algorithm, "KL");
+}
+
+TEST(KL, BisectionRefineImprovesRandomSplit) {
+  const Graph g = graph::ring_of_cliques(4, 8, 20, 1);
+  support::Rng rng(7);
+  Partition p(g.num_nodes(), 2);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+    p.set(u, static_cast<PartId>(u % 2));  // deliberately terrible split
+  const Weight before = compute_metrics(g, p).total_cut;
+  KlOptions options;
+  const Weight cap = g.total_node_weight();  // balance not binding here
+  kl_bisection_refine(g, p, cap, cap, options, rng);
+  const Weight after = compute_metrics(g, p).total_cut;
+  EXPECT_LT(after, before);
+}
+
+TEST(KL, SwapsPreservePartSizes) {
+  // Pure KL exchanges pairs, so part cardinalities are invariant under
+  // kl_bisection_refine (the drawback the paper lists: "exact bi-sections
+  // only").
+  const Graph g = test_graph(13, 40, 120);
+  support::Rng rng(5);
+  Partition p(g.num_nodes(), 2);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+    p.set(u, u < 25 ? 0 : 1);  // 25 / 15 intentionally uneven
+  KlOptions options;
+  const Weight cap = g.total_node_weight();
+  kl_bisection_refine(g, p, cap, cap, options, rng);
+  EXPECT_EQ(p.members(0).size(), 25u);
+  EXPECT_EQ(p.members(1).size(), 15u);
+}
+
+TEST(KL, FindsNaturalCliqueCut) {
+  const Graph g = graph::ring_of_cliques(2, 10, 50, 1);
+  const PartitionResult r = KlPartitioner().run(g, basic_request(2, 17));
+  // Two cliques joined by 2 ring bridges: optimal cut separates them.
+  EXPECT_LE(r.metrics.total_cut, 4);
+}
+
+TEST(KL, DeterministicGivenSeed) {
+  const Graph g = test_graph(19);
+  const PartitionResult a = KlPartitioner().run(g, basic_request(3, 23));
+  const PartitionResult b = KlPartitioner().run(g, basic_request(3, 23));
+  EXPECT_EQ(a.partition.assignments(), b.partition.assignments());
+}
+
+TEST(KL, RefusesOversizedInstances) {
+  KlOptions options;
+  options.max_nodes = 16;
+  const Graph g = test_graph(29, 32, 64);
+  KlPartitioner kl(options);
+  EXPECT_THROW(kl.run(g, basic_request(2, 1)), std::invalid_argument);
+}
+
+TEST(KL, RejectsInvalidOptions) {
+  KlOptions options;
+  options.imbalance = 0.5;
+  EXPECT_THROW(KlPartitioner{options}, std::invalid_argument);
+}
+
+TEST(KL, HandlesKLargerThanNaturalClusters) {
+  const Graph g = graph::ring_of_cliques(3, 4, 10, 1);
+  const PartitionResult r = KlPartitioner().run(g, basic_request(5, 31));
+  EXPECT_TRUE(r.partition.complete());
+}
+
+// ---------------------------------------------------------------------------
+// Simulated annealing
+// ---------------------------------------------------------------------------
+
+TEST(Annealing, ProducesCompletePartition) {
+  const Graph g = test_graph(37);
+  const PartitionResult r = AnnealingPartitioner().run(g, basic_request(4, 3));
+  EXPECT_TRUE(r.partition.complete());
+  EXPECT_EQ(r.algorithm, "Annealing");
+}
+
+TEST(Annealing, MeetsConstraintsOnPaperInstances) {
+  for (int i = 1; i <= 3; ++i) {
+    const ppn::PaperInstance inst = ppn::paper_instance(i);
+    PartitionRequest r;
+    r.k = inst.k;
+    r.seed = 41;
+    r.constraints = inst.constraints;
+    AnnealingOptions options;
+    options.moves_per_node = 800;  // small instance: generous budget
+    const PartitionResult result = AnnealingPartitioner(options).run(
+        inst.graph, r);
+    // Instances 1-2 leave slack; the annealer must land feasible. Instance
+    // 3 is engineered near-tight (loads 74-78 against Rmax 78) — a pure
+    // stochastic walk is not guaranteed to hit the knife-edge assignment,
+    // so there we only require the resource side (the easier one) to hold.
+    if (i != 3) {
+      EXPECT_TRUE(result.feasible) << "instance " << i;
+    } else {
+      EXPECT_EQ(result.violation.resource_excess, 0) << "instance " << i;
+    }
+  }
+}
+
+TEST(Annealing, DeterministicGivenSeed) {
+  const Graph g = test_graph(43);
+  const PartitionResult a =
+      AnnealingPartitioner().run(g, basic_request(3, 47));
+  const PartitionResult b =
+      AnnealingPartitioner().run(g, basic_request(3, 47));
+  EXPECT_EQ(a.partition.assignments(), b.partition.assignments());
+}
+
+TEST(Annealing, NeverEmptiesParts) {
+  const Graph g = test_graph(53, 30, 60);
+  const PartitionResult r =
+      AnnealingPartitioner().run(g, basic_request(6, 59));
+  EXPECT_TRUE(r.partition.all_parts_nonempty());
+}
+
+TEST(Annealing, RejectsInvalidOptions) {
+  {
+    AnnealingOptions o;
+    o.cooling = 1.5;
+    EXPECT_THROW(AnnealingPartitioner{o}, std::invalid_argument);
+  }
+  {
+    AnnealingOptions o;
+    o.initial_acceptance = 0.0;
+    EXPECT_THROW(AnnealingPartitioner{o}, std::invalid_argument);
+  }
+}
+
+TEST(Annealing, ImprovesOverPureGreedySeedOnTightConstraints) {
+  // With a generous move budget the annealer should at least match the
+  // greedy seed it starts from (it keeps the best state ever seen).
+  const ppn::PaperInstance inst = ppn::paper_instance(3);
+  PartitionRequest r;
+  r.k = inst.k;
+  r.seed = 61;
+  r.constraints = inst.constraints;
+  AnnealingOptions options;
+  options.moves_per_node = 400;
+  const PartitionResult result =
+      AnnealingPartitioner(options).run(inst.graph, r);
+  const Goodness good{result.violation.resource_excess,
+                      result.violation.bandwidth_excess,
+                      result.metrics.total_cut};
+  // The greedy seed alone on instance 3 is infeasible for most seeds; the
+  // walk must end at least feasible-or-equal.
+  EXPECT_EQ(good.resource_excess, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Tabu search
+// ---------------------------------------------------------------------------
+
+TEST(Tabu, ProducesCompletePartition) {
+  const Graph g = test_graph(67);
+  const PartitionResult r = TabuPartitioner().run(g, basic_request(4, 3));
+  EXPECT_TRUE(r.partition.complete());
+  EXPECT_EQ(r.algorithm, "Tabu");
+}
+
+TEST(Tabu, RefineImprovesBadPartition) {
+  const Graph g = graph::ring_of_cliques(4, 6, 15, 1);
+  Partition p(g.num_nodes(), 4);
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+    p.set(u, static_cast<PartId>(u % 4));  // stripes across cliques
+  Constraints c;  // unconstrained: pure cut descent
+  const Weight before = compute_metrics(g, p).total_cut;
+  support::Rng rng(71);
+  TabuOptions options;
+  const bool improved = tabu_refine(g, p, c, options, rng);
+  const Weight after = compute_metrics(g, p).total_cut;
+  EXPECT_TRUE(improved);
+  EXPECT_LT(after, before);
+}
+
+TEST(Tabu, WalkReturnsBestVisitedNotLast) {
+  // Even with a tenure that forces the walk uphill at the end, the result
+  // must equal the best state seen. We proxy this by checking the returned
+  // goodness is never worse than the initial one.
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  Partition p(inst.graph.num_nodes(), inst.k);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u)
+    p.set(u, static_cast<PartId>(u % inst.k));
+  const Goodness initial =
+      compute_goodness(inst.graph, p, inst.constraints);
+  support::Rng rng(73);
+  TabuOptions options;
+  options.iterations_per_node = 64;
+  tabu_refine(inst.graph, p, inst.constraints, options, rng);
+  const Goodness final_good =
+      compute_goodness(inst.graph, p, inst.constraints);
+  EXPECT_FALSE(initial < final_good);
+}
+
+TEST(Tabu, MeetsConstraintsOnPaperInstances) {
+  for (int i = 1; i <= 3; ++i) {
+    const ppn::PaperInstance inst = ppn::paper_instance(i);
+    PartitionRequest r;
+    r.k = inst.k;
+    r.seed = 79;
+    r.constraints = inst.constraints;
+    TabuOptions options;
+    options.iterations_per_node = 128;
+    const PartitionResult result =
+        TabuPartitioner(options).run(inst.graph, r);
+    EXPECT_TRUE(result.feasible) << "instance " << i;
+  }
+}
+
+TEST(Tabu, DeterministicGivenSeed) {
+  const Graph g = test_graph(83);
+  const PartitionResult a = TabuPartitioner().run(g, basic_request(3, 89));
+  const PartitionResult b = TabuPartitioner().run(g, basic_request(3, 89));
+  EXPECT_EQ(a.partition.assignments(), b.partition.assignments());
+}
+
+// ---------------------------------------------------------------------------
+// Genetic algorithm
+// ---------------------------------------------------------------------------
+
+TEST(Genetic, ProducesCompletePartition) {
+  const Graph g = test_graph(97, 40, 120);
+  GeneticOptions options;
+  options.generations = 8;
+  options.population = 10;
+  const PartitionResult r =
+      GeneticPartitioner(options).run(g, basic_request(4, 3));
+  EXPECT_TRUE(r.partition.complete());
+  EXPECT_EQ(r.algorithm, "Genetic");
+}
+
+TEST(Genetic, AlignLabelsIdentityWhenEqual) {
+  const std::vector<PartId> p = {0, 1, 2, 0, 1, 2};
+  const std::vector<PartId> perm = align_labels(p, p, 3);
+  EXPECT_EQ(perm, (std::vector<PartId>{0, 1, 2}));
+}
+
+TEST(Genetic, AlignLabelsUndoesRelabeling) {
+  // parent2 = parent1 with labels rotated; alignment must recover it.
+  const std::vector<PartId> p1 = {0, 0, 1, 1, 2, 2, 0, 1, 2};
+  std::vector<PartId> p2(p1.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) p2[i] = (p1[i] + 1) % 3;
+  const std::vector<PartId> perm = align_labels(p1, p2, 3);
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(perm[static_cast<std::size_t>(p2[i])], p1[i]);
+  }
+}
+
+TEST(Genetic, AlignLabelsHandlesPartialAgreement) {
+  const std::vector<PartId> p1 = {0, 0, 0, 1, 1, 1};
+  const std::vector<PartId> p2 = {1, 1, 0, 0, 0, 0};
+  const std::vector<PartId> perm = align_labels(p1, p2, 2);
+  // label 0 of p2 mostly covers p1's 1s (3 of 4), label 1 covers p1's 0s.
+  EXPECT_EQ(perm[0], 1);
+  EXPECT_EQ(perm[1], 0);
+}
+
+TEST(Genetic, MeetsConstraintsOnPaperInstance1) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  PartitionRequest r;
+  r.k = inst.k;
+  r.seed = 101;
+  r.constraints = inst.constraints;
+  GeneticOptions options;
+  options.generations = 30;
+  const PartitionResult result =
+      GeneticPartitioner(options).run(inst.graph, r);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(Genetic, DeterministicGivenSeed) {
+  const Graph g = test_graph(103, 30, 80);
+  GeneticOptions options;
+  options.generations = 5;
+  options.population = 8;
+  GeneticPartitioner ga(options);
+  const PartitionResult a = ga.run(g, basic_request(3, 107));
+  const PartitionResult b = ga.run(g, basic_request(3, 107));
+  EXPECT_EQ(a.partition.assignments(), b.partition.assignments());
+}
+
+TEST(Genetic, RejectsInvalidOptions) {
+  {
+    GeneticOptions o;
+    o.population = 1;
+    EXPECT_THROW(GeneticPartitioner{o}, std::invalid_argument);
+  }
+  {
+    GeneticOptions o;
+    o.elites = o.population;
+    EXPECT_THROW(GeneticPartitioner{o}, std::invalid_argument);
+  }
+  {
+    GeneticOptions o;
+    o.tournament_size = 0;
+    EXPECT_THROW(GeneticPartitioner{o}, std::invalid_argument);
+  }
+}
+
+TEST(Genetic, BeatsRandomControlOnStructuredGraph) {
+  const Graph g = graph::ring_of_cliques(6, 6, 12, 1);
+  PartitionRequest r = basic_request(3, 109);
+  GeneticOptions options;
+  options.generations = 12;
+  const PartitionResult ga = GeneticPartitioner(options).run(g, r);
+  const PartitionResult rnd = RandomPartitioner().run(g, r);
+  EXPECT_LT(ga.metrics.total_cut, rnd.metrics.total_cut);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-baseline seed sweeps (property-style)
+// ---------------------------------------------------------------------------
+
+class BaselineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineSeedSweep, AllBaselinesProduceValidPartitions) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = test_graph(seed, 36, 100);
+  PartitionRequest r = basic_request(4, seed * 3 + 1);
+
+  KlPartitioner kl;
+  AnnealingOptions sa_opts;
+  sa_opts.moves_per_node = 60;
+  AnnealingPartitioner sa(sa_opts);
+  TabuOptions tabu_opts;
+  tabu_opts.iterations_per_node = 8;
+  TabuPartitioner tabu(tabu_opts);
+  GeneticOptions ga_opts;
+  ga_opts.generations = 4;
+  ga_opts.population = 6;
+  GeneticPartitioner ga(ga_opts);
+
+  for (Partitioner* algo :
+       std::initializer_list<Partitioner*>{&kl, &sa, &tabu, &ga}) {
+    const PartitionResult result = algo->run(g, r);
+    EXPECT_TRUE(result.partition.complete()) << algo->name();
+    EXPECT_EQ(result.partition.size(), g.num_nodes()) << algo->name();
+    // Metrics must agree with a from-scratch recomputation.
+    const PartitionMetrics reference = compute_metrics(g, result.partition);
+    EXPECT_EQ(result.metrics.total_cut, reference.total_cut) << algo->name();
+    EXPECT_EQ(result.metrics.max_load, reference.max_load) << algo->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSeedSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ppnpart::part

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/exact.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+/// Brute force over all k^n assignments — the reference the B&B is checked
+/// against (only for tiny n).
+Weight brute_force_min_cut(const Graph& g, PartId k, const Constraints& c,
+                           bool* found) {
+  const NodeId n = g.num_nodes();
+  Weight best = std::numeric_limits<Weight>::max();
+  std::vector<PartId> assign(n, 0);
+  std::uint64_t total = 1;
+  for (NodeId i = 0; i < n; ++i) total *= static_cast<std::uint64_t>(k);
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::uint64_t x = code;
+    for (NodeId i = 0; i < n; ++i) {
+      assign[i] = static_cast<PartId>(x % k);
+      x /= k;
+    }
+    Partition p(n, k);
+    for (NodeId i = 0; i < n; ++i) p.set(i, assign[i]);
+    if (!p.all_parts_nonempty()) continue;  // matches ExactOptions default
+    const PartitionMetrics m = compute_metrics(g, p);
+    if (!compute_violation(m, c).feasible()) continue;
+    best = std::min(best, m.total_cut);
+  }
+  *found = best != std::numeric_limits<Weight>::max();
+  return best;
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBruteForce, UnconstrainedOptimumMatches) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(8, 16, rng, {1, 9}, {1, 9});
+  bool bf_found = false;
+  const Weight bf = brute_force_min_cut(g, 3, Constraints{}, &bf_found);
+  const ExactResult exact = exact_min_cut(g, 3, Constraints{});
+  ASSERT_TRUE(exact.found);
+  ASSERT_TRUE(exact.optimal);
+  EXPECT_EQ(exact.cut, bf);
+}
+
+TEST_P(ExactVsBruteForce, ConstrainedOptimumMatches) {
+  support::Rng rng(GetParam() + 50);
+  const Graph g = graph::erdos_renyi_gnm(8, 18, rng, {2, 9}, {1, 9});
+  Constraints c;
+  c.rmax = g.total_node_weight() / 2;  // tight-ish
+  c.bmax = 20;
+  bool bf_found = false;
+  const Weight bf = brute_force_min_cut(g, 3, c, &bf_found);
+  const ExactResult exact = exact_min_cut(g, 3, c);
+  EXPECT_EQ(exact.found, bf_found);
+  if (bf_found) {
+    EXPECT_EQ(exact.cut, bf);
+    const Goodness good = compute_goodness(g, exact.partition, c);
+    EXPECT_EQ(good.resource_excess, 0);
+    EXPECT_EQ(good.bandwidth_excess, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Exact, TwoTrianglesBridge) {
+  graph::GraphBuilder b(6);
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = u + 1; v < 3; ++v) b.add_edge(u, v, 10);
+  }
+  for (NodeId u = 3; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) b.add_edge(u, v, 10);
+  }
+  b.add_edge(0, 3, 2);
+  const Graph g = b.build();
+  const ExactResult r = exact_min_cut(g, 2, Constraints{});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cut, 2);
+  EXPECT_NE(r.partition[0], r.partition[3]);
+}
+
+TEST(Exact, InfeasibleDetected) {
+  graph::GraphBuilder b(3);
+  for (NodeId u = 0; u < 3; ++u) b.set_node_weight(u, 10);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  Constraints c;
+  c.rmax = 9;  // no node fits anywhere
+  const ExactResult r = exact_min_cut(g, 3, c);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.optimal);  // search completed; provably infeasible
+}
+
+TEST(Exact, ConstraintsCostCutOnPaperInstance) {
+  // On the reconstructed Experiment 1 instance the unconstrained optimum
+  // violates Rmax/Bmax (that is the paper's premise); the constrained
+  // optimum is feasible and strictly more expensive.
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  const ExactResult loose = exact_min_cut(inst.graph, inst.k, Constraints{});
+  const ExactResult tight =
+      exact_min_cut(inst.graph, inst.k, inst.constraints);
+  ASSERT_TRUE(loose.found);
+  ASSERT_TRUE(loose.optimal);
+  ASSERT_TRUE(tight.found);
+  ASSERT_TRUE(tight.optimal);
+  const Goodness loose_good =
+      compute_goodness(inst.graph, loose.partition, inst.constraints);
+  EXPECT_GT(loose_good.resource_excess + loose_good.bandwidth_excess, 0)
+      << "unconstrained optimum should violate the FPGA constraints";
+  const Goodness tight_good =
+      compute_goodness(inst.graph, tight.partition, inst.constraints);
+  EXPECT_EQ(tight_good.resource_excess, 0);
+  EXPECT_EQ(tight_good.bandwidth_excess, 0);
+  EXPECT_LT(loose.cut, tight.cut);
+}
+
+TEST(Exact, RefusesOversizedInstance) {
+  support::Rng rng(9);
+  const Graph g = graph::erdos_renyi_gnm(30, 60, rng);
+  EXPECT_THROW(exact_min_cut(g, 2, Constraints{}), std::invalid_argument);
+}
+
+TEST(Exact, StateBudgetTruncates) {
+  support::Rng rng(10);
+  const Graph g = graph::erdos_renyi_gnm(14, 40, rng, {1, 5}, {1, 5});
+  ExactOptions options;
+  options.max_states = 10;  // absurdly small
+  const ExactResult r = exact_min_cut(g, 4, Constraints{}, options);
+  EXPECT_FALSE(r.optimal);
+}
+
+TEST(Exact, SingletonAndTrivialCases) {
+  graph::GraphBuilder b(1);
+  const ExactResult r1 = exact_min_cut(b.build(), 1, Constraints{});
+  ASSERT_TRUE(r1.found);
+  EXPECT_EQ(r1.cut, 0);
+  // One node cannot populate two parts: provably infeasible.
+  const ExactResult r2 = exact_min_cut(b.build(), 2, Constraints{});
+  EXPECT_FALSE(r2.found);
+  EXPECT_TRUE(r2.optimal);
+  // Unless empty parts are allowed.
+  ExactOptions options;
+  options.require_all_parts = false;
+  const ExactResult r3 = exact_min_cut(b.build(), 2, Constraints{}, options);
+  EXPECT_TRUE(r3.found);
+  EXPECT_THROW(exact_min_cut(Graph(), 0, Constraints{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace ppnpart::graph {
+namespace {
+
+TEST(Generators, GnmExactEdgeCount) {
+  support::Rng rng(1);
+  const Graph g = erdos_renyi_gnm(30, 100, rng);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  EXPECT_EQ(g.num_edges(), 100u);
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generators, GnmCapsAtCompleteGraph) {
+  support::Rng rng(2);
+  const Graph g = erdos_renyi_gnm(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Generators, GnmWeightRangesRespected) {
+  support::Rng rng(3);
+  const Graph g = erdos_renyi_gnm(40, 150, rng, {5, 9}, {2, 4});
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.min_node_weight, 5);
+  EXPECT_LE(s.max_node_weight, 9);
+  EXPECT_GE(s.min_edge_weight, 2);
+  EXPECT_LE(s.max_edge_weight, 4);
+}
+
+TEST(Generators, GnmDeterministicPerSeed) {
+  support::Rng a(7), b(7), c(8);
+  const Graph ga = erdos_renyi_gnm(20, 50, a);
+  const Graph gb = erdos_renyi_gnm(20, 50, b);
+  const Graph gc = erdos_renyi_gnm(20, 50, c);
+  EXPECT_EQ(ga.adj(), gb.adj());
+  EXPECT_NE(ga.adj(), gc.adj());
+}
+
+TEST(Generators, GeometricRespectsRadius) {
+  support::Rng rng(4);
+  const Graph sparse = random_geometric(50, 0.01, rng);
+  support::Rng rng2(4);
+  const Graph dense = random_geometric(50, 0.9, rng2);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+  EXPECT_TRUE(dense.validate().empty());
+}
+
+TEST(Generators, PreferentialAttachmentConnectedAndSkewed) {
+  support::Rng rng(5);
+  const Graph g = preferential_attachment(200, 2, rng);
+  EXPECT_TRUE(is_connected(g));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GT(s.max_degree, 10u);  // hubs emerge
+}
+
+TEST(Generators, ProcessNetworkConnected) {
+  ProcessNetworkParams params;
+  params.num_nodes = 120;
+  params.layers = 10;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    support::Rng rng(seed);
+    const Graph g = random_process_network(params, rng);
+    EXPECT_EQ(g.num_nodes(), 120u);
+    EXPECT_TRUE(is_connected(g)) << "seed " << seed;
+    EXPECT_TRUE(g.validate().empty());
+  }
+}
+
+TEST(Generators, ProcessNetworkWeightsInRange) {
+  ProcessNetworkParams params;
+  params.num_nodes = 80;
+  params.resource = {10, 40};
+  params.hub_fraction = 0.0;
+  support::Rng rng(6);
+  const Graph g = random_process_network(params, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.min_node_weight, 10);
+  EXPECT_LE(s.max_node_weight, 40);
+}
+
+TEST(Generators, ProcessNetworkHubsScaleUp) {
+  ProcessNetworkParams params;
+  params.num_nodes = 200;
+  params.resource = {10, 10};
+  params.hub_fraction = 0.5;
+  support::Rng rng(7);
+  const Graph g = random_process_network(params, rng);
+  EXPECT_EQ(degree_stats(g).max_node_weight, 30);  // 3x hub scaling
+}
+
+TEST(Generators, RingOfCliquesStructure) {
+  const Graph g = ring_of_cliques(4, 5, 10, 1);
+  EXPECT_EQ(g.num_nodes(), 20u);
+  // 4 cliques of C(5,2)=10 edges plus 4 ring edges.
+  EXPECT_EQ(g.num_edges(), 44u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(Generators, Grid2dStructure) {
+  const Graph g = grid2d(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 17u);  // 3*3 + 2*4 horizontal/vertical
+  EXPECT_TRUE(is_connected(g));
+  // Corner has degree 2, centre 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(Generators, EmptyInputsProduceEmptyGraphs) {
+  support::Rng rng(8);
+  EXPECT_EQ(erdos_renyi_gnm(0, 5, rng).num_nodes(), 0u);
+  EXPECT_EQ(preferential_attachment(0, 2, rng).num_nodes(), 0u);
+  EXPECT_EQ(ring_of_cliques(0, 3).num_nodes(), 0u);
+  ProcessNetworkParams params;
+  params.num_nodes = 0;
+  EXPECT_EQ(random_process_network(params, rng).num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace ppnpart::graph

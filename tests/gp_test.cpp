@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/gp.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+PartitionRequest request_for(const ppn::PaperInstance& inst,
+                             std::uint64_t seed) {
+  PartitionRequest r;
+  r.k = inst.k;
+  r.constraints = inst.constraints;
+  r.seed = seed;
+  return r;
+}
+
+TEST(Gp, FeasibleOnAllPaperInstances) {
+  GpPartitioner gp;
+  for (int i = 1; i <= 3; ++i) {
+    const ppn::PaperInstance inst = ppn::paper_instance(i);
+    const PartitionResult result = gp.run(inst.graph, request_for(inst, 7));
+    EXPECT_TRUE(result.feasible) << "instance " << i;
+    EXPECT_LE(result.metrics.max_load, inst.constraints.rmax);
+    EXPECT_LE(result.metrics.max_pairwise_cut, inst.constraints.bmax);
+  }
+}
+
+TEST(Gp, DeterministicGivenSeed) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  GpPartitioner gp;
+  const PartitionResult a = gp.run(inst.graph, request_for(inst, 11));
+  const PartitionResult b = gp.run(inst.graph, request_for(inst, 11));
+  EXPECT_EQ(a.partition.assignments(), b.partition.assignments());
+}
+
+TEST(Gp, UnconstrainedRunMinimizesCut) {
+  // Ring of cliques: the natural k-way split cuts only the ring bridges.
+  const Graph g = graph::ring_of_cliques(4, 6, 10, 1);
+  GpPartitioner gp;
+  PartitionRequest r;
+  r.k = 4;
+  r.seed = 3;
+  const PartitionResult result = gp.run(g, r);
+  EXPECT_TRUE(result.feasible);  // no constraints => trivially feasible
+  EXPECT_LE(result.metrics.total_cut, 4);  // the 4 ring bridges
+}
+
+TEST(Gp, MultilevelPathOnLargerGraph) {
+  graph::ProcessNetworkParams params;
+  params.num_nodes = 600;  // > coarsen_to => real hierarchy
+  support::Rng rng(5);
+  const Graph g = graph::random_process_network(params, rng);
+  GpPartitioner gp;
+  PartitionRequest r;
+  r.k = 4;
+  r.constraints.rmax = g.total_node_weight() / 4 +
+                       4 * g.max_node_weight();
+  r.constraints.bmax = g.total_edge_weight();  // loose
+  r.seed = 9;
+  const GpResult result = gp.run_detailed(g, r);
+  EXPECT_TRUE(result.partition.complete());
+  EXPECT_TRUE(result.feasible);
+  // The trace must show actual coarsening levels.
+  bool saw_coarse_level = false;
+  for (const GpLevelTrace& t : result.trace) {
+    if (t.nodes < 600) saw_coarse_level = true;
+  }
+  EXPECT_TRUE(saw_coarse_level);
+}
+
+TEST(Gp, ReportsInfeasibleWhenImpossible) {
+  // Total weight 40 across k=2 parts with Rmax 15: impossible.
+  graph::GraphBuilder b(4);
+  for (graph::NodeId u = 0; u < 4; ++u) b.set_node_weight(u, 10);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  GpOptions options;
+  options.max_cycles = 3;
+  GpPartitioner gp(options);
+  PartitionRequest r;
+  r.k = 2;
+  r.constraints.rmax = 15;
+  r.seed = 1;
+  const PartitionResult result = gp.run(g, r);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.partition.complete());  // still returns best effort
+  EXPECT_GT(result.violation.resource_excess, 0);
+}
+
+TEST(Gp, StopsEarlyWhenFeasible) {
+  const ppn::PaperInstance inst = ppn::paper_instance(2);
+  GpOptions options;
+  options.max_cycles = 16;
+  options.extra_cycles_after_feasible = 0;
+  GpPartitioner gp(options);
+  const GpResult result =
+      gp.run_detailed(inst.graph, request_for(inst, 7));
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LT(result.cycles_used, 16u);
+}
+
+TEST(Gp, ExtraCyclesImproveOrKeepCut) {
+  const ppn::PaperInstance inst = ppn::paper_instance(2);
+  GpOptions eager;
+  eager.extra_cycles_after_feasible = 0;
+  GpOptions patient;
+  patient.extra_cycles_after_feasible = 4;
+  const PartitionResult quick =
+      GpPartitioner(eager).run(inst.graph, request_for(inst, 21));
+  const PartitionResult polished =
+      GpPartitioner(patient).run(inst.graph, request_for(inst, 21));
+  ASSERT_TRUE(quick.feasible);
+  ASSERT_TRUE(polished.feasible);
+  EXPECT_LE(polished.metrics.total_cut, quick.metrics.total_cut);
+}
+
+TEST(Gp, SingleMatchingStrategiesWork) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  for (MatchingKind kind : {MatchingKind::kRandom, MatchingKind::kHeavyEdge,
+                            MatchingKind::kKMeans}) {
+    GpOptions options;
+    options.matchings = {kind};
+    GpPartitioner gp(options);
+    const PartitionResult result =
+        gp.run(inst.graph, request_for(inst, 13));
+    EXPECT_TRUE(result.partition.complete()) << to_string(kind);
+  }
+}
+
+TEST(Gp, RejectsBadOptions) {
+  GpOptions options;
+  options.matchings.clear();
+  EXPECT_THROW(GpPartitioner{options}, std::invalid_argument);
+  GpPartitioner gp;
+  PartitionRequest r;
+  r.k = 0;
+  EXPECT_THROW(gp.run(Graph(), r), std::invalid_argument);
+}
+
+TEST(Gp, KEqualsOneIsTrivial) {
+  support::Rng rng(6);
+  const Graph g = graph::erdos_renyi_gnm(20, 50, rng);
+  GpPartitioner gp;
+  PartitionRequest r;
+  r.k = 1;
+  const PartitionResult result = gp.run(g, r);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.metrics.total_cut, 0);
+}
+
+TEST(Gp, NameIsGp) { EXPECT_EQ(GpPartitioner().name(), "GP"); }
+
+}  // namespace
+}  // namespace ppnpart::part

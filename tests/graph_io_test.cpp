@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ppnpart::graph {
+namespace {
+
+Graph sample() {
+  GraphBuilder b(4);
+  b.set_node_weight(0, 3);
+  b.set_node_weight(1, 1);
+  b.set_node_weight(2, 4);
+  b.set_node_weight(3, 2);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 2);
+  b.add_edge(2, 3, 7);
+  b.add_edge(0, 3, 1);
+  return b.build();
+}
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges())
+    return false;
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    if (a.node_weight(u) != b.node_weight(u)) return false;
+    auto na = a.neighbors(u);
+    auto nb = b.neighbors(u);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+    auto wa = a.edge_weights(u);
+    auto wb = b.edge_weights(u);
+    if (!std::equal(wa.begin(), wa.end(), wb.begin(), wb.end())) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- METIS ---
+
+TEST(MetisIo, RoundTrip) {
+  const Graph g = sample();
+  std::stringstream s;
+  write_metis(s, g);
+  auto r = read_metis(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_TRUE(graphs_equal(g, r.value()));
+}
+
+TEST(MetisIo, RoundTripRandomGraph) {
+  support::Rng rng(9);
+  const Graph g = erdos_renyi_gnm(50, 180, rng, {1, 20}, {1, 30});
+  std::stringstream s;
+  write_metis(s, g);
+  auto r = read_metis(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_TRUE(graphs_equal(g, r.value()));
+}
+
+TEST(MetisIo, ReadsUnweightedFormat) {
+  std::stringstream s("3 2\n2\n1 3\n2\n");
+  auto r = read_metis(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().num_nodes(), 3u);
+  EXPECT_EQ(r.value().num_edges(), 2u);
+  EXPECT_EQ(r.value().node_weight(0), 1);
+  EXPECT_EQ(r.value().edge_weight_between(0, 1), 1);
+}
+
+TEST(MetisIo, ReadsEdgeWeightOnlyFormat) {
+  std::stringstream s("2 1 1\n2 9\n1 9\n");
+  auto r = read_metis(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().edge_weight_between(0, 1), 9);
+}
+
+TEST(MetisIo, SkipsComments) {
+  std::stringstream s("% header comment\n2 1\n% mid comment\n2\n1\n");
+  auto r = read_metis(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_EQ(r.value().num_edges(), 1u);
+}
+
+TEST(MetisIo, RejectsEmpty) {
+  std::stringstream s("");
+  EXPECT_FALSE(read_metis(s).is_ok());
+}
+
+TEST(MetisIo, RejectsBadNeighbour) {
+  std::stringstream s("2 1\n5\n1\n");
+  EXPECT_FALSE(read_metis(s).is_ok());
+}
+
+TEST(MetisIo, RejectsTruncated) {
+  std::stringstream s("3 2\n2\n");
+  EXPECT_FALSE(read_metis(s).is_ok());
+}
+
+TEST(MetisIo, RejectsVertexSizes) {
+  std::stringstream s("2 1 100\n2\n1\n");
+  EXPECT_FALSE(read_metis(s).is_ok());
+}
+
+TEST(MetisIo, FileRoundTrip) {
+  const Graph g = sample();
+  const std::string path = testing::TempDir() + "/ppnpart_io_test.graph";
+  ASSERT_TRUE(write_metis_file(path, g));
+  auto r = read_metis_file(path);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_TRUE(graphs_equal(g, r.value()));
+}
+
+TEST(MetisIo, MissingFileIsError) {
+  EXPECT_FALSE(read_metis_file("/nonexistent/x.graph").is_ok());
+}
+
+// ------------------------------------------------------ adjacency matrix ---
+
+TEST(MatrixIo, RoundTrip) {
+  const Graph g = sample();
+  std::stringstream s;
+  write_adjacency_matrix(s, g);
+  auto r = read_adjacency_matrix(s);
+  ASSERT_TRUE(r.is_ok()) << r.message();
+  EXPECT_TRUE(graphs_equal(g, r.value()));
+}
+
+TEST(MatrixIo, RejectsAsymmetric) {
+  std::stringstream s("2\n0 1\n2 0\n1 1\n");
+  EXPECT_FALSE(read_adjacency_matrix(s).is_ok());
+}
+
+TEST(MatrixIo, RejectsNegativeWeight) {
+  std::stringstream s("2\n0 -1\n-1 0\n1 1\n");
+  EXPECT_FALSE(read_adjacency_matrix(s).is_ok());
+}
+
+TEST(MatrixIo, RejectsTruncated) {
+  std::stringstream s("3\n0 1 0\n1 0 1\n");
+  EXPECT_FALSE(read_adjacency_matrix(s).is_ok());
+}
+
+// ------------------------------------------------------------------ DOT ---
+
+TEST(DotIo, ContainsNodesAndEdges) {
+  const Graph g = sample();
+  std::stringstream s;
+  write_dot(s, g, "sample");
+  const std::string out = s.str();
+  EXPECT_NE(out.find("graph sample"), std::string::npos);
+  EXPECT_NE(out.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(out.find("label=\"5\""), std::string::npos);  // edge weight
+  EXPECT_NE(out.find("(3)"), std::string::npos);          // node weight
+}
+
+}  // namespace
+}  // namespace ppnpart::graph

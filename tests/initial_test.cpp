@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/initial.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+TEST(GreedyGrow, ProducesCompletePartition) {
+  support::Rng rng(1);
+  const Graph g = graph::erdos_renyi_gnm(40, 120, rng, {1, 10}, {1, 5});
+  Constraints c;
+  c.rmax = g.total_node_weight();  // loose
+  support::Rng grng(2);
+  const Partition p = greedy_grow_initial(g, 4, c, GreedyGrowOptions{}, grng);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.k(), 4);
+}
+
+TEST(GreedyGrow, RespectsRmaxWhenFeasible) {
+  // Clean instance: 4 clusters of equal weight; cap generous.
+  const Graph g = graph::ring_of_cliques(4, 4, 10, 1);
+  Constraints c;
+  c.rmax = 5;  // each clique weighs 4 nodes * 1 = 4 <= 5
+  support::Rng rng(3);
+  const Partition p = greedy_grow_initial(g, 4, c, GreedyGrowOptions{}, rng);
+  const PartitionMetrics m = compute_metrics(g, p);
+  EXPECT_LE(m.max_load, c.rmax);
+}
+
+TEST(GreedyGrow, OverflowsOnlyAsLastResort) {
+  // Total weight 40, Rmax 9, k=4 => 36 capacity: someone must overflow.
+  graph::GraphBuilder b(4);
+  for (NodeId u = 0; u < 4; ++u) b.set_node_weight(u, 10);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  Constraints c;
+  c.rmax = 9;
+  support::Rng rng(4);
+  const Partition p = greedy_grow_initial(g, 4, c, GreedyGrowOptions{}, rng);
+  EXPECT_TRUE(p.complete());  // still assigns everything (paper's rule)
+}
+
+TEST(GreedyGrow, DeterministicGivenSeed) {
+  support::Rng rng(5);
+  const Graph g = graph::erdos_renyi_gnm(30, 90, rng, {1, 8}, {1, 8});
+  Constraints c;
+  c.rmax = g.total_node_weight() / 3;
+  GreedyGrowOptions options;
+  options.parallel = true;
+  support::Rng a(77), b2(77);
+  const Partition pa = greedy_grow_initial(g, 3, c, options, a);
+  const Partition pb = greedy_grow_initial(g, 3, c, options, b2);
+  EXPECT_EQ(pa.assignments(), pb.assignments());
+}
+
+TEST(GreedyGrow, SerialAndParallelAgree) {
+  support::Rng rng(6);
+  const Graph g = graph::erdos_renyi_gnm(30, 90, rng, {1, 8}, {1, 8});
+  Constraints c;
+  c.rmax = g.total_node_weight() / 3;
+  GreedyGrowOptions serial;
+  serial.parallel = false;
+  GreedyGrowOptions parallel;
+  parallel.parallel = true;
+  support::Rng a(99), b2(99);
+  EXPECT_EQ(greedy_grow_initial(g, 3, c, serial, a).assignments(),
+            greedy_grow_initial(g, 3, c, parallel, b2).assignments());
+}
+
+TEST(GreedyGrow, MoreRestartsNeverHurt) {
+  support::Rng rng(7);
+  const Graph g = graph::erdos_renyi_gnm(40, 140, rng, {1, 9}, {1, 9});
+  Constraints c;
+  c.rmax = g.total_node_weight() / 4 + 10;
+  c.bmax = 50;
+  GreedyGrowOptions one;
+  one.restarts = 1;
+  GreedyGrowOptions many;
+  many.restarts = 20;
+  support::Rng a(11), b2(11);
+  const Goodness g1 =
+      compute_goodness(g, greedy_grow_initial(g, 4, c, one, a), c);
+  const Goodness g20 =
+      compute_goodness(g, greedy_grow_initial(g, 4, c, many, b2), c);
+  EXPECT_FALSE(g1 < g20) << "restarts should only improve the best pick";
+}
+
+TEST(GreedyGrow, KLargerThanNodes) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  support::Rng rng(8);
+  const Partition p =
+      greedy_grow_initial(g, 5, Constraints{}, GreedyGrowOptions{}, rng);
+  EXPECT_TRUE(p.complete());
+}
+
+TEST(RandomBalanced, LoadsRoughlyEqual) {
+  support::Rng rng(9);
+  const Graph g = graph::erdos_renyi_gnm(100, 300, rng, {1, 5}, {1, 1});
+  const Partition p = random_balanced_partition(g, 4, rng);
+  const PartitionMetrics m = compute_metrics(g, p);
+  EXPECT_LT(m.imbalance, 1.2);
+  EXPECT_TRUE(p.all_parts_nonempty());
+}
+
+TEST(RegionGrow, FractionRespected) {
+  support::Rng rng(10);
+  const Graph g = graph::grid2d(10, 10);
+  const Partition p = region_grow_bisection(g, 0.3, rng);
+  const PartitionMetrics m = compute_metrics(g, p);
+  // Side 0 holds ~30% of the weight (BFS granularity adds slack).
+  EXPECT_NEAR(static_cast<double>(m.loads[0]) /
+                  static_cast<double>(g.total_node_weight()),
+              0.3, 0.1);
+}
+
+TEST(RegionGrow, CoversDisconnectedGraphs) {
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);  // two components + 2 isolated nodes
+  const Graph g = b.build();
+  support::Rng rng(11);
+  const Partition p = region_grow_bisection(g, 0.9, rng);
+  EXPECT_TRUE(p.complete());
+  // 90% target must pull from several components.
+  EXPECT_GE(compute_metrics(g, p).loads[0], 5);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

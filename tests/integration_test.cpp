@@ -1,0 +1,155 @@
+// Cross-module integration: workload derivation -> partitioning -> mapping
+// -> simulation, plus GP-vs-MetisLike feasibility behaviour on random
+// process networks (the paper's core claim, statistically).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mapping/mapper.hpp"
+#include "partition/exact.hpp"
+#include "partition/gp.hpp"
+#include "partition/metislike.hpp"
+#include "ppn/workloads.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppnpart {
+namespace {
+
+TEST(Integration, WorkloadToFeasibleMapping) {
+  const ppn::ProcessNetwork network = ppn::make_workload("sobel", {32, 1});
+  const graph::Graph g = ppn::to_graph(network);
+
+  part::PartitionRequest request;
+  request.k = 3;
+  request.constraints.rmax = g.total_node_weight() / 2;
+  request.constraints.bmax = g.total_edge_weight() / 2;
+  request.seed = 5;
+
+  part::GpPartitioner gp;
+  const part::PartitionResult result = gp.run(g, request);
+  ASSERT_TRUE(result.feasible);
+
+  const mapping::Platform platform = mapping::Platform::all_to_all(
+      3, request.constraints.rmax, request.constraints.bmax);
+  const mapping::Mapping m =
+      mapping::map_network(g, result.partition, platform);
+  const mapping::MappingReport report =
+      mapping::validate_mapping(g, m, platform);
+  EXPECT_TRUE(report.feasible) << report.summary();
+
+  // The mapped network must actually run.
+  sim::SimOptions options;
+  options.max_steps = 200'000;
+  const sim::SimStats stats = sim::simulate(network, m, platform, options);
+  EXPECT_TRUE(stats.drained);
+}
+
+TEST(Integration, GpFeasibleMappingOutperformsViolatingOne) {
+  // The paper's motivation, end to end: a bandwidth-feasible mapping
+  // sustains higher simulated throughput than a bandwidth-violating one of
+  // the same network on the same platform.
+  const ppn::ProcessNetwork network = ppn::mjpeg_network();
+  const graph::Graph g = ppn::to_graph(network);
+  const part::PartId k = 2;
+  const graph::Weight rmax = 900;
+  const graph::Weight bmax = 9;  // tight: zigzag->vle carries 16
+
+  part::PartitionRequest request;
+  request.k = k;
+  request.constraints.rmax = rmax;
+  request.constraints.bmax = bmax;
+  request.seed = 3;
+  const part::PartitionResult gp = part::GpPartitioner().run(g, request);
+
+  part::MetisLikeOptions mopts;
+  mopts.unit_vertex_balance = true;
+  const part::PartitionResult metis =
+      part::MetisLikePartitioner(mopts).run(g, request);
+
+  const mapping::Platform platform =
+      mapping::Platform::all_to_all(k, rmax, bmax);
+  sim::SimOptions options;
+  options.max_steps = 400'000;
+
+  auto throughput = [&](const part::Partition& p) {
+    mapping::Mapping m = mapping::map_network(g, p, platform);
+    return sim::simulate(network, m, platform, options).sink_throughput;
+  };
+
+  if (gp.feasible && !metis.feasible) {
+    EXPECT_GE(throughput(gp.partition), throughput(metis.partition));
+  }
+}
+
+TEST(Integration, FeasibilityRateGpVsMetisLike) {
+  // On random PNs with moderately tight constraints GP should find feasible
+  // mappings far more often than the constraint-blind baseline.
+  int gp_feasible = 0, metis_feasible = 0;
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    graph::ProcessNetworkParams params;
+    params.num_nodes = 48;
+    support::Rng rng(1000 + trial);
+    const graph::Graph g = graph::random_process_network(params, rng);
+    part::PartitionRequest request;
+    request.k = 4;
+    request.constraints.rmax =
+        g.total_node_weight() / 4 + 2 * g.max_node_weight();
+    request.constraints.bmax = g.total_edge_weight() / 7;
+    request.seed = 17 + trial;
+    gp_feasible += part::GpPartitioner().run(g, request).feasible;
+    part::MetisLikeOptions mopts;
+    metis_feasible +=
+        part::MetisLikePartitioner(mopts).run(g, request).feasible;
+  }
+  EXPECT_GE(gp_feasible, metis_feasible);
+  EXPECT_GE(gp_feasible, kTrials * 2 / 3)
+      << "GP should solve most moderately-constrained instances";
+}
+
+TEST(Integration, GpCutNearExactOptimumOnSmallInstances) {
+  // Quality guardrail: on exactly-solvable instances GP's feasible cut stays
+  // within 1.5x of the constrained optimum.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    support::Rng rng(seed);
+    const graph::Graph g =
+        graph::erdos_renyi_gnm(12, 30, rng, {5, 20}, {1, 9});
+    part::Constraints c;
+    c.rmax = g.total_node_weight() / 3 + 15;
+    c.bmax = g.total_edge_weight() / 4;
+    const part::ExactResult exact = part::exact_min_cut(g, 3, c);
+    if (!exact.found) continue;  // infeasible instance: nothing to compare
+    part::PartitionRequest request;
+    request.k = 3;
+    request.constraints = c;
+    request.seed = seed;
+    const part::PartitionResult gp = part::GpPartitioner().run(g, request);
+    ASSERT_TRUE(gp.feasible) << "seed " << seed;
+    EXPECT_LE(gp.metrics.total_cut, exact.cut + exact.cut / 2 + 4)
+        << "seed " << seed << ": GP " << gp.metrics.total_cut
+        << " vs optimum " << exact.cut;
+  }
+}
+
+TEST(Integration, AllWorkloadsPartitionUnderLooseConstraints) {
+  for (const std::string& name : ppn::workload_names()) {
+    const ppn::ProcessNetwork network = ppn::make_workload(name, {16, 3});
+    const graph::Graph g = ppn::to_graph(network);
+    if (g.num_nodes() < 2) continue;
+    part::PartitionRequest request;
+    request.k = 2;
+    // "Loose" must still admit a feasible split when one process dominates
+    // (conv2d's MAC array): with rmax >= max node weight, {heavy} vs
+    // {rest} is always feasible.
+    request.constraints.rmax =
+        std::max((g.total_node_weight() * 3) / 4, g.max_node_weight());
+    request.constraints.bmax = g.total_edge_weight();
+    request.seed = 29;
+    const part::PartitionResult result =
+        part::GpPartitioner().run(g, request);
+    EXPECT_TRUE(result.feasible) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ppnpart

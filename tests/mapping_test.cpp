@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/platform.hpp"
+#include "partition/initial.hpp"
+
+namespace ppnpart::mapping {
+namespace {
+
+using part::PartId;
+using part::Partition;
+
+// -------------------------------------------------------------- platform ---
+
+TEST(Platform, AllToAllTopology) {
+  const Platform p = Platform::all_to_all(4, 100, 10);
+  EXPECT_EQ(p.num_devices(), 4u);
+  EXPECT_EQ(p.links().size(), 6u);
+  EXPECT_EQ(p.link_capacity(0, 3), 10);
+  EXPECT_EQ(p.link_capacity(2, 1), 10);
+  EXPECT_TRUE(p.connected(1, 2));
+}
+
+TEST(Platform, RingTopology) {
+  const Platform p = Platform::ring(5, 100, 10);
+  EXPECT_EQ(p.links().size(), 5u);
+  EXPECT_GT(p.link_capacity(0, 1), 0);
+  EXPECT_GT(p.link_capacity(0, 4), 0);
+  EXPECT_EQ(p.link_capacity(0, 2), 0);
+  // 2-device ring has a single link, not a double edge.
+  EXPECT_EQ(Platform::ring(2, 100, 10).links().size(), 1u);
+}
+
+TEST(Platform, MeshTopology) {
+  const Platform p = Platform::mesh2d(2, 3, 100, 10);
+  EXPECT_EQ(p.num_devices(), 6u);
+  EXPECT_EQ(p.links().size(), 7u);  // 2*2 horizontal + 3 vertical
+  EXPECT_GT(p.link_capacity(0, 1), 0);
+  EXPECT_GT(p.link_capacity(0, 3), 0);
+  EXPECT_EQ(p.link_capacity(0, 4), 0);
+}
+
+TEST(Platform, StarTopology) {
+  const Platform p = Platform::star(4, 100, 10);
+  EXPECT_EQ(p.num_devices(), 5u);
+  EXPECT_EQ(p.links().size(), 4u);
+  EXPECT_GT(p.link_capacity(0, 3), 0);
+  EXPECT_EQ(p.link_capacity(1, 2), 0);
+}
+
+TEST(Platform, SelfTrafficUnlimited) {
+  const Platform p = Platform::ring(3, 100, 10);
+  EXPECT_GT(p.link_capacity(1, 1), 1'000'000);
+}
+
+TEST(Platform, RejectsBadLinks) {
+  Platform p("x");
+  p.add_device({"a", 10});
+  p.add_device({"b", 10});
+  EXPECT_THROW(p.add_link(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(p.add_link(0, 3, 5), std::out_of_range);
+  EXPECT_THROW(p.add_link(0, 1, 0), std::invalid_argument);
+  p.add_link(0, 1, 5);
+  EXPECT_THROW(p.add_link(1, 0, 5), std::invalid_argument);  // duplicate
+}
+
+// ---------------------------------------------------------------- mapper ---
+
+graph::Graph two_talkative_pairs() {
+  // Parts will be {0,1}, {2,3}: pair (0,1) exchanges 20, others quiet.
+  graph::GraphBuilder b(8);
+  b.add_edge(0, 2, 20);  // nodes 0,2 in parts 0,1
+  b.add_edge(4, 6, 2);
+  b.add_edge(1, 5, 1);
+  return b.build();
+}
+
+TEST(Mapper, IdentityQualityOnAllToAll) {
+  support::Rng rng(1);
+  const graph::Graph g = two_talkative_pairs();
+  Partition p(8, 4);
+  for (graph::NodeId u = 0; u < 8; ++u) p.set(u, u / 2);
+  const Platform platform = Platform::all_to_all(4, 100, 25);
+  const Mapping m = map_network(g, p, platform);
+  const MappingReport report = validate_mapping(g, m, platform);
+  EXPECT_TRUE(report.feasible) << report.summary();
+}
+
+TEST(Mapper, PlacesHeavyPairOnLinkedDevices) {
+  // Star topology: only the hub is linked to everyone. The heavy-traffic
+  // pair must land on a hub-leaf link, not leaf-leaf (no link).
+  const graph::Graph g = two_talkative_pairs();
+  Partition p(8, 3);
+  p.set(0, 0);
+  p.set(1, 0);
+  p.set(2, 1);
+  p.set(3, 1);
+  for (graph::NodeId u = 4; u < 8; ++u) p.set(u, 2);
+  const Platform platform = Platform::star(2, 100, 25);  // hub + 2 leaves
+  const Mapping m = map_network(g, p, platform);
+  const MappingReport report = validate_mapping(g, m, platform);
+  // Parts 0 and 1 exchange 20; they must be on connected devices.
+  const std::uint32_t d0 = m.device_of_part[0];
+  const std::uint32_t d1 = m.device_of_part[1];
+  EXPECT_TRUE(platform.connected(d0, d1)) << report.summary();
+}
+
+TEST(Mapper, ValidationFlagsResourceOverflow) {
+  graph::GraphBuilder b(2);
+  b.set_node_weight(0, 80);
+  b.set_node_weight(1, 80);
+  b.add_edge(0, 1, 1);
+  const graph::Graph g = b.build();
+  Partition p(2, 1);
+  p.set(0, 0);
+  p.set(1, 0);
+  Platform platform("tiny");
+  platform.add_device({"fpga0", 100});
+  Mapping m;
+  m.partition = p;
+  m.device_of_part = {0};
+  const MappingReport report = validate_mapping(g, m, platform);
+  ASSERT_FALSE(report.feasible);
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, MappingViolation::Kind::kResource);
+  EXPECT_EQ(report.violations[0].demand, 160);
+  EXPECT_NE(report.summary().find("INFEASIBLE"), std::string::npos);
+}
+
+TEST(Mapper, ValidationFlagsBandwidthOverflowAndMissingLink) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 30);
+  b.add_edge(2, 3, 5);
+  const graph::Graph g = b.build();
+  Partition p(4, 3);
+  p.set(0, 0);
+  p.set(1, 1);
+  p.set(2, 1);
+  p.set(3, 2);
+  const Platform ring = Platform::ring(3, 100, 10);
+  Mapping m;
+  m.partition = p;
+  m.device_of_part = {0, 1, 2};
+  const MappingReport report = validate_mapping(g, m, ring);
+  ASSERT_FALSE(report.feasible);
+  bool saw_bandwidth = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == MappingViolation::Kind::kBandwidth) {
+      saw_bandwidth = true;
+      EXPECT_EQ(v.demand, 30);
+      EXPECT_EQ(v.budget, 10);
+    }
+  }
+  EXPECT_TRUE(saw_bandwidth);
+}
+
+TEST(Mapper, NoLinkViolationDetected) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 5);
+  const graph::Graph g = b.build();
+  Partition p(2, 2);
+  p.set(0, 0);
+  p.set(1, 1);
+  const Platform star = Platform::star(2, 100, 10);
+  Mapping m;
+  m.partition = p;
+  m.device_of_part = {1, 2};  // two leaves: no link
+  const MappingReport report = validate_mapping(g, m, star);
+  ASSERT_FALSE(report.feasible);
+  EXPECT_EQ(report.violations[0].kind, MappingViolation::Kind::kNoLink);
+}
+
+TEST(Mapper, MorePartsThanDevicesThrows) {
+  const graph::Graph g = two_talkative_pairs();
+  Partition p(8, 4);
+  for (graph::NodeId u = 0; u < 8; ++u) p.set(u, u / 2);
+  const Platform platform = Platform::all_to_all(2, 100, 10);
+  EXPECT_THROW(map_network(g, p, platform), std::invalid_argument);
+}
+
+TEST(Mapper, GreedyPathForLargeK) {
+  // Force the greedy branch with exhaustive_limit = 0.
+  support::Rng rng(2);
+  const graph::Graph g = graph::erdos_renyi_gnm(40, 100, rng, {1, 3}, {1, 8});
+  part::Partition p = part::random_balanced_partition(g, 6, rng);
+  const Platform platform = Platform::all_to_all(6, 1000, 1000);
+  MapOptions options;
+  options.exhaustive_limit = 0;
+  const Mapping m = map_network(g, p, platform, options);
+  // Every part placed on a distinct device.
+  std::set<std::uint32_t> used(m.device_of_part.begin(),
+                               m.device_of_part.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+}  // namespace
+}  // namespace ppnpart::mapping

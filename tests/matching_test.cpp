@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/matching.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+// Parameterized over seeds: all matchings must be valid on random graphs.
+class MatchingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingProperty, RandomMaximalIsValidAndMaximal) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(60, 150, rng, {1, 9}, {1, 9});
+  support::Rng mrng(GetParam() * 31);
+  const Matching m = random_maximal_matching(g, mrng);
+  EXPECT_TRUE(validate_matching(g, m).empty()) << validate_matching(g, m);
+  // Maximality: no edge with both endpoints unmatched.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (m[u] != u) continue;
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_NE(m[v], v) << "edge (" << u << "," << v << ") both unmatched";
+    }
+  }
+}
+
+TEST_P(MatchingProperty, HeavyEdgeIsValid) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(60, 150, rng, {1, 9}, {1, 9});
+  support::Rng mrng(GetParam() * 37);
+  const Matching m = heavy_edge_matching(g, mrng);
+  EXPECT_TRUE(validate_matching(g, m).empty()) << validate_matching(g, m);
+}
+
+TEST_P(MatchingProperty, GloballySortedHeavyEdgeIsValid) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(60, 150, rng, {1, 9}, {1, 9});
+  support::Rng mrng(GetParam() * 41);
+  const Matching m = heavy_edge_matching(g, mrng, /*globally_sorted=*/true);
+  EXPECT_TRUE(validate_matching(g, m).empty()) << validate_matching(g, m);
+}
+
+TEST_P(MatchingProperty, KMeansIsValid) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(60, 150, rng, {1, 9}, {1, 9});
+  support::Rng mrng(GetParam() * 43);
+  const Matching m = kmeans_matching(g, mrng);
+  EXPECT_TRUE(validate_matching(g, m).empty()) << validate_matching(g, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Matching, HeavyEdgePrefersHeavyEdges) {
+  // Star with one heavy spoke. The globally-sorted sweep always takes the
+  // heavy edge; the node-local variant only guarantees it when the centre
+  // is visited while node 2 is free, so we assert the sorted variant and
+  // check the local one picks the heavy edge whenever node 0 got matched
+  // to anything at all while 2 was free — i.e. local choice is heaviest.
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(0, 2, 100);
+  b.add_edge(0, 3, 1);
+  const Graph g = b.build();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    support::Rng rng(seed);
+    const Matching m = heavy_edge_matching(g, rng, /*globally_sorted=*/true);
+    EXPECT_EQ(m[0], 2u) << "seed " << seed;
+    EXPECT_EQ(m[2], 0u);
+  }
+  // Node-local: when the centre moves first (it can only match once), the
+  // heavy edge wins; leaves moving first may claim the centre — but the
+  // result must still be a valid maximal matching.
+  int heavy_taken = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    support::Rng rng(seed);
+    const Matching m = heavy_edge_matching(g, rng);
+    EXPECT_TRUE(validate_matching(g, m).empty());
+    heavy_taken += m[0] == 2u;
+  }
+  EXPECT_GT(heavy_taken, 0);
+}
+
+TEST(Matching, GloballySortedTakesHeaviestFirst) {
+  // Path a-b-c with weights 5, 9: sorted sweep matches (b,c) first, leaving
+  // a single. Node-local order-dependent HEM could match (a,b) instead.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 9);
+  const Graph g = b.build();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    support::Rng rng(seed);
+    const Matching m = heavy_edge_matching(g, rng, true);
+    EXPECT_EQ(m[1], 2u);
+    EXPECT_EQ(m[0], 0u);
+  }
+}
+
+TEST(Matching, MatchedWeightAndPairCount) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 5);
+  b.add_edge(2, 3, 7);
+  const Graph g = b.build();
+  Matching m{1, 0, 3, 2};
+  EXPECT_EQ(matched_edge_weight(g, m), 12);
+  EXPECT_EQ(matched_pair_count(m), 2u);
+  Matching none{0, 1, 2, 3};
+  EXPECT_EQ(matched_edge_weight(g, none), 0);
+  EXPECT_EQ(matched_pair_count(none), 0u);
+}
+
+TEST(Matching, ValidateCatchesProblems) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  EXPECT_FALSE(validate_matching(g, {1, 0}).empty());          // size
+  EXPECT_FALSE(validate_matching(g, {1, 2, 1, 3}).empty());    // asymmetric
+  EXPECT_FALSE(validate_matching(g, {2, 1, 0, 3}).empty());    // not adjacent
+  EXPECT_TRUE(validate_matching(g, {1, 0, 2, 3}).empty());
+}
+
+TEST(Matching, KMeansGroupsSimilarWeights) {
+  // Two weight classes; edges exist within and across classes. With 2
+  // clusters, only intra-class edges are candidates.
+  graph::GraphBuilder b(4);
+  b.set_node_weight(0, 10);
+  b.set_node_weight(1, 10);
+  b.set_node_weight(2, 1000);
+  b.set_node_weight(3, 1000);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  b.add_edge(1, 2, 50);  // heavy but cross-class
+  const Graph g = b.build();
+  KMeansMatchingOptions options;
+  options.clusters = 2;
+  int cross_class = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    support::Rng rng(seed);
+    const Matching m = kmeans_matching(g, rng, options);
+    EXPECT_TRUE(validate_matching(g, m).empty());
+    if (m[1] == 2u) ++cross_class;
+  }
+  EXPECT_EQ(cross_class, 0) << "k-means matched across weight clusters";
+}
+
+TEST(Matching, EmptyAndSingleNodeGraphs) {
+  const Graph empty;
+  support::Rng rng(1);
+  EXPECT_TRUE(random_maximal_matching(empty, rng).empty());
+  graph::GraphBuilder b(1);
+  const Graph single = b.build();
+  const Matching m = kmeans_matching(single, rng);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 0u);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

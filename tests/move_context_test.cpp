@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/initial.hpp"
+#include "partition/move_context.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+// The core property: the incremental state equals full recomputation after
+// any sequence of moves.
+class MoveContextProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MoveContextProperty, IncrementalMatchesRecompute) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(50, 200, rng, {1, 20}, {1, 15});
+  const PartId k = 5;
+  Partition p = random_balanced_partition(g, k, rng);
+  Constraints c;
+  c.rmax = g.total_node_weight() / k + 20;
+  c.bmax = 40;
+  MoveContext ctx(g, p, c);
+  for (int step = 0; step < 200; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.uniform_index(g.num_nodes()));
+    const PartId q = static_cast<PartId>(rng.uniform_index(k));
+    // Check the prediction before applying.
+    const Goodness predicted = ctx.goodness_after(u, q);
+    ctx.apply(u, q);
+    const Goodness actual = ctx.goodness();
+    EXPECT_EQ(predicted.resource_excess, actual.resource_excess);
+    EXPECT_EQ(predicted.bandwidth_excess, actual.bandwidth_excess);
+    EXPECT_EQ(predicted.cut, actual.cut);
+    if (step % 20 == 0) {
+      // Full recompute cross-check.
+      const PartitionMetrics m = compute_metrics(g, p);
+      const Violation v = compute_violation(m, c);
+      EXPECT_EQ(ctx.cut(), m.total_cut);
+      EXPECT_EQ(ctx.goodness().resource_excess, v.resource_excess);
+      EXPECT_EQ(ctx.goodness().bandwidth_excess, v.bandwidth_excess);
+      for (PartId a = 0; a < k; ++a) {
+        EXPECT_EQ(ctx.load(a), m.loads[static_cast<std::size_t>(a)]);
+        for (PartId b2 = 0; b2 < k; ++b2) {
+          EXPECT_EQ(ctx.pairwise().at(a, b2), m.pairwise.at(a, b2));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MoveContextProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MoveContext, ConnMatchesAdjacency) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 3);
+  b.add_edge(0, 2, 5);
+  b.add_edge(0, 3, 7);
+  const Graph g = b.build();
+  Partition p(4, 2);
+  p.set(0, 0);
+  p.set(1, 0);
+  p.set(2, 1);
+  p.set(3, 1);
+  MoveContext ctx(g, p, Constraints{});
+  EXPECT_EQ(ctx.conn(0, 0), 3);
+  EXPECT_EQ(ctx.conn(0, 1), 12);
+  EXPECT_EQ(ctx.conn(1, 0), 3);
+  EXPECT_EQ(ctx.conn(1, 1), 0);
+  EXPECT_EQ(ctx.cut(), 12);
+}
+
+TEST(MoveContext, MoveToSamePartIsNoop) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  Partition p(2, 2);
+  p.set(0, 0);
+  p.set(1, 1);
+  MoveContext ctx(g, p, Constraints{});
+  const Goodness before = ctx.goodness();
+  ctx.apply(0, 0);
+  EXPECT_TRUE(before == ctx.goodness());
+  EXPECT_TRUE(before == ctx.goodness_after(0, 0));
+}
+
+TEST(MoveContext, BoundaryDetection) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 1);
+  b.add_edge(2, 3, 1);
+  const Graph g = b.build();
+  Partition p(4, 2);
+  p.set(0, 0);
+  p.set(1, 0);
+  p.set(2, 1);
+  p.set(3, 1);
+  MoveContext ctx(g, p, Constraints{});
+  EXPECT_FALSE(ctx.is_boundary(0));
+  EXPECT_TRUE(ctx.boundary_nodes().empty());
+  ctx.apply(1, 1);
+  EXPECT_TRUE(ctx.is_boundary(0));
+  EXPECT_TRUE(ctx.is_boundary(1));
+}
+
+TEST(MoveContext, BestMoveRespectsEmptying) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 1);
+  const Graph g = b.build();
+  Partition p(3, 2);
+  p.set(0, 0);
+  p.set(1, 1);
+  p.set(2, 1);
+  MoveContext ctx(g, p, Constraints{});
+  // Node 0 alone in part 0: no move allowed unless emptying permitted.
+  EXPECT_FALSE(ctx.best_move(0).has_value());
+  EXPECT_TRUE(ctx.best_move(0, /*allow_emptying=*/true).has_value());
+  // Node 1 should prefer joining node 0 (cut 6 -> 1).
+  const auto cand = ctx.best_move(1);
+  ASSERT_TRUE(cand.has_value());
+  EXPECT_EQ(cand->target, 0);
+  EXPECT_EQ(cand->after.cut, 1);
+}
+
+TEST(MoveContext, PartSizeTracking) {
+  support::Rng rng(9);
+  const Graph g = graph::erdos_renyi_gnm(30, 60, rng);
+  Partition p = random_balanced_partition(g, 3, rng);
+  MoveContext ctx(g, p, Constraints{});
+  std::uint32_t total = 0;
+  for (PartId q = 0; q < 3; ++q) total += ctx.part_size(q);
+  EXPECT_EQ(total, 30u);
+  const NodeId u = 0;
+  const PartId from = ctx.part_of(u);
+  const PartId to = (from + 1) % 3;
+  const auto before_from = ctx.part_size(from);
+  const auto before_to = ctx.part_size(to);
+  ctx.apply(u, to);
+  EXPECT_EQ(ctx.part_size(from), before_from - 1);
+  EXPECT_EQ(ctx.part_size(to), before_to + 1);
+}
+
+TEST(MoveContext, RejectsIncompletePartition) {
+  graph::GraphBuilder b(2);
+  b.add_edge(0, 1, 1);
+  const Graph g = b.build();
+  Partition p(2, 2);
+  p.set(0, 0);  // node 1 unassigned
+  EXPECT_THROW(MoveContext(g, p, Constraints{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

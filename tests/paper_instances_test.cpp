@@ -1,0 +1,102 @@
+// The reconstructed Experiment 1-3 instances must support the paper's
+// narrative: a constraint-feasible 4-way partition exists (witnesses below),
+// instance shapes match the published node/edge counts, and the natural
+// min-cut clustering violates the constraints the way Tables I-III report.
+
+#include <gtest/gtest.h>
+
+#include "partition/exact.hpp"
+#include "partition/partition.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart {
+namespace {
+
+part::Partition make(const std::vector<part::PartId>& assign, part::PartId k) {
+  part::Partition p(static_cast<graph::NodeId>(assign.size()), k);
+  for (graph::NodeId u = 0; u < assign.size(); ++u) p.set(u, assign[u]);
+  return p;
+}
+
+TEST(PaperInstances, ShapesMatchPaper) {
+  const ppn::PaperInstance e1 = ppn::paper_instance(1);
+  EXPECT_EQ(e1.graph.num_nodes(), 12u);
+  EXPECT_EQ(e1.graph.num_edges(), 33u);
+  EXPECT_EQ(e1.constraints.rmax, 165);
+  EXPECT_EQ(e1.constraints.bmax, 16);
+
+  const ppn::PaperInstance e2 = ppn::paper_instance(2);
+  EXPECT_EQ(e2.graph.num_nodes(), 12u);
+  EXPECT_EQ(e2.graph.num_edges(), 30u);
+  EXPECT_EQ(e2.constraints.rmax, 130);
+  EXPECT_EQ(e2.constraints.bmax, 25);
+
+  const ppn::PaperInstance e3 = ppn::paper_instance(3);
+  EXPECT_EQ(e3.graph.num_nodes(), 12u);
+  EXPECT_EQ(e3.graph.num_edges(), 32u);
+  EXPECT_EQ(e3.constraints.rmax, 78);
+  EXPECT_EQ(e3.constraints.bmax, 20);
+}
+
+TEST(PaperInstances, AllGraphsValidate) {
+  for (int i = 1; i <= 3; ++i) {
+    const ppn::PaperInstance inst = ppn::paper_instance(i);
+    EXPECT_TRUE(inst.graph.validate().empty()) << "instance " << i;
+    EXPECT_TRUE(inst.network.validate().empty()) << "instance " << i;
+  }
+}
+
+// Designed feasibility witnesses — the partitions the instances were
+// engineered around. If these fail the instance data regressed.
+TEST(PaperInstances, Experiment1HasFeasibleWitness) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  const part::Partition witness =
+      make({0, 0, 1, 1, 2, 2, 3, 3, 3, 1, 1, 1}, 4);
+  const part::Goodness g =
+      part::compute_goodness(inst.graph, witness, inst.constraints);
+  EXPECT_EQ(g.resource_excess, 0) << "witness violates Rmax";
+  EXPECT_EQ(g.bandwidth_excess, 0) << "witness violates Bmax";
+}
+
+TEST(PaperInstances, Experiment2HasFeasibleWitness) {
+  const ppn::PaperInstance inst = ppn::paper_instance(2);
+  const part::Partition witness =
+      make({0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3, 3}, 4);
+  const part::Goodness g =
+      part::compute_goodness(inst.graph, witness, inst.constraints);
+  EXPECT_EQ(g.resource_excess, 0);
+  EXPECT_EQ(g.bandwidth_excess, 0);
+}
+
+TEST(PaperInstances, Experiment3HasFeasibleWitness) {
+  const ppn::PaperInstance inst = ppn::paper_instance(3);
+  const part::Partition witness =
+      make({0, 0, 3, 1, 1, 3, 2, 2, 2, 0, 1, 3}, 4);
+  const part::Goodness g =
+      part::compute_goodness(inst.graph, witness, inst.constraints);
+  EXPECT_EQ(g.resource_excess, 0);
+  EXPECT_EQ(g.bandwidth_excess, 0);
+}
+
+// The exact solver confirms feasibility independently of the witnesses and
+// pins down the optimal feasible cut (12 nodes => exhaustive is instant).
+TEST(PaperInstances, ExactSolverFindsFeasibleSolutions) {
+  for (int i = 1; i <= 3; ++i) {
+    const ppn::PaperInstance inst = ppn::paper_instance(i);
+    part::ExactOptions options;
+    options.time_limit_seconds = 30;
+    const part::ExactResult exact =
+        part::exact_min_cut(inst.graph, inst.k, inst.constraints, options);
+    EXPECT_TRUE(exact.found) << "instance " << i << " infeasible";
+    if (exact.found) {
+      const part::Goodness g =
+          part::compute_goodness(inst.graph, exact.partition, inst.constraints);
+      EXPECT_EQ(g.resource_excess, 0);
+      EXPECT_EQ(g.bandwidth_excess, 0);
+      EXPECT_EQ(g.cut, exact.cut);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppnpart

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "poly/affine.hpp"
+#include "poly/dependence.hpp"
+#include "poly/domain.hpp"
+#include "poly/program.hpp"
+#include "ppn/workloads.hpp"
+
+namespace ppnpart::poly {
+namespace {
+
+// --------------------------------------------------------------- affine ---
+
+TEST(Affine, EvaluateAndAccessors) {
+  AffineExpr e(2, 3);   // 3
+  e.set_coeff(0, 2);    // 2i + 3
+  e.set_coeff(1, -1);   // 2i - j + 3
+  const std::int64_t point[] = {4, 5};
+  EXPECT_EQ(e.evaluate(point), 2 * 4 - 5 + 3);
+  EXPECT_EQ(e.coeff(0), 2);
+  EXPECT_EQ(e.constant_term(), 3);
+}
+
+TEST(Affine, VarAndConstantFactories) {
+  const AffineExpr i = AffineExpr::var(2, 0);
+  const AffineExpr c = AffineExpr::constant(2, 7);
+  const std::int64_t point[] = {3, 9};
+  EXPECT_EQ(i.evaluate(point), 3);
+  EXPECT_EQ(c.evaluate(point), 7);
+}
+
+TEST(Affine, Arithmetic) {
+  const AffineExpr i = AffineExpr::var(2, 0);
+  const AffineExpr j = AffineExpr::var(2, 1);
+  const AffineExpr e = i * 2 + j - 1;
+  const std::int64_t point[] = {5, 3};
+  EXPECT_EQ(e.evaluate(point), 12);
+  const AffineExpr sum = e + e;
+  EXPECT_EQ(sum.evaluate(point), 24);
+  const AffineExpr diff = e - i;
+  EXPECT_EQ(diff.evaluate(point), 7);
+}
+
+TEST(Affine, DimensionMismatchThrows) {
+  const AffineExpr a(2);
+  const AffineExpr b(3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  const std::int64_t point[] = {1};
+  EXPECT_THROW(a.evaluate(point), std::invalid_argument);
+}
+
+TEST(Affine, ToString) {
+  AffineExpr e(2, -1);
+  e.set_coeff(0, 2);
+  e.set_coeff(1, -3);
+  EXPECT_EQ(e.to_string(), "2*i - 3*j - 1");
+  EXPECT_EQ(AffineExpr::constant(1, 0).to_string(), "0");
+  EXPECT_EQ(AffineExpr::var(1, 0).to_string(), "i");
+}
+
+// --------------------------------------------------------------- domain ---
+
+TEST(Domain, BoxCardinality) {
+  const IterationDomain d({{0, 9}, {1, 5}});
+  EXPECT_EQ(d.cardinality(), 50u);
+  EXPECT_EQ(d.box_volume(), 50u);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(Domain, EmptyBox) {
+  const IterationDomain d({{3, 2}});
+  EXPECT_EQ(d.cardinality(), 0u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Domain, Contains) {
+  const IterationDomain d({{0, 4}, {0, 4}});
+  const std::int64_t inside[] = {2, 3};
+  const std::int64_t outside[] = {5, 0};
+  EXPECT_TRUE(d.contains(inside));
+  EXPECT_FALSE(d.contains(outside));
+}
+
+TEST(Domain, GuardRestrictsCardinality) {
+  // Triangle: 0 <= i, j <= 9, guard i - j >= 0 (j <= i).
+  IterationDomain d({{0, 9}, {0, 9}});
+  AffineExpr guard = AffineExpr::var(2, 0) - AffineExpr::var(2, 1);
+  d.add_guard(guard);
+  EXPECT_EQ(d.cardinality(), 55u);  // 10*11/2
+  const std::int64_t good[] = {5, 5};
+  const std::int64_t bad[] = {3, 7};
+  EXPECT_TRUE(d.contains(good));
+  EXPECT_FALSE(d.contains(bad));
+}
+
+TEST(Domain, ForEachPointLexicographic) {
+  const IterationDomain d({{0, 1}, {0, 1}});
+  std::vector<std::vector<std::int64_t>> points;
+  d.for_each_point([&](std::span<const std::int64_t> p) {
+    points.emplace_back(p.begin(), p.end());
+  });
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0], (std::vector<std::int64_t>{0, 0}));
+  EXPECT_EQ(points[1], (std::vector<std::int64_t>{0, 1}));
+  EXPECT_EQ(points[2], (std::vector<std::int64_t>{1, 0}));
+  EXPECT_EQ(points[3], (std::vector<std::int64_t>{1, 1}));
+}
+
+TEST(Domain, GuardDimensionMismatchThrows) {
+  IterationDomain d({{0, 1}});
+  EXPECT_THROW(d.add_guard(AffineExpr(2)), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- program ---
+
+TEST(Program, ExternalInputsDetected) {
+  const Program prog = ppn::jacobi1d_program(10, 2);
+  const auto inputs = prog.external_inputs();
+  ASSERT_EQ(inputs.size(), 1u);
+  EXPECT_EQ(inputs[0], "A0");
+}
+
+TEST(Program, WriterOf) {
+  const Program prog = ppn::jacobi1d_program(10, 2);
+  EXPECT_EQ(prog.writer_of("A1"), 0);
+  EXPECT_EQ(prog.writer_of("A2"), 1);
+  EXPECT_EQ(prog.writer_of("A0"), -1);
+}
+
+TEST(Program, ValidateCatchesDoubleWrite) {
+  Program prog;
+  Statement s1, s2;
+  s1.name = "S1";
+  s2.name = "S2";
+  s1.domain = IterationDomain({{0, 3}});
+  s2.domain = IterationDomain({{0, 3}});
+  ArrayAccess w;
+  w.array = "X";
+  w.indices = {AffineExpr::var(1, 0)};
+  s1.write = w;
+  s2.write = w;
+  prog.statements = {s1, s2};
+  EXPECT_NE(prog.validate().find("single-assignment"), std::string::npos);
+}
+
+TEST(Program, ValidateCatchesDuplicateNames) {
+  Program prog;
+  Statement s;
+  s.name = "S";
+  s.domain = IterationDomain({{0, 1}});
+  prog.statements = {s, s};
+  EXPECT_NE(prog.validate().find("duplicate"), std::string::npos);
+}
+
+TEST(Program, ValidateCatchesDimensionMismatch) {
+  Program prog;
+  Statement s;
+  s.name = "S";
+  s.domain = IterationDomain({{0, 3}});  // 1-D domain
+  ArrayAccess w;
+  w.array = "X";
+  w.indices = {AffineExpr::var(2, 0)};  // 2-D access
+  s.write = w;
+  prog.statements = {s};
+  EXPECT_NE(prog.validate().find("dimension"), std::string::npos);
+}
+
+// ----------------------------------------------------------- dependence ---
+
+TEST(Dependence, Jacobi1dVolumes) {
+  // width 10: interior i in [1,8] => 8 iterations; stage 2 reads stage 1's
+  // A1 at i-1, i, i+1. A1 was written for i in [1,8]. Reads of A1[j] hit
+  // for j in [1,8]: i-1 in [1,8] => i in [2,8]: 7; i in [1,8]: 8; i+1 =>
+  // i in [1,7]: 7.
+  const Program prog = ppn::jacobi1d_program(10, 2);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  ASSERT_EQ(analysis.flows.size(), 3u);
+  std::uint64_t total = 0;
+  for (const Dependence& d : analysis.flows) {
+    EXPECT_EQ(d.producer, 0u);
+    EXPECT_EQ(d.consumer, 1u);
+    EXPECT_EQ(d.array, "A1");
+    total += d.volume;
+  }
+  EXPECT_EQ(total, 7u + 8u + 7u);
+}
+
+TEST(Dependence, ExternalReadsCounted) {
+  const Program prog = ppn::jacobi1d_program(10, 1);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  EXPECT_TRUE(analysis.flows.empty());
+  ASSERT_EQ(analysis.external_reads.size(), 3u);  // A0 read thrice
+  for (const auto& ext : analysis.external_reads) {
+    EXPECT_EQ(ext.array, "A0");
+    EXPECT_EQ(ext.volume, 8u);  // all 8 consumer iterations
+  }
+}
+
+TEST(Dependence, ProducerConsumerChainVolumes) {
+  const Program prog = ppn::producer_consumer_program(3, 16);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  ASSERT_EQ(analysis.flows.size(), 2u);
+  for (const Dependence& d : analysis.flows) {
+    EXPECT_EQ(d.volume, 16u);
+    EXPECT_EQ(d.consumer, d.producer + 1);
+  }
+  ASSERT_EQ(analysis.external_reads.size(), 1u);
+  EXPECT_EQ(analysis.external_reads[0].volume, 16u);
+}
+
+TEST(Dependence, MatmulSelfDependencePresent) {
+  const Program prog = ppn::matmul_program(2, 3, 2);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  bool saw_self = false;
+  for (const Dependence& d : analysis.flows) {
+    if (d.producer == d.consumer) {
+      saw_self = true;
+      EXPECT_EQ(d.array, "S");
+      // S[i][j][k-1] exists for k in [1, m-1]: n*p*(m-1) = 2*2*2 = 8.
+      EXPECT_EQ(d.volume, 8u);
+    }
+  }
+  EXPECT_TRUE(saw_self);
+}
+
+TEST(Dependence, MatmulPipeVolumes) {
+  const Program prog = ppn::matmul_program(2, 3, 2);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  // Smul -> Sacc via P: full n*p*m = 12; Sacc -> Sout via S[i][j][m-1]: 4.
+  std::uint64_t p_volume = 0, out_volume = 0;
+  for (const Dependence& d : analysis.flows) {
+    if (d.array == "P") p_volume = d.volume;
+    if (d.array == "S" && d.producer != d.consumer) out_volume = d.volume;
+  }
+  EXPECT_EQ(p_volume, 12u);
+  EXPECT_EQ(out_volume, 4u);
+}
+
+TEST(Dependence, SplitJoinFanout) {
+  const Program prog = ppn::split_join_program(3, 8);
+  const DependenceAnalysis analysis = compute_dependences(prog);
+  // Split -> each worker (3 flows of 8) + workers -> join (3 flows of 8).
+  EXPECT_EQ(analysis.flows.size(), 6u);
+  for (const Dependence& d : analysis.flows) EXPECT_EQ(d.volume, 8u);
+}
+
+TEST(Dependence, RejectsInvalidProgram) {
+  Program prog;
+  Statement s;
+  s.name = "";
+  prog.statements = {s};
+  EXPECT_THROW(compute_dependences(prog), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppnpart::poly

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "ppn/from_poly.hpp"
+#include "ppn/network.hpp"
+#include "ppn/resource_model.hpp"
+#include "ppn/workloads.hpp"
+
+namespace ppnpart::ppn {
+namespace {
+
+// -------------------------------------------------------------- network ---
+
+TEST(Network, AddAndQuery) {
+  ProcessNetwork n("test");
+  const auto a = n.add_process("a", 10, 5);
+  const auto b = n.add_process("b", 20);
+  n.add_channel(a, b, 3, 42, "ab");
+  EXPECT_EQ(n.num_processes(), 2u);
+  EXPECT_EQ(n.num_channels(), 1u);
+  EXPECT_EQ(n.total_resources(), 30);
+  EXPECT_EQ(n.total_bandwidth(), 3);
+  EXPECT_EQ(n.process(a).firings, 5u);
+  EXPECT_EQ(n.channels()[0].volume, 42u);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(Network, ChannelVolumeDefaultsToBandwidth) {
+  ProcessNetwork n;
+  n.add_process("a", 1);
+  n.add_process("b", 1);
+  n.add_channel(0, 1, 7);
+  EXPECT_EQ(n.channels()[0].volume, 7u);
+}
+
+TEST(Network, RejectsBadChannels) {
+  ProcessNetwork n;
+  n.add_process("a", 1);
+  n.add_process("b", 1);
+  EXPECT_THROW(n.add_channel(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(n.add_channel(0, 5, 1), std::out_of_range);
+  EXPECT_THROW(n.add_channel(0, 1, 0), std::invalid_argument);
+}
+
+TEST(Network, InOutChannels) {
+  ProcessNetwork n;
+  n.add_process("a", 1);
+  n.add_process("b", 1);
+  n.add_process("c", 1);
+  n.add_channel(0, 1, 1);
+  n.add_channel(0, 2, 1);
+  n.add_channel(1, 2, 1);
+  EXPECT_EQ(n.out_channels(0).size(), 2u);
+  EXPECT_EQ(n.in_channels(0).size(), 0u);
+  EXPECT_EQ(n.in_channels(2).size(), 2u);
+}
+
+TEST(Network, ToGraphMergesBidirectional) {
+  ProcessNetwork n;
+  n.add_process("a", 4);
+  n.add_process("b", 6);
+  n.add_channel(0, 1, 3);
+  n.add_channel(1, 0, 2);  // reverse FIFO
+  const graph::Graph g = to_graph(n);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight_between(0, 1), 5);  // both directions summed
+  EXPECT_EQ(g.node_weight(0), 4);
+  EXPECT_EQ(g.node_weight(1), 6);
+}
+
+TEST(Network, FromGraphRoundTrip) {
+  support::Rng rng(3);
+  const graph::Graph g = graph::erdos_renyi_gnm(20, 40, rng, {1, 9}, {1, 9});
+  const ProcessNetwork n = from_graph(g, "rt");
+  EXPECT_EQ(n.num_processes(), 20u);
+  EXPECT_EQ(n.num_channels(), 40u);
+  const graph::Graph back = to_graph(n);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.total_node_weight(), g.total_node_weight());
+  EXPECT_EQ(back.total_edge_weight(), g.total_edge_weight());
+}
+
+// ------------------------------------------------------- resource model ---
+
+TEST(ResourceModel, LinearEstimate) {
+  ResourceModel model;
+  model.base_process_cost = 10;
+  model.per_op_cost = 5;
+  model.per_port_cost = 2;
+  EXPECT_EQ(model.estimate(4, 2, 1), 10 + 20 + 6);
+  EXPECT_EQ(model.estimate(0, 0, 0), 10);
+}
+
+// ----------------------------------------------------------- derivation ---
+
+TEST(Derive, ProducerConsumerChainShape) {
+  const poly::Program prog = producer_consumer_program(3, 16);
+  const ProcessNetwork n = derive_network(prog);
+  // 3 stages + 1 source for "in".
+  EXPECT_EQ(n.num_processes(), 4u);
+  EXPECT_EQ(n.num_channels(), 3u);
+  EXPECT_TRUE(n.validate().empty());
+}
+
+TEST(Derive, BandwidthIsVolumeOverHorizon) {
+  const poly::Program prog = producer_consumer_program(2, 16);
+  const ProcessNetwork n = derive_network(prog);
+  // Horizon = 16 firings; each channel carries 16 tokens -> bandwidth 1.
+  for (const Channel& c : n.channels()) {
+    EXPECT_EQ(c.volume, 16u);
+    EXPECT_EQ(c.bandwidth, 1);
+  }
+}
+
+TEST(Derive, SelfChannelsDropped) {
+  const poly::Program prog = matmul_program(2, 3, 2);
+  const ProcessNetwork n = derive_network(prog);
+  for (const Channel& c : n.channels()) EXPECT_NE(c.src, c.dst);
+}
+
+TEST(Derive, SelfChannelsKeptWhenRequested) {
+  const poly::Program prog = matmul_program(2, 3, 2);
+  DerivationOptions options;
+  options.drop_self_channels = false;
+  // A self channel violates the network invariants, so derivation throws.
+  EXPECT_THROW(derive_network(prog, options), std::invalid_argument);
+}
+
+TEST(Derive, SourceProcessesForExternalArrays) {
+  const poly::Program prog = matmul_program(3, 3, 3);
+  const ProcessNetwork n = derive_network(prog);
+  int sources = 0;
+  for (const Process& p : n.processes()) {
+    if (p.name.rfind("src_", 0) == 0) ++sources;
+  }
+  EXPECT_EQ(sources, 2);  // A and B
+}
+
+TEST(Derive, PortCountsAffectResources) {
+  // Join in split_join has `branches` input ports; more branches => more
+  // resources for the join process.
+  const ProcessNetwork n2 = derive_network(split_join_program(2, 8));
+  const ProcessNetwork n4 = derive_network(split_join_program(4, 8));
+  auto join_res = [](const ProcessNetwork& n) {
+    for (const Process& p : n.processes()) {
+      if (p.name == "Join") return p.resources;
+    }
+    return graph::Weight{-1};
+  };
+  EXPECT_GT(join_res(n4), join_res(n2));
+}
+
+TEST(Derive, FiringsMatchDomainCardinality) {
+  const poly::Program prog = jacobi1d_program(12, 2);
+  const ProcessNetwork n = derive_network(prog);
+  for (const Process& p : n.processes()) {
+    if (p.name.rfind("J", 0) == 0) EXPECT_EQ(p.firings, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace ppnpart::ppn

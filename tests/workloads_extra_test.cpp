@@ -1,0 +1,234 @@
+// Tests for the second wave of workloads (heat3d, conv2d, LU, FFT): each
+// must validate, derive the expected topology, and carry dependence-exact
+// channel volumes where the poly layer is involved.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "poly/dependence.hpp"
+#include "ppn/from_poly.hpp"
+#include "ppn/workloads.hpp"
+
+namespace ppnpart::ppn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// heat3d
+// ---------------------------------------------------------------------------
+
+TEST(Heat3d, ProgramValidates) {
+  const poly::Program prog = heat3d_program(6, 3);
+  EXPECT_TRUE(prog.validate().empty()) << prog.validate();
+  EXPECT_EQ(prog.statements.size(), 3u);
+}
+
+TEST(Heat3d, ChannelVolumeMatchesStencilReads) {
+  // Interior of a 6^3 grid is 4^3 = 64 points; each stage reads its
+  // predecessor 7 times per point, but only interior-produced addresses
+  // count as flow (boundary reads hit the external input at stage 1 only).
+  const poly::Program prog = heat3d_program(6, 2);
+  const poly::DependenceAnalysis analysis = poly::compute_dependences(prog);
+  std::uint64_t h1_to_h2 = 0;
+  for (const auto& dep : analysis.flows) {
+    if (prog.statements[dep.producer].name == "H1" &&
+        prog.statements[dep.consumer].name == "H2")
+      h1_to_h2 += dep.volume;
+  }
+  // H2's 7-point reads over the 4^3 interior: points whose source address
+  // lies in H1's written interior. Center read always hits (64); each of
+  // the 6 offset reads hits for the 3x4x4 (or symmetric) sub-box = 48.
+  EXPECT_EQ(h1_to_h2, 64u + 6u * 48u);
+}
+
+TEST(Heat3d, DerivesPipeline) {
+  const ProcessNetwork net = make_workload("heat3d", {.size = 6, .stages = 4});
+  // 4 stages + 1 source (H0).
+  EXPECT_EQ(net.num_processes(), 5u);
+  EXPECT_TRUE(net.validate().empty());
+}
+
+TEST(Heat3d, RejectsBadArguments) {
+  EXPECT_THROW(heat3d_program(2, 1), std::invalid_argument);
+  EXPECT_THROW(heat3d_program(8, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// conv2d
+// ---------------------------------------------------------------------------
+
+TEST(Conv2d, ProgramValidates) {
+  const poly::Program prog = conv2d_program(16, 16, 3);
+  EXPECT_TRUE(prog.validate().empty()) << prog.validate();
+  ASSERT_EQ(prog.statements.size(), 2u);
+  EXPECT_EQ(prog.statements[0].reads.size(), 9u);  // 3x3 taps
+}
+
+TEST(Conv2d, KernelMustBeOdd) {
+  EXPECT_THROW(conv2d_program(16, 16, 4), std::invalid_argument);
+  EXPECT_THROW(conv2d_program(16, 16, -1), std::invalid_argument);
+  EXPECT_THROW(conv2d_program(2, 2, 5), std::invalid_argument);
+}
+
+TEST(Conv2d, DerivedNetworkIsSourceConvPost) {
+  const ProcessNetwork net = make_workload("conv2d", {.size = 12});
+  ASSERT_EQ(net.num_processes(), 3u);  // img source, Conv, Post
+  EXPECT_TRUE(net.validate().empty());
+  // Conv -> Post volume equals the interior point count (one token each).
+  const std::int64_t interior = 10 * 10;
+  bool found = false;
+  for (const Channel& ch : net.channels()) {
+    if (net.process(ch.src).name == "Conv" &&
+        net.process(ch.dst).name == "Post") {
+      EXPECT_EQ(ch.volume, static_cast<std::uint64_t>(interior));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Conv2d, WiderKernelRaisesConvResources) {
+  const ProcessNetwork k3 =
+      derive_network(conv2d_program(16, 16, 3));
+  const ProcessNetwork k5 =
+      derive_network(conv2d_program(16, 16, 5));
+  const auto resources_of = [](const ProcessNetwork& net,
+                               const std::string& name) {
+    for (const Process& p : net.processes())
+      if (p.name == name) return p.resources;
+    return Weight{-1};
+  };
+  EXPECT_GT(resources_of(k5, "Conv"), resources_of(k3, "Conv"));
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+TEST(Lu, ProgramValidates) {
+  const poly::Program prog = lu_program(6);
+  EXPECT_TRUE(prog.validate().empty()) << prog.validate();
+  // (n-1) Div + (n-1) Upd + n Urow.
+  EXPECT_EQ(prog.statements.size(), 2u * 5u + 6u);
+}
+
+TEST(Lu, TriangularDomainsShrink) {
+  const poly::Program prog = lu_program(5);
+  // Upd_k domain is (n-1-k)^2.
+  std::vector<std::uint64_t> upd_sizes;
+  for (const auto& st : prog.statements) {
+    if (st.name.rfind("Upd", 0) == 0)
+      upd_sizes.push_back(st.domain.cardinality());
+  }
+  ASSERT_EQ(upd_sizes.size(), 4u);
+  EXPECT_EQ(upd_sizes[0], 16u);
+  EXPECT_EQ(upd_sizes[1], 9u);
+  EXPECT_EQ(upd_sizes[2], 4u);
+  EXPECT_EQ(upd_sizes[3], 1u);
+}
+
+TEST(Lu, DerivedNetworkHasEliminationChain) {
+  const ProcessNetwork net = derive_network(lu_program(5));
+  EXPECT_TRUE(net.validate().empty());
+  // Every Upd_k must feed Div_{k+1} (the next pivot column comes from the
+  // updated trailing matrix).
+  const auto id_of = [&](const std::string& name) {
+    for (std::uint32_t i = 0; i < net.num_processes(); ++i)
+      if (net.process(i).name == name) return static_cast<std::int64_t>(i);
+    return std::int64_t{-1};
+  };
+  for (int k = 0; k + 2 < 5; ++k) {
+    const std::int64_t upd = id_of("Upd" + std::to_string(k));
+    const std::int64_t div = id_of("Div" + std::to_string(k + 1));
+    ASSERT_GE(upd, 0);
+    ASSERT_GE(div, 0);
+    bool connected = false;
+    for (const Channel& ch : net.channels()) {
+      if (ch.src == static_cast<std::uint32_t>(upd) &&
+          ch.dst == static_cast<std::uint32_t>(div))
+        connected = true;
+    }
+    EXPECT_TRUE(connected) << "Upd" << k << " -> Div" << k + 1;
+  }
+}
+
+TEST(Lu, RejectsTinyMatrices) {
+  EXPECT_THROW(lu_program(1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// FFT
+// ---------------------------------------------------------------------------
+
+TEST(Fft, TopologyCounts) {
+  const std::uint32_t log2n = 4;  // 16-point FFT
+  const ProcessNetwork net = fft_network(log2n);
+  // src + sink + log2n stages of 8 butterflies.
+  EXPECT_EQ(net.num_processes(), 2u + 4u * 8u);
+  EXPECT_TRUE(net.validate().empty());
+}
+
+TEST(Fft, EveryButterflyHasTwoInputsAndFeedsForward) {
+  const ProcessNetwork net = fft_network(3);
+  for (std::uint32_t i = 0; i < net.num_processes(); ++i) {
+    const std::string& name = net.process(i).name;
+    if (name.rfind("bf_", 0) != 0) continue;
+    std::uint64_t in_tokens = 0;
+    for (const auto ci : net.in_channels(i))
+      in_tokens += net.channels()[ci].volume;
+    // Each butterfly consumes exactly n samples' worth of tokens per
+    // execution (2 lanes x n/2 firings).
+    EXPECT_EQ(in_tokens, 8u) << name;
+    EXPECT_FALSE(net.out_channels(i).empty()) << name;
+  }
+}
+
+TEST(Fft, StageStructureIsLayered) {
+  // No channel may skip a stage: sources feed stage 0, stage s feeds s+1,
+  // last stage feeds the sink.
+  const std::uint32_t log2n = 4;
+  const ProcessNetwork net = fft_network(log2n);
+  const auto stage_of = [&](std::uint32_t id) -> int {
+    const std::string& name = net.process(id).name;
+    if (name.rfind("bf_s", 0) != 0) return -1;  // src/sink
+    return std::stoi(name.substr(4));
+  };
+  for (const Channel& ch : net.channels()) {
+    const int s = stage_of(ch.src);
+    const int d = stage_of(ch.dst);
+    if (s >= 0 && d >= 0) EXPECT_EQ(d, s + 1);
+  }
+}
+
+TEST(Fft, RejectsBadSizes) {
+  EXPECT_THROW(fft_network(0), std::invalid_argument);
+  EXPECT_THROW(fft_network(11), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadCatalog, AllNamesBuildValidNetworks) {
+  for (const std::string& name : workload_names()) {
+    WorkloadScale scale;
+    scale.size = 12;
+    scale.stages = 3;
+    const ProcessNetwork net = make_workload(name, scale);
+    EXPECT_TRUE(net.validate().empty()) << name;
+    EXPECT_GE(net.num_processes(), 2u) << name;
+    EXPECT_GE(net.num_channels(), 1u) << name;
+  }
+}
+
+TEST(WorkloadCatalog, NewNamesPresent) {
+  const auto names = workload_names();
+  for (const char* expected : {"heat3d", "conv2d", "lu", "fft"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace ppnpart::ppn

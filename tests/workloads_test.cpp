@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "ppn/workloads.hpp"
+
+namespace ppnpart::ppn {
+namespace {
+
+TEST(Workloads, CatalogBuildsEverything) {
+  WorkloadScale scale;
+  scale.size = 12;
+  scale.stages = 3;
+  for (const std::string& name : workload_names()) {
+    const ProcessNetwork n = make_workload(name, scale);
+    EXPECT_GT(n.num_processes(), 1u) << name;
+    EXPECT_GT(n.num_channels(), 0u) << name;
+    EXPECT_TRUE(n.validate().empty()) << name << ": " << n.validate();
+    // Partitioning view must be a single connected component (a PPN is a
+    // connected dataflow application).
+    const graph::Graph g = to_graph(n);
+    EXPECT_TRUE(graph::is_connected(g)) << name;
+  }
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("nope"), std::invalid_argument);
+}
+
+TEST(Workloads, Jacobi1dShape) {
+  const ProcessNetwork n = make_workload("jacobi1d", {32, 4});
+  EXPECT_EQ(n.num_processes(), 5u);  // 4 stages + source
+  // Stage-to-stage: 3 channels each (the stencil taps); source->first: 3.
+  EXPECT_EQ(n.num_channels(), 12u);
+}
+
+TEST(Workloads, SobelShape) {
+  const ProcessNetwork n = make_workload("sobel", {16, 1});
+  // Gx, Gy, Mag, Thresh + src_img.
+  EXPECT_EQ(n.num_processes(), 5u);
+}
+
+TEST(Workloads, MjpegShape) {
+  const ProcessNetwork n = mjpeg_network();
+  EXPECT_EQ(n.num_processes(), 10u);
+  EXPECT_EQ(n.num_channels(), 11u);
+  EXPECT_TRUE(n.validate().empty());
+  // DCT dominates the area budget, like real HLS reports.
+  graph::Weight max_res = 0;
+  std::string heaviest;
+  for (const Process& p : n.processes()) {
+    if (p.resources > max_res) {
+      max_res = p.resources;
+      heaviest = p.name;
+    }
+  }
+  EXPECT_EQ(heaviest.rfind("dct", 0), 0u);
+}
+
+TEST(Workloads, FirChainLength) {
+  const poly::Program prog = fir_program(5, 64);
+  EXPECT_EQ(prog.statements.size(), 5u);
+  EXPECT_TRUE(prog.validate().empty());
+}
+
+TEST(Workloads, ProgramsValidate) {
+  EXPECT_TRUE(jacobi1d_program(16, 3).validate().empty());
+  EXPECT_TRUE(jacobi2d_program(8, 2).validate().empty());
+  EXPECT_TRUE(matmul_program(4, 4, 4).validate().empty());
+  EXPECT_TRUE(fir_program(4, 32).validate().empty());
+  EXPECT_TRUE(sobel_program(8, 8).validate().empty());
+  EXPECT_TRUE(producer_consumer_program(4, 16).validate().empty());
+  EXPECT_TRUE(split_join_program(3, 16).validate().empty());
+}
+
+TEST(Workloads, BadParametersThrow) {
+  EXPECT_THROW(jacobi1d_program(2, 1), std::invalid_argument);
+  EXPECT_THROW(jacobi1d_program(10, 0), std::invalid_argument);
+  EXPECT_THROW(matmul_program(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(fir_program(0, 10), std::invalid_argument);
+  EXPECT_THROW(fir_program(8, 4), std::invalid_argument);
+  EXPECT_THROW(sobel_program(2, 8), std::invalid_argument);
+  EXPECT_THROW(split_join_program(0, 4), std::invalid_argument);
+}
+
+TEST(Workloads, ScaleChangesSize) {
+  const ProcessNetwork small = make_workload("producer_consumer", {8, 2});
+  const ProcessNetwork large = make_workload("producer_consumer", {8, 5});
+  EXPECT_LT(small.num_processes(), large.num_processes());
+}
+
+}  // namespace
+}  // namespace ppnpart::ppn

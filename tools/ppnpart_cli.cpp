@@ -1,0 +1,240 @@
+// ppnpart — the command-line partitioner this paper describes as "a tool to
+// automatically map tasks to FPGAs".
+//
+// Input sources (exactly one):
+//   --graph FILE        METIS .graph file (node+edge weights supported)
+//   --matrix FILE       dense symmetric adjacency matrix (the paper's
+//                       MATLAB input convention)
+//   --workload NAME     built-in PPN workload (see --list-workloads)
+//   --paper N           paper experiment instance 1 | 2 | 3
+//
+// Core options:
+//   --algorithm NAME    gp | metislike | nlevel | kl | spectral | tabu |
+//                       annealing | genetic | exact | random   (default gp)
+//   --k N               number of FPGAs / parts                (default 4)
+//   --rmax W            per-FPGA resource budget               (default inf)
+//   --bmax W            per-link bandwidth budget              (default inf)
+//   --seed S            PRNG seed                              (default 1)
+//
+// Outputs:
+//   --out FILE          one part id per line (node order)
+//   --dot FILE          colour-clustered DOT of the partitioned network
+//   --summary           one-line machine-readable result (always printed)
+//
+// Exit codes: 0 feasible (or unconstrained), 2 infeasible, 1 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "graph/io.hpp"
+#include "partition/annealing.hpp"
+#include "partition/exact.hpp"
+#include "partition/genetic.hpp"
+#include "partition/gp.hpp"
+#include "partition/kl.hpp"
+#include "partition/metislike.hpp"
+#include "partition/nlevel.hpp"
+#include "partition/report.hpp"
+#include "partition/spectral.hpp"
+#include "partition/tabu.hpp"
+#include "ppn/network.hpp"
+#include "ppn/paper_instances.hpp"
+#include "ppn/workloads.hpp"
+#include "support/cli.hpp"
+#include "viz/dot.hpp"
+
+namespace {
+
+using namespace ppnpart;
+
+std::unique_ptr<part::Partitioner> make_algorithm(const std::string& name) {
+  if (name == "gp") return std::make_unique<part::GpPartitioner>();
+  if (name == "metislike")
+    return std::make_unique<part::MetisLikePartitioner>();
+  if (name == "nlevel") return std::make_unique<part::NLevelPartitioner>();
+  if (name == "kl") return std::make_unique<part::KlPartitioner>();
+  if (name == "spectral") return std::make_unique<part::SpectralPartitioner>();
+  if (name == "tabu") return std::make_unique<part::TabuPartitioner>();
+  if (name == "annealing")
+    return std::make_unique<part::AnnealingPartitioner>();
+  if (name == "genetic") return std::make_unique<part::GeneticPartitioner>();
+  if (name == "random") return std::make_unique<part::RandomPartitioner>();
+  return nullptr;
+}
+
+int fail(const char* message) {
+  std::fprintf(stderr, "ppnpart: %s (try --help)\n", message);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::ArgParser args(
+      "ppnpart — constraint-aware multi-FPGA process-network partitioner");
+  args.add_string("graph", "", "METIS .graph input file");
+  args.add_string("matrix", "", "dense adjacency-matrix input file");
+  args.add_string("workload", "", "built-in workload name");
+  args.add_int("paper", 0, "paper experiment instance (1|2|3)");
+  args.add_flag("list-workloads", "print available workload names and exit");
+  args.add_string("algorithm", "gp", "partitioning algorithm");
+  args.add_int("k", 4, "number of parts (FPGAs)");
+  args.add_int("rmax", 0, "per-FPGA resource budget (0 = unlimited)");
+  args.add_int("bmax", 0, "per-link bandwidth budget (0 = unlimited)");
+  args.add_int("seed", 1, "PRNG seed");
+  args.add_string("out", "", "write partition vector (one part id per line)");
+  args.add_string("dot", "", "write colour-clustered DOT file");
+  args.add_flag("quiet", "suppress the human-readable report");
+  args.add_flag("report", "print the per-part / hot-pair analysis table");
+
+  if (auto status = args.parse(argc, argv); !status.is_ok()) {
+    std::fprintf(stderr, "ppnpart: %s\n", status.message().c_str());
+    return 1;
+  }
+  if (args.help_requested()) {
+    std::printf("%s", args.help_text().c_str());
+    return 0;
+  }
+  if (args.flag("list-workloads")) {
+    for (const std::string& name : ppn::workload_names())
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  // ---- Resolve the input to a graph (and a network when we have one). ---
+  int sources = 0;
+  for (const char* opt : {"graph", "matrix", "workload"})
+    sources += args.get_string(opt).empty() ? 0 : 1;
+  sources += args.get_int("paper") != 0 ? 1 : 0;
+  if (sources != 1)
+    return fail("exactly one of --graph/--matrix/--workload/--paper required");
+
+  graph::Graph g;
+  ppn::ProcessNetwork network;  // populated when the source is a PPN
+  bool have_network = false;
+  part::Constraints constraints;
+  auto k = static_cast<part::PartId>(args.get_int("k"));
+
+  if (!args.get_string("graph").empty()) {
+    auto result = graph::read_metis_file(args.get_string("graph"));
+    if (!result) {
+      std::fprintf(stderr, "ppnpart: %s\n", result.status().message().c_str());
+      return 1;
+    }
+    g = std::move(result).value();
+  } else if (!args.get_string("matrix").empty()) {
+    std::ifstream in(args.get_string("matrix"));
+    if (!in) return fail("cannot open --matrix file");
+    auto result = graph::read_adjacency_matrix(in);
+    if (!result) {
+      std::fprintf(stderr, "ppnpart: %s\n", result.status().message().c_str());
+      return 1;
+    }
+    g = std::move(result).value();
+  } else if (!args.get_string("workload").empty()) {
+    try {
+      network = ppn::make_workload(args.get_string("workload"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ppnpart: %s\n", e.what());
+      return 1;
+    }
+    g = ppn::to_graph(network);
+    have_network = true;
+  } else {
+    const int index = static_cast<int>(args.get_int("paper"));
+    if (index < 1 || index > 3) return fail("--paper must be 1, 2 or 3");
+    ppn::PaperInstance inst = ppn::paper_instance(index);
+    network = std::move(inst.network);
+    g = std::move(inst.graph);
+    constraints = inst.constraints;  // defaults; --rmax/--bmax override
+    k = inst.k;
+    have_network = true;
+  }
+
+  if (args.get_int("k") != 4 || k <= 0)
+    k = static_cast<part::PartId>(args.get_int("k"));
+  if (k <= 0) return fail("--k must be positive");
+  if (args.get_int("rmax") > 0) constraints.rmax = args.get_int("rmax");
+  if (args.get_int("bmax") > 0) constraints.bmax = args.get_int("bmax");
+
+  // ---- Run. --------------------------------------------------------------
+  part::PartitionRequest request;
+  request.k = k;
+  request.constraints = constraints;
+  request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const std::string algo_name = args.get_string("algorithm");
+  part::PartitionResult result;
+  try {
+    if (algo_name == "exact") {
+      part::ExactOptions exact_opts;
+      const part::ExactResult exact =
+          part::exact_min_cut(g, k, constraints, exact_opts);
+      if (!exact.found) {
+        std::fprintf(stderr, "ppnpart: exact search found no assignment\n");
+        return 2;
+      }
+      result.partition = exact.partition;
+      result.algorithm = "Exact";
+      result.seconds = exact.seconds;
+      result.finalize(g, constraints);
+    } else {
+      auto algo = make_algorithm(algo_name);
+      if (!algo) return fail("unknown --algorithm");
+      result = algo->run(g, request);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppnpart: %s\n", e.what());
+    return 1;
+  }
+
+  // ---- Report. -------------------------------------------------------------
+  if (!args.flag("quiet")) {
+    std::printf("algorithm : %s\n", result.algorithm.c_str());
+    std::printf("graph     : n=%u m=%llu\n", g.num_nodes(),
+                static_cast<unsigned long long>(g.num_edges()));
+    std::printf("request   : k=%d rmax=%s bmax=%s seed=%llu\n", k,
+                constraints.rmax == part::Constraints::kUnlimited
+                    ? "inf"
+                    : std::to_string(constraints.rmax).c_str(),
+                constraints.bmax == part::Constraints::kUnlimited
+                    ? "inf"
+                    : std::to_string(constraints.bmax).c_str(),
+                static_cast<unsigned long long>(request.seed));
+    std::printf("result    : %s\n",
+                part::describe(result.metrics, constraints).c_str());
+    std::printf("time      : %.4fs\n", result.seconds);
+  }
+  if (args.flag("report")) {
+    std::printf("%s", part::analyze(g, result.partition, constraints)
+                          .to_string()
+                          .c_str());
+  }
+  std::printf(
+      "summary cut=%lld max_load=%lld max_pairwise=%lld feasible=%d "
+      "seconds=%.4f\n",
+      static_cast<long long>(result.metrics.total_cut),
+      static_cast<long long>(result.metrics.max_load),
+      static_cast<long long>(result.metrics.max_pairwise_cut),
+      result.feasible ? 1 : 0, result.seconds);
+
+  // ---- Optional outputs. ---------------------------------------------------
+  if (!args.get_string("out").empty()) {
+    std::ofstream out(args.get_string("out"));
+    if (!out) return fail("cannot open --out file");
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+      out << result.partition[u] << "\n";
+  }
+  if (!args.get_string("dot").empty()) {
+    if (!have_network) network = ppn::from_graph(g, "input");
+    const auto status = viz::write_partitioned_dot_file(
+        args.get_string("dot"), network, result.partition);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "ppnpart: %s\n", status.message().c_str());
+      return 1;
+    }
+  }
+  return result.feasible || constraints.unconstrained() ? 0 : 2;
+}
