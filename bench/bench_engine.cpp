@@ -1,0 +1,168 @@
+// Portfolio engine: batch throughput, cache hit rate, determinism.
+//
+// Three measurements back the engine's service-layer claims:
+//
+//   1. Batch throughput — N jobs through Engine::run_batch (members of all
+//      jobs interleave on the thread pool) vs the same work run
+//      sequentially (each member of each job, one after another, no pool).
+//      On a multicore host the batch path approaches a size()-fold speedup;
+//      on a single core it should at least break even.
+//
+//   2. Repeated-query workload — Q queries drawn round-robin from D << Q
+//      distinct jobs. The LRU cache answers Q - D of them in O(1); the
+//      report shows the measured hit rate and the speedup over the same
+//      traffic with the cache disabled.
+//
+//   3. Determinism — the same job run twice through fresh engines (cache
+//      off) must produce bit-identical partitions.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace ppnpart;
+
+engine::Job to_job(bench::InstanceFamily::Instance&& inst) {
+  return engine::Job{std::move(inst.graph), inst.request};
+}
+
+using part::goodness_of;
+
+/// The baseline a single-request CLI user gets: every portfolio member run
+/// back-to-back on the calling thread, best answer kept. Seeds match the
+/// engine's per-member derivation so quality is identical by construction.
+part::PartitionResult run_sequential(const engine::Job& job,
+                                     const engine::Portfolio& portfolio) {
+  part::PartitionResult best;
+  part::Goodness best_good;
+  bool have = false;
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    auto algo = part::make_partitioner(portfolio.members[i]);
+    part::PartitionRequest req = job.request;
+    req.seed = support::SeedStream(job.request.seed).seed_for(i);
+    part::PartitionResult r = algo->run(job.graph, req);
+    const part::Goodness good = goodness_of(r);
+    if (!have || good < best_good) {
+      have = true;
+      best_good = good;
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned threads = support::ThreadPool::global().size();
+  std::printf("# bench_engine — portfolio engine service-layer measurements\n");
+  std::printf("# thread pool size: %u\n\n", threads);
+
+  bench::InstanceFamily family;
+  family.nodes = 120;
+  family.k = 4;
+
+  const engine::Portfolio portfolio = engine::Portfolio::defaults();
+
+  // ---- 1. Batch throughput: N jobs, batch vs sequential. ------------------
+  constexpr int kBatchJobs = 32;
+  std::vector<engine::Job> jobs;
+  jobs.reserve(kBatchJobs);
+  for (int i = 0; i < kBatchJobs; ++i) jobs.push_back(to_job(family.make(i)));
+
+  support::Timer seq_timer;
+  std::vector<part::PartitionResult> seq_results;
+  seq_results.reserve(jobs.size());
+  for (const engine::Job& job : jobs)
+    seq_results.push_back(run_sequential(job, portfolio));
+  const double seq_seconds = seq_timer.seconds();
+
+  engine::EngineOptions bopts;
+  bopts.portfolio = portfolio;
+  bopts.cache_capacity = 0;  // all distinct jobs; measure compute, not cache
+  engine::Engine batch_engine(bopts);
+  support::Timer batch_timer;
+  const auto batch_results = batch_engine.run_batch(jobs);
+  const double batch_seconds = batch_timer.seconds();
+
+  int quality_matches = 0;
+  for (int i = 0; i < kBatchJobs; ++i) {
+    if (goodness_of(batch_results[i].best) == goodness_of(seq_results[i]))
+      ++quality_matches;
+  }
+
+  std::printf("[batch throughput]  jobs=%d portfolio=%s\n", kBatchJobs,
+              portfolio.to_string().c_str());
+  std::printf("  sequential : %8.3f s   %6.2f jobs/s\n", seq_seconds,
+              kBatchJobs / seq_seconds);
+  std::printf("  run_batch  : %8.3f s   %6.2f jobs/s\n", batch_seconds,
+              kBatchJobs / batch_seconds);
+  std::printf("  speedup    : %6.2fx (pool size %u)\n",
+              seq_seconds / batch_seconds, threads);
+  std::printf("  quality    : %d/%d jobs match the sequential best exactly\n\n",
+              quality_matches, kBatchJobs);
+
+  // ---- 2. Repeated-query workload: cache hit rate and speedup. ------------
+  constexpr int kDistinct = 12;
+  constexpr int kQueries = 96;
+  std::vector<engine::Job> distinct;
+  for (int i = 0; i < kDistinct; ++i)
+    distinct.push_back(to_job(family.make(1000 + i)));
+
+  engine::EngineOptions copts;
+  copts.portfolio = portfolio;
+  copts.cache_capacity = 4096;
+  engine::Engine cached_engine(copts);
+  support::Timer cached_timer;
+  for (int q = 0; q < kQueries; ++q) {
+    const engine::Job& job = distinct[q % kDistinct];
+    (void)cached_engine.run_one(job.graph, job.request);
+  }
+  const double cached_seconds = cached_timer.seconds();
+  const engine::EngineStats cstats = cached_engine.stats();
+
+  engine::EngineOptions nopts = copts;
+  nopts.cache_capacity = 0;
+  engine::Engine uncached_engine(nopts);
+  support::Timer uncached_timer;
+  for (int q = 0; q < kQueries; ++q) {
+    const engine::Job& job = distinct[q % kDistinct];
+    (void)uncached_engine.run_one(job.graph, job.request);
+  }
+  const double uncached_seconds = uncached_timer.seconds();
+
+  std::printf("[repeated queries]  %d queries over %d distinct jobs\n",
+              kQueries, kDistinct);
+  std::printf("  cache hits : %llu/%d  (hit rate %.1f%%)\n",
+              static_cast<unsigned long long>(cstats.cache.hits), kQueries,
+              100.0 * cstats.cache.hit_rate());
+  std::printf("  cached     : %8.3f s   %6.2f queries/s\n", cached_seconds,
+              kQueries / cached_seconds);
+  std::printf("  uncached   : %8.3f s   %6.2f queries/s\n", uncached_seconds,
+              kQueries / uncached_seconds);
+  std::printf("  speedup    : %6.2fx\n\n", uncached_seconds / cached_seconds);
+
+  // ---- 3. Determinism: fixed seed => bit-identical partitions. ------------
+  const engine::Job probe = to_job(family.make(77));
+  engine::EngineOptions dopts;
+  dopts.portfolio = portfolio;
+  dopts.cache_capacity = 0;
+  engine::Engine run_a(dopts);
+  engine::Engine run_b(dopts);
+  const auto a = run_a.run_one(probe.graph, probe.request);
+  const auto b = run_b.run_one(probe.graph, probe.request);
+  const bool identical =
+      a.winner == b.winner &&
+      a.best.partition.assignments() == b.best.partition.assignments();
+  std::printf("[determinism]  fixed seed, two fresh engines\n");
+  std::printf("  winner     : %s vs %s\n", a.winner.c_str(), b.winner.c_str());
+  std::printf("  bit-identical partitions: %s\n", identical ? "yes" : "NO");
+
+  return identical ? 0 : 1;
+}

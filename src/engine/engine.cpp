@@ -1,0 +1,333 @@
+#include "engine/engine.hpp"
+
+#include <condition_variable>
+#include <stdexcept>
+
+#include "engine/fingerprint.hpp"
+#include "support/prng.hpp"
+#include "support/stop_token.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace ppnpart::engine {
+
+using part::goodness_of;
+
+/// All mutable state of one in-flight job. Tasks hold it by shared_ptr so a
+/// client collecting the outcome early never races task teardown.
+struct Engine::JobState {
+  Job job;
+  JobId id = 0;
+  std::uint64_t key = 0;
+  support::StopToken token;
+  support::Timer timer;
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<MemberOutcome> members;
+  bool have_best = false;
+  std::size_t best_index = 0;
+  part::Goodness best_goodness;
+  part::PartitionResult best;
+  std::size_t remaining = 0;
+  bool done = false;
+  PortfolioOutcome outcome;
+};
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (options_.portfolio.empty())
+    throw std::invalid_argument("Engine: portfolio has no members");
+  for (const std::string& name : options_.portfolio.members) {
+    if (part::make_partitioner(name) == nullptr)
+      throw std::invalid_argument("Engine: unknown portfolio member '" + name +
+                                  "'");
+  }
+}
+
+Engine::~Engine() {
+  // Outstanding member tasks capture `this`; drain them before dying.
+  std::vector<std::shared_ptr<JobState>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.reserve(jobs_.size());
+    for (auto& [id, state] : jobs_) pending.push_back(state);
+  }
+  for (auto& state : pending) {
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&] { return state->done; });
+  }
+}
+
+std::uint64_t Engine::job_key(const graph::Graph& g,
+                              const part::PartitionRequest& request) const {
+  return hash_combine(
+      hash_combine(graph_fingerprint(g), request_fingerprint(request)),
+      options_.portfolio.fingerprint());
+}
+
+PortfolioOutcome Engine::run_one(const graph::Graph& g,
+                                 const part::PartitionRequest& request) {
+  // Cache fast path before the Job is even built: a hit costs a hash and a
+  // lookup, never a graph copy or a pool round-trip.
+  support::Timer timer;
+  const std::uint64_t key = job_key(g, request);
+  if (auto cached = cache_.lookup(key)) {
+    PortfolioOutcome out = std::move(*cached);
+    out.from_cache = true;
+    out.seconds = timer.seconds();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_completed;
+    return out;
+  }
+  // The lookup above already accounted the miss; don't count it twice.
+  return wait(start_job(Job{g, request}, key, /*check_cache=*/false)->id);
+}
+
+std::vector<PortfolioOutcome> Engine::run_batch(const std::vector<Job>& jobs) {
+  // Enqueue everything first so members of different jobs overlap on the
+  // pool, then collect in job order.
+  std::vector<JobId> ids;
+  ids.reserve(jobs.size());
+  for (const Job& job : jobs) ids.push_back(submit(job));
+  std::vector<PortfolioOutcome> out;
+  out.reserve(ids.size());
+  for (JobId id : ids) out.push_back(wait(id));
+  return out;
+}
+
+std::vector<PortfolioOutcome> Engine::run_batch(std::vector<Job>&& jobs) {
+  std::vector<JobId> ids;
+  ids.reserve(jobs.size());
+  for (Job& job : jobs) ids.push_back(submit(std::move(job)));
+  jobs.clear();
+  std::vector<PortfolioOutcome> out;
+  out.reserve(ids.size());
+  for (JobId id : ids) out.push_back(wait(id));
+  return out;
+}
+
+Engine::JobId Engine::submit(Job job) {
+  const std::uint64_t key = job_key(job.graph, job.request);
+  return start_job(std::move(job), key, /*check_cache=*/true)->id;
+}
+
+std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
+                                                    std::uint64_t key,
+                                                    bool check_cache) {
+  auto state = std::make_shared<JobState>();
+  state->job = std::move(job);
+  state->key = key;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state->id = next_id_++;
+    jobs_[state->id] = state;
+  }
+
+  // Cache fast path: a finished twin of this job exists — no pool work.
+  if (auto cached = check_cache ? cache_.lookup(state->key)
+                                : std::optional<PortfolioOutcome>{}) {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->outcome = std::move(*cached);
+    state->outcome.from_cache = true;
+    state->outcome.seconds = state->timer.seconds();
+    state->done = true;
+    std::lock_guard<std::mutex> slock(mutex_);
+    ++stats_.jobs_completed;
+    return state;
+  }
+
+  const std::size_t n = options_.portfolio.size();
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->members.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      state->members[i].algorithm = options_.portfolio.members[i];
+    state->remaining = n;
+  }
+  if (options_.time_budget_ms > 0)
+    state->token.set_deadline_after(options_.time_budget_ms / 1e3);
+  // A caller-armed request.stop keeps working inside the engine: the job
+  // token observes it as a parent, and run_member hands members the job
+  // token (which covers budget + quality-gate + caller cancel at once).
+  if (state->job.request.stop != nullptr)
+    state->token.set_parent(state->job.request.stop);
+
+  auto& pool = support::ThreadPool::global();
+  if (pool.on_worker_thread()) {
+    // Called from inside the pool (e.g. a client task): fanning out and
+    // blocking would deadlock a saturated pool, so degrade to serial.
+    for (std::size_t i = 0; i < n; ++i) run_member(state, i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      // Futures are intentionally dropped: completion is tracked by
+      // `remaining`, and packaged_task keeps the shared state alive.
+      pool.submit([this, state, i] { run_member(state, i); });
+    }
+  }
+  return state;
+}
+
+void Engine::run_member(const std::shared_ptr<JobState>& state,
+                        std::size_t index) {
+  // Skip members that lost the race: cancellation fired and a best answer
+  // already exists. (On budget expiry with no answer yet, everyone still
+  // runs — each returns its first-checkpoint solution quickly.)
+  bool skip = false;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    skip = state->token.stop_requested() && state->have_best;
+  }
+
+  MemberOutcome mo;
+  part::PartitionResult result;
+  bool have_result = false;
+  if (!skip) {
+    support::Timer member_timer;
+    try {
+      auto algo = part::make_partitioner(options_.portfolio.members[index]);
+      part::PartitionRequest req = state->job.request;
+      // Stream `index` of the job seed: independent across members, stable
+      // across scheduling orders.
+      req.seed = support::SeedStream(state->job.request.seed).seed_for(index);
+      req.stop = &state->token;
+      result = algo->run(state->job.graph, req);
+      have_result = true;
+      mo.ran = true;
+      mo.goodness = goodness_of(result);
+    } catch (const std::exception& e) {
+      mo.ran = true;
+      mo.failed = true;
+      mo.error = e.what();
+    } catch (...) {
+      // Never let an escaped exception leak into a dropped future: the
+      // `remaining` countdown below must always happen or wait() hangs.
+      mo.ran = true;
+      mo.failed = true;
+      mo.error = "unknown exception";
+    }
+    mo.seconds = member_timer.seconds();
+  }
+
+  bool finished = false;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    mo.algorithm = state->members[index].algorithm;
+    state->members[index] = mo;
+    if (have_result) {
+      const part::Goodness good = goodness_of(result);
+      // Deterministic winner: (goodness, member index), never finish order.
+      if (!state->have_best || good < state->best_goodness ||
+          (good == state->best_goodness && index < state->best_index)) {
+        state->have_best = true;
+        state->best_index = index;
+        state->best_goodness = good;
+        state->best = std::move(result);
+      }
+      // Quality gate: a good-enough feasible answer stops the rest.
+      if (state->best.feasible &&
+          (options_.cancel_on_feasible ||
+           (options_.cancel_cut_threshold >= 0 &&
+            state->best.metrics.total_cut <= options_.cancel_cut_threshold))) {
+        state->token.request_stop();
+      }
+    }
+    finished = --state->remaining == 0;
+  }
+  if (finished) finalize_job(state);
+}
+
+void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
+  // ORDER MATTERS: every touch of engine members (cache_, stats_, mutex_)
+  // must happen BEFORE `done` is published — the moment a waiter observes
+  // done it may collect the outcome and destroy the Engine, leaving this
+  // task with only the JobState shared_ptr to stand on.
+  PortfolioOutcome snapshot;
+  std::uint64_t run = 0, skipped = 0, failed = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    PortfolioOutcome& out = state->outcome;
+    out.key = state->key;
+    out.members = state->members;
+    out.budget_expired = state->token.deadline_expired();
+    out.seconds = state->timer.seconds();
+    if (state->have_best) {
+      out.best = state->best;
+      out.winner = state->members[state->best_index].algorithm;
+    }
+    for (const MemberOutcome& mo : state->members) {
+      if (mo.failed) ++failed;
+      else if (mo.ran) ++run;
+      else ++skipped;
+    }
+    snapshot = out;
+  }
+
+  // Only complete answers are worth replaying to future twins. Budgets are
+  // deliberately not part of the key: a cached answer computed under any
+  // budget is a valid (never worse than recomputing) reply to the request.
+  if (!snapshot.winner.empty()) cache_.insert(state->key, snapshot);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_completed;
+    stats_.members_run += run;
+    stats_.members_skipped += skipped;
+    stats_.members_failed += failed;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+std::shared_ptr<Engine::JobState> Engine::find_job(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::invalid_argument("Engine: unknown or already-collected job id");
+  return it->second;
+}
+
+PortfolioOutcome Engine::take_outcome(
+    const std::shared_ptr<JobState>& state) {
+  PortfolioOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    out = std::move(state->outcome);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.erase(state->id);
+  return out;
+}
+
+std::optional<PortfolioOutcome> Engine::poll(JobId id) {
+  auto state = find_job(id);
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    if (!state->done) return std::nullopt;
+  }
+  return take_outcome(state);
+}
+
+PortfolioOutcome Engine::wait(JobId id) {
+  auto state = find_job(id);
+  {
+    std::unique_lock<std::mutex> lock(state->m);
+    state->cv.wait(lock, [&] { return state->done; });
+  }
+  return take_outcome(state);
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void Engine::clear_cache() { cache_.clear(); }
+
+}  // namespace ppnpart::engine

@@ -1,0 +1,172 @@
+#pragma once
+// Portfolio partitioning engine — the library's concurrent service core.
+//
+// The paper's multi-level flow answers one request with one algorithm. This
+// subsystem turns that into a multi-tenant service: batches of
+// (graph, request) jobs race a configurable portfolio of partitioners
+// across the global thread pool, with
+//
+//   * per-job wall-clock budgets (StopToken deadlines; members return their
+//     best-so-far when the budget fires, so an answer always exists),
+//   * cooperative cancellation once a member's result is feasible and beats
+//     a quality threshold (remaining members are stopped / skipped),
+//   * deterministic per-member seed streams (SeedStream of the request
+//     seed), so a fixed seed reproduces bit-identical results regardless of
+//     scheduling — provided no budget/cancel threshold is set, since those
+//     trade determinism for latency by construction,
+//   * an in-memory LRU result cache keyed by graph fingerprint + request
+//     hash + portfolio identity, so repeated queries (the heavy-traffic
+//     scenario) are served in O(1) without touching the pool.
+//
+// Entry points: run_one (synchronous), run_batch (fan out a vector of jobs
+// and wait), and a streaming submit/poll/wait trio for callers that overlap
+// job production with consumption. All three share one code path, one cache
+// and one stats block, and are safe to call from multiple client threads.
+//
+// Winner selection is deterministic: members are compared by (goodness,
+// member index), never by completion order.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/cache.hpp"
+#include "engine/portfolio.hpp"
+#include "graph/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace ppnpart::engine {
+
+struct EngineOptions {
+  Portfolio portfolio = Portfolio::defaults();
+
+  /// Per-job wall-clock budget in milliseconds; 0 = unlimited. The budget
+  /// is cooperative: member 0 of a job always runs (partitioners produce a
+  /// complete partition even when stopped at their first checkpoint), so a
+  /// blown budget degrades quality, never availability. Checkpoint polls
+  /// exist in the iterative members (gp, annealing, genetic, tabu) and in
+  /// exact's branch-and-bound; the single-pass heuristics (metislike,
+  /// nlevel, kl, spectral, random) run to completion — they are the fast,
+  /// bounded members, so the overshoot is one direct pass at worst.
+  double time_budget_ms = 0;
+
+  /// Early-exit quality gate: once some member's result is feasible with
+  /// total cut <= cancel_cut_threshold, the job's remaining members are
+  /// stopped (running ones at their next checkpoint, unstarted ones are
+  /// skipped). Negative disables the gate.
+  part::Weight cancel_cut_threshold = -1;
+
+  /// Shorthand gate: any feasible member result cancels the rest. Useful
+  /// when the caller wants *a* feasible mapping as fast as possible.
+  bool cancel_on_feasible = false;
+
+  /// Result-cache capacity in jobs; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+};
+
+/// Per-member accounting of one job.
+struct MemberOutcome {
+  std::string algorithm;
+  part::Goodness goodness;
+  double seconds = 0;
+  bool ran = false;     // false = skipped by cancellation before starting
+  bool failed = false;  // threw (e.g. Exact on an oversized graph)
+  std::string error;
+};
+
+/// The engine's answer for one job.
+struct PortfolioOutcome {
+  part::PartitionResult best;  // the winning member's full result
+  std::string winner;          // registry name of the winning member
+  bool from_cache = false;
+  bool budget_expired = false;  // the job's deadline fired
+  double seconds = 0;           // engine-observed job latency
+  std::uint64_t key = 0;        // cache key (diagnostics)
+  std::vector<MemberOutcome> members;
+};
+
+// A caller-armed request.stop is honoured: the per-job token links it as a
+// parent, so firing it cancels the job exactly like the quality gate does
+// (running members stop at their next checkpoint; an answer still exists
+// once any member completes).
+//
+// Known limitation: Job owns its graph, so a same-graph batch of N jobs
+// holds N copies (see ROADMAP — shared-graph batches are a planned
+// follow-up; real multi-tenant traffic carries distinct graphs per job).
+struct EngineStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t members_run = 0;
+  std::uint64_t members_skipped = 0;
+  std::uint64_t members_failed = 0;
+  CacheStats cache;
+};
+
+/// One unit of work for the batch/streaming entry points.
+struct Job {
+  graph::Graph graph;
+  part::PartitionRequest request;
+};
+
+class Engine {
+ public:
+  using JobId = std::uint64_t;
+
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Synchronous single-job entry point. A cache hit returns without
+  /// copying the graph or touching the pool.
+  PortfolioOutcome run_one(const graph::Graph& g,
+                           const part::PartitionRequest& request);
+
+  /// Fans every job's every member onto the thread pool at once and waits;
+  /// results are returned in job order. Throughput scales with cores
+  /// because members of *different* jobs overlap, not just members of one.
+  /// The const& overload copies each job (the caller keeps them); the &&
+  /// overload moves the graphs in.
+  std::vector<PortfolioOutcome> run_batch(const std::vector<Job>& jobs);
+  std::vector<PortfolioOutcome> run_batch(std::vector<Job>&& jobs);
+
+  /// Streaming: enqueue a job and return immediately.
+  JobId submit(Job job);
+
+  /// Non-blocking: the outcome if the job finished, nullopt otherwise.
+  /// A returned outcome releases the job's bookkeeping; a second poll of
+  /// the same id reports an error (std::invalid_argument).
+  std::optional<PortfolioOutcome> poll(JobId id);
+
+  /// Blocks until the job finishes, then behaves like a successful poll.
+  PortfolioOutcome wait(JobId id);
+
+  EngineStats stats() const;
+  void clear_cache();
+
+ private:
+  struct JobState;
+
+  std::uint64_t job_key(const graph::Graph& g,
+                        const part::PartitionRequest& request) const;
+  std::shared_ptr<JobState> start_job(Job job, std::uint64_t key,
+                                      bool check_cache);
+  std::shared_ptr<JobState> find_job(JobId id);
+  PortfolioOutcome take_outcome(const std::shared_ptr<JobState>& state);
+  void run_member(const std::shared_ptr<JobState>& state, std::size_t index);
+  void finalize_job(const std::shared_ptr<JobState>& state);
+
+  EngineOptions options_;
+  LruCache<PortfolioOutcome> cache_;
+
+  mutable std::mutex mutex_;  // guards jobs_, next_id_, stats_
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<JobId, std::shared_ptr<JobState>> jobs_;
+  EngineStats stats_;
+};
+
+}  // namespace ppnpart::engine

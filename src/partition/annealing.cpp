@@ -44,12 +44,15 @@ PartitionResult AnnealingPartitioner::run(const Graph& g,
   const NodeId n = g.num_nodes();
   const PartId k = request.k;
   const Constraints& c = request.constraints;
-  support::Rng rng(request.seed);
+  // Independent per-phase streams from one root seed: the walk and the
+  // greedy restarts stay reproducible however the portfolio schedules them.
+  support::SeedStream seeds(request.seed);
+  support::Rng rng = seeds.rng_for(0);
 
   // Seed with the paper's greedy growth so annealing starts near-feasible.
   GreedyGrowOptions grow;
   grow.restarts = 4;
-  support::Rng grow_rng = rng.derive(0xA11E);
+  support::Rng grow_rng = seeds.rng_for(1);
   Partition p = greedy_grow_initial(g, k, c, grow, grow_rng);
   MoveContext ctx(g, p, c);
 
@@ -86,6 +89,9 @@ PartitionResult AnnealingPartitioner::run(const Graph& g,
 
   while (proposed < budget && temperature > options_.min_temperature &&
          n >= 2 && k >= 2) {
+    // Cooperative stop at temperature-step granularity; the greedy-grown
+    // incumbent above guarantees a complete result either way.
+    if (request.stop_requested()) break;
     bool improved_best_this_step = false;
     for (std::uint32_t m = 0;
          m < options_.moves_per_temperature && proposed < budget; ++m) {

@@ -17,6 +17,7 @@ struct SearchState {
   PartId k;
   Constraints c;
   ExactOptions options;
+  const support::StopToken* stop = nullptr;
   support::Timer timer;
 
   std::vector<NodeId> order;      // assignment order
@@ -33,10 +34,10 @@ struct SearchState {
 
   bool out_of_budget() {
     if (options.max_states != 0 && states > options.max_states) return true;
-    // Timer checks are cheap but not free; sample every 4096 states.
-    if ((states & 0xFFF) == 0 &&
-        timer.seconds() > options.time_limit_seconds) {
-      return true;
+    // Timer/token checks are cheap but not free; sample every 4096 states.
+    if ((states & 0xFFF) == 0) {
+      if (timer.seconds() > options.time_limit_seconds) return true;
+      if (stop != nullptr && stop->stop_requested()) return true;
     }
     return false;
   }
@@ -116,7 +117,8 @@ struct SearchState {
 }  // namespace
 
 ExactResult exact_min_cut(const Graph& g, PartId k, const Constraints& c,
-                          const ExactOptions& options) {
+                          const ExactOptions& options,
+                          const support::StopToken* stop) {
   if (k <= 0) throw std::invalid_argument("exact_min_cut: k must be positive");
   if (g.num_nodes() > options.max_nodes) {
     throw std::invalid_argument(
@@ -127,6 +129,7 @@ ExactResult exact_min_cut(const Graph& g, PartId k, const Constraints& c,
   s.k = k;
   s.c = c;
   s.options = options;
+  s.stop = stop;
   s.assign.assign(g.num_nodes(), kUnassigned);
   s.loads.assign(static_cast<std::size_t>(k), 0);
   s.pairwise = PairwiseCut(k);
@@ -155,6 +158,22 @@ ExactResult exact_min_cut(const Graph& g, PartId k, const Constraints& c,
       result.partition.set(u, s.best_assign[u]);
     }
   }
+  return result;
+}
+
+ExactPartitioner::ExactPartitioner(ExactOptions options) : options_(options) {}
+
+PartitionResult ExactPartitioner::run(const Graph& g,
+                                      const PartitionRequest& request) {
+  const ExactResult exact =
+      exact_min_cut(g, request.k, request.constraints, options_, request.stop);
+  if (!exact.found)
+    throw std::runtime_error("Exact: no complete feasible assignment found");
+  PartitionResult result;
+  result.algorithm = name();
+  result.partition = exact.partition;
+  result.seconds = exact.seconds;
+  result.finalize(g, request.constraints);
   return result;
 }
 

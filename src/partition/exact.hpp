@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "partition/partition.hpp"
+#include "partition/partitioner.hpp"
 
 namespace ppnpart::part {
 
@@ -42,7 +43,28 @@ struct ExactResult {
 
 /// Minimum-cut complete assignment honouring `c` (pass default-constructed
 /// Constraints for the unconstrained optimum). Throws on n > max_nodes.
+/// A fired `stop` token truncates the search like the time limit does
+/// (best-so-far, optimal=false).
 ExactResult exact_min_cut(const Graph& g, PartId k, const Constraints& c,
-                          const ExactOptions& options = {});
+                          const ExactOptions& options = {},
+                          const support::StopToken* stop = nullptr);
+
+/// Adapter exposing the branch-and-bound search through the uniform
+/// Partitioner interface so the registry and portfolio engine can race it
+/// on tiny instances. Throws std::invalid_argument beyond
+/// options().max_nodes and std::runtime_error when no complete assignment
+/// exists; portfolio members that throw are recorded as failed, not fatal.
+class ExactPartitioner : public Partitioner {
+ public:
+  explicit ExactPartitioner(ExactOptions options = {});
+
+  std::string name() const override { return "Exact"; }
+  PartitionResult run(const Graph& g, const PartitionRequest& request) override;
+
+  const ExactOptions& options() const { return options_; }
+
+ private:
+  ExactOptions options_;
+};
 
 }  // namespace ppnpart::part

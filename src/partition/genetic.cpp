@@ -91,7 +91,10 @@ PartitionResult GeneticPartitioner::run(const Graph& g,
   const NodeId n = g.num_nodes();
   const PartId k = request.k;
   const Constraints& c = request.constraints;
-  support::Rng rng(request.seed);
+  // One root seed split into independent streams: stream 0 drives the GA
+  // itself, streams 1+i seed the restart that creates population member i.
+  support::SeedStream seeds(request.seed);
+  support::Rng rng = seeds.rng_for(0);
 
   FmOptions polish;
   polish.max_passes = options_.polish_fm_passes;
@@ -116,12 +119,12 @@ PartitionResult GeneticPartitioner::run(const Graph& g,
     if (i < options_.population / 2) {
       GreedyGrowOptions grow;
       grow.restarts = 1;
-      support::Rng grow_rng = rng.derive(0x6E0 + i);
+      support::Rng grow_rng = seeds.rng_for(1 + i);
       Partition p = greedy_grow_initial(g, k, c, grow, grow_rng);
       ind.assign = p.assignments();
     } else {
       ind.assign.resize(n);
-      support::Rng init_rng = rng.derive(0x6E1000 + i);
+      support::Rng init_rng = seeds.rng_for(1 + i);
       for (NodeId u = 0; u < n; ++u)
         ind.assign[u] = static_cast<PartId>(
             init_rng.uniform_index(static_cast<std::size_t>(k)));
@@ -145,6 +148,9 @@ PartitionResult GeneticPartitioner::run(const Graph& g,
   };
 
   for (std::uint32_t gen = 0; gen < options_.generations && n > 0; ++gen) {
+    // Cooperative stop at generation granularity; the initial population's
+    // incumbent guarantees a complete result either way.
+    if (request.stop_requested()) break;
     support::Rng gen_rng = rng.derive(0x9E4E + gen);
     std::vector<Individual> next;
     next.reserve(options_.population);

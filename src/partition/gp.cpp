@@ -113,6 +113,9 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
 
   const std::uint32_t cycles = std::max(1u, options_.max_cycles);
   for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
+    // Cooperative stop at V-cycle granularity; cycle 0 always completes so
+    // a budget-expired run still returns a complete partition.
+    if (cycle > 0 && request.stop_requested()) break;
     support::Rng cycle_rng = rng.derive(0xC1C1Eull + cycle);
     const bool fresh =
         !best_assign ||

@@ -1,11 +1,45 @@
 #include "partition/partitioner.hpp"
 
+#include "partition/annealing.hpp"
+#include "partition/exact.hpp"
+#include "partition/genetic.hpp"
+#include "partition/gp.hpp"
+#include "partition/kl.hpp"
+#include "partition/metislike.hpp"
+#include "partition/nlevel.hpp"
+#include "partition/spectral.hpp"
+#include "partition/tabu.hpp"
+
 namespace ppnpart::part {
 
 void PartitionResult::finalize(const Graph& g, const Constraints& c) {
   metrics = compute_metrics(g, partition);
   violation = compute_violation(metrics, c);
   feasible = violation.feasible();
+}
+
+Goodness goodness_of(const PartitionResult& r) {
+  return Goodness{r.violation.resource_excess, r.violation.bandwidth_excess,
+                  r.metrics.total_cut};
+}
+
+std::vector<std::string> partitioner_names() {
+  return {"gp",   "metislike", "nlevel",  "kl",    "spectral",
+          "tabu", "annealing", "genetic", "exact", "random"};
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  if (name == "gp") return std::make_unique<GpPartitioner>();
+  if (name == "metislike") return std::make_unique<MetisLikePartitioner>();
+  if (name == "nlevel") return std::make_unique<NLevelPartitioner>();
+  if (name == "kl") return std::make_unique<KlPartitioner>();
+  if (name == "spectral") return std::make_unique<SpectralPartitioner>();
+  if (name == "tabu") return std::make_unique<TabuPartitioner>();
+  if (name == "annealing") return std::make_unique<AnnealingPartitioner>();
+  if (name == "genetic") return std::make_unique<GeneticPartitioner>();
+  if (name == "exact") return std::make_unique<ExactPartitioner>();
+  if (name == "random") return std::make_unique<RandomPartitioner>();
+  return nullptr;
 }
 
 }  // namespace ppnpart::part

@@ -1,14 +1,19 @@
 #pragma once
-// Common partitioner interface used by the benchmark harness and examples.
+// Common partitioner interface used by the benchmark harness, the portfolio
+// engine and examples.
 //
-// Every algorithm in the library (GP, MetisLike, Spectral, Exact, Random)
-// answers the same request so the paper's comparison tables can iterate over
-// a heterogeneous set of partitioners.
+// Every algorithm in the library (GP, MetisLike, NLevel, KL, Spectral, Tabu,
+// Annealing, Genetic, Exact, Random) answers the same request so the paper's
+// comparison tables — and the engine's concurrent portfolios — can iterate
+// over a heterogeneous set of partitioners. `make_partitioner` is the
+// central registry mapping stable lowercase names to instances.
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "partition/partition.hpp"
+#include "support/stop_token.hpp"
 
 namespace ppnpart::part {
 
@@ -18,6 +23,15 @@ struct PartitionRequest {
   /// ignore them, exactly like METIS in the paper's experiments.
   Constraints constraints;
   std::uint64_t seed = 1;
+  /// Optional cooperative-stop signal (non-owning; may be null). Iterative
+  /// partitioners poll it at checkpoint granularity — V-cycle, temperature
+  /// step, generation, tabu iteration — and return their best-so-far
+  /// solution when it fires, so a stopped run still yields a complete
+  /// partition. Leave null for fully deterministic, budget-free runs.
+  const support::StopToken* stop = nullptr;
+
+  /// True when the request carries a fired stop signal.
+  bool stop_requested() const { return stop != nullptr && stop->stop_requested(); }
 };
 
 struct PartitionResult {
@@ -32,6 +46,10 @@ struct PartitionResult {
   void finalize(const Graph& g, const Constraints& c);
 };
 
+/// The lexicographic goodness of a finalized result — the single comparison
+/// every consumer (engine, CLI, benches) ranks results by.
+Goodness goodness_of(const PartitionResult& r);
+
 class Partitioner {
  public:
   virtual ~Partitioner() = default;
@@ -39,5 +57,13 @@ class Partitioner {
   virtual PartitionResult run(const Graph& g,
                               const PartitionRequest& request) = 0;
 };
+
+/// Registry names accepted by `make_partitioner`, in presentation order.
+std::vector<std::string> partitioner_names();
+
+/// Instantiates an algorithm (with default options) by registry name:
+/// gp | metislike | nlevel | kl | spectral | tabu | annealing | genetic |
+/// exact | random. Returns nullptr for unknown names.
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name);
 
 }  // namespace ppnpart::part

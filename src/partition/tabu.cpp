@@ -11,7 +11,8 @@
 namespace ppnpart::part {
 
 bool tabu_refine(const Graph& g, Partition& p, const Constraints& c,
-                 const TabuOptions& options, support::Rng& rng) {
+                 const TabuOptions& options, support::Rng& rng,
+                 const support::StopToken* stop) {
   const NodeId n = g.num_nodes();
   const PartId k = p.k();
   if (n < 2 || k < 2) return false;
@@ -33,6 +34,7 @@ bool tabu_refine(const Graph& g, Partition& p, const Constraints& c,
   std::uint32_t stall = 0;
 
   for (std::uint64_t iter = 0; iter < max_iters; ++iter) {
+    if (stop != nullptr && stop->stop_requested()) break;
     // Candidate pool: the current boundary (interior nodes cannot change
     // the cut, and load-only moves are reachable once the boundary shifts).
     std::vector<NodeId> pool = ctx.boundary_nodes();
@@ -106,12 +108,13 @@ PartitionResult TabuPartitioner::run(const Graph& g,
 
   GreedyGrowOptions grow;
   grow.restarts = 4;
-  support::Rng rng(request.seed);
-  support::Rng grow_rng = rng.derive(0x7AB0);
+  support::SeedStream seeds(request.seed);
+  support::Rng grow_rng = seeds.rng_for(0);
   result.partition =
       greedy_grow_initial(g, request.k, request.constraints, grow, grow_rng);
-  support::Rng walk_rng = rng.derive(0x7AB1);
-  tabu_refine(g, result.partition, request.constraints, options_, walk_rng);
+  support::Rng walk_rng = seeds.rng_for(1);
+  tabu_refine(g, result.partition, request.constraints, options_, walk_rng,
+              request.stop);
 
   result.finalize(g, request.constraints);
   result.seconds = timer.seconds();

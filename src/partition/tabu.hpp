@@ -35,9 +35,11 @@ struct TabuOptions {
 };
 
 /// Runs the tabu walk in place; returns true if the goodness improved over
-/// the initial partition. Partition must be complete.
+/// the initial partition. Partition must be complete. A fired `stop` token
+/// ends the walk at the next iteration, leaving the best state visited.
 bool tabu_refine(const Graph& g, Partition& p, const Constraints& c,
-                 const TabuOptions& options, support::Rng& rng);
+                 const TabuOptions& options, support::Rng& rng,
+                 const support::StopToken* stop = nullptr);
 
 class TabuPartitioner : public Partitioner {
  public:

@@ -68,4 +68,33 @@ class Rng {
   std::uint64_t seed_;
 };
 
+/// Splits one root seed into arbitrarily many independent child seeds
+/// (SplitMix64-based mixing). The mapping is pure: stream `i` depends only
+/// on (root, i), never on how many other streams were drawn or in what
+/// order — exactly what per-worker parallelism and portfolio racing need to
+/// stay reproducible under any scheduling.
+class SeedStream {
+ public:
+  explicit SeedStream(std::uint64_t root) : root_(root) {}
+
+  std::uint64_t root() const { return root_; }
+
+  /// Child seed for stream `index`; stateless and index-stable.
+  std::uint64_t seed_for(std::uint64_t index) const {
+    std::uint64_t state = root_ ^ (0x9e3779b97f4a7c15ull * (index + 1));
+    const std::uint64_t a = splitmix64(state);
+    return a ^ splitmix64(state);
+  }
+
+  /// An Rng seeded from stream `index`.
+  Rng rng_for(std::uint64_t index) const { return Rng(seed_for(index)); }
+
+  /// Stateful convenience: seeds for streams 0, 1, 2, ... in order.
+  std::uint64_t next() { return seed_for(next_index_++); }
+
+ private:
+  std::uint64_t root_;
+  std::uint64_t next_index_ = 0;
+};
+
 }  // namespace ppnpart::support

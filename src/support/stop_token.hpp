@@ -1,0 +1,75 @@
+#pragma once
+// Cooperative cancellation with an optional wall-clock deadline
+// (header-only).
+//
+// A StopToken is shared between a controller (the portfolio engine, a
+// driver with a time budget) and one or more workers (partitioner run
+// loops). Workers poll `stop_requested()` at natural checkpoints — once per
+// V-cycle, temperature step, generation, tabu iteration — and return their
+// best-so-far solution when it fires. Cancellation is therefore always
+// graceful: a stopped partitioner still yields a complete, valid partition.
+//
+// The deadline, if any, must be configured before the token is shared with
+// workers; after that only `request_stop()` / `stop_requested()` are safe to
+// call concurrently.
+
+#include <atomic>
+#include <chrono>
+
+namespace ppnpart::support {
+
+class StopToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Asks workers to stop at their next checkpoint.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a deadline `seconds` from now; `stop_requested()` returns true
+  /// once it passes. Not thread-safe against concurrent `stop_requested()`;
+  /// call before handing the token to workers.
+  void set_deadline_after(double seconds) {
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+
+  /// Links a parent token (non-owning; must outlive this token): a stop
+  /// requested on the parent stops this token too. Lets a controller (the
+  /// engine) layer its per-job budget on top of a caller's own cancel
+  /// signal. Configure before sharing, like the deadline.
+  void set_parent(const StopToken* parent) { parent_ = parent; }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  /// True once the armed deadline has passed (independent of
+  /// `request_stop()`, which may fire for other reasons).
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// True once `request_stop()` was called (here or on a linked parent) or
+  /// the deadline passed. Deadline and parent checks latch into the flag so
+  /// later calls skip them.
+  bool stop_requested() const {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    if ((has_deadline_ && Clock::now() >= deadline_) ||
+        (parent_ != nullptr && parent_->stop_requested())) {
+      stop_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> stop_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  const StopToken* parent_ = nullptr;
+};
+
+}  // namespace ppnpart::support

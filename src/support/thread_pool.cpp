@@ -1,8 +1,14 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace ppnpart::support {
+
+namespace {
+// The pool (if any) whose worker_loop is running on this thread.
+thread_local const ThreadPool* g_current_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -21,7 +27,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return g_current_pool == this; }
+
 void ThreadPool::worker_loop() {
+  g_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -39,8 +48,10 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  // Leaked on purpose — see the header: joining workers from a static
+  // destructor races against other statics that may still submit work.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
@@ -52,7 +63,10 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t max_chunks = pool.size() * 4;
   const std::size_t chunk =
       std::max(grain, (n + max_chunks - 1) / std::max<std::size_t>(max_chunks, 1));
-  if (n <= chunk || pool.size() == 1) {
+  // Serial fallback: tiny ranges, degenerate pools, and — crucially — calls
+  // made from inside one of this pool's own workers (nested fan-out), where
+  // blocking on queued chunks can deadlock the pool.
+  if (n <= chunk || pool.size() == 1 || pool.on_worker_thread()) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -64,7 +78,17 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Drain every chunk before rethrowing so no task is left running with a
+  // dangling reference to `fn`; the first failure wins, as in serial code.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

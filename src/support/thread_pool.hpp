@@ -29,22 +29,44 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task; returns a future for its completion/result.
+  /// True when the calling thread is one of this pool's workers. Nested
+  /// fan-out helpers (parallel_for) use this to degrade to serial execution
+  /// instead of deadlocking: a worker that blocks on futures for chunks
+  /// sitting behind it in its own queue can wait forever once every worker
+  /// does the same.
+  bool on_worker_thread() const;
+
+  /// Enqueues a task; returns a future for its completion/result. If the
+  /// pool is already shutting down the task runs inline on the calling
+  /// thread (so futures obtained during shutdown never deadlock) — the
+  /// future is still valid and carries the result or exception.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
+    bool run_inline = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      if (stop_) {
+        run_inline = true;
+      } else {
+        queue_.emplace([task] { (*task)(); });
+      }
     }
-    cv_.notify_one();
+    if (run_inline) {
+      (*task)();
+    } else {
+      cv_.notify_one();
+    }
     return fut;
   }
 
-  /// The process-wide pool, sized to the hardware.
+  /// The process-wide pool, sized to the hardware. Intentionally never
+  /// destroyed: static-destruction order is unknowable, and destructors of
+  /// other statics may still submit work during shutdown. Worker threads
+  /// are reclaimed by process exit.
   static ThreadPool& global();
 
  private:
@@ -59,7 +81,10 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [begin, end) across the pool in contiguous chunks and
 /// waits for completion. fn must be safe to invoke concurrently for distinct
-/// indices. Falls back to a serial loop for tiny ranges.
+/// indices. Falls back to a serial loop for tiny ranges and when called from
+/// one of the pool's own workers (nested parallelism). If any invocation
+/// throws, every chunk still runs to completion (or its own first throw) and
+/// the first exception is rethrown to the caller.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 1);

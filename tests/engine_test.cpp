@@ -1,0 +1,307 @@
+// Portfolio engine: determinism under fixed seed, cache hit/miss
+// accounting, budget enforcement, batch results matching the best
+// single-algorithm result at equal seeds, and the streaming entry points.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/portfolio.hpp"
+#include "graph/generators.hpp"
+#include "support/prng.hpp"
+
+namespace ppnpart {
+namespace {
+
+/// A reproducible mid-size instance with loose-ish constraints so the
+/// constraint-aware members usually reach feasibility.
+engine::Job make_job(std::uint64_t seed, graph::NodeId nodes = 96,
+                     double slack = 1.4) {
+  graph::ProcessNetworkParams params;
+  params.num_nodes = nodes;
+  params.layers = std::max<std::uint32_t>(4, nodes / 12);
+  support::Rng rng(seed);
+  engine::Job job;
+  job.graph = graph::random_process_network(params, rng);
+  job.request.k = 4;
+  job.request.seed = seed * 31 + 7;
+  const double total_w = static_cast<double>(job.graph.total_node_weight());
+  const double total_e = static_cast<double>(job.graph.total_edge_weight());
+  job.request.constraints.rmax = std::max<graph::Weight>(
+      static_cast<graph::Weight>(slack * total_w / job.request.k),
+      job.graph.max_node_weight());
+  job.request.constraints.bmax = std::max<graph::Weight>(
+      1, static_cast<graph::Weight>(slack * total_e / 6.0 / 2.0));
+  return job;
+}
+
+// ----------------------------------------------------------- portfolio ---
+
+TEST(Portfolio, DefaultsAreRegistered) {
+  const engine::Portfolio p = engine::Portfolio::defaults();
+  ASSERT_FALSE(p.empty());
+  for (const std::string& name : p.members) {
+    EXPECT_NE(part::make_partitioner(name), nullptr) << name;
+  }
+}
+
+TEST(Portfolio, ParseAcceptsListsAndDefaultKeyword) {
+  auto p = engine::Portfolio::parse("gp, annealing,tabu");
+  ASSERT_TRUE(p.is_ok()) << p.message();
+  EXPECT_EQ(p.value().members,
+            (std::vector<std::string>{"gp", "annealing", "tabu"}));
+  EXPECT_EQ(engine::Portfolio::parse("default").value().members,
+            engine::Portfolio::defaults().members);
+  EXPECT_EQ(engine::Portfolio::parse("").value().members,
+            engine::Portfolio::defaults().members);
+}
+
+TEST(Portfolio, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(engine::Portfolio::parse("gp,notanalgo").is_ok());
+  EXPECT_FALSE(engine::Portfolio::parse(",, ,").is_ok());
+}
+
+TEST(Portfolio, FingerprintIsOrderSensitive) {
+  const auto a = engine::Portfolio{{"gp", "tabu"}}.fingerprint();
+  const auto b = engine::Portfolio{{"tabu", "gp"}}.fingerprint();
+  EXPECT_NE(a, b);
+}
+
+// --------------------------------------------------------- fingerprints ---
+
+TEST(Fingerprint, GraphAndRequestSensitivity) {
+  const engine::Job j1 = make_job(1);
+  const engine::Job j2 = make_job(2);
+  EXPECT_EQ(engine::graph_fingerprint(j1.graph),
+            engine::graph_fingerprint(j1.graph));
+  EXPECT_NE(engine::graph_fingerprint(j1.graph),
+            engine::graph_fingerprint(j2.graph));
+
+  part::PartitionRequest r1 = j1.request;
+  part::PartitionRequest r2 = r1;
+  EXPECT_EQ(engine::request_fingerprint(r1), engine::request_fingerprint(r2));
+  r2.seed += 1;
+  EXPECT_NE(engine::request_fingerprint(r1), engine::request_fingerprint(r2));
+  r2 = r1;
+  r2.k += 1;
+  EXPECT_NE(engine::request_fingerprint(r1), engine::request_fingerprint(r2));
+  r2 = r1;
+  r2.constraints.rmax = 12345;
+  EXPECT_NE(engine::request_fingerprint(r1), engine::request_fingerprint(r2));
+}
+
+// ----------------------------------------------------------------- cache ---
+
+TEST(LruCache, HitMissEvictLifecycle) {
+  engine::LruCache<int> cache(2);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  EXPECT_EQ(cache.lookup(1).value(), 10);  // 1 becomes most recent
+  cache.insert(3, 30);                     // evicts 2
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_EQ(cache.lookup(1).value(), 10);
+  EXPECT_EQ(cache.lookup(3).value(), 30);
+  const engine::CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.insertions, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+}
+
+TEST(LruCache, ZeroCapacityDisables) {
+  engine::LruCache<int> cache(0);
+  cache.insert(1, 10);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().misses, 0u);  // disabled lookups don't count
+}
+
+// ---------------------------------------------------------------- engine ---
+
+TEST(Engine, DeterministicForFixedSeed) {
+  const engine::Job job = make_job(42);
+  engine::EngineOptions opts;
+  opts.cache_capacity = 0;  // force both runs to compute from scratch
+
+  engine::Engine a(opts);
+  engine::Engine b(opts);
+  const engine::PortfolioOutcome ra = a.run_one(job.graph, job.request);
+  const engine::PortfolioOutcome rb = b.run_one(job.graph, job.request);
+
+  ASSERT_FALSE(ra.winner.empty());
+  EXPECT_EQ(ra.winner, rb.winner);
+  EXPECT_EQ(ra.best.partition.assignments(), rb.best.partition.assignments());
+  EXPECT_EQ(ra.best.metrics.total_cut, rb.best.metrics.total_cut);
+  EXPECT_EQ(ra.best.metrics.max_load, rb.best.metrics.max_load);
+  EXPECT_FALSE(ra.from_cache);
+  EXPECT_FALSE(rb.from_cache);
+}
+
+TEST(Engine, CacheHitMissAccounting) {
+  const engine::Job job = make_job(7);
+  engine::Engine eng;
+
+  const auto first = eng.run_one(job.graph, job.request);
+  EXPECT_FALSE(first.from_cache);
+  const auto second = eng.run_one(job.graph, job.request);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(first.best.partition.assignments(),
+            second.best.partition.assignments());
+  EXPECT_EQ(first.winner, second.winner);
+
+  engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+
+  // A different seed is a different question — must miss.
+  part::PartitionRequest other = job.request;
+  other.seed += 1;
+  const auto third = eng.run_one(job.graph, other);
+  EXPECT_FALSE(third.from_cache);
+  stats = eng.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+
+  eng.clear_cache();
+  const auto fourth = eng.run_one(job.graph, job.request);
+  EXPECT_FALSE(fourth.from_cache);
+}
+
+TEST(Engine, BudgetEnforcementStillYieldsCompleteAnswer) {
+  const engine::Job job = make_job(3, /*nodes=*/700, /*slack=*/1.2);
+  engine::EngineOptions opts;
+  opts.time_budget_ms = 30;  // far below an unbudgeted portfolio run
+  engine::Engine eng(opts);
+
+  const auto out = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(out.winner.empty());
+  EXPECT_TRUE(out.best.partition.complete());
+  EXPECT_EQ(out.best.partition.size(), job.graph.num_nodes());
+  // Cooperative budgets overshoot by at most one checkpoint per member;
+  // allow a generous CI margin while still catching "budget ignored".
+  EXPECT_LT(out.seconds, 60.0);
+  for (const auto& m : out.members) EXPECT_FALSE(m.failed) << m.error;
+}
+
+TEST(Engine, BatchMatchesBestSingleAlgorithmAtEqualSeeds) {
+  const engine::Job job = make_job(11);
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike", "annealing"}};
+  opts.cache_capacity = 0;
+  engine::Engine eng(opts);
+
+  const auto batch = eng.run_batch({job});
+  ASSERT_EQ(batch.size(), 1u);
+  const engine::PortfolioOutcome& out = batch.front();
+  ASSERT_FALSE(out.winner.empty());
+
+  // Reproduce each member by hand with the engine's seed derivation; the
+  // engine's answer must equal the lexicographic best of these.
+  part::Goodness best_good;
+  std::vector<part::PartId> best_assign;
+  std::string best_name;
+  bool have = false;
+  for (std::size_t i = 0; i < opts.portfolio.members.size(); ++i) {
+    auto algo = part::make_partitioner(opts.portfolio.members[i]);
+    part::PartitionRequest req = job.request;
+    req.seed = support::SeedStream(job.request.seed).seed_for(i);
+    const part::PartitionResult r = algo->run(job.graph, req);
+    const part::Goodness good{r.violation.resource_excess,
+                              r.violation.bandwidth_excess,
+                              r.metrics.total_cut};
+    if (!have || good < best_good) {
+      have = true;
+      best_good = good;
+      best_assign = r.partition.assignments();
+      best_name = opts.portfolio.members[i];
+    }
+  }
+  EXPECT_EQ(out.winner, best_name);
+  EXPECT_EQ(out.best.partition.assignments(), best_assign);
+}
+
+TEST(Engine, RunBatchReturnsJobOrderAndDistinctAnswers) {
+  std::vector<engine::Job> jobs;
+  for (std::uint64_t s = 0; s < 4; ++s) jobs.push_back(make_job(100 + s, 48));
+  engine::Engine eng;
+  const auto outs = eng.run_batch(jobs);
+  ASSERT_EQ(outs.size(), jobs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    EXPECT_FALSE(outs[i].winner.empty());
+    EXPECT_EQ(outs[i].best.partition.size(), jobs[i].graph.num_nodes());
+  }
+}
+
+TEST(Engine, SubmitPollStreaming) {
+  engine::Engine eng;
+  const engine::Job job = make_job(5, 48);
+  const engine::Engine::JobId id = eng.submit(job);
+
+  std::optional<engine::PortfolioOutcome> out;
+  for (int spins = 0; spins < 20000 && !out; ++spins) {
+    out = eng.poll(id);
+    if (!out) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(out.has_value()) << "job did not finish";
+  EXPECT_FALSE(out->winner.empty());
+
+  // A collected id is gone; unknown ids are programming errors.
+  EXPECT_THROW(eng.poll(id), std::invalid_argument);
+  EXPECT_THROW(eng.poll(999999), std::invalid_argument);
+}
+
+TEST(Engine, CancelOnFeasibleStillReturnsFeasible) {
+  const engine::Job job = make_job(13, 96, /*slack=*/1.8);  // easy instance
+  engine::EngineOptions opts;
+  opts.cancel_on_feasible = true;
+  opts.cache_capacity = 0;
+  engine::Engine eng(opts);
+  const auto out = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(out.winner.empty());
+  EXPECT_TRUE(out.best.feasible);
+  for (const auto& m : out.members) {
+    if (!m.ran) EXPECT_FALSE(m.failed);  // skipped members carry no error
+  }
+}
+
+TEST(Engine, CallerStopTokenIsHonored) {
+  // A request.stop fired before submission cancels the job's iterative
+  // work: every member returns its first-checkpoint answer, so the job
+  // completes fast and complete rather than hanging or being ignored.
+  engine::Job job = make_job(19, /*nodes=*/700, /*slack=*/1.2);
+  support::StopToken client_stop;
+  client_stop.request_stop();
+  job.request.stop = &client_stop;
+
+  engine::EngineOptions opts;
+  opts.cache_capacity = 0;
+  engine::Engine eng(opts);
+  const auto out = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(out.winner.empty());
+  EXPECT_TRUE(out.best.partition.complete());
+  EXPECT_LT(out.seconds, 60.0);
+  for (const auto& m : out.members) EXPECT_FALSE(m.failed) << m.error;
+}
+
+TEST(Engine, FailedMembersAreIsolated) {
+  // Exact refuses graphs beyond ~20 nodes; the portfolio must survive it.
+  const engine::Job job = make_job(17, 64);
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"exact", "metislike"}};
+  opts.cache_capacity = 0;
+  engine::Engine eng(opts);
+  const auto out = eng.run_one(job.graph, job.request);
+  EXPECT_EQ(out.winner, "metislike");
+  ASSERT_EQ(out.members.size(), 2u);
+  EXPECT_TRUE(out.members[0].failed);
+  EXPECT_FALSE(out.members[0].error.empty());
+  EXPECT_EQ(eng.stats().members_failed, 1u);
+}
+
+}  // namespace
+}  // namespace ppnpart

@@ -1,13 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "support/cli.hpp"
 #include "support/prng.hpp"
 #include "support/status.hpp"
+#include "support/stop_token.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -165,6 +168,141 @@ TEST(ThreadPool, ParallelForEmptyRange) {
 TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
   ThreadPool pool(0);
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  // Force the parallel path: enough work per chunk, several chunks.
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 1000,
+          [&](std::size_t i) {
+            if (i == 500) throw std::runtime_error("boom");
+          },
+          1),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllChunksOnThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    parallel_for(
+        pool, 0, 1000,
+        [&](std::size_t i) {
+          if (i % 250 == 1) throw std::runtime_error("boom");
+          ++executed;
+        },
+        1);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error&) {
+  }
+  // Every non-throwing index in chunks before their chunk's throw point ran;
+  // the key property is that no chunk was abandoned mid-flight (which would
+  // have dangled the callable). 996 = 1000 - 4 throwing indices.
+  EXPECT_LE(executed.load(), 996);
+  EXPECT_GT(executed.load(), 0);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  // Outer fan-out saturates the pool; inner calls must degrade to serial
+  // instead of queueing behind blocked workers.
+  parallel_for(
+      pool, 0, 8,
+      [&](std::size_t) {
+        parallel_for(pool, 0, 64, [&](std::size_t) { ++total; }, 1);
+      },
+      1);
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      });
+    }
+  }  // ~ThreadPool must run every queued task, not drop them
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// ----------------------------------------------------------- seed stream ---
+
+TEST(SeedStream, IndexStableAndOrderIndependent) {
+  SeedStream a(99), b(99);
+  const std::uint64_t a5 = a.seed_for(5);
+  // Drawing other streams first must not change stream 5.
+  (void)b.seed_for(0);
+  (void)b.seed_for(12345);
+  EXPECT_EQ(b.seed_for(5), a5);
+  // Stateful next() walks the same mapping.
+  SeedStream c(99);
+  EXPECT_EQ(c.next(), a.seed_for(0));
+  EXPECT_EQ(c.next(), a.seed_for(1));
+}
+
+TEST(SeedStream, StreamsAreIndependent) {
+  SeedStream s(7);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) seeds.insert(s.seed_for(i));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions among the first 1000
+
+  // Child streams decorrelate: matching outputs should be ~chance.
+  Rng r0(s.seed_for(0)), r1(s.seed_for(1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += r0() == r1();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(SeedStream, DifferentRootsDiverge) {
+  SeedStream a(1), b(2);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) equal += a.seed_for(i) == b.seed_for(i);
+  EXPECT_LT(equal, 3);
+}
+
+// ------------------------------------------------------------ stop token ---
+
+TEST(StopToken, ManualStop) {
+  StopToken token;
+  EXPECT_FALSE(token.stop_requested());
+  token.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, DeadlineFires) {
+  StopToken token;
+  token.set_deadline_after(0.01);
+  EXPECT_TRUE(token.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(token.deadline_expired());
+}
+
+TEST(StopToken, NoDeadlineNeverFires) {
+  StopToken token;
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, ParentStopPropagates) {
+  StopToken parent, child;
+  child.set_parent(&parent);
+  EXPECT_FALSE(child.stop_requested());
+  parent.request_stop();
+  EXPECT_TRUE(child.stop_requested());
+  // Child stops never flow upward.
+  StopToken parent2, child2;
+  child2.set_parent(&parent2);
+  child2.request_stop();
+  EXPECT_FALSE(parent2.stop_requested());
 }
 
 // -------------------------------------------------------------- strings ---

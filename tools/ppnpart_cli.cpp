@@ -16,6 +16,18 @@
 //   --bmax W            per-link bandwidth budget              (default inf)
 //   --seed S            PRNG seed                              (default 1)
 //
+// Engine (portfolio) mode — any of these switches it on:
+//   --portfolio SPEC    race a comma-separated portfolio of algorithms
+//                       ("default" = gp,metislike,annealing,tabu; when
+//                       omitted, --algorithm runs as a 1-member portfolio)
+//   --time-budget-ms N  per-job wall-clock budget (cooperative)
+//   --jobs N            batch N jobs with seeds seed..seed+N-1 and report
+//                       the best answer plus engine throughput/cache stats
+//
+// Like the `summary` line, the `engine ...` stats line is machine-readable
+// output and prints even under --quiet (which suppresses only the
+// human-readable report).
+//
 // Outputs:
 //   --out FILE          one part id per line (node order)
 //   --dot FILE          colour-clustered DOT of the partitioned network
@@ -23,46 +35,29 @@
 //
 // Exit codes: 0 feasible (or unconstrained), 2 infeasible, 1 usage error.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
 #include "graph/io.hpp"
-#include "partition/annealing.hpp"
 #include "partition/exact.hpp"
-#include "partition/genetic.hpp"
-#include "partition/gp.hpp"
-#include "partition/kl.hpp"
-#include "partition/metislike.hpp"
-#include "partition/nlevel.hpp"
+#include "partition/partitioner.hpp"
 #include "partition/report.hpp"
-#include "partition/spectral.hpp"
-#include "partition/tabu.hpp"
 #include "ppn/network.hpp"
 #include "ppn/paper_instances.hpp"
 #include "ppn/workloads.hpp"
 #include "support/cli.hpp"
+#include "support/timer.hpp"
 #include "viz/dot.hpp"
 
 namespace {
 
 using namespace ppnpart;
-
-std::unique_ptr<part::Partitioner> make_algorithm(const std::string& name) {
-  if (name == "gp") return std::make_unique<part::GpPartitioner>();
-  if (name == "metislike")
-    return std::make_unique<part::MetisLikePartitioner>();
-  if (name == "nlevel") return std::make_unique<part::NLevelPartitioner>();
-  if (name == "kl") return std::make_unique<part::KlPartitioner>();
-  if (name == "spectral") return std::make_unique<part::SpectralPartitioner>();
-  if (name == "tabu") return std::make_unique<part::TabuPartitioner>();
-  if (name == "annealing")
-    return std::make_unique<part::AnnealingPartitioner>();
-  if (name == "genetic") return std::make_unique<part::GeneticPartitioner>();
-  if (name == "random") return std::make_unique<part::RandomPartitioner>();
-  return nullptr;
-}
 
 int fail(const char* message) {
   std::fprintf(stderr, "ppnpart: %s (try --help)\n", message);
@@ -84,6 +79,13 @@ int main(int argc, char** argv) {
   args.add_int("rmax", 0, "per-FPGA resource budget (0 = unlimited)");
   args.add_int("bmax", 0, "per-link bandwidth budget (0 = unlimited)");
   args.add_int("seed", 1, "PRNG seed");
+  args.add_string("portfolio", "",
+                  "engine mode: comma-separated algorithms to race "
+                  "('default' = gp,metislike,annealing,tabu)");
+  args.add_int("time-budget-ms", 0,
+               "engine mode: per-job wall-clock budget (0 = unlimited)");
+  args.add_int("jobs", 1,
+               "engine mode: batch N jobs with seeds seed..seed+N-1");
   args.add_string("out", "", "write partition vector (one part id per line)");
   args.add_string("dot", "", "write colour-clustered DOT file");
   args.add_flag("quiet", "suppress the human-readable report");
@@ -166,9 +168,83 @@ int main(int argc, char** argv) {
   request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   const std::string algo_name = args.get_string("algorithm");
+  const int num_jobs = std::max(1, static_cast<int>(args.get_int("jobs")));
+  const bool engine_mode = !args.get_string("portfolio").empty() ||
+                           args.get_int("time-budget-ms") > 0 || num_jobs > 1;
   part::PartitionResult result;
   try {
-    if (algo_name == "exact") {
+    if (engine_mode) {
+      // ---- Portfolio engine: race algorithms, batch seeds. --------------
+      // No --portfolio but engine mode via --jobs/--time-budget-ms: honour
+      // the requested --algorithm as a one-member portfolio instead of
+      // silently substituting the default racing set.
+      std::string spec = args.get_string("portfolio");
+      if (spec.empty()) spec = algo_name;
+      auto portfolio = engine::Portfolio::parse(spec);
+      if (!portfolio.is_ok()) {
+        std::fprintf(stderr, "ppnpart: %s\n", portfolio.message().c_str());
+        return 1;
+      }
+      engine::EngineOptions eopts;
+      eopts.portfolio = portfolio.value();
+      eopts.time_budget_ms =
+          static_cast<double>(args.get_int("time-budget-ms"));
+      engine::Engine eng(eopts);
+
+      std::vector<engine::Job> batch;
+      std::vector<std::uint64_t> job_seeds;
+      batch.reserve(num_jobs);
+      job_seeds.reserve(num_jobs);
+      for (int j = 0; j < num_jobs; ++j) {
+        engine::Job job{g, request};
+        job.request.seed = request.seed + static_cast<std::uint64_t>(j);
+        job_seeds.push_back(job.request.seed);
+        batch.push_back(std::move(job));
+      }
+      support::Timer batch_timer;
+      const auto outcomes = eng.run_batch(std::move(batch));
+      const double batch_seconds = batch_timer.seconds();
+
+      // Best job across the batch; jobs whose members all failed have no
+      // winner (and a default-constructed best) and must not be compared.
+      std::size_t best_job = outcomes.size();
+      for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        if (outcomes[j].winner.empty()) continue;
+        if (best_job == outcomes.size() ||
+            part::goodness_of(outcomes[j].best) <
+                part::goodness_of(outcomes[best_job].best))
+          best_job = j;
+      }
+      if (best_job == outcomes.size()) {
+        std::fprintf(stderr, "ppnpart: every portfolio member failed\n");
+        return 1;
+      }
+      const engine::PortfolioOutcome& winner_out = outcomes[best_job];
+      result = winner_out.best;
+
+      if (!args.flag("quiet")) {
+        std::printf("portfolio : %s\n", eopts.portfolio.to_string().c_str());
+        for (std::size_t j = 0; j < outcomes.size(); ++j) {
+          std::printf(
+              "job %-5zu : seed=%llu winner=%s %s%s\n", j,
+              static_cast<unsigned long long>(job_seeds[j]),
+              outcomes[j].winner.empty() ? "[all members failed]"
+                                         : outcomes[j].winner.c_str(),
+              part::describe(outcomes[j].best.metrics, constraints).c_str(),
+              outcomes[j].from_cache ? " [cache]" : "");
+        }
+      }
+      const engine::EngineStats stats = eng.stats();
+      std::printf(
+          "engine jobs=%zu seconds=%.4f throughput=%.2f cache_hits=%llu "
+          "members_run=%llu members_skipped=%llu members_failed=%llu\n",
+          outcomes.size(), batch_seconds,
+          batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
+          static_cast<unsigned long long>(stats.cache.hits),
+          static_cast<unsigned long long>(stats.members_run),
+          static_cast<unsigned long long>(stats.members_skipped),
+          static_cast<unsigned long long>(stats.members_failed));
+    } else if (algo_name == "exact") {
       part::ExactOptions exact_opts;
       const part::ExactResult exact =
           part::exact_min_cut(g, k, constraints, exact_opts);
@@ -181,7 +257,7 @@ int main(int argc, char** argv) {
       result.seconds = exact.seconds;
       result.finalize(g, constraints);
     } else {
-      auto algo = make_algorithm(algo_name);
+      auto algo = part::make_partitioner(algo_name);
       if (!algo) return fail("unknown --algorithm");
       result = algo->run(g, request);
     }
