@@ -1,96 +1,17 @@
 #pragma once
-// Thread-safe LRU result cache (header-only, generic over the value type).
+// Engine-facing aliases for the generic LRU cache.
 //
-// The engine's heavy-traffic scenario is many clients asking the same
-// questions: identical (graph, request) pairs arrive over and over. A small
-// mutex-protected LRU map keyed by 64-bit fingerprints turns every repeat
-// into an O(1) lookup instead of a multi-second portfolio run. Contention is
-// irrelevant at this granularity — one lookup per job against jobs that cost
-// milliseconds to seconds to compute.
+// The cache implementation moved to support/lru_cache.hpp so the partition
+// layer's CoarseningCache can share it without depending on the engine.
+// Engine code and tests keep using engine::LruCache / engine::CacheStats.
 
-#include <cstdint>
-#include <list>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
-#include <utility>
+#include "support/lru_cache.hpp"
 
 namespace ppnpart::engine {
 
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
-
-  double hit_rate() const {
-    const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
-  }
-};
+using CacheStats = support::CacheStats;
 
 template <typename Value>
-class LruCache {
- public:
-  /// capacity 0 disables the cache entirely (lookups miss, inserts drop).
-  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
-
-  std::optional<Value> lookup(std::uint64_t key) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (capacity_ == 0) return std::nullopt;
-    auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++stats_.misses;
-      return std::nullopt;
-    }
-    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    ++stats_.hits;
-    return it->second->second;
-  }
-
-  void insert(std::uint64_t key, Value value) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (capacity_ == 0) return;
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      it->second->second = std::move(value);
-      lru_.splice(lru_.begin(), lru_, it->second);
-      return;
-    }
-    lru_.emplace_front(key, std::move(value));
-    index_[key] = lru_.begin();
-    ++stats_.insertions;
-    if (lru_.size() > capacity_) {
-      index_.erase(lru_.back().first);
-      lru_.pop_back();
-      ++stats_.evictions;
-    }
-  }
-
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return lru_.size();
-  }
-
-  CacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
-  }
-
-  void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    lru_.clear();
-    index_.clear();
-  }
-
- private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<std::pair<std::uint64_t, Value>> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t,
-                     typename std::list<std::pair<std::uint64_t, Value>>::iterator>
-      index_;
-  CacheStats stats_;
-};
+using LruCache = support::LruCache<Value>;
 
 }  // namespace ppnpart::engine

@@ -19,6 +19,7 @@ struct Engine::JobState {
   Job job;
   JobId id = 0;
   std::uint64_t key = 0;
+  std::uint64_t graph_fp = 0;
   support::StopToken token;
   support::Timer timer;
 
@@ -31,11 +32,18 @@ struct Engine::JobState {
   part::PartitionResult best;
   std::size_t remaining = 0;
   bool done = false;
+  bool collected = false;  // outcome moved out by a wait()/poll() winner
   PortfolioOutcome outcome;
+  /// Identical-key jobs coalesced onto this one (single-flight); completed
+  /// with a copy of this job's outcome by finalize_job. Guarded by `m`,
+  /// drained atomically with the `done` flip so no follower is stranded.
+  std::vector<std::shared_ptr<JobState>> followers;
 };
 
 Engine::Engine(EngineOptions options)
-    : options_(std::move(options)), cache_(options_.cache_capacity) {
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      coarsen_cache_(options_.coarsen_cache_capacity) {
   if (options_.portfolio.empty())
     throw std::invalid_argument("Engine: portfolio has no members");
   for (const std::string& name : options_.portfolio.members) {
@@ -59,19 +67,66 @@ Engine::~Engine() {
   }
 }
 
-std::uint64_t Engine::job_key(const graph::Graph& g,
+std::uint64_t Engine::job_key(std::uint64_t graph_fp,
                               const part::PartitionRequest& request) const {
-  return hash_combine(
-      hash_combine(graph_fingerprint(g), request_fingerprint(request)),
-      options_.portfolio.fingerprint());
+  return hash_combine(hash_combine(graph_fp, request_fingerprint(request)),
+                      options_.portfolio.fingerprint());
+}
+
+std::uint64_t Engine::shared_graph_fingerprint(
+    const std::shared_ptr<const graph::Graph>& g) {
+  {
+    std::lock_guard<std::mutex> lock(fp_mutex_);
+    auto it = fp_memo_.find(g.get());
+    if (it != fp_memo_.end()) {
+      // The weak_ptr doubles as a validity probe: if the original owner
+      // died, this address may belong to a different graph by now.
+      if (auto live = it->second.graph.lock(); live.get() == g.get())
+        return it->second.fp;
+      fp_memo_.erase(it);
+    }
+  }
+  const std::uint64_t fp = graph_fingerprint(*g);
+  std::lock_guard<std::mutex> lock(fp_mutex_);
+  fp_computed_.fetch_add(1, std::memory_order_relaxed);
+  if (fp_memo_.size() > 512) {
+    for (auto it = fp_memo_.begin(); it != fp_memo_.end();) {
+      it = it->second.graph.expired() ? fp_memo_.erase(it) : std::next(it);
+    }
+  }
+  fp_memo_[g.get()] = FpEntry{g, fp};
+  return fp;
 }
 
 PortfolioOutcome Engine::run_one(const graph::Graph& g,
                                  const part::PartitionRequest& request) {
+  // Alias the caller's graph instead of copying it: run_one blocks until
+  // the job finishes, so the reference outlives every member task. Aliased
+  // graphs must NOT enter the fingerprint memo: a worker's closure can
+  // keep the no-op-deleter control block alive briefly after run_one
+  // returns, so the weak_ptr probe could validate a dead graph's entry for
+  // a new graph at the reused address. Compute the fingerprint directly.
+  fp_computed_.fetch_add(1, std::memory_order_relaxed);
+  return run_one_impl(
+      std::shared_ptr<const graph::Graph>(&g, [](const graph::Graph*) {}),
+      request, graph_fingerprint(g));
+}
+
+PortfolioOutcome Engine::run_one(std::shared_ptr<const graph::Graph> g,
+                                 const part::PartitionRequest& request) {
+  if (g == nullptr)
+    throw std::invalid_argument("Engine: run_one with null graph");
+  const std::uint64_t graph_fp = shared_graph_fingerprint(g);
+  return run_one_impl(std::move(g), request, graph_fp);
+}
+
+PortfolioOutcome Engine::run_one_impl(std::shared_ptr<const graph::Graph> g,
+                                      const part::PartitionRequest& request,
+                                      std::uint64_t graph_fp) {
   // Cache fast path before the Job is even built: a hit costs a hash and a
-  // lookup, never a graph copy or a pool round-trip.
+  // lookup, never a pool round-trip.
   support::Timer timer;
-  const std::uint64_t key = job_key(g, request);
+  const std::uint64_t key = job_key(graph_fp, request);
   if (auto cached = cache_.lookup(key)) {
     PortfolioOutcome out = std::move(*cached);
     out.from_cache = true;
@@ -81,7 +136,12 @@ PortfolioOutcome Engine::run_one(const graph::Graph& g,
     return out;
   }
   // The lookup above already accounted the miss; don't count it twice.
-  return wait(start_job(Job{g, request}, key, /*check_cache=*/false)->id);
+  // start_job still consults the single-flight registry, so two run_one
+  // calls racing the same key share one portfolio run.
+  return wait(
+      start_job(Job{std::move(g), request}, graph_fp, key,
+                /*check_cache=*/false)
+          ->id);
 }
 
 std::vector<PortfolioOutcome> Engine::run_batch(const std::vector<Job>& jobs) {
@@ -108,16 +168,21 @@ std::vector<PortfolioOutcome> Engine::run_batch(std::vector<Job>&& jobs) {
 }
 
 Engine::JobId Engine::submit(Job job) {
-  const std::uint64_t key = job_key(job.graph, job.request);
-  return start_job(std::move(job), key, /*check_cache=*/true)->id;
+  if (job.graph == nullptr)
+    throw std::invalid_argument("Engine: job has no graph");
+  const std::uint64_t graph_fp = shared_graph_fingerprint(job.graph);
+  const std::uint64_t key = job_key(graph_fp, job.request);
+  return start_job(std::move(job), graph_fp, key, /*check_cache=*/true)->id;
 }
 
 std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
+                                                    std::uint64_t graph_fp,
                                                     std::uint64_t key,
                                                     bool check_cache) {
   auto state = std::make_shared<JobState>();
   state->job = std::move(job);
   state->key = key;
+  state->graph_fp = graph_fp;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -138,6 +203,39 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
     return state;
   }
 
+  auto& pool = support::ThreadPool::global();
+
+  // Single-flight: a running twin of this job exists — attach to it and
+  // share its outcome instead of racing a duplicate portfolio. Jobs
+  // carrying a caller stop token keep their own cancellation semantics and
+  // never coalesce, in either role. Calls from inside the pool never
+  // coalesce either: a follower blocks in wait() until the leader's member
+  // tasks run, and a blocked worker could be the very thread those tasks
+  // need — the same saturation deadlock the serial-degrade below avoids.
+  if (state->job.request.stop == nullptr && !pool.on_worker_thread()) {
+    while (true) {
+      std::shared_ptr<JobState> leader;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = inflight_.try_emplace(state->key, state);
+        if (!inserted) leader = it->second;
+      }
+      if (leader == nullptr) break;  // we own the key: run the members below
+      {
+        std::lock_guard<std::mutex> lock(leader->m);
+        if (!leader->done) {
+          leader->followers.push_back(state);
+          std::lock_guard<std::mutex> slock(mutex_);
+          ++stats_.jobs_coalesced;
+          return state;
+        }
+      }
+      // The leader finished between the registry lookup and locking it (it
+      // has already left inflight_): retry — either we take the key or a
+      // newer leader appears.
+    }
+  }
+
   const std::size_t n = options_.portfolio.size();
   {
     std::lock_guard<std::mutex> lock(state->m);
@@ -154,7 +252,6 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
   if (state->job.request.stop != nullptr)
     state->token.set_parent(state->job.request.stop);
 
-  auto& pool = support::ThreadPool::global();
   if (pool.on_worker_thread()) {
     // Called from inside the pool (e.g. a client task): fanning out and
     // blocking would deadlock a saturated pool, so degrade to serial.
@@ -163,7 +260,27 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
     for (std::size_t i = 0; i < n; ++i) {
       // Futures are intentionally dropped: completion is tracked by
       // `remaining`, and packaged_task keeps the shared state alive.
-      pool.submit([this, state, i] { run_member(state, i); });
+      try {
+        pool.submit([this, state, i] { run_member(state, i); });
+      } catch (...) {
+        // A failed submit (e.g. allocation) must not unwind out of here:
+        // already-queued members keep running — and run_one's const&
+        // overload aliases the caller's graph, which only stays valid
+        // while the caller blocks in wait(). Account the unsubmitted tail
+        // as failed so `remaining` reaches zero and waiters never hang.
+        bool finished = false;
+        {
+          std::lock_guard<std::mutex> lock(state->m);
+          for (std::size_t j = i; j < n; ++j) {
+            state->members[j].failed = true;
+            state->members[j].error = "engine: task submission failed";
+          }
+          state->remaining -= n - i;
+          finished = state->remaining == 0;
+        }
+        if (finished) finalize_job(state);
+        break;
+      }
     }
   }
   return state;
@@ -192,7 +309,14 @@ void Engine::run_member(const std::shared_ptr<JobState>& state,
       // across scheduling orders.
       req.seed = support::SeedStream(state->job.request.seed).seed_for(index);
       req.stop = &state->token;
-      result = algo->run(state->job.graph, req);
+      // Coarsening reuse: hand every member the engine's cache plus the
+      // job's memoized graph identity, so the multilevel members share one
+      // canonical hierarchy per (graph, options) across jobs and members.
+      if (options_.coarsen_cache_capacity > 0) {
+        req.coarsen_cache = &coarsen_cache_;
+        req.graph_key = state->graph_fp;
+      }
+      result = algo->run(*state->job.graph, req);
       have_result = true;
       mo.ran = true;
       mo.goodness = goodness_of(result);
@@ -239,10 +363,12 @@ void Engine::run_member(const std::shared_ptr<JobState>& state,
 }
 
 void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
-  // ORDER MATTERS: every touch of engine members (cache_, stats_, mutex_)
-  // must happen BEFORE `done` is published — the moment a waiter observes
-  // done it may collect the outcome and destroy the Engine, leaving this
-  // task with only the JobState shared_ptr to stand on.
+  // ORDER MATTERS: every touch of engine members (cache_, stats_, mutex_,
+  // inflight_) must happen BEFORE `done` is published — the moment a waiter
+  // observes done it may collect the outcome and destroy the Engine,
+  // leaving this task with only the JobState shared_ptr to stand on. (The
+  // one exception is the follower accounting below, which is pinned by the
+  // followers themselves still sitting un-done in jobs_.)
   PortfolioOutcome snapshot;
   std::uint64_t run = 0, skipped = 0, failed = 0;
   {
@@ -267,20 +393,55 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   // Only complete answers are worth replaying to future twins. Budgets are
   // deliberately not part of the key: a cached answer computed under any
   // budget is a valid (never worse than recomputing) reply to the request.
-  if (!snapshot.winner.empty()) cache_.insert(state->key, snapshot);
+  // A fired *caller* stop token is different: it truncated this particular
+  // run for this particular caller, and the key excludes the token — so
+  // caching would serve the degraded answer to future full-effort twins.
+  const bool caller_cancelled = state->job.request.stop != nullptr &&
+                                state->job.request.stop->stop_requested();
+  if (!snapshot.winner.empty() && !caller_cancelled)
+    cache_.insert(state->key, snapshot);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.jobs_completed;
     stats_.members_run += run;
     stats_.members_skipped += skipped;
     stats_.members_failed += failed;
+    // Leave the single-flight registry before publishing done, so a racer
+    // that finds this state there can rely on attaching or retrying.
+    auto it = inflight_.find(state->key);
+    if (it != inflight_.end() && it->second == state) inflight_.erase(it);
   }
 
+  // Drain followers atomically with the done flip: a new follower can only
+  // attach while !done, so none is stranded after the swap.
+  std::vector<std::shared_ptr<JobState>> followers;
   {
     std::lock_guard<std::mutex> lock(state->m);
+    followers.swap(state->followers);
     state->done = true;
   }
   state->cv.notify_all();
+
+  if (!followers.empty()) {
+    // The engine is still pinned: every follower sits in jobs_ with
+    // done == false, and ~Engine waits for them. Account them all before
+    // publishing the first follower `done` — after that a follower's
+    // waiter may destroy the Engine.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.jobs_completed += followers.size();
+    }
+    for (const auto& f : followers) {
+      {
+        std::lock_guard<std::mutex> lock(f->m);
+        f->outcome = snapshot;
+        f->outcome.coalesced = true;
+        f->outcome.seconds = f->timer.seconds();
+        f->done = true;
+      }
+      f->cv.notify_all();
+    }
+  }
 }
 
 std::shared_ptr<Engine::JobState> Engine::find_job(JobId id) {
@@ -296,6 +457,14 @@ PortfolioOutcome Engine::take_outcome(
   PortfolioOutcome out;
   {
     std::lock_guard<std::mutex> lock(state->m);
+    // Two clients racing wait()/poll() on the same id can both pass
+    // find_job before either erases it; only the first may move the
+    // outcome out — the loser gets the documented error, not a silently
+    // empty result.
+    if (state->collected)
+      throw std::invalid_argument(
+          "Engine: unknown or already-collected job id");
+    state->collected = true;
     out = std::move(state->outcome);
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -325,9 +494,15 @@ EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   EngineStats s = stats_;
   s.cache = cache_.stats();
+  s.coarsening = coarsen_cache_.stats();
+  s.graph_fingerprints_computed =
+      fp_computed_.load(std::memory_order_relaxed);
   return s;
 }
 
-void Engine::clear_cache() { cache_.clear(); }
+void Engine::clear_cache() {
+  cache_.clear();
+  coarsen_cache_.clear();
+}
 
 }  // namespace ppnpart::engine

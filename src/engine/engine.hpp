@@ -16,7 +16,18 @@
 //     trade determinism for latency by construction,
 //   * an in-memory LRU result cache keyed by graph fingerprint + request
 //     hash + portfolio identity, so repeated queries (the heavy-traffic
-//     scenario) are served in O(1) without touching the pool.
+//     scenario) are served in O(1) without touching the pool,
+//   * shared graphs: a Job holds a shared_ptr<const Graph>, so a batch of N
+//     jobs over one network holds ONE graph (not N copies), its fingerprint
+//     is computed once and memoized, and a CoarseningCache shares the
+//     multilevel coarsening across members and jobs on the same graph —
+//     different k/seeds/algorithms re-run only initial partitioning and
+//     refinement,
+//   * single-flight keys: concurrent jobs with an identical cache key
+//     coalesce onto one in-flight computation and share its outcome
+//     (marked `coalesced`), instead of racing duplicate portfolios. Jobs
+//     carrying a caller stop token never coalesce — their cancellation
+//     semantics stay their own.
 //
 // Entry points: run_one (synchronous), run_batch (fan out a vector of jobs
 // and wait), and a streaming submit/poll/wait trio for callers that overlap
@@ -26,15 +37,19 @@
 // Winner selection is deterministic: members are compared by (goodness,
 // member index), never by completion order.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/portfolio.hpp"
 #include "graph/graph.hpp"
+#include "partition/coarsen_cache.hpp"
 #include "partition/partitioner.hpp"
 
 namespace ppnpart::engine {
@@ -64,6 +79,11 @@ struct EngineOptions {
 
   /// Result-cache capacity in jobs; 0 disables caching.
   std::size_t cache_capacity = 4096;
+
+  /// Coarsening-cache capacity in hierarchies; 0 disables coarsening reuse
+  /// (members then coarsen per run, with the request seed folded into the
+  /// coarsening randomness, exactly like standalone partitioner use).
+  std::size_t coarsen_cache_capacity = 32;
 };
 
 /// Per-member accounting of one job.
@@ -81,6 +101,7 @@ struct PortfolioOutcome {
   part::PartitionResult best;  // the winning member's full result
   std::string winner;          // registry name of the winning member
   bool from_cache = false;
+  bool coalesced = false;       // served by an identical in-flight job
   bool budget_expired = false;  // the job's deadline fired
   double seconds = 0;           // engine-observed job latency
   std::uint64_t key = 0;        // cache key (diagnostics)
@@ -91,22 +112,36 @@ struct PortfolioOutcome {
 // parent, so firing it cancels the job exactly like the quality gate does
 // (running members stop at their next checkpoint; an answer still exists
 // once any member completes).
-//
-// Known limitation: Job owns its graph, so a same-graph batch of N jobs
-// holds N copies (see ROADMAP — shared-graph batches are a planned
-// follow-up; real multi-tenant traffic carries distinct graphs per job).
 struct EngineStats {
   std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_coalesced = 0;  // duplicates served by single-flight
   std::uint64_t members_run = 0;
   std::uint64_t members_skipped = 0;
   std::uint64_t members_failed = 0;
+  /// Full graph_fingerprint computations; shared graphs are memoized, so a
+  /// batch of N jobs over one shared graph computes exactly one. (Distinct
+  /// client threads racing the very first submit of the same graph may
+  /// each compute once — the memo coalesces every later call, not the
+  /// initial race.)
+  std::uint64_t graph_fingerprints_computed = 0;
   CacheStats cache;
+  CacheStats coarsening;  // CoarseningCache traffic (hits = reused builds)
 };
 
-/// One unit of work for the batch/streaming entry points.
+/// One unit of work for the batch/streaming entry points. The graph is held
+/// by shared_ptr so a same-graph batch shares one copy; the by-value
+/// constructor wraps for callers that still hand graphs in directly.
 struct Job {
-  graph::Graph graph;
+  std::shared_ptr<const graph::Graph> graph;
   part::PartitionRequest request;
+
+  Job() = default;
+  Job(std::shared_ptr<const graph::Graph> g, part::PartitionRequest r)
+      : graph(std::move(g)), request(std::move(r)) {}
+  /// Convenience: moves/copies the graph into shared ownership.
+  Job(graph::Graph g, part::PartitionRequest r)
+      : graph(std::make_shared<graph::Graph>(std::move(g))),
+        request(std::move(r)) {}
 };
 
 class Engine {
@@ -122,15 +157,23 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Synchronous single-job entry point. A cache hit returns without
-  /// copying the graph or touching the pool.
+  /// copying the graph or touching the pool. The const& overload aliases
+  /// the caller's graph for the duration of the call (no copy; run_one
+  /// blocks until the job finishes, so the reference stays valid); the
+  /// shared_ptr overload additionally memoizes the graph's fingerprint
+  /// across calls that share the pointer.
   PortfolioOutcome run_one(const graph::Graph& g,
                            const part::PartitionRequest& request);
+  PortfolioOutcome run_one(std::shared_ptr<const graph::Graph> g,
+                           const part::PartitionRequest& request);
+  // (The const& overload fingerprints per call — only truly shared
+  // pointers are safe to memoize by address.)
 
   /// Fans every job's every member onto the thread pool at once and waits;
   /// results are returned in job order. Throughput scales with cores
   /// because members of *different* jobs overlap, not just members of one.
-  /// The const& overload copies each job (the caller keeps them); the &&
-  /// overload moves the graphs in.
+  /// Jobs hold their graphs by shared_ptr, so both overloads are cheap; the
+  /// && overload exists for callers that built the vector to hand over.
   std::vector<PortfolioOutcome> run_batch(const std::vector<Job>& jobs);
   std::vector<PortfolioOutcome> run_batch(std::vector<Job>&& jobs);
 
@@ -146,15 +189,25 @@ class Engine {
   PortfolioOutcome wait(JobId id);
 
   EngineStats stats() const;
+
+  /// Clears the result cache and the coarsening cache.
   void clear_cache();
 
  private:
   struct JobState;
 
-  std::uint64_t job_key(const graph::Graph& g,
+  std::uint64_t job_key(std::uint64_t graph_fp,
                         const part::PartitionRequest& request) const;
-  std::shared_ptr<JobState> start_job(Job job, std::uint64_t key,
-                                      bool check_cache);
+  /// Memoized graph_fingerprint: one computation per live shared graph.
+  /// Only owning pointers may pass through here — the weak_ptr validity
+  /// probe assumes the pointee lives exactly as long as the control block.
+  std::uint64_t shared_graph_fingerprint(
+      const std::shared_ptr<const graph::Graph>& g);
+  PortfolioOutcome run_one_impl(std::shared_ptr<const graph::Graph> g,
+                                const part::PartitionRequest& request,
+                                std::uint64_t graph_fp);
+  std::shared_ptr<JobState> start_job(Job job, std::uint64_t graph_fp,
+                                      std::uint64_t key, bool check_cache);
   std::shared_ptr<JobState> find_job(JobId id);
   PortfolioOutcome take_outcome(const std::shared_ptr<JobState>& state);
   void run_member(const std::shared_ptr<JobState>& state, std::size_t index);
@@ -162,11 +215,23 @@ class Engine {
 
   EngineOptions options_;
   LruCache<PortfolioOutcome> cache_;
+  part::CoarseningCache coarsen_cache_;
 
-  mutable std::mutex mutex_;  // guards jobs_, next_id_, stats_
+  mutable std::mutex mutex_;  // guards jobs_, inflight_, next_id_, stats_
   std::uint64_t next_id_ = 1;
   std::unordered_map<JobId, std::shared_ptr<JobState>> jobs_;
+  /// Single-flight registry: cache key -> the JobState computing it.
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobState>> inflight_;
   EngineStats stats_;
+
+  std::atomic<std::uint64_t> fp_computed_{0};
+  mutable std::mutex fp_mutex_;  // guards fp_memo_
+  struct FpEntry {
+    std::weak_ptr<const graph::Graph> graph;  // validity probe (expiry =
+                                              // the pointer may be reused)
+    std::uint64_t fp = 0;
+  };
+  std::unordered_map<const graph::Graph*, FpEntry> fp_memo_;
 };
 
 }  // namespace ppnpart::engine

@@ -1,38 +1,23 @@
 #include "engine/fingerprint.hpp"
 
-#include "support/prng.hpp"
+#include "partition/coarsen_cache.hpp"
+#include "support/hash.hpp"
 
 namespace ppnpart::engine {
 
 std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
-  std::uint64_t state = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
-  return support::splitmix64(state);
+  return support::hash_combine(h, v);
 }
 
 std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
-  h = hash_combine(h, s.size());
-  for (unsigned char c : s) h = hash_combine(h, c);
-  return h;
+  return support::hash_string(h, s);
 }
-
-namespace {
-
-template <typename T>
-std::uint64_t hash_span(std::uint64_t h, const std::vector<T>& v) {
-  h = hash_combine(h, v.size());
-  for (const T& x : v) h = hash_combine(h, static_cast<std::uint64_t>(x));
-  return h;
-}
-
-}  // namespace
 
 std::uint64_t graph_fingerprint(const graph::Graph& g) {
-  std::uint64_t h = 0x67726170685f6670ull;  // "graph_fp"
-  h = hash_span(h, g.xadj());
-  h = hash_span(h, g.adj());
-  h = hash_span(h, g.raw_edge_weights());
-  h = hash_span(h, g.node_weights());
-  return h;
+  // One digest implementation for the whole stack: the engine's result-cache
+  // key and the partition layer's coarsening-cache key must agree, so a
+  // graph_key handed down through PartitionRequest means the same graph.
+  return part::graph_digest(g);
 }
 
 std::uint64_t request_fingerprint(const part::PartitionRequest& r) {

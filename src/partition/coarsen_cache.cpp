@@ -1,0 +1,162 @@
+#include "partition/coarsen_cache.hpp"
+
+#include "support/hash.hpp"
+
+namespace ppnpart::part {
+
+namespace {
+
+using support::hash_combine;
+using support::hash_span;
+
+/// Key-space salts so hierarchies and contraction sequences never alias.
+constexpr std::uint64_t kHierarchySalt = 0x686965725f6b6579ull;  // "hier_key"
+constexpr std::uint64_t kContractionSalt = 0x636f6e74725f6b79ull;  // "contr_ky"
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t graph_digest(const Graph& g) {
+  std::uint64_t h = 0x67726170685f6670ull;  // "graph_fp"
+  h = hash_span(h, g.xadj());
+  h = hash_span(h, g.adj());
+  h = hash_span(h, g.raw_edge_weights());
+  h = hash_span(h, g.node_weights());
+  return h;
+}
+
+std::uint64_t coarsen_options_digest(const CoarsenOptions& options) {
+  std::uint64_t h = 0x636f6172736e5f76ull;  // "coarsn_v"
+  h = hash_combine(h, static_cast<std::uint64_t>(options.coarsen_to));
+  h = hash_combine(h, options.strategies.size());
+  for (MatchingKind kind : options.strategies)
+    h = hash_combine(h, static_cast<std::uint64_t>(kind));
+  h = hash_combine(h, double_bits(options.min_shrink_factor));
+  h = hash_combine(h, options.max_levels);
+  return h;
+}
+
+std::uint64_t canonical_coarsen_seed(std::uint64_t options_digest) {
+  return hash_combine(0xc0a25e5eedull, options_digest);
+}
+
+CoarseningCache::CoarseningCache(std::size_t capacity) : store_(capacity) {}
+
+CoarseningCache::HierarchyPtr CoarseningCache::hierarchy(
+    std::uint64_t graph_key, const CoarsenOptions& options,
+    const Graph& finest) {
+  return hierarchy(graph_key, options, [&]() -> Hierarchy {
+    support::Rng canonical(
+        canonical_coarsen_seed(coarsen_options_digest(options)));
+    Hierarchy built = coarsen(finest, options, canonical);
+    // Don't retain a copy of the input: every consumer already holds the
+    // finest graph and substitutes it for level 0.
+    built.graphs[0] = Graph();
+    return built;
+  });
+}
+
+CoarseningCache::HierarchyPtr CoarseningCache::hierarchy(
+    std::uint64_t graph_key, const CoarsenOptions& options,
+    const std::function<Hierarchy()>& build) {
+  const std::uint64_t key = hash_combine(
+      hash_combine(kHierarchySalt, graph_key), coarsen_options_digest(options));
+  auto value = get_or_build(key, [&]() -> std::shared_ptr<const void> {
+    return std::make_shared<const Hierarchy>(build());
+  });
+  return std::static_pointer_cast<const Hierarchy>(value);
+}
+
+CoarseningCache::ContractionSeqPtr CoarseningCache::contractions(
+    std::uint64_t graph_key, std::uint64_t options_key,
+    const std::function<ContractionSeq()>& build) {
+  const std::uint64_t key =
+      hash_combine(hash_combine(kContractionSalt, graph_key), options_key);
+  auto value = get_or_build(key, [&]() -> std::shared_ptr<const void> {
+    return std::make_shared<const ContractionSeq>(build());
+  });
+  return std::static_pointer_cast<const ContractionSeq>(value);
+}
+
+std::shared_ptr<const void> CoarseningCache::get_or_build(
+    std::uint64_t key,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  std::shared_ptr<Inflight> flight;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto hit = store_.lookup(key)) {
+      ++stats_.hits;
+      return *hit;
+    }
+    auto in = inflight_.find(key);
+    if (in != inflight_.end()) {
+      // Coalesce onto the in-flight build: this caller waits instead of
+      // racing a duplicate coarsening. Counted as a hit — no build ran.
+      flight = in->second;
+      ++stats_.hits;
+    } else {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(key, flight);
+      builder = true;
+      ++stats_.misses;
+    }
+  }
+
+  if (!builder) {
+    std::unique_lock<std::mutex> lock(flight->m);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->value;
+  }
+
+  std::shared_ptr<const void> value;
+  std::exception_ptr error;
+  try {
+    value = build();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(key);
+    if (!error) store_.insert(key, value);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->m);
+    flight->value = value;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return value;
+}
+
+support::CacheStats CoarseningCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // insertions/evictions come from the store; hits/misses are ours (the
+  // store's own lookup counters don't see coalesced in-flight waits).
+  support::CacheStats s = store_.stats();
+  s.hits = stats_.hits;
+  s.misses = stats_.misses;
+  return s;
+}
+
+std::size_t CoarseningCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return store_.size();
+}
+
+void CoarseningCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  store_.clear();
+}
+
+}  // namespace ppnpart::part

@@ -1,9 +1,11 @@
 #include "partition/gp.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "partition/coarsen_cache.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -12,16 +14,19 @@ namespace ppnpart::part {
 namespace {
 
 /// Refines an assignment down a hierarchy, recording the trace. `assign`
-/// indexes the coarsest graph on entry and the finest on return.
-std::vector<PartId> refine_down(const Hierarchy& h, std::vector<PartId> assign,
-                                PartId k, const Constraints& c,
-                                const GpOptions& options, support::Rng& rng,
-                                std::uint32_t cycle,
+/// indexes the coarsest graph on entry and the finest on return. `finest`
+/// stands in for level 0: cached hierarchies drop their level-0 graph (the
+/// caller holds the input already), and for local hierarchies it is simply
+/// the same graph by content.
+std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
+                                std::vector<PartId> assign, PartId k,
+                                const Constraints& c, const GpOptions& options,
+                                support::Rng& rng, std::uint32_t cycle,
                                 std::vector<GpLevelTrace>* trace) {
   FmOptions fm;
   fm.max_passes = options.refine_passes;
   for (std::size_t level = h.num_levels(); level-- > 0;) {
-    const Graph& g = h.graphs[level];
+    const Graph& g = level == 0 ? finest : h.graphs[level];
     if (level + 1 < h.num_levels()) {
       // Project from the coarser level.
       std::vector<PartId> finer(g.num_nodes());
@@ -55,15 +60,17 @@ std::vector<PartId> refine_down(const Hierarchy& h, std::vector<PartId> assign,
   return assign;
 }
 
-void record_coarsen_trace(const Hierarchy& h, std::uint32_t cycle,
+void record_coarsen_trace(const Hierarchy& h, const Graph& finest,
+                          std::uint32_t cycle,
                           std::vector<GpLevelTrace>* trace) {
   if (trace == nullptr) return;
   for (std::size_t level = 0; level < h.num_levels(); ++level) {
+    const Graph& g = level == 0 ? finest : h.graphs[level];
     GpLevelTrace t;
     t.cycle = cycle;
     t.level = level;
-    t.nodes = h.graphs[level].num_nodes();
-    t.edges = h.graphs[level].num_edges();
+    t.nodes = g.num_nodes();
+    t.edges = g.num_edges();
     t.phase = level + 1 == h.num_levels() ? GpLevelTrace::Phase::kInitial
                                           : GpLevelTrace::Phase::kCoarsen;
     if (level > 0) t.matching = h.winners[level - 1];
@@ -110,6 +117,10 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
   std::optional<std::vector<PartId>> best_assign;
   Goodness best_goodness;
   std::uint32_t feasible_cycles = 0;
+  // With a coarsening cache every fresh V-cycle descends the one canonical
+  // hierarchy (fetched at most once per run); search diversity then comes
+  // from initial-partitioning restarts, refinement randomness and kicks.
+  std::shared_ptr<const Hierarchy> shared_h;
 
   const std::uint32_t cycles = std::max(1u, options_.max_cycles);
   for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
@@ -124,10 +135,21 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
 
     std::vector<PartId> assign;
     if (fresh) {
-      // Fresh V-cycle: coarsen, seed with greedy growth, refine down.
-      Hierarchy h = coarsen(g, coarsen_opts, cycle_rng);
-      record_coarsen_trace(h, cycle, &result.trace);
-      const Graph& coarsest = h.coarsest();
+      // Fresh V-cycle: coarsen (or fetch the shared canonical hierarchy),
+      // seed with greedy growth, refine down.
+      Hierarchy local;
+      if (request.coarsen_cache != nullptr) {
+        if (!shared_h) {
+          const std::uint64_t gkey =
+              request.graph_key != 0 ? request.graph_key : graph_digest(g);
+          shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, g);
+        }
+      } else {
+        local = coarsen(g, coarsen_opts, cycle_rng);
+      }
+      const Hierarchy& h = shared_h ? *shared_h : local;
+      record_coarsen_trace(h, g, cycle, &result.trace);
+      const Graph& coarsest = h.num_levels() == 1 ? g : h.coarsest();
       support::Rng grow_rng = cycle_rng.derive(0x6120);
       Partition seed_part =
           greedy_grow_initial(coarsest, k, c, grow_opts, grow_rng);
@@ -136,7 +158,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
       std::vector<PartId> coarse_assign(coarsest.num_nodes());
       for (NodeId u = 0; u < coarsest.num_nodes(); ++u)
         coarse_assign[u] = seed_part[u];
-      assign = refine_down(h, std::move(coarse_assign), k, c, options_,
+      assign = refine_down(h, g, std::move(coarse_assign), k, c, options_,
                            cycle_rng, cycle, &result.trace);
     } else {
       // Cyclic re-coarsening around the incumbent (paper: "coarsened back to
@@ -145,7 +167,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
       // (iterated local search).
       RestrictedHierarchy rh =
           coarsen_restricted(g, *best_assign, coarsen_opts, cycle_rng);
-      record_coarsen_trace(rh.hierarchy, cycle, &result.trace);
+      record_coarsen_trace(rh.hierarchy, g, cycle, &result.trace);
       std::vector<PartId>& coarse = rh.coarse_parts;
       const NodeId cn = rh.hierarchy.coarsest().num_nodes();
       support::Rng kick_rng = cycle_rng.derive(0x6B1C6);
@@ -164,7 +186,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
           if (u != v) std::swap(coarse[u], coarse[v]);
         }
       }
-      assign = refine_down(rh.hierarchy, std::move(coarse), k, c, options_,
+      assign = refine_down(rh.hierarchy, g, std::move(coarse), k, c, options_,
                            cycle_rng, cycle, &result.trace);
     }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "graph/algorithms.hpp"
 #include "partition/coarsen.hpp"
+#include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
 #include "partition/refine.hpp"
 #include "support/timer.hpp"
@@ -119,10 +121,22 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
       options_.coarsen_to > 0
           ? options_.coarsen_to
           : std::max<NodeId>(40, static_cast<NodeId>(20 * k));
-  Hierarchy h = coarsen(*work, coarsen_opts, rng);
+  Hierarchy local;
+  std::shared_ptr<const Hierarchy> shared_h;
+  if (request.coarsen_cache != nullptr) {
+    // Unit-balance runs coarsen a rewritten graph: the caller's graph_key
+    // names the original, so key the cache on the work graph's own digest.
+    const std::uint64_t gkey = (work == &g && request.graph_key != 0)
+                                   ? request.graph_key
+                                   : graph_digest(*work);
+    shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, *work);
+  } else {
+    local = coarsen(*work, coarsen_opts, rng);
+  }
+  const Hierarchy& h = shared_h ? *shared_h : local;
 
   // --- Initial partitioning: recursive bisection of the coarsest graph. --
-  const Graph& coarsest = h.coarsest();
+  const Graph& coarsest = h.num_levels() == 1 ? *work : h.coarsest();
   std::vector<PartId> coarse_assign(coarsest.num_nodes(), 0);
   std::vector<NodeId> identity(coarsest.num_nodes());
   for (NodeId u = 0; u < coarsest.num_nodes(); ++u) identity[u] = u;
@@ -145,7 +159,8 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
 
   std::vector<PartId> assign = std::move(coarse_assign);
   for (std::size_t level = h.num_levels(); level-- > 0;) {
-    const Graph& level_graph = h.graphs[level];
+    // Level 0 of a cached hierarchy is empty; the work graph stands in.
+    const Graph& level_graph = level == 0 ? *work : h.graphs[level];
     if (level + 1 < h.num_levels()) {
       std::vector<PartId> finer(level_graph.num_nodes());
       for (NodeId u = 0; u < level_graph.num_nodes(); ++u) {

@@ -6,9 +6,7 @@
 namespace ppnpart::part {
 
 namespace {
-inline Weight over(Weight value, Weight cap) {
-  return cap == Constraints::kUnlimited ? 0 : std::max<Weight>(0, value - cap);
-}
+inline Weight over(Weight value, Weight cap) { return excess_over(value, cap); }
 }  // namespace
 
 MoveContext::MoveContext(const Graph& g, Partition& p, const Constraints& c)

@@ -7,8 +7,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
 #include "partition/refine.hpp"
+#include "support/hash.hpp"
 #include "support/timer.hpp"
 
 namespace ppnpart::part {
@@ -130,12 +132,12 @@ class DynamicPartitionState {
   Goodness goodness() const {
     Goodness good;
     for (PartId p = 0; p < k_; ++p)
-      good.resource_excess += std::max<Weight>(0, load(p) - c_.rmax_of(p));
+      good.resource_excess += excess_over(load(p), c_.rmax_of(p));
     for (PartId a = 0; a < k_; ++a) {
       for (PartId b = a + 1; b < k_; ++b) {
         const Weight w = pair_cut(a, b);
         good.cut += w;
-        good.bandwidth_excess += std::max<Weight>(0, w - c_.bmax);
+        good.bandwidth_excess += excess_over(w, c_.bmax);
       }
     }
     return good;
@@ -213,49 +215,81 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   }
 
   // ---- Coarsening: one heavy edge at a time (lazy max-heap). ----------
+  // The heap selection is deterministic and seed-independent, so the pair
+  // sequence it produces is a pure function of (graph, stop size). With a
+  // CoarseningCache the sequence is built once and replayed in O(deg) per
+  // contraction — no heap — for every later run on the same graph.
   DynamicGraph dg(g);
-  struct HeapEdge {
-    Weight w;
-    Weight merged_weight;  // tie-break: prefer lighter merged nodes
-    NodeId u, v;
-  };
-  struct LighterEdge {
-    bool operator()(const HeapEdge& a, const HeapEdge& b) const {
-      if (a.w != b.w) return a.w < b.w;  // max-heap: heaviest first
-      return a.merged_weight > b.merged_weight;
-    }
-  };
-  std::priority_queue<HeapEdge, std::vector<HeapEdge>, LighterEdge> heap;
-  auto push_edges_of = [&](NodeId u) {
-    for (const auto& [v, w] : dg.neighbors(u)) {
-      if (u < v)
-        heap.push(HeapEdge{w, dg.node_weight(u) + dg.node_weight(v), u, v});
-    }
-  };
-  for (NodeId u = 0; u < n; ++u) push_edges_of(u);
-
   const NodeId stop =
       std::max<NodeId>(options_.stop_size, static_cast<NodeId>(k));
   std::vector<DynamicGraph::Contraction> stack;
   stack.reserve(n > stop ? n - stop : 0);
-  while (dg.alive_count() > stop && !heap.empty()) {
-    const HeapEdge e = heap.top();
-    heap.pop();
-    if (!dg.alive(e.u) || !dg.alive(e.v)) continue;
-    const auto it = dg.neighbors(e.u).find(e.v);
-    if (it == dg.neighbors(e.u).end()) continue;  // edge gone
-    if (it->second != e.w ||
-        dg.node_weight(e.u) + dg.node_weight(e.v) != e.merged_weight) {
-      // Stale key (weights folded since insertion): reinsert fresh.
-      heap.push(HeapEdge{it->second,
-                         dg.node_weight(e.u) + dg.node_weight(e.v), e.u, e.v});
-      continue;
+
+  auto heap_coarsen = [&](CoarseningCache::ContractionSeq* record) {
+    struct HeapEdge {
+      Weight w;
+      Weight merged_weight;  // tie-break: prefer lighter merged nodes
+      NodeId u, v;
+    };
+    struct LighterEdge {
+      bool operator()(const HeapEdge& a, const HeapEdge& b) const {
+        if (a.w != b.w) return a.w < b.w;  // max-heap: heaviest first
+        return a.merged_weight > b.merged_weight;
+      }
+    };
+    std::priority_queue<HeapEdge, std::vector<HeapEdge>, LighterEdge> heap;
+    auto push_edges_of = [&](NodeId u) {
+      for (const auto& [v, w] : dg.neighbors(u)) {
+        if (u < v)
+          heap.push(HeapEdge{w, dg.node_weight(u) + dg.node_weight(v), u, v});
+      }
+    };
+    for (NodeId u = 0; u < n; ++u) push_edges_of(u);
+
+    while (dg.alive_count() > stop && !heap.empty()) {
+      const HeapEdge e = heap.top();
+      heap.pop();
+      if (!dg.alive(e.u) || !dg.alive(e.v)) continue;
+      const auto it = dg.neighbors(e.u).find(e.v);
+      if (it == dg.neighbors(e.u).end()) continue;  // edge gone
+      if (it->second != e.w ||
+          dg.node_weight(e.u) + dg.node_weight(e.v) != e.merged_weight) {
+        // Stale key (weights folded since insertion): reinsert fresh.
+        heap.push(HeapEdge{
+            it->second, dg.node_weight(e.u) + dg.node_weight(e.v), e.u, e.v});
+        continue;
+      }
+      // Keep the lighter endpoint id as the survivor deterministically.
+      const NodeId kept =
+          dg.node_weight(e.u) <= dg.node_weight(e.v) ? e.u : e.v;
+      const NodeId removed = kept == e.u ? e.v : e.u;
+      stack.push_back(dg.contract(kept, removed));
+      if (record != nullptr) record->emplace_back(kept, removed);
+      push_edges_of(kept);
     }
-    // Keep the lighter endpoint id as the survivor deterministically.
-    const NodeId kept = dg.node_weight(e.u) <= dg.node_weight(e.v) ? e.u : e.v;
-    const NodeId removed = kept == e.u ? e.v : e.u;
-    stack.push_back(dg.contract(kept, removed));
-    push_edges_of(kept);
+  };
+
+  if (request.coarsen_cache != nullptr) {
+    const std::uint64_t gkey =
+        request.graph_key != 0 ? request.graph_key : graph_digest(g);
+    const std::uint64_t okey = support::hash_combine(
+        0x6e6c65766c5f6370ull /* "nlevl_cp" */, static_cast<std::uint64_t>(stop));
+    bool built_here = false;
+    const auto seq = request.coarsen_cache->contractions(gkey, okey, [&] {
+      CoarseningCache::ContractionSeq s;
+      s.reserve(n > stop ? n - stop : 0);
+      heap_coarsen(&s);
+      built_here = true;
+      return s;
+    });
+    // A hit (or a coalesced wait on another run's build) leaves our dynamic
+    // graph untouched: replay the cached pair sequence on it.
+    if (!built_here) {
+      for (const auto& [kept, removed] : *seq)
+        stack.push_back(dg.contract(kept, removed));
+    }
+  } else {
+    heap_coarsen(nullptr);
   }
 
   // ---- Initial partitioning of the coarsest graph. ---------------------

@@ -115,6 +115,14 @@ struct Constraints {
   }
 };
 
+/// max(0, value - cap) with an unlimited cap short-circuited — the
+/// subtraction itself would overflow Weight. The one excess computation
+/// every violation/goodness bookkeeper must share.
+inline Weight excess_over(Weight value, Weight cap) {
+  if (cap == Constraints::kUnlimited) return 0;
+  return value > cap ? value - cap : 0;
+}
+
 /// Aggregate constraint violation; 0/0 means feasible.
 struct Violation {
   Weight resource_excess = 0;   // sum over parts of max(0, load - Rmax)

@@ -17,6 +17,8 @@
 
 namespace ppnpart::part {
 
+class CoarseningCache;
+
 struct PartitionRequest {
   PartId k = 2;
   /// GP honours these; cut-only baselines (MetisLike, Spectral, Random)
@@ -29,6 +31,23 @@ struct PartitionRequest {
   /// solution when it fires, so a stopped run still yields a complete
   /// partition. Leave null for fully deterministic, budget-free runs.
   const support::StopToken* stop = nullptr;
+
+  /// Optional cross-run coarsening cache (non-owning; may be null). When
+  /// set, the multilevel partitioners (GP, MetisLike, NLevel) build their
+  /// coarsening from a canonical seed-independent stream and share the
+  /// artifact through the cache, so requests on the same graph — different
+  /// k, seeds and algorithms — re-run only initial partitioning and
+  /// refinement. Results stay deterministic (hit and miss produce the same
+  /// answer) but differ from the cache-less path, which folds the request
+  /// seed into coarsening randomness. Transient like `stop`: excluded from
+  /// request fingerprints.
+  CoarseningCache* coarsen_cache = nullptr;
+
+  /// Caller-supplied identity of the graph for coarsen_cache keying (e.g.
+  /// the engine's memoized fingerprint); 0 = derive via graph_digest().
+  /// Must change whenever the graph does — a stale key serves the wrong
+  /// hierarchy.
+  std::uint64_t graph_key = 0;
 
   /// True when the request carries a fired stop signal.
   bool stop_requested() const { return stop != nullptr && stop->stop_requested(); }

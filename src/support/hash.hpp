@@ -1,0 +1,36 @@
+#pragma once
+// 64-bit content-hashing helpers (header-only), shared by the engine's
+// fingerprints and the partition layer's coarsening-cache keys.
+//
+// SplitMix64-mixed digests — not cryptographic, but with caches of a few
+// thousand entries the collision probability (~2^-40) is far below the
+// noise floor of a heuristic partitioner serving approximate answers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace ppnpart::support {
+
+/// Order-sensitive 64-bit combine (SplitMix64 finalizer).
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t state = h ^ (v + 0x9e3779b97f4a7c15ull + (h << 12) + (h >> 4));
+  return splitmix64(state);
+}
+
+inline std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  h = hash_combine(h, s.size());
+  for (unsigned char c : s) h = hash_combine(h, c);
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_span(std::uint64_t h, const std::vector<T>& v) {
+  h = hash_combine(h, v.size());
+  for (const T& x : v) h = hash_combine(h, static_cast<std::uint64_t>(x));
+  return h;
+}
+
+}  // namespace ppnpart::support

@@ -1,0 +1,100 @@
+#pragma once
+// Thread-safe LRU cache (header-only, generic over the value type).
+//
+// Shared by the engine's result cache and the partition layer's coarsening
+// cache: a small mutex-protected LRU map keyed by 64-bit fingerprints that
+// turns repeated expensive computations into O(1) lookups. Contention is
+// irrelevant at this granularity — one lookup per job against jobs that cost
+// milliseconds to seconds to compute.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace ppnpart::support {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+template <typename Value>
+class LruCache {
+ public:
+  /// capacity 0 disables the cache entirely (lookups miss, inserts drop).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::optional<Value> lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A disabled cache still sees the traffic: count the miss so hit_rate()
+    // and the engine stats reflect every lookup that had to recompute.
+    if (capacity_ == 0) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    ++stats_.hits;
+    return it->second->second;
+  }
+
+  void insert(std::uint64_t key, Value value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    ++stats_.insertions;
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<std::pair<std::uint64_t, Value>> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t,
+                     typename std::list<std::pair<std::uint64_t, Value>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace ppnpart::support

@@ -9,9 +9,11 @@
 // best-so-far solution when it fires. Cancellation is therefore always
 // graceful: a stopped partitioner still yields a complete, valid partition.
 //
-// The deadline, if any, must be configured before the token is shared with
-// workers; after that only `request_stop()` / `stop_requested()` are safe to
-// call concurrently.
+// All configuration (deadline, parent link) is stored atomically, so
+// arming a token that is already visible to workers cannot race their
+// `stop_requested()` polls — a controller may re-arm late without tearing.
+// The one remaining precondition is lifetime: a linked parent must outlive
+// this token.
 
 #include <atomic>
 #include <chrono>
@@ -30,26 +32,35 @@ class StopToken {
   void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
   /// Arms a deadline `seconds` from now; `stop_requested()` returns true
-  /// once it passes. Not thread-safe against concurrent `stop_requested()`;
-  /// call before handing the token to workers.
+  /// once it passes. Safe to call while workers are polling: the tick count
+  /// is published before the armed flag, so a reader either sees no
+  /// deadline or a fully written one — never a torn value.
   void set_deadline_after(double seconds) {
-    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                   std::chrono::duration<double>(seconds));
-    has_deadline_ = true;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    deadline_ticks_.store(deadline.time_since_epoch().count(),
+                          std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
   }
 
   /// Links a parent token (non-owning; must outlive this token): a stop
   /// requested on the parent stops this token too. Lets a controller (the
   /// engine) layer its per-job budget on top of a caller's own cancel
-  /// signal. Configure before sharing, like the deadline.
-  void set_parent(const StopToken* parent) { parent_ = parent; }
+  /// signal. Atomic like the deadline, so linking late cannot race polls.
+  void set_parent(const StopToken* parent) {
+    parent_.store(parent, std::memory_order_release);
+  }
 
-  bool has_deadline() const { return has_deadline_; }
+  bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
 
   /// True once the armed deadline has passed (independent of
   /// `request_stop()`, which may fire for other reasons).
   bool deadline_expired() const {
-    return has_deadline_ && Clock::now() >= deadline_;
+    if (!has_deadline_.load(std::memory_order_acquire)) return false;
+    return Clock::now() >= deadline();
   }
 
   /// True once `request_stop()` was called (here or on a linked parent) or
@@ -57,8 +68,8 @@ class StopToken {
   /// later calls skip them.
   bool stop_requested() const {
     if (stop_.load(std::memory_order_relaxed)) return true;
-    if ((has_deadline_ && Clock::now() >= deadline_) ||
-        (parent_ != nullptr && parent_->stop_requested())) {
+    const StopToken* parent = parent_.load(std::memory_order_acquire);
+    if (deadline_expired() || (parent != nullptr && parent->stop_requested())) {
       stop_.store(true, std::memory_order_relaxed);
       return true;
     }
@@ -66,10 +77,15 @@ class StopToken {
   }
 
  private:
+  Clock::time_point deadline() const {
+    return Clock::time_point(
+        Clock::duration(deadline_ticks_.load(std::memory_order_relaxed)));
+  }
+
   mutable std::atomic<bool> stop_{false};
-  bool has_deadline_ = false;
-  Clock::time_point deadline_{};
-  const StopToken* parent_ = nullptr;
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<Clock::rep> deadline_ticks_{0};
+  std::atomic<const StopToken*> parent_{nullptr};
 };
 
 }  // namespace ppnpart::support

@@ -1,10 +1,13 @@
 // Portfolio engine: determinism under fixed seed, cache hit/miss
 // accounting, budget enforcement, batch results matching the best
-// single-algorithm result at equal seeds, and the streaming entry points.
+// single-algorithm result at equal seeds, the streaming entry points,
+// shared-graph batches (one fingerprint, one coarsening per options key)
+// and single-flight coalescing of identical in-flight jobs.
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <memory>
 #include <thread>
 
 #include "engine/cache.hpp"
@@ -12,28 +15,35 @@
 #include "engine/fingerprint.hpp"
 #include "engine/portfolio.hpp"
 #include "graph/generators.hpp"
+#include "partition/coarsen_cache.hpp"
 #include "support/prng.hpp"
 
 namespace ppnpart {
 namespace {
 
-/// A reproducible mid-size instance with loose-ish constraints so the
-/// constraint-aware members usually reach feasibility.
-engine::Job make_job(std::uint64_t seed, graph::NodeId nodes = 96,
-                     double slack = 1.4) {
+std::shared_ptr<const graph::Graph> make_shared_graph(
+    std::uint64_t seed, graph::NodeId nodes) {
   graph::ProcessNetworkParams params;
   params.num_nodes = nodes;
   params.layers = std::max<std::uint32_t>(4, nodes / 12);
   support::Rng rng(seed);
+  return std::make_shared<const graph::Graph>(
+      graph::random_process_network(params, rng));
+}
+
+/// A reproducible mid-size instance with loose-ish constraints so the
+/// constraint-aware members usually reach feasibility.
+engine::Job make_job(std::uint64_t seed, graph::NodeId nodes = 96,
+                     double slack = 1.4) {
   engine::Job job;
-  job.graph = graph::random_process_network(params, rng);
+  job.graph = make_shared_graph(seed, nodes);
   job.request.k = 4;
   job.request.seed = seed * 31 + 7;
-  const double total_w = static_cast<double>(job.graph.total_node_weight());
-  const double total_e = static_cast<double>(job.graph.total_edge_weight());
+  const double total_w = static_cast<double>(job.graph->total_node_weight());
+  const double total_e = static_cast<double>(job.graph->total_edge_weight());
   job.request.constraints.rmax = std::max<graph::Weight>(
       static_cast<graph::Weight>(slack * total_w / job.request.k),
-      job.graph.max_node_weight());
+      job.graph->max_node_weight());
   job.request.constraints.bmax = std::max<graph::Weight>(
       1, static_cast<graph::Weight>(slack * total_e / 6.0 / 2.0));
   return job;
@@ -76,10 +86,13 @@ TEST(Portfolio, FingerprintIsOrderSensitive) {
 TEST(Fingerprint, GraphAndRequestSensitivity) {
   const engine::Job j1 = make_job(1);
   const engine::Job j2 = make_job(2);
-  EXPECT_EQ(engine::graph_fingerprint(j1.graph),
-            engine::graph_fingerprint(j1.graph));
-  EXPECT_NE(engine::graph_fingerprint(j1.graph),
-            engine::graph_fingerprint(j2.graph));
+  EXPECT_EQ(engine::graph_fingerprint(*j1.graph),
+            engine::graph_fingerprint(*j1.graph));
+  EXPECT_NE(engine::graph_fingerprint(*j1.graph),
+            engine::graph_fingerprint(*j2.graph));
+  // One digest across the stack: the partition layer's graph_digest (used
+  // by the coarsening cache) is the engine fingerprint.
+  EXPECT_EQ(engine::graph_fingerprint(*j1.graph), part::graph_digest(*j1.graph));
 
   part::PartitionRequest r1 = j1.request;
   part::PartitionRequest r2 = r1;
@@ -113,11 +126,37 @@ TEST(LruCache, HitMissEvictLifecycle) {
   EXPECT_EQ(s.evictions, 1u);
 }
 
-TEST(LruCache, ZeroCapacityDisables) {
+TEST(LruCache, EvictionFollowsRecencyOrder) {
+  engine::LruCache<int> cache(3);
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  cache.insert(3, 30);
+  // Touch 1 then 2: LRU order (old -> new) becomes 3, 1, 2.
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  cache.insert(4, 40);  // evicts 3, the least recently used
+  EXPECT_FALSE(cache.lookup(3).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(4).has_value());
+  cache.insert(5, 50);  // now 1 is oldest
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCache, ZeroCapacityDisablesButCountsTraffic) {
   engine::LruCache<int> cache(0);
   cache.insert(1, 10);
   EXPECT_FALSE(cache.lookup(1).has_value());
-  EXPECT_EQ(cache.stats().misses, 0u);  // disabled lookups don't count
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  const engine::CacheStats s = cache.stats();
+  // A disabled cache still sees the traffic: every lookup is a miss, so
+  // hit_rate() reports 0/N rather than a vacuous 0/0.
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.insertions, 0u);
+  EXPECT_EQ(s.hit_rate(), 0.0);
 }
 
 // ---------------------------------------------------------------- engine ---
@@ -157,6 +196,8 @@ TEST(Engine, CacheHitMissAccounting) {
   EXPECT_EQ(stats.jobs_completed, 2u);
   EXPECT_EQ(stats.cache.hits, 1u);
   EXPECT_EQ(stats.cache.misses, 1u);
+  // The shared graph pointer is fingerprinted once, then memoized.
+  EXPECT_EQ(stats.graph_fingerprints_computed, 1u);
 
   // A different seed is a different question — must miss.
   part::PartitionRequest other = job.request;
@@ -181,7 +222,7 @@ TEST(Engine, BudgetEnforcementStillYieldsCompleteAnswer) {
   const auto out = eng.run_one(job.graph, job.request);
   ASSERT_FALSE(out.winner.empty());
   EXPECT_TRUE(out.best.partition.complete());
-  EXPECT_EQ(out.best.partition.size(), job.graph.num_nodes());
+  EXPECT_EQ(out.best.partition.size(), job.graph->num_nodes());
   // Cooperative budgets overshoot by at most one checkpoint per member;
   // allow a generous CI margin while still catching "budget ignored".
   EXPECT_LT(out.seconds, 60.0);
@@ -200,8 +241,11 @@ TEST(Engine, BatchMatchesBestSingleAlgorithmAtEqualSeeds) {
   const engine::PortfolioOutcome& out = batch.front();
   ASSERT_FALSE(out.winner.empty());
 
-  // Reproduce each member by hand with the engine's seed derivation; the
-  // engine's answer must equal the lexicographic best of these.
+  // Reproduce each member by hand with the engine's seed derivation and a
+  // coarsening cache of our own (cached coarsenings are canonical — a pure
+  // function of graph + options — so any cache reproduces the engine's
+  // hierarchy); the engine's answer must equal the lexicographic best.
+  part::CoarseningCache cc;
   part::Goodness best_good;
   std::vector<part::PartId> best_assign;
   std::string best_name;
@@ -210,7 +254,8 @@ TEST(Engine, BatchMatchesBestSingleAlgorithmAtEqualSeeds) {
     auto algo = part::make_partitioner(opts.portfolio.members[i]);
     part::PartitionRequest req = job.request;
     req.seed = support::SeedStream(job.request.seed).seed_for(i);
-    const part::PartitionResult r = algo->run(job.graph, req);
+    req.coarsen_cache = &cc;
+    const part::PartitionResult r = algo->run(*job.graph, req);
     const part::Goodness good{r.violation.resource_excess,
                               r.violation.bandwidth_excess,
                               r.metrics.total_cut};
@@ -233,7 +278,7 @@ TEST(Engine, RunBatchReturnsJobOrderAndDistinctAnswers) {
   ASSERT_EQ(outs.size(), jobs.size());
   for (std::size_t i = 0; i < outs.size(); ++i) {
     EXPECT_FALSE(outs[i].winner.empty());
-    EXPECT_EQ(outs[i].best.partition.size(), jobs[i].graph.num_nodes());
+    EXPECT_EQ(outs[i].best.partition.size(), jobs[i].graph->num_nodes());
   }
 }
 
@@ -288,6 +333,29 @@ TEST(Engine, CallerStopTokenIsHonored) {
   for (const auto& m : out.members) EXPECT_FALSE(m.failed) << m.error;
 }
 
+TEST(Engine, CallerCancelledRunsAreNotCached) {
+  // The cache key deliberately excludes the transient stop token, so a
+  // caller-cancelled (truncated) outcome must never be inserted: the next
+  // identical request without a token deserves the full portfolio, and its
+  // complete answer is what future twins get served.
+  const engine::Job job = make_job(43, 48);
+  engine::Engine eng;
+  support::StopToken fired;
+  fired.request_stop();
+  part::PartitionRequest cancelled = job.request;
+  cancelled.stop = &fired;
+  const auto truncated = eng.run_one(job.graph, cancelled);
+  ASSERT_FALSE(truncated.winner.empty());
+  EXPECT_FALSE(truncated.from_cache);
+
+  const auto full = eng.run_one(job.graph, job.request);
+  EXPECT_FALSE(full.from_cache);  // not poisoned by the truncated twin
+  const auto repeat = eng.run_one(job.graph, job.request);
+  EXPECT_TRUE(repeat.from_cache);  // the complete answer is cached
+  EXPECT_EQ(repeat.best.partition.assignments(),
+            full.best.partition.assignments());
+}
+
 TEST(Engine, FailedMembersAreIsolated) {
   // Exact refuses graphs beyond ~20 nodes; the portfolio must survive it.
   const engine::Job job = make_job(17, 64);
@@ -301,6 +369,114 @@ TEST(Engine, FailedMembersAreIsolated) {
   EXPECT_TRUE(out.members[0].failed);
   EXPECT_FALSE(out.members[0].error.empty());
   EXPECT_EQ(eng.stats().members_failed, 1u);
+}
+
+// ---------------------------------------------------- shared-graph batch ---
+
+TEST(Engine, SharedGraphBatchFingerprintsAndCoarsensOnce) {
+  // 16 jobs over ONE shared graph, all multilevel members: the engine must
+  // compute exactly one graph fingerprint and build exactly one coarsening
+  // per (algorithm options) key — gp hierarchy, metislike hierarchy and
+  // nlevel contraction sequence — everything else is reuse.
+  const auto g = make_shared_graph(23, 144);  // large enough to really coarsen
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike", "nlevel"}};
+  engine::Engine eng(opts);
+
+  std::vector<engine::Job> jobs;
+  for (std::uint64_t s = 0; s < 16; ++s) {
+    engine::Job job;
+    job.graph = g;
+    job.request.k = 4;
+    job.request.seed = 900 + s;  // distinct seeds: no result-cache hits
+    jobs.push_back(std::move(job));
+  }
+  const auto outs = eng.run_batch(jobs);
+  ASSERT_EQ(outs.size(), 16u);
+  for (const auto& out : outs) EXPECT_FALSE(out.winner.empty());
+
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.graph_fingerprints_computed, 1u);
+  EXPECT_EQ(stats.coarsening.insertions, 3u);  // one build per options key
+  EXPECT_EQ(stats.coarsening.misses, 3u);
+  EXPECT_GT(stats.coarsening.hits, 0u);
+}
+
+TEST(Engine, SharedGraphMatchesByValuePathBitForBit) {
+  // The shared-graph API must answer exactly like the by-value convenience
+  // path at a fixed seed (both engines fresh, so every job computes).
+  const auto g = make_shared_graph(31, 48);
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike", "nlevel"}};
+
+  std::vector<engine::Job> shared_jobs, byvalue_jobs;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    part::PartitionRequest request;
+    request.k = 3;
+    request.seed = 70 + s;
+    shared_jobs.emplace_back(g, request);
+    byvalue_jobs.emplace_back(graph::Graph(*g), request);  // copies the graph
+  }
+
+  engine::Engine shared_engine(opts);
+  engine::Engine byvalue_engine(opts);
+  const auto shared_outs = shared_engine.run_batch(shared_jobs);
+  const auto byvalue_outs = byvalue_engine.run_batch(byvalue_jobs);
+  ASSERT_EQ(shared_outs.size(), byvalue_outs.size());
+  for (std::size_t i = 0; i < shared_outs.size(); ++i) {
+    EXPECT_EQ(shared_outs[i].winner, byvalue_outs[i].winner) << i;
+    EXPECT_EQ(shared_outs[i].best.partition.assignments(),
+              byvalue_outs[i].best.partition.assignments())
+        << i;
+  }
+  // The by-value path pays one fingerprint per job; the shared path one in
+  // total. Coarsening artifacts are keyed by content, so both engines
+  // build the same number.
+  EXPECT_EQ(shared_engine.stats().graph_fingerprints_computed, 1u);
+  EXPECT_EQ(byvalue_engine.stats().graph_fingerprints_computed, 6u);
+  EXPECT_EQ(shared_engine.stats().coarsening.insertions,
+            byvalue_engine.stats().coarsening.insertions);
+}
+
+// ---------------------------------------------------------- single-flight ---
+
+TEST(Engine, DuplicateInFlightKeysCoalesce) {
+  // Two submissions of the same (graph, request): the second must attach to
+  // the first's in-flight computation instead of running the portfolio
+  // again — the leader runs its members once, the follower shares the
+  // outcome (marked `coalesced`). A descheduled main thread can let the
+  // leader finish before the second submit lands (then both legitimately
+  // run), so retry on fresh engines until the race is observed; answers
+  // must be identical either way.
+  const engine::Job job = make_job(37, /*nodes=*/300, /*slack=*/1.3);
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.cache_capacity = 0;  // retries must recompute, not hit the cache
+
+  bool coalesced = false;
+  for (int attempt = 0; attempt < 5 && !coalesced; ++attempt) {
+    engine::Engine eng(opts);
+    const auto id1 = eng.submit(job);
+    const auto id2 = eng.submit(job);
+    const auto out1 = eng.wait(id1);
+    const auto out2 = eng.wait(id2);
+
+    ASSERT_FALSE(out1.winner.empty());
+    EXPECT_FALSE(out1.coalesced);
+    EXPECT_EQ(out1.winner, out2.winner);
+    EXPECT_EQ(out1.best.partition.assignments(),
+              out2.best.partition.assignments());
+
+    coalesced = out2.coalesced;
+    if (coalesced) {
+      EXPECT_FALSE(out2.from_cache);
+      const engine::EngineStats stats = eng.stats();
+      EXPECT_EQ(stats.jobs_completed, 2u);
+      EXPECT_EQ(stats.jobs_coalesced, 1u);
+      EXPECT_EQ(stats.members_run, 1u);  // the leader's single gp member
+    }
+  }
+  EXPECT_TRUE(coalesced) << "second submit never found the first in flight";
 }
 
 }  // namespace

@@ -305,6 +305,38 @@ TEST(StopToken, ParentStopPropagates) {
   EXPECT_FALSE(parent2.stop_requested());
 }
 
+TEST(StopToken, LateArmingWhileWorkersPollIsSafe) {
+  // The engine's submit path arms deadlines and parents on a token its
+  // member tasks may already be polling; configuration is atomic, so this
+  // must neither tear nor be missed. (Exercised under TSan/ASan in CI.)
+  StopToken parent;
+  StopToken token;
+  std::atomic<bool> quit{false};
+  std::atomic<bool> observed_stop{false};
+  std::thread poller([&] {
+    while (!quit.load()) {
+      if (token.stop_requested()) observed_stop.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  token.set_deadline_after(3600.0);  // far future: arms, must not fire
+  token.set_parent(&parent);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(observed_stop.load());
+  EXPECT_TRUE(token.has_deadline());
+  parent.request_stop();  // propagates through the late-linked parent
+  // Wait for the poller to actually observe the stop instead of assuming a
+  // fixed sleep suffices — under oversubscribed sanitizer CI the poller
+  // thread can be starved for tens of milliseconds.
+  for (int spin = 0; spin < 2000 && !observed_stop.load(); ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  quit.store(true);
+  poller.join();
+  EXPECT_TRUE(observed_stop.load());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_FALSE(token.deadline_expired());
+}
+
 // -------------------------------------------------------------- strings ---
 
 TEST(Strings, SplitBasic) {

@@ -191,12 +191,16 @@ int main(int argc, char** argv) {
           static_cast<double>(args.get_int("time-budget-ms"));
       engine::Engine eng(eopts);
 
+      // One shared graph for the whole batch: N jobs hold one copy, the
+      // engine fingerprints it once, and the coarsening cache shares the
+      // multilevel hierarchy across every job and member.
+      const auto shared_graph = std::make_shared<const graph::Graph>(g);
       std::vector<engine::Job> batch;
       std::vector<std::uint64_t> job_seeds;
       batch.reserve(num_jobs);
       job_seeds.reserve(num_jobs);
       for (int j = 0; j < num_jobs; ++j) {
-        engine::Job job{g, request};
+        engine::Job job{shared_graph, request};
         job.request.seed = request.seed + static_cast<std::uint64_t>(j);
         job_seeds.push_back(job.request.seed);
         batch.push_back(std::move(job));
@@ -237,13 +241,19 @@ int main(int argc, char** argv) {
       const engine::EngineStats stats = eng.stats();
       std::printf(
           "engine jobs=%zu seconds=%.4f throughput=%.2f cache_hits=%llu "
-          "members_run=%llu members_skipped=%llu members_failed=%llu\n",
+          "members_run=%llu members_skipped=%llu members_failed=%llu "
+          "coalesced=%llu fingerprints=%llu coarsen_hits=%llu "
+          "coarsen_builds=%llu\n",
           outcomes.size(), batch_seconds,
           batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
           static_cast<unsigned long long>(stats.cache.hits),
           static_cast<unsigned long long>(stats.members_run),
           static_cast<unsigned long long>(stats.members_skipped),
-          static_cast<unsigned long long>(stats.members_failed));
+          static_cast<unsigned long long>(stats.members_failed),
+          static_cast<unsigned long long>(stats.jobs_coalesced),
+          static_cast<unsigned long long>(stats.graph_fingerprints_computed),
+          static_cast<unsigned long long>(stats.coarsening.hits),
+          static_cast<unsigned long long>(stats.coarsening.insertions));
     } else if (algo_name == "exact") {
       part::ExactOptions exact_opts;
       const part::ExactResult exact =
