@@ -9,9 +9,58 @@
 #include "graph/generators.hpp"
 #include "partition/gp.hpp"
 #include "partition/metislike.hpp"
+#include "partition/workspace.hpp"
 #include "support/timer.hpp"
 
 namespace ppnpart::bench {
+
+/// The PR-3 multilevel hot-path workload: one PN-shaped graph at `nodes`
+/// with the scaling-study constraint scheme (K=8). Both bench_scaling's
+/// throughput table and tools/bench_json measure exactly this, so the two
+/// reports can never drift onto different workloads.
+inline graph::Graph multilevel_workload_graph(graph::NodeId nodes) {
+  graph::ProcessNetworkParams params;
+  params.num_nodes = nodes;
+  params.layers = std::max<std::uint32_t>(8, nodes / 64);
+  support::Rng rng(123 + nodes);
+  return graph::random_process_network(params, rng);
+}
+
+inline part::PartitionRequest multilevel_workload_request(
+    const graph::Graph& g, part::Workspace& ws) {
+  part::PartitionRequest request;
+  request.k = 8;
+  request.seed = 99;
+  request.workspace = &ws;
+  request.constraints.rmax =
+      static_cast<graph::Weight>(1.15 * g.total_node_weight() / 8);
+  request.constraints.bmax =
+      static_cast<graph::Weight>(1.3 * g.total_edge_weight() / 28.0 / 2.0);
+  return request;
+}
+
+/// Warm-then-time harness: one untimed warming run, `reps` timed runs, and
+/// the workspace growth delta across the timed phase (0 == allocation-free
+/// steady state).
+struct MultilevelCase {
+  double seconds = 0;
+  std::uint64_t ws_growths = 0;
+  part::PartitionResult warm;
+};
+
+inline MultilevelCase run_multilevel_case(part::Partitioner& p,
+                                          const graph::Graph& g,
+                                          part::Workspace& ws, int reps) {
+  const part::PartitionRequest request = multilevel_workload_request(g, ws);
+  MultilevelCase result;
+  result.warm = p.run(g, request);
+  const std::uint64_t growths_before = ws.stats().growths;
+  support::Timer timer;
+  for (int i = 0; i < reps; ++i) p.run(g, request);
+  result.seconds = timer.seconds();
+  result.ws_growths = ws.stats().growths - growths_before;
+  return result;
+}
 
 /// A reproducible family of PN-shaped instances with constraints scaled to
 /// a tightness factor: rmax = resource_slack * W/k, bmax = bandwidth_slack *

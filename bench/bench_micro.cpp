@@ -10,6 +10,7 @@
 #include "partition/exact.hpp"
 #include "partition/initial.hpp"
 #include "partition/refine.hpp"
+#include "partition/workspace.hpp"
 #include "ppn/paper_instances.hpp"
 
 namespace {
@@ -54,16 +55,66 @@ void BM_KMeansMatching(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansMatching)->Arg(1000)->Arg(4000);
 
-void BM_Contract(benchmark::State& state) {
+void BM_ContractViaBuilder(benchmark::State& state) {
   const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 7);
   support::Rng rng(8);
   const part::Matching m = part::heavy_edge_matching(g, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(part::contract(g, m));
+    benchmark::DoNotOptimize(part::contract_via_builder(g, m));
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
-BENCHMARK(BM_Contract)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_ContractViaBuilder)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ContractDirect(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 7);
+  support::Rng rng(8);
+  const part::Matching m = part::heavy_edge_matching(g, rng);
+  part::Workspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part::contract(g, m, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["ws_growths"] =
+      static_cast<double>(ws.stats().growths);
+}
+BENCHMARK(BM_ContractDirect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MoveContextReset(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 15);
+  support::Rng rng(16);
+  part::Partition p = part::random_balanced_partition(g, 8, rng);
+  part::Constraints c;
+  c.rmax = g.total_node_weight() / 8 + g.max_node_weight();
+  c.bmax = g.total_edge_weight() / 8;
+  part::Workspace ws;
+  for (auto _ : state) {
+    ws.move_ctx.reset(g, p, c);
+    benchmark::DoNotOptimize(ws.move_ctx.cut());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+  state.counters["ws_growths"] = static_cast<double>(ws.stats().growths);
+}
+BENCHMARK(BM_MoveContextReset)->Arg(10000)->Arg(100000);
+
+void BM_BoundaryEnumeration(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 17);
+  support::Rng rng(18);
+  part::Partition p = part::random_balanced_partition(g, 8, rng);
+  part::Workspace ws;
+  ws.move_ctx.reset(g, p, part::Constraints{});
+  std::vector<graph::NodeId> out;
+  for (auto _ : state) {
+    // One move dirties the set; enumeration then refreshes it.
+    const graph::NodeId u =
+        static_cast<graph::NodeId>(rng.uniform_index(g.num_nodes()));
+    ws.move_ctx.apply(u, static_cast<part::PartId>(rng.uniform_index(8)));
+    ws.move_ctx.boundary_nodes(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_BoundaryEnumeration)->Arg(10000)->Arg(100000);
 
 void BM_ComputeMetrics(benchmark::State& state) {
   const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 9);
@@ -93,6 +144,40 @@ void BM_ConstrainedFmPass(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_nodes());
 }
 BENCHMARK(BM_ConstrainedFmPass)->Arg(1000)->Arg(5000);
+
+void BM_ConstrainedFmPassWorkspace(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 11);
+  support::Rng rng(12);
+  part::Constraints c;
+  c.rmax = g.total_node_weight() / 4 + g.max_node_weight();
+  c.bmax = g.total_edge_weight() / 4;
+  part::FmOptions options;
+  options.max_passes = 1;
+  part::Workspace ws;
+  for (auto _ : state) {
+    state.PauseTiming();
+    part::Partition p = part::random_balanced_partition(g, 4, rng);
+    state.ResumeTiming();
+    part::constrained_fm_refine(g, p, c, options, rng, ws);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+  state.counters["ws_growths"] = static_cast<double>(ws.stats().growths);
+}
+BENCHMARK(BM_ConstrainedFmPassWorkspace)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CoarsenWorkspace(benchmark::State& state) {
+  const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 19);
+  part::CoarsenOptions options;
+  part::Workspace ws;
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    support::Rng rng(20 + round++);
+    benchmark::DoNotOptimize(part::coarsen(g, options, rng, ws));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+  state.counters["ws_growths"] = static_cast<double>(ws.stats().growths);
+}
+BENCHMARK(BM_CoarsenWorkspace)->Arg(10000)->Arg(100000);
 
 void BM_GreedyGrowInitial(benchmark::State& state) {
   const graph::Graph g = make_pn(static_cast<graph::NodeId>(state.range(0)), 13);

@@ -7,11 +7,48 @@
 #include <cstring>
 
 #include "bench_common.hpp"
+#include "partition/workspace.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+// End-to-end multilevel throughput (the PR-3 hot-path metric): repeated
+// GP/MetisLike runs on one 10k-node PN graph through a single reused
+// workspace — the steady-state regime the allocation-free inner loop
+// targets. Reports runs/s and workspace growths during the timed phase
+// (0 growths == allocation-free steady state).
+void multilevel_throughput() {
+  using namespace ppnpart;
+  const graph::Graph g = bench::multilevel_workload_graph(10'000);
+  part::Workspace ws;
+
+  bench::print_header(
+      "End-to-end multilevel throughput, n=10k PN, K=8 (reused workspace)",
+      "algorithm        runs    total      runs/s   ws-growths");
+  const auto run_case = [&](const char* name, part::Partitioner& p,
+                            int reps) {
+    const bench::MultilevelCase c = bench::run_multilevel_case(p, g, ws, reps);
+    std::printf("%-12s %8d %7.3fs %11.3f %12llu\n", name, reps, c.seconds,
+                reps / c.seconds,
+                static_cast<unsigned long long>(c.ws_growths));
+  };
+  part::GpOptions gp_options;
+  gp_options.max_cycles = 4;
+  part::GpPartitioner gp(gp_options);
+  part::MetisLikePartitioner metis;
+  run_case("GP(c=4)", gp, 3);
+  run_case("MetisLike", metis, 20);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ppnpart;
   const bool full =
       argc > 1 && std::strcmp(argv[1], "--full") == 0;
+
+  multilevel_throughput();
+  std::printf("\n");
 
   std::vector<graph::NodeId> sizes = {1'000, 5'000, 10'000, 25'000, 50'000};
   if (full) sizes.push_back(100'000);

@@ -1,0 +1,115 @@
+#include "graph/contract.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppnpart::graph {
+
+Graph contract_csr(const Graph& fine, std::span<const NodeId> fine_to_coarse,
+                   NodeId num_coarse, ContractScratch& scratch) {
+  const NodeId n = fine.num_nodes();
+  if (fine_to_coarse.size() != n)
+    throw std::invalid_argument("contract_csr: map size mismatch");
+
+  support::AllocStats* stats = scratch.stats;
+
+  // --- Coarse node weights + member lists (counting sort by coarse id). ---
+  support::assign_tracked(scratch.node_w, num_coarse, Weight{0}, stats);
+  support::assign_tracked(scratch.member_off,
+                          static_cast<std::size_t>(num_coarse) + 1, 0, stats);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId c = fine_to_coarse[u];
+    if (c >= num_coarse)
+      throw std::invalid_argument("contract_csr: coarse id out of range");
+    scratch.node_w[c] += fine.node_weight(u);
+    ++scratch.member_off[c + 1];
+  }
+  for (NodeId c = 0; c < num_coarse; ++c)
+    scratch.member_off[c + 1] += scratch.member_off[c];
+  support::reserve_tracked(scratch.member_cursor,
+                           static_cast<std::size_t>(num_coarse), stats);
+  scratch.member_cursor.assign(scratch.member_off.begin(),
+                               scratch.member_off.end() - 1);
+  support::reserve_tracked(scratch.members, n, stats);
+  scratch.members.resize(n);  // every slot overwritten below
+  for (NodeId u = 0; u < n; ++u) {
+    scratch.members[scratch.member_cursor[fine_to_coarse[u]]++] = u;
+  }
+
+  // --- Timestamped dedup state. ------------------------------------------
+  if (scratch.last_seen.size() < num_coarse) {
+    support::assign_tracked(scratch.last_seen, num_coarse, 0, stats);
+    scratch.epoch = 0;
+  }
+  support::reserve_tracked(scratch.slot, static_cast<std::size_t>(num_coarse),
+                           stats);
+  scratch.slot.resize(num_coarse);
+  support::reserve_tracked(scratch.row, static_cast<std::size_t>(num_coarse),
+                           stats);
+
+  // --- One pass: gather, dedup and sort each coarse row. -----------------
+  support::reserve_tracked(scratch.xadj,
+                           static_cast<std::size_t>(num_coarse) + 1, stats);
+  scratch.xadj.resize(static_cast<std::size_t>(num_coarse) + 1);
+  scratch.xadj[0] = 0;  // remaining slots overwritten below
+  support::reserve_tracked(scratch.adj, fine.adj().size(), stats);
+  support::reserve_tracked(scratch.ewgt, fine.adj().size(), stats);
+  scratch.adj.clear();
+  scratch.ewgt.clear();
+
+  for (NodeId c = 0; c < num_coarse; ++c) {
+    const std::uint64_t row_epoch = ++scratch.epoch;
+    scratch.row.clear();
+    for (std::uint64_t i = scratch.member_off[c]; i < scratch.member_off[c + 1];
+         ++i) {
+      const NodeId u = scratch.members[i];
+      auto nbrs = fine.neighbors(u);
+      auto wgts = fine.edge_weights(u);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        const NodeId cv = fine_to_coarse[nbrs[j]];
+        if (cv == c) continue;  // now-internal edge: drop
+        if (scratch.last_seen[cv] == row_epoch) {
+          scratch.row[scratch.slot[cv]].second += wgts[j];
+        } else {
+          scratch.last_seen[cv] = row_epoch;
+          scratch.slot[cv] = static_cast<std::uint32_t>(scratch.row.size());
+          scratch.row.emplace_back(cv, wgts[j]);
+        }
+      }
+    }
+    // Neighbour ids are unique after the merge, so any comparison sort
+    // yields the identical id-ordered row GraphBuilder produces. Coarse
+    // rows are short (average degree), where insertion sort beats the
+    // introsort call overhead.
+    auto* row_data = scratch.row.data();
+    const std::size_t row_len = scratch.row.size();
+    if (row_len <= 24) {
+      for (std::size_t i = 1; i < row_len; ++i) {
+        const auto key = row_data[i];
+        std::size_t j = i;
+        while (j > 0 && key < row_data[j - 1]) {
+          row_data[j] = row_data[j - 1];
+          --j;
+        }
+        row_data[j] = key;
+      }
+    } else {
+      std::sort(scratch.row.begin(), scratch.row.end());
+    }
+    for (const auto& [cv, w] : scratch.row) {
+      scratch.adj.push_back(cv);
+      scratch.ewgt.push_back(w);
+    }
+    scratch.xadj[c + 1] = scratch.adj.size();
+  }
+
+  // The Graph owns its arrays (it outlives the scratch), so the final copies
+  // are the one unavoidable allocation per level: the product itself.
+  return Graph(
+      std::vector<std::uint64_t>(scratch.xadj.begin(), scratch.xadj.end()),
+      std::vector<NodeId>(scratch.adj.begin(), scratch.adj.end()),
+      std::vector<Weight>(scratch.ewgt.begin(), scratch.ewgt.end()),
+      std::vector<Weight>(scratch.node_w.begin(), scratch.node_w.end()));
+}
+
+}  // namespace ppnpart::graph

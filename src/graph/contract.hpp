@@ -1,0 +1,62 @@
+#pragma once
+// Direct CSR contraction (METIS-style), the allocation-free replacement for
+// the GraphBuilder round-trip in multilevel coarsening.
+//
+// Given a fine graph and a surjective fine-to-coarse node map, contract_csr
+// walks the fine CSR once per coarse row, dedups parallel coarse edges with
+// a timestamped scratch array (no hashing, no sort over the whole edge
+// list), sorts each short coarse row, and emits the coarse CSR directly.
+// The result is bit-identical to building the same contraction through
+// GraphBuilder — same sorted adjacency, same merged weights — so graph
+// digests and CoarseningCache keys are unaffected by which path produced a
+// level. All scratch lives in a caller-owned ContractScratch whose buffers
+// are reused across levels and runs; only the returned Graph's own arrays
+// are freshly allocated (they are the product and must outlive the call).
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/alloc_stats.hpp"
+
+namespace ppnpart::graph {
+
+/// Reusable scratch for contract_csr. Default-constructed buffers grow to
+/// the first call's sizes and are then reused; `stats` (optional) counts the
+/// growths so benches can verify steady-state allocation-freedom.
+struct ContractScratch {
+  support::AllocStats* stats = nullptr;
+
+  /// Per-coarse-node timestamp; last_seen[c] == epoch marks c as already
+  /// present in the current row.
+  std::vector<std::uint64_t> last_seen;
+  /// Position of a seen coarse neighbour inside the current row buffer.
+  std::vector<std::uint32_t> slot;
+  /// Current coarse row under construction: (neighbour, merged weight).
+  std::vector<std::pair<NodeId, Weight>> row;
+
+  /// Coarse CSR under construction (exact copies go into the Graph).
+  std::vector<std::uint64_t> xadj;
+  std::vector<NodeId> adj;
+  std::vector<Weight> ewgt;
+  std::vector<Weight> node_w;
+
+  /// Coarse -> fine member lists (counting-sorted CSR).
+  std::vector<std::uint64_t> member_off;
+  std::vector<std::uint64_t> member_cursor;
+  std::vector<NodeId> members;
+
+  std::uint64_t epoch = 0;
+};
+
+/// Contracts `fine` along `fine_to_coarse` (values in [0, num_coarse); every
+/// coarse id must be hit at least once). Coarse node weights are the sums of
+/// their members' weights; parallel coarse edges merge by weight sum; edges
+/// internal to a coarse node disappear. O(V + E) per call plus one sort per
+/// coarse row.
+Graph contract_csr(const Graph& fine, std::span<const NodeId> fine_to_coarse,
+                   NodeId num_coarse, ContractScratch& scratch);
+
+}  // namespace ppnpart::graph

@@ -141,10 +141,13 @@ Graph GraphBuilder::build() const {
     adj[cursor[e.v]] = e.u;
     ewgt[cursor[e.v]++] = e.w;
   }
+  // One (neighbour, weight) buffer reused across rows; it grows to the
+  // largest degree once instead of allocating per node.
+  std::vector<std::pair<NodeId, Weight>> row;
   for (NodeId u = 0; u < n; ++u) {
     const std::size_t lo = xadj[u], hi = xadj[u + 1];
     // Sort (neighbour, weight) pairs by neighbour id.
-    std::vector<std::pair<NodeId, Weight>> row;
+    row.clear();
     row.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) row.emplace_back(adj[i], ewgt[i]);
     std::sort(row.begin(), row.end());

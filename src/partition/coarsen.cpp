@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
+
+#include "graph/contract.hpp"
 
 namespace ppnpart::part {
 
@@ -18,21 +21,80 @@ std::string to_string(MatchingKind kind) {
   return "?";
 }
 
-CoarseLevel contract(const Graph& fine, const Matching& matching) {
+namespace {
+
+/// Coarse-id assignment shared by both contraction paths: scan fine nodes
+/// ascending, matched pairs collapse onto one id. Returns the coarse node
+/// count.
+NodeId build_fine_to_coarse(const Graph& fine, const Matching& matching,
+                            std::vector<NodeId>& fine_to_coarse) {
   const NodeId n = fine.num_nodes();
   if (matching.size() != n)
     throw std::invalid_argument("contract: matching size mismatch");
-
-  CoarseLevel out;
-  out.fine_to_coarse.assign(n, graph::kInvalidNode);
+  fine_to_coarse.assign(n, graph::kInvalidNode);
   NodeId next = 0;
   for (NodeId u = 0; u < n; ++u) {
-    if (out.fine_to_coarse[u] != graph::kInvalidNode) continue;
+    if (fine_to_coarse[u] != graph::kInvalidNode) continue;
     const NodeId v = matching[u];
-    out.fine_to_coarse[u] = next;
-    if (v != u) out.fine_to_coarse[v] = next;
+    fine_to_coarse[u] = next;
+    if (v != u) fine_to_coarse[v] = next;
     ++next;
   }
+  return next;
+}
+
+/// Runs the enabled matching heuristics on `current` and leaves the winner
+/// (most hidden weight; ties: more pairs, then strategy order) in
+/// ws.match_best. `filter`, when non-null, may unmatch pairs after a
+/// heuristic runs and must return the weight it removed (restricted
+/// coarsening breaks part-straddling pairs this way). Returns the winner's
+/// matched pair count.
+std::uint32_t compete_matchings(const Graph& current,
+                                const CoarsenOptions& options,
+                                std::size_t num_levels, support::Rng& rng,
+                                Workspace& ws,
+                                const std::function<Weight(Matching&)>& filter,
+                                MatchingKind& best_kind) {
+  Matching& m = ws.match_candidate;
+  Matching& best_matching = ws.match_best;
+  best_kind = options.strategies.front();
+  Weight best_weight = -1;
+  std::uint32_t best_pairs = 0;
+  for (MatchingKind kind : options.strategies) {
+    support::Rng stream = rng.derive(
+        static_cast<std::uint64_t>(kind) * 977 + num_levels * 131071);
+    Weight w = run_matching_into(current, kind, stream, m, ws);
+    if (filter != nullptr) w -= filter(m);
+    const std::uint32_t pairs = matched_pair_count(m);
+    if (w > best_weight || (w == best_weight && pairs > best_pairs)) {
+      best_weight = w;
+      best_pairs = pairs;
+      std::swap(best_matching, m);
+      best_kind = kind;
+    }
+  }
+  return best_pairs;
+}
+
+}  // namespace
+
+CoarseLevel contract(const Graph& fine, const Matching& matching,
+                     Workspace& ws) {
+  CoarseLevel out;
+  const NodeId next = build_fine_to_coarse(fine, matching, out.fine_to_coarse);
+  out.graph = graph::contract_csr(fine, out.fine_to_coarse, next, ws.contract);
+  return out;
+}
+
+CoarseLevel contract(const Graph& fine, const Matching& matching) {
+  Workspace ws;
+  return contract(fine, matching, ws);
+}
+
+CoarseLevel contract_via_builder(const Graph& fine, const Matching& matching) {
+  const NodeId n = fine.num_nodes();
+  CoarseLevel out;
+  const NodeId next = build_fine_to_coarse(fine, matching, out.fine_to_coarse);
 
   graph::GraphBuilder builder(next);
   // Coarse node weight = sum of merged fine node weights.
@@ -58,16 +120,24 @@ CoarseLevel contract(const Graph& fine, const Matching& matching) {
   return out;
 }
 
-Matching run_matching(const Graph& g, MatchingKind kind, support::Rng& rng) {
+Weight run_matching_into(const Graph& g, MatchingKind kind, support::Rng& rng,
+                         Matching& match, Workspace& ws) {
   switch (kind) {
     case MatchingKind::kRandom:
-      return random_maximal_matching(g, rng);
+      return random_maximal_matching_into(g, rng, match, ws.matching);
     case MatchingKind::kHeavyEdge:
-      return heavy_edge_matching(g, rng);
+      return heavy_edge_matching_into(g, rng, match, ws.matching);
     case MatchingKind::kKMeans:
-      return kmeans_matching(g, rng);
+      return kmeans_matching_into(g, rng, match, ws.matching);
   }
   throw std::logic_error("run_matching: bad kind");
+}
+
+Matching run_matching(const Graph& g, MatchingKind kind, support::Rng& rng) {
+  Workspace ws;
+  Matching m;
+  (void)run_matching_into(g, kind, rng, m, ws);
+  return m;
 }
 
 std::vector<PartId> Hierarchy::project_to_level(
@@ -90,7 +160,7 @@ std::vector<PartId> Hierarchy::project_to_level(
 RestrictedHierarchy coarsen_restricted(const Graph& g,
                                        const std::vector<PartId>& parts,
                                        const CoarsenOptions& options,
-                                       support::Rng& rng) {
+                                       support::Rng& rng, Workspace& ws) {
   if (parts.size() != g.num_nodes())
     throw std::invalid_argument("coarsen_restricted: parts size mismatch");
   RestrictedHierarchy out;
@@ -100,33 +170,26 @@ RestrictedHierarchy coarsen_restricted(const Graph& g,
   while (h.coarsest().num_nodes() > options.coarsen_to &&
          h.num_levels() <= options.max_levels) {
     const Graph& current = h.coarsest();
-    Matching best_matching;
-    MatchingKind best_kind = options.strategies.front();
-    Weight best_weight = -1;
-    std::uint32_t best_pairs = 0;
-    for (MatchingKind kind : options.strategies) {
-      support::Rng stream = rng.derive(
-          static_cast<std::uint64_t>(kind) * 977 + h.num_levels() * 131071);
-      Matching m = run_matching(current, kind, stream);
-      // Unmatch pairs that straddle parts; the projection must stay exact.
+    // Unmatch pairs that straddle parts (the projection must stay exact),
+    // deducting each broken pair from the matched weight.
+    const auto unmatch_straddlers = [&](Matching& m) {
+      Weight removed = 0;
       for (NodeId u = 0; u < current.num_nodes(); ++u) {
         const NodeId v = m[u];
         if (v != u && level_parts[u] != level_parts[v]) {
           m[u] = u;
           m[v] = v;
+          removed += current.edge_weight_between(u, v);
         }
       }
-      const Weight w = matched_edge_weight(current, m);
-      const std::uint32_t pairs = matched_pair_count(m);
-      if (w > best_weight || (w == best_weight && pairs > best_pairs)) {
-        best_weight = w;
-        best_pairs = pairs;
-        best_matching = std::move(m);
-        best_kind = kind;
-      }
-    }
+      return removed;
+    };
+    MatchingKind best_kind;
+    const std::uint32_t best_pairs = compete_matchings(
+        current, options, h.num_levels(), rng, ws, unmatch_straddlers,
+        best_kind);
     if (best_pairs == 0) break;
-    CoarseLevel level = contract(current, best_matching);
+    CoarseLevel level = contract(current, ws.match_best, ws);
     const double shrink = static_cast<double>(level.graph.num_nodes()) /
                           static_cast<double>(current.num_nodes());
     if (shrink > options.min_shrink_factor) break;
@@ -143,8 +206,16 @@ RestrictedHierarchy coarsen_restricted(const Graph& g,
   return out;
 }
 
+RestrictedHierarchy coarsen_restricted(const Graph& g,
+                                       const std::vector<PartId>& parts,
+                                       const CoarsenOptions& options,
+                                       support::Rng& rng) {
+  Workspace ws;
+  return coarsen_restricted(g, parts, options, rng, ws);
+}
+
 Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
-                  support::Rng& rng) {
+                  support::Rng& rng, Workspace& ws) {
   if (options.strategies.empty())
     throw std::invalid_argument("coarsen: no matching strategies enabled");
   Hierarchy h;
@@ -152,27 +223,14 @@ Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
   while (h.coarsest().num_nodes() > options.coarsen_to &&
          h.num_levels() <= options.max_levels) {
     const Graph& current = h.coarsest();
-    // Compete the enabled heuristics; keep the one hiding the most weight
-    // (ties: more matched pairs, then strategy order).
-    Matching best_matching;
-    MatchingKind best_kind = options.strategies.front();
-    Weight best_weight = -1;
-    std::uint32_t best_pairs = 0;
-    for (MatchingKind kind : options.strategies) {
-      support::Rng stream = rng.derive(
-          static_cast<std::uint64_t>(kind) * 977 + h.num_levels() * 131071);
-      Matching m = run_matching(current, kind, stream);
-      const Weight w = matched_edge_weight(current, m);
-      const std::uint32_t pairs = matched_pair_count(m);
-      if (w > best_weight || (w == best_weight && pairs > best_pairs)) {
-        best_weight = w;
-        best_pairs = pairs;
-        best_matching = std::move(m);
-        best_kind = kind;
-      }
-    }
+    // Compete the enabled heuristics; the candidate and best-so-far
+    // matchings live in workspace buffers swapped back and forth, so the
+    // competition allocates nothing once warm.
+    MatchingKind best_kind;
+    const std::uint32_t best_pairs = compete_matchings(
+        current, options, h.num_levels(), rng, ws, nullptr, best_kind);
     if (best_pairs == 0) break;  // nothing contractible (e.g. no edges)
-    CoarseLevel level = contract(current, best_matching);
+    CoarseLevel level = contract(current, ws.match_best, ws);
     const double shrink = static_cast<double>(level.graph.num_nodes()) /
                           static_cast<double>(current.num_nodes());
     if (shrink > options.min_shrink_factor) break;
@@ -181,6 +239,12 @@ Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
     h.graphs.push_back(std::move(level.graph));
   }
   return h;
+}
+
+Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
+                  support::Rng& rng) {
+  Workspace ws;
+  return coarsen(g, options, rng, ws);
 }
 
 }  // namespace ppnpart::part

@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 #include "partition/matching.hpp"
 #include "partition/partition.hpp"
+#include "partition/workspace.hpp"
 #include "support/prng.hpp"
 
 namespace ppnpart::part {
@@ -31,8 +32,18 @@ struct CoarseLevel {
   MatchingKind used_matching = MatchingKind::kRandom;
 };
 
-/// Contracts `fine` along `matching` (must be valid, see validate_matching).
+/// Contracts `fine` along `matching` (must be valid, see validate_matching)
+/// through the direct CSR path (graph::contract_csr). The Workspace overload
+/// reuses contraction scratch across levels; both produce a coarse graph
+/// bit-identical to contract_via_builder.
 CoarseLevel contract(const Graph& fine, const Matching& matching);
+CoarseLevel contract(const Graph& fine, const Matching& matching,
+                     Workspace& ws);
+
+/// Slow-but-simple reference contraction through GraphBuilder (copy, sort,
+/// merge). Kept as the oracle the direct CSR path is property-tested
+/// against; not used on the hot path.
+CoarseLevel contract_via_builder(const Graph& fine, const Matching& matching);
 
 struct CoarsenOptions {
   NodeId coarsen_to = 100;  // paper's default
@@ -61,12 +72,19 @@ struct Hierarchy {
 };
 
 /// Builds the hierarchy, selecting the best of the enabled matchings at each
-/// level (ties by matched pair count, then strategy order).
+/// level (ties by matched pair count, then strategy order). The Workspace
+/// overload reuses matching/contraction scratch across levels and runs.
+Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
+                  support::Rng& rng, Workspace& ws);
 Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
                   support::Rng& rng);
 
 /// Runs one matching heuristic.
 Matching run_matching(const Graph& g, MatchingKind kind, support::Rng& rng);
+/// Allocation-free variant (result into `match`, temporaries from `ws`).
+/// Returns the total matched edge weight (== matched_edge_weight(g, match)).
+Weight run_matching_into(const Graph& g, MatchingKind kind, support::Rng& rng,
+                         Matching& match, Workspace& ws);
 
 /// Partition-preserving ("restricted") coarsening for the paper's cyclic
 /// re-coarsening: only node pairs inside the same part may match, so the
@@ -76,6 +94,10 @@ struct RestrictedHierarchy {
   Hierarchy hierarchy;
   std::vector<PartId> coarse_parts;
 };
+RestrictedHierarchy coarsen_restricted(const Graph& g,
+                                       const std::vector<PartId>& parts,
+                                       const CoarsenOptions& options,
+                                       support::Rng& rng, Workspace& ws);
 RestrictedHierarchy coarsen_restricted(const Graph& g,
                                        const std::vector<PartId>& parts,
                                        const CoarsenOptions& options,

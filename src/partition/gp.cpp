@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "partition/coarsen_cache.hpp"
+#include "partition/workspace.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -22,7 +23,8 @@ std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
                                 std::vector<PartId> assign, PartId k,
                                 const Constraints& c, const GpOptions& options,
                                 support::Rng& rng, std::uint32_t cycle,
-                                std::vector<GpLevelTrace>* trace) {
+                                std::vector<GpLevelTrace>* trace,
+                                Workspace& ws) {
   FmOptions fm;
   fm.max_passes = options.refine_passes;
   for (std::size_t level = h.num_levels(); level-- > 0;) {
@@ -33,17 +35,18 @@ std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
       for (NodeId u = 0; u < g.num_nodes(); ++u) finer[u] = assign[h.maps[level][u]];
       assign = std::move(finer);
     }
-    Partition p(g.num_nodes(), k);
+    Partition& p = ws.level_partition;
+    p.reset(g.num_nodes(), k);
     for (NodeId u = 0; u < g.num_nodes(); ++u) p.set(u, assign[u]);
     support::Rng level_rng = rng.derive(0xFEEDull * (level + 1) + cycle);
-    constrained_fm_refine(g, p, c, fm, level_rng);
+    constrained_fm_refine(g, p, c, fm, level_rng, ws);
     // Alternate FM with the swap neighbourhood on small graphs (coarsest
     // levels and small instances); swaps are what tight-Rmax repairs need.
     SwapRefineOptions swap_opts;
     for (std::uint32_t round = 0; round < 3; ++round) {
-      const bool swapped = swap_refine(g, p, c, swap_opts, level_rng);
+      const bool swapped = swap_refine(g, p, c, swap_opts, level_rng, ws);
       if (!swapped) break;
-      constrained_fm_refine(g, p, c, fm, level_rng);
+      constrained_fm_refine(g, p, c, fm, level_rng, ws);
     }
     for (NodeId u = 0; u < g.num_nodes(); ++u) assign[u] = p[u];
     if (trace != nullptr) {
@@ -114,6 +117,9 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
   FmOptions fm;
   fm.max_passes = options_.refine_passes;
 
+  Workspace local_ws;
+  Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+
   std::optional<std::vector<PartId>> best_assign;
   Goodness best_goodness;
   std::uint32_t feasible_cycles = 0;
@@ -145,7 +151,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
           shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, g);
         }
       } else {
-        local = coarsen(g, coarsen_opts, cycle_rng);
+        local = coarsen(g, coarsen_opts, cycle_rng, ws);
       }
       const Hierarchy& h = shared_h ? *shared_h : local;
       record_coarsen_trace(h, g, cycle, &result.trace);
@@ -154,19 +160,19 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
       Partition seed_part =
           greedy_grow_initial(coarsest, k, c, grow_opts, grow_rng);
       support::Rng seed_fm_rng = cycle_rng.derive(0x6121);
-      constrained_fm_refine(coarsest, seed_part, c, fm, seed_fm_rng);
+      constrained_fm_refine(coarsest, seed_part, c, fm, seed_fm_rng, ws);
       std::vector<PartId> coarse_assign(coarsest.num_nodes());
       for (NodeId u = 0; u < coarsest.num_nodes(); ++u)
         coarse_assign[u] = seed_part[u];
       assign = refine_down(h, g, std::move(coarse_assign), k, c, options_,
-                           cycle_rng, cycle, &result.trace);
+                           cycle_rng, cycle, &result.trace, ws);
     } else {
       // Cyclic re-coarsening around the incumbent (paper: "coarsened back to
       // the lowest level if needed … repeated a number of parametrized
       // times"), with a random kick so FM escapes the incumbent's basin
       // (iterated local search).
       RestrictedHierarchy rh =
-          coarsen_restricted(g, *best_assign, coarsen_opts, cycle_rng);
+          coarsen_restricted(g, *best_assign, coarsen_opts, cycle_rng, ws);
       record_coarsen_trace(rh.hierarchy, g, cycle, &result.trace);
       std::vector<PartId>& coarse = rh.coarse_parts;
       const NodeId cn = rh.hierarchy.coarsest().num_nodes();
@@ -187,7 +193,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
         }
       }
       assign = refine_down(rh.hierarchy, g, std::move(coarse), k, c, options_,
-                           cycle_rng, cycle, &result.trace);
+                           cycle_rng, cycle, &result.trace, ws);
     }
 
     Partition p(g.num_nodes(), k);

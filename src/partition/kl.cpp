@@ -14,9 +14,10 @@ namespace ppnpart::part {
 namespace {
 
 /// D-value of classic KL: external minus internal connection weight.
-std::vector<Weight> compute_d_values(const Graph& g, const Partition& p) {
+void compute_d_values(const Graph& g, const Partition& p,
+                      std::vector<Weight>& d, support::AllocStats* stats) {
   const NodeId n = g.num_nodes();
-  std::vector<Weight> d(n, 0);
+  support::assign_tracked(d, n, 0, stats);
   for (NodeId u = 0; u < n; ++u) {
     auto nbrs = g.neighbors(u);
     auto wgts = g.edge_weights(u);
@@ -24,7 +25,6 @@ std::vector<Weight> compute_d_values(const Graph& g, const Partition& p) {
       d[u] += p[nbrs[i]] == p[u] ? -wgts[i] : wgts[i];
     }
   }
-  return d;
 }
 
 struct SwapPick {
@@ -37,40 +37,45 @@ struct SwapPick {
 
 bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
                          Weight cap1, const KlOptions& options,
-                         support::Rng& rng) {
+                         support::Rng& rng, Workspace& ws) {
   if (p.k() != 2) throw std::invalid_argument("kl_bisection_refine: k != 2");
   const NodeId n = g.num_nodes();
   if (n < 2) return false;
+  KlScratch& ks = ws.kl;
 
   Weight load[2] = {0, 0};
   for (NodeId u = 0; u < n; ++u) load[p[u]] += g.node_weight(u);
 
   bool improved_any = false;
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
-    std::vector<Weight> d = compute_d_values(g, p);
-    std::vector<bool> locked(n, false);
+    std::vector<Weight>& d = ks.d;
+    compute_d_values(g, p, d, ks.stats);
+    std::vector<std::uint8_t>& locked = ks.locked;
+    support::assign_tracked(locked, n, 0, ks.stats);
 
     // Node lists per side, visited in random order so that equal-gain pairs
     // are broken differently across passes/restarts.
-    std::vector<NodeId> side[2];
-    for (NodeId u = 0; u < n; ++u) side[p[u]].push_back(u);
-    rng.shuffle(side[0]);
-    rng.shuffle(side[1]);
+    support::reserve_tracked(ks.side0, n, ks.stats);
+    support::reserve_tracked(ks.side1, n, ks.stats);
+    support::reserve_tracked(ks.steps, n, ks.stats);
+    ks.side0.clear();
+    ks.side1.clear();
+    std::vector<NodeId>* side[2] = {&ks.side0, &ks.side1};
+    for (NodeId u = 0; u < n; ++u) side[p[u]]->push_back(u);
+    rng.shuffle(*side[0]);
+    rng.shuffle(*side[1]);
 
-    struct Step {
-      NodeId a, b;
-      Weight gain;
-    };
-    std::vector<Step> steps;
+    std::vector<KlStep>& steps = ks.steps;
+    steps.clear();
     Weight l0 = load[0], l1 = load[1];
 
-    const std::size_t max_steps = std::min(side[0].size(), side[1].size());
+    const std::size_t max_steps = std::min(side[0]->size(), side[1]->size());
     for (std::size_t step = 0; step < max_steps; ++step) {
       SwapPick pick;
-      for (NodeId a : side[0]) {
+      for (NodeId a : *side[0]) {
         if (locked[a]) continue;
         const Weight wa = g.node_weight(a);
-        for (NodeId b : side[1]) {
+        for (NodeId b : *side[1]) {
           if (locked[b]) continue;
           const Weight wb = g.node_weight(b);
           // Generalized balance admissibility: the swap may not push either
@@ -90,7 +95,7 @@ bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
       // Tentatively swap (update partition so D-updates below see it), lock.
       p.set(pick.a, 1);
       p.set(pick.b, 0);
-      locked[pick.a] = locked[pick.b] = true;
+      locked[pick.a] = locked[pick.b] = 1;
       const Weight wa = g.node_weight(pick.a);
       const Weight wb = g.node_weight(pick.b);
       l0 += wb - wa;
@@ -143,6 +148,13 @@ bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
   return improved_any;
 }
 
+bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, const KlOptions& options,
+                         support::Rng& rng) {
+  Workspace ws;
+  return kl_bisection_refine(g, p, cap0, cap1, options, rng, ws);
+}
+
 KlPartitioner::KlPartitioner(KlOptions options) : options_(options) {
   if (options_.imbalance < 1.0)
     throw std::invalid_argument("KlOptions: imbalance must be >= 1");
@@ -153,7 +165,7 @@ namespace {
 /// Recursive KL bisection of `g` into parts [part_lo, part_lo + k).
 void kl_recurse(const Graph& g, const std::vector<NodeId>& original_of,
                 Partition& out, PartId part_lo, PartId k,
-                const KlOptions& options, support::Rng& rng) {
+                const KlOptions& options, support::Rng& rng, Workspace& ws) {
   const NodeId n = g.num_nodes();
   if (k <= 1 || n == 0) {
     for (NodeId u = 0; u < n; ++u) out.set(original_of[u], part_lo);
@@ -187,7 +199,8 @@ void kl_recurse(const Graph& g, const std::vector<NodeId>& original_of,
     return static_cast<Weight>(
         std::ceil(options.imbalance * frac * static_cast<double>(total)));
   };
-  kl_bisection_refine(g, bisect, cap(frac0), cap(1.0 - frac0), options, rng);
+  kl_bisection_refine(g, bisect, cap(frac0), cap(1.0 - frac0), options, rng,
+                      ws);
 
   std::vector<NodeId> half0, half1;
   for (NodeId u = 0; u < n; ++u) (bisect[u] == 0 ? half0 : half1).push_back(u);
@@ -199,7 +212,7 @@ void kl_recurse(const Graph& g, const std::vector<NodeId>& original_of,
     for (std::size_t i = 0; i < half.size(); ++i)
       orig[i] = original_of[sub.original_of[i]];
     support::Rng child = rng.derive(tag);
-    kl_recurse(sub.graph, orig, out, lo, kk, options, child);
+    kl_recurse(sub.graph, orig, out, lo, kk, options, child, ws);
   };
   recurse_half(half0, part_lo, k0, 0x5A + static_cast<std::uint64_t>(part_lo));
   recurse_half(half1, part_lo + k0, k1,
@@ -222,7 +235,9 @@ PartitionResult KlPartitioner::run(const Graph& g,
   std::vector<NodeId> identity(g.num_nodes());
   for (NodeId u = 0; u < g.num_nodes(); ++u) identity[u] = u;
   support::Rng rng(request.seed);
-  kl_recurse(g, identity, result.partition, 0, request.k, options_, rng);
+  Workspace local_ws;
+  Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  kl_recurse(g, identity, result.partition, 0, request.k, options_, rng, ws);
 
   result.finalize(g, request.constraints);
   result.seconds = timer.seconds();

@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "partition/partitioner.hpp"
+#include "partition/workspace.hpp"
 #include "support/prng.hpp"
 
 namespace ppnpart::part {
@@ -43,6 +44,9 @@ struct KlOptions {
 /// One KL improvement run on an existing bisection (parts 0/1 of `p`).
 /// `cap0`/`cap1` bound the loads of parts 0 and 1. Returns true if the cut
 /// improved. Partition must be complete and 2-way.
+bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, const KlOptions& options,
+                         support::Rng& rng, Workspace& ws);
 bool kl_bisection_refine(const Graph& g, Partition& p, Weight cap0,
                          Weight cap1, const KlOptions& options,
                          support::Rng& rng);

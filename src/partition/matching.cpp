@@ -11,21 +11,39 @@ namespace ppnpart::part {
 
 namespace {
 
-Matching identity_matching(NodeId n) {
-  Matching m(n);
+void identity_matching_into(NodeId n, Matching& m, MatchingScratch& scratch) {
+  support::reserve_tracked(m, n, scratch.stats);
+  m.resize(n);
   std::iota(m.begin(), m.end(), NodeId{0});
-  return m;
+}
+
+/// Random tie-break among equal weights keeps the sweeps stochastic across
+/// V-cycles, as the multi-restart design expects. Tagging the shuffled
+/// positions and sorting by (w desc, pos asc) is exactly the stable sort by
+/// descending weight, minus stable_sort's per-call merge-buffer allocation.
+void shuffle_sort_by_weight(support::Rng& rng,
+                            std::vector<WeightedEdge>& edges) {
+  rng.shuffle(edges);
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    edges[i].pos = static_cast<std::uint32_t>(i);
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.w != b.w ? a.w > b.w : a.pos < b.pos;
+            });
 }
 
 }  // namespace
 
-Matching random_maximal_matching(const Graph& g, support::Rng& rng) {
+Weight random_maximal_matching_into(const Graph& g, support::Rng& rng,
+                                    Matching& match, MatchingScratch& scratch) {
   const NodeId n = g.num_nodes();
-  Matching match = identity_matching(n);
-  const auto order = rng.permutation(n);
-  std::vector<NodeId> candidates;
-  for (NodeId u_idx : order) {
-    const NodeId u = u_idx;
+  identity_matching_into(n, match, scratch);
+  support::reserve_tracked(scratch.order, n, scratch.stats);
+  rng.permutation_into(n, scratch.order);
+  std::vector<NodeId>& candidates = scratch.candidates;
+  support::reserve_tracked(candidates, n, scratch.stats);  // degree <= n
+  Weight matched_weight = 0;
+  for (NodeId u : scratch.order) {
     if (match[u] != u) continue;
     candidates.clear();
     for (NodeId v : g.neighbors(u)) {
@@ -35,47 +53,52 @@ Matching random_maximal_matching(const Graph& g, support::Rng& rng) {
     const NodeId v = candidates[rng.uniform_index(candidates.size())];
     match[u] = v;
     match[v] = u;
+    matched_weight += g.edge_weight_between(u, v);
   }
+  return matched_weight;
+}
+
+Matching random_maximal_matching(const Graph& g, support::Rng& rng) {
+  Matching match;
+  MatchingScratch scratch;
+  random_maximal_matching_into(g, rng, match, scratch);
   return match;
 }
 
-Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
-                             bool globally_sorted) {
+Weight heavy_edge_matching_into(const Graph& g, support::Rng& rng,
+                                Matching& match, MatchingScratch& scratch,
+                                bool globally_sorted) {
   const NodeId n = g.num_nodes();
-  Matching match = identity_matching(n);
+  identity_matching_into(n, match, scratch);
+  Weight matched_weight = 0;
   if (globally_sorted) {
     // Literal description from the paper: sort all edges by weight
     // descending, sweep, match edges whose both endpoints are free.
-    struct E {
-      Weight w;
-      NodeId u, v;
-    };
-    std::vector<E> edges;
-    edges.reserve(g.num_edges());
+    std::vector<WeightedEdge>& edges = scratch.edges;
+    support::reserve_tracked(edges, g.num_edges(), scratch.stats);
+    edges.clear();
     for (NodeId u = 0; u < n; ++u) {
       auto nbrs = g.neighbors(u);
       auto wgts = g.edge_weights(u);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (u < nbrs[i]) edges.push_back({wgts[i], u, nbrs[i]});
+        if (u < nbrs[i]) edges.push_back({wgts[i], u, nbrs[i], 0});
       }
     }
-    // Random tie-break among equal weights keeps the heuristic stochastic
-    // across V-cycles, as the multi-restart design expects.
-    rng.shuffle(edges);
-    std::stable_sort(edges.begin(), edges.end(),
-                     [](const E& a, const E& b) { return a.w > b.w; });
-    for (const E& e : edges) {
+    shuffle_sort_by_weight(rng, edges);
+    for (const WeightedEdge& e : edges) {
       if (match[e.u] == e.u && match[e.v] == e.v) {
         match[e.u] = e.v;
         match[e.v] = e.u;
+        matched_weight += e.w;
       }
     }
-    return match;
+    return matched_weight;
   }
   // Node-local HEM (Karypis-Kumar style): random visit order, pick the
   // heaviest free incident edge.
-  const auto order = rng.permutation(n);
-  for (NodeId u : order) {
+  support::reserve_tracked(scratch.order, n, scratch.stats);
+  rng.permutation_into(n, scratch.order);
+  for (NodeId u : scratch.order) {
     if (match[u] != u) continue;
     auto nbrs = g.neighbors(u);
     auto wgts = g.edge_weights(u);
@@ -92,16 +115,27 @@ Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
     if (best != graph::kInvalidNode) {
       match[u] = best;
       match[best] = u;
+      matched_weight += best_w;
     }
   }
+  return matched_weight;
+}
+
+Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
+                             bool globally_sorted) {
+  Matching match;
+  MatchingScratch scratch;
+  heavy_edge_matching_into(g, rng, match, scratch, globally_sorted);
   return match;
 }
 
-Matching kmeans_matching(const Graph& g, support::Rng& rng,
-                         const KMeansMatchingOptions& options) {
+Weight kmeans_matching_into(const Graph& g, support::Rng& rng, Matching& match,
+                            MatchingScratch& scratch,
+                            const KMeansMatchingOptions& options) {
   const NodeId n = g.num_nodes();
-  Matching match = identity_matching(n);
-  if (n < 2) return match;
+  identity_matching_into(n, match, scratch);
+  if (n < 2) return 0;
+  Weight matched_weight = 0;
 
   std::uint32_t k = options.clusters;
   if (k == 0) k = std::max<std::uint32_t>(1, (n + 7) / 8);
@@ -113,13 +147,17 @@ Matching kmeans_matching(const Graph& g, support::Rng& rng,
   // binary search over the k-1 midpoints, so one iteration costs
   // O(n log k). Seeding uses jittered quantiles of the weight distribution
   // (the 1-D equivalent of k-means++ spread, at O(n log n) once).
-  std::vector<double> centroid(k);
+  std::vector<double>& centroid = scratch.centroid;
+  support::assign_tracked(centroid, k, 0.0, scratch.stats);
   {
-    std::vector<double> weight_of(n);
+    std::vector<double>& weight_of = scratch.weight_of;
+    support::assign_tracked(weight_of, n, 0.0, scratch.stats);
     for (NodeId u = 0; u < n; ++u)
       weight_of[u] = static_cast<double>(g.node_weight(u));
 
-    std::vector<double> sorted_w = weight_of;
+    std::vector<double>& sorted_w = scratch.sorted_w;
+    support::reserve_tracked(sorted_w, n, scratch.stats);
+    sorted_w.assign(weight_of.begin(), weight_of.end());
     std::sort(sorted_w.begin(), sorted_w.end());
     for (std::uint32_t c = 0; c < k; ++c) {
       const double jitter = rng.uniform_real(-0.25, 0.25);
@@ -131,14 +169,18 @@ Matching kmeans_matching(const Graph& g, support::Rng& rng,
     }
     std::sort(centroid.begin(), centroid.end());
 
-    std::vector<std::uint32_t> cluster_of(n, 0);
-    std::vector<double> midpoints(k > 0 ? k - 1 : 0);
+    std::vector<std::uint32_t>& cluster_of = scratch.cluster_of;
+    support::assign_tracked(cluster_of, n, 0u, scratch.stats);
+    std::vector<double>& midpoints = scratch.midpoints;
+    support::assign_tracked(midpoints, k > 0 ? k - 1 : 0, 0.0, scratch.stats);
+    std::vector<double>& sum = scratch.cluster_sum;
+    std::vector<std::uint32_t>& cnt = scratch.cluster_count;
     for (std::uint32_t it = 0; it < options.max_iterations; ++it) {
       for (std::uint32_t c = 0; c + 1 < k; ++c)
         midpoints[c] = 0.5 * (centroid[c] + centroid[c + 1]);
       bool changed = false;
-      std::vector<double> sum(k, 0);
-      std::vector<std::uint32_t> cnt(k, 0);
+      support::assign_tracked(sum, k, 0.0, scratch.stats);
+      support::assign_tracked(cnt, k, 0u, scratch.stats);
       for (NodeId u = 0; u < n; ++u) {
         const auto best = static_cast<std::uint32_t>(
             std::upper_bound(midpoints.begin(), midpoints.end(),
@@ -161,31 +203,36 @@ Matching kmeans_matching(const Graph& g, support::Rng& rng,
     }
 
     // --- Match within clusters, heaviest incident edge first. ----------
-    struct E {
-      Weight w;
-      NodeId u, v;
-    };
-    std::vector<E> intra;
+    std::vector<WeightedEdge>& intra = scratch.edges;
+    support::reserve_tracked(intra, g.num_edges(), scratch.stats);
+    intra.clear();
     for (NodeId u = 0; u < n; ++u) {
       auto nbrs = g.neighbors(u);
       auto wgts = g.edge_weights(u);
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
         const NodeId v = nbrs[i];
         if (u < v && cluster_of[u] == cluster_of[v]) {
-          intra.push_back({wgts[i], u, v});
+          intra.push_back({wgts[i], u, v, 0});
         }
       }
     }
-    rng.shuffle(intra);
-    std::stable_sort(intra.begin(), intra.end(),
-                     [](const E& a, const E& b) { return a.w > b.w; });
-    for (const E& e : intra) {
+    shuffle_sort_by_weight(rng, intra);
+    for (const WeightedEdge& e : intra) {
       if (match[e.u] == e.u && match[e.v] == e.v) {
         match[e.u] = e.v;
         match[e.v] = e.u;
+        matched_weight += e.w;
       }
     }
   }
+  return matched_weight;
+}
+
+Matching kmeans_matching(const Graph& g, support::Rng& rng,
+                         const KMeansMatchingOptions& options) {
+  Matching match;
+  MatchingScratch scratch;
+  kmeans_matching_into(g, rng, match, scratch, options);
   return match;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/alloc_stats.hpp"
 #include "support/prng.hpp"
 
 namespace ppnpart::part {
@@ -21,9 +22,43 @@ using graph::Weight;
 /// match[u] == u means u stays single.
 using Matching = std::vector<NodeId>;
 
+/// An undirected edge record for sorted-edge sweeps. `pos` tags the edge's
+/// position after the pre-sort shuffle so an unstable sort by (w desc, pos
+/// asc) reproduces exactly what a stable sort by weight produced — without
+/// stable_sort's per-call merge-buffer allocation.
+struct WeightedEdge {
+  Weight w;
+  NodeId u, v;
+  std::uint32_t pos;
+};
+
+/// Reusable temporaries for the matching heuristics. One scratch serves all
+/// three heuristics sequentially (the coarsening competition); buffers grow
+/// to the finest level's size once and are reused for every coarser level
+/// and every later run.
+struct MatchingScratch {
+  support::AllocStats* stats = nullptr;
+  std::vector<std::uint32_t> order;      // random visit order
+  std::vector<NodeId> candidates;        // free-neighbour pool
+  std::vector<WeightedEdge> edges;       // sorted-edge sweeps
+  // k-means matching state
+  std::vector<double> weight_of;
+  std::vector<double> sorted_w;
+  std::vector<double> centroid;
+  std::vector<double> midpoints;
+  std::vector<double> cluster_sum;
+  std::vector<std::uint32_t> cluster_of;
+  std::vector<std::uint32_t> cluster_count;
+};
+
 /// Visits nodes in random order; each unmatched node picks a uniformly
 /// random unmatched neighbour (paper: "Random Maximal Matching").
 Matching random_maximal_matching(const Graph& g, support::Rng& rng);
+/// Allocation-free variant: result into `match`, temporaries from `scratch`.
+/// Returns the total matched edge weight (== matched_edge_weight(g, match)),
+/// computed for free during the sweep.
+Weight random_maximal_matching_into(const Graph& g, support::Rng& rng,
+                                    Matching& match, MatchingScratch& scratch);
 
 /// Visits nodes in random order; each unmatched node picks its heaviest
 /// unmatched incident edge. (The paper describes the global sorted-edge
@@ -32,6 +67,9 @@ Matching random_maximal_matching(const Graph& g, support::Rng& rng);
 /// `globally_sorted` to use the literal sorted-edge sweep.)
 Matching heavy_edge_matching(const Graph& g, support::Rng& rng,
                              bool globally_sorted = false);
+Weight heavy_edge_matching_into(const Graph& g, support::Rng& rng,
+                                Matching& match, MatchingScratch& scratch,
+                                bool globally_sorted = false);
 
 struct KMeansMatchingOptions {
   /// Number of weight-clusters; 0 means ceil(n / 8).
@@ -46,6 +84,9 @@ struct KMeansMatchingOptions {
 /// this heuristic is only ever used in competition with the other two.
 Matching kmeans_matching(const Graph& g, support::Rng& rng,
                          const KMeansMatchingOptions& options = {});
+Weight kmeans_matching_into(const Graph& g, support::Rng& rng, Matching& match,
+                            MatchingScratch& scratch,
+                            const KMeansMatchingOptions& options = {});
 
 /// Sum of weights of matched edges — the standard proxy for matching quality
 /// (hidden weight cannot be cut at coarser levels).

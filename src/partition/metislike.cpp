@@ -10,6 +10,7 @@
 #include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
 #include "partition/refine.hpp"
+#include "partition/workspace.hpp"
 #include "support/timer.hpp"
 
 namespace ppnpart::part {
@@ -22,7 +23,7 @@ namespace {
 void recursive_bisect(const Graph& g, const std::vector<NodeId>& original_of,
                       PartId k, PartId part_offset, double imbalance,
                       std::uint32_t fm_passes, support::Rng& rng,
-                      std::vector<PartId>& assign) {
+                      std::vector<PartId>& assign, Workspace& ws) {
   if (k <= 1) {
     for (NodeId u = 0; u < g.num_nodes(); ++u)
       assign[original_of[u]] = part_offset;
@@ -43,7 +44,7 @@ void recursive_bisect(const Graph& g, const std::vector<NodeId>& original_of,
   const Weight cap1 = side_cap(1.0 - fraction);
 
   Partition p = region_grow_bisection(g, fraction, rng);
-  bisection_fm_refine(g, p, cap0, cap1, fm_passes, rng);
+  bisection_fm_refine(g, p, cap0, cap1, fm_passes, rng, ws);
 
   std::vector<NodeId> side0, side1;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -72,7 +73,7 @@ void recursive_bisect(const Graph& g, const std::vector<NodeId>& original_of,
       sub_original[i] = original_of[side[i]];
     }
     recursive_bisect(sub.graph, sub_original, sub_k, offset, imbalance,
-                     fm_passes, rng, assign);
+                     fm_passes, rng, assign, ws);
   };
   recurse(side0, k0, part_offset);
   recurse(side1, k1, part_offset + k0);
@@ -95,6 +96,8 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   result.algorithm = name();
   const PartId k = request.k;
   support::Rng rng(request.seed);
+  Workspace local_ws;
+  Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
 
   // Under unit balance, partition a copy whose node weights are all 1 (edge
   // weights — the cut — are untouched); metrics are computed on the real
@@ -131,7 +134,7 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
                                    : graph_digest(*work);
     shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, *work);
   } else {
-    local = coarsen(*work, coarsen_opts, rng);
+    local = coarsen(*work, coarsen_opts, rng, ws);
   }
   const Hierarchy& h = shared_h ? *shared_h : local;
 
@@ -141,7 +144,7 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   std::vector<NodeId> identity(coarsest.num_nodes());
   for (NodeId u = 0; u < coarsest.num_nodes(); ++u) identity[u] = u;
   recursive_bisect(coarsest, identity, k, 0, options_.imbalance,
-                   options_.bisection_fm_passes, rng, coarse_assign);
+                   options_.bisection_fm_passes, rng, coarse_assign, ws);
 
   // --- Uncoarsening: project + greedy k-way boundary refinement. ---------
   const Weight total = work->total_node_weight();
@@ -168,10 +171,11 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
       }
       assign = std::move(finer);
     }
-    Partition p(level_graph.num_nodes(), k);
+    Partition& p = ws.level_partition;
+    p.reset(level_graph.num_nodes(), k);
     for (NodeId u = 0; u < level_graph.num_nodes(); ++u) p.set(u, assign[u]);
     support::Rng level_rng = rng.derive(0x3E71ull * (level + 1));
-    greedy_cut_refine(level_graph, p, max_load, refine_opts, level_rng);
+    greedy_cut_refine(level_graph, p, max_load, refine_opts, level_rng, ws);
     for (NodeId u = 0; u < level_graph.num_nodes(); ++u) assign[u] = p[u];
   }
 

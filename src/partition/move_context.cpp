@@ -9,17 +9,30 @@ namespace {
 inline Weight over(Weight value, Weight cap) { return excess_over(value, cap); }
 }  // namespace
 
-MoveContext::MoveContext(const Graph& g, Partition& p, const Constraints& c)
-    : graph_(&g), partition_(&p), constraints_(c), k_(p.k()) {
+void MoveContext::reset(const Graph& g, Partition& p, const Constraints& c) {
   if (p.size() != g.num_nodes())
     throw std::invalid_argument("MoveContext: size mismatch");
   if (!p.complete())
     throw std::invalid_argument("MoveContext: incomplete partition");
-  conn_.assign(static_cast<std::size_t>(g.num_nodes()) * k_, 0);
-  loads_.assign(static_cast<std::size_t>(k_), 0);
-  counts_.assign(static_cast<std::size_t>(k_), 0);
-  pairwise_ = PairwiseCut(k_);
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+  graph_ = &g;
+  partition_ = &p;
+  constraints_ = c;
+  k_ = p.k();
+  cut_ = 0;
+  resource_excess_ = 0;
+  bandwidth_excess_ = 0;
+  apply_count_ = 0;
+
+  const NodeId n = g.num_nodes();
+  support::assign_tracked(conn_, static_cast<std::size_t>(n) * k_, 0,
+                          alloc_stats_);
+  support::assign_tracked(loads_, static_cast<std::size_t>(k_), 0,
+                          alloc_stats_);
+  support::assign_tracked(counts_, static_cast<std::size_t>(k_), 0,
+                          alloc_stats_);
+  support::assign_tracked(incident_, n, 0, alloc_stats_);
+  pairwise_.reset(k_);
+  for (NodeId u = 0; u < n; ++u) {
     const PartId pu = p[u];
     loads_[static_cast<std::size_t>(pu)] += g.node_weight(u);
     ++counts_[static_cast<std::size_t>(pu)];
@@ -29,6 +42,7 @@ MoveContext::MoveContext(const Graph& g, Partition& p, const Constraints& c)
       const NodeId v = nbrs[i];
       conn_[static_cast<std::size_t>(u) * k_ + static_cast<std::size_t>(p[v])] +=
           wgts[i];
+      incident_[u] += wgts[i];
       if (u < v && pu != p[v]) {
         cut_ += wgts[i];
         pairwise_.add(pu, p[v], wgts[i]);
@@ -42,6 +56,20 @@ MoveContext::MoveContext(const Graph& g, Partition& p, const Constraints& c)
   for (PartId a = 0; a < k_; ++a) {
     for (PartId b = a + 1; b < k_; ++b) {
       bandwidth_excess_ += over(pairwise_.at(a, b), constraints_.bmax);
+    }
+  }
+
+  support::reserve_tracked(nz_parts_, static_cast<std::size_t>(k_),
+                           alloc_stats_);
+
+  // Seed the incremental boundary set (ascending by construction).
+  support::assign_tracked(in_boundary_list_, n, 0, alloc_stats_);
+  support::reserve_tracked(boundary_list_, n, alloc_stats_);
+  boundary_list_.clear();
+  for (NodeId u = 0; u < n; ++u) {
+    if (is_boundary(u)) {
+      in_boundary_list_[u] = 1;
+      boundary_list_.push_back(u);
     }
   }
 }
@@ -84,21 +112,22 @@ void MoveContext::apply(NodeId u, PartId q) {
   const PartId p = part_of(u);
   if (p == q) return;
   const Weight w = graph_->node_weight(u);
-  const Weight cup = conn(u, p);
-  const Weight cuq = conn(u, q);
+  const std::size_t conn_base = static_cast<std::size_t>(u) * k_;
+  const Weight cup = conn_[conn_base + static_cast<std::size_t>(p)];
+  const Weight cuq = conn_[conn_base + static_cast<std::size_t>(q)];
+  const Weight bmax = constraints_.bmax;
 
   // Pairwise cuts and bandwidth excess (uses conn before neighbour updates).
   auto update_pair = [&](PartId a, PartId b, Weight delta) {
     if (delta == 0) return;
     const Weight old = pairwise_.at(a, b);
     pairwise_.add(a, b, delta);
-    bandwidth_excess_ +=
-        over(old + delta, constraints_.bmax) - over(old, constraints_.bmax);
+    bandwidth_excess_ += over(old + delta, bmax) - over(old, bmax);
   };
   update_pair(p, q, cup - cuq);
   for (PartId r = 0; r < k_; ++r) {
     if (r == p || r == q) continue;
-    const Weight cur = conn(u, r);
+    const Weight cur = conn_[conn_base + static_cast<std::size_t>(r)];
     if (cur == 0) continue;
     update_pair(p, r, -cur);
     update_pair(q, r, cur);
@@ -125,34 +154,128 @@ void MoveContext::apply(NodeId u, PartId q) {
   }
 
   partition_->set(u, q);
+  ++apply_count_;
+
+  // Boundary maintenance: only u and its neighbours can have changed
+  // status. Nodes that *left* the boundary are dropped lazily at
+  // enumeration time.
+  mark_boundary(u);
+  for (NodeId v : nbrs) mark_boundary(v);
 }
 
-bool MoveContext::is_boundary(NodeId u) const {
-  const PartId p = part_of(u);
-  const Weight internal = conn(u, p);
-  const Weight total = graph_->incident_weight(u);
-  return total > internal;
-}
-
-std::vector<NodeId> MoveContext::boundary_nodes() const {
-  std::vector<NodeId> out;
-  for (NodeId u = 0; u < graph_->num_nodes(); ++u) {
-    if (is_boundary(u)) out.push_back(u);
+void MoveContext::boundary_nodes(std::vector<NodeId>& out) const {
+  const NodeId n = graph_->num_nodes();
+  // When the lazy list covers a large fraction of the graph, a full O(n)
+  // rescan (is_boundary is O(1)) beats compacting + sorting it; both paths
+  // produce the identical ascending enumeration.
+  if (boundary_list_.size() * 4 >= n) {
+    boundary_list_.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      const bool b = is_boundary(u);
+      in_boundary_list_[u] = b ? 1 : 0;
+      if (b) boundary_list_.push_back(u);
+    }
+  } else {
+    // Compact stale entries (nodes that have become internal), then sort so
+    // enumeration is ascending by id — identical to a full 0..n scan.
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < boundary_list_.size(); ++i) {
+      const NodeId u = boundary_list_[i];
+      if (is_boundary(u)) {
+        boundary_list_[w++] = u;
+      } else {
+        in_boundary_list_[u] = 0;
+      }
+    }
+    boundary_list_.resize(w);
+    std::sort(boundary_list_.begin(), boundary_list_.end());
   }
-  return out;
+  support::reserve_tracked(out, boundary_list_.size(), alloc_stats_);
+  out.assign(boundary_list_.begin(), boundary_list_.end());
 }
 
 std::optional<MoveContext::Candidate> MoveContext::best_move(
     NodeId u, bool allow_emptying) const {
   const PartId p = part_of(u);
   if (!allow_emptying && part_size(p) <= 1) return std::nullopt;
-  std::optional<Candidate> best;
+
+  // Specialized all-targets scan: algebraically identical to calling
+  // goodness_after(u, q) for every q (same int64 terms, summed in a
+  // different order), but the source-part terms are hoisted out of the
+  // target loop and the bandwidth inner loop only visits parts u actually
+  // connects to. This is the hottest function of every FM pass.
+  const Weight w = graph_->node_weight(u);
+  const std::size_t conn_base = static_cast<std::size_t>(u) * k_;
+  const Weight cup = conn_[conn_base + static_cast<std::size_t>(p)];
+  const Weight bmax = constraints_.bmax;
+  const Weight res_base = resource_excess_ -
+                          over(load(p), constraints_.rmax_of(p)) +
+                          over(load(p) - w, constraints_.rmax_of(p));
+
+  const bool bw_limited = bmax != Constraints::kUnlimited;
+  const bool het = constraints_.heterogeneous();
+  const Weight uniform_rmax = constraints_.rmax;
+  const Weight* conn_row = conn_.data() + conn_base;
+  const Weight* pair_row_p = pairwise_.row(p);
+  // Parts (other than p) that u has edges into, ascending; and the
+  // source-side bandwidth delta summed over all of them.
+  nz_parts_.clear();
+  Weight sp_sum = 0;
+  if (bw_limited) {
+    for (PartId r = 0; r < k_; ++r) {
+      if (r == p) continue;
+      const Weight cur = conn_row[r];
+      if (cur == 0) continue;
+      nz_parts_.push_back(r);
+      const Weight pr_old = pair_row_p[r];
+      sp_sum += over(pr_old - cur, bmax) - over(pr_old, bmax);
+    }
+  }
+
+  PartId best_q = kUnassigned;
+  Weight best_res = 0, best_bw = 0, best_cut = 0;
   for (PartId q = 0; q < k_; ++q) {
     if (q == p) continue;
-    const Goodness after = goodness_after(u, q);
-    if (!best || after < best->after) best = Candidate{q, after};
+    const Weight cuq = conn_row[q];
+    const Weight rq =
+        het ? constraints_.rmax_per_part[static_cast<std::size_t>(q)]
+            : uniform_rmax;
+
+    const Weight res =
+        res_base - over(load(q), rq) + over(load(q) + w, rq);
+
+    Weight bw = bandwidth_excess_;
+    if (bw_limited) {
+      const Weight pq_old = pair_row_p[q];
+      bw += over(pq_old + cup - cuq, bmax) - over(pq_old, bmax);
+      // Source-side sum minus its r == q term (goodness_after skips it).
+      bw += sp_sum;
+      if (cuq != 0) {
+        bw -= over(pq_old - cuq, bmax) - over(pq_old, bmax);
+      }
+      const Weight* pair_row_q = pairwise_.row(q);
+      for (PartId r : nz_parts_) {
+        if (r == q) continue;
+        const Weight cur = conn_row[r];
+        const Weight qr_old = pair_row_q[r];
+        bw += over(qr_old + cur, bmax) - over(qr_old, bmax);
+      }
+    }
+
+    const Weight cut_after = cut_ + cup - cuq;
+    // Lexicographic strict-less against the incumbent (first best wins
+    // ties, like the goodness_after-based loop did).
+    if (best_q == kUnassigned || res < best_res ||
+        (res == best_res &&
+         (bw < best_bw || (bw == best_bw && cut_after < best_cut)))) {
+      best_q = q;
+      best_res = res;
+      best_bw = bw;
+      best_cut = cut_after;
+    }
   }
-  return best;
+  if (best_q == kUnassigned) return std::nullopt;
+  return Candidate{best_q, Goodness{best_res, best_bw, best_cut}};
 }
 
 }  // namespace ppnpart::part

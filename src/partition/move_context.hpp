@@ -5,23 +5,48 @@
 //   * conn(u, r): total weight of edges from u into part r,
 //   * per-part loads and node counts,
 //   * the k x k pairwise cut matrix and global cut,
-//   * the aggregate resource/bandwidth constraint excesses.
-// A move costs O(degree(u) + k); evaluating a hypothetical move costs O(k).
+//   * the aggregate resource/bandwidth constraint excesses,
+//   * the boundary set (nodes with at least one cross-part edge), kept
+//     incrementally: apply() marks the only nodes whose status can change
+//     (the moved node and its neighbours), enumeration lazily drops stale
+//     entries and reports ascending by node id — the same order the old
+//     full rescan produced, so downstream seed shuffles are unchanged.
+// A move costs O(degree(u) + k); evaluating a hypothetical move costs O(k);
+// boundary enumeration costs O(b log b) in the boundary size instead of the
+// former O(n * avg_degree) rescan.
 // compute_metrics() (full recomputation) is the reference implementation the
 // tests compare against.
+//
+// A MoveContext is designed to be owned by a part::Workspace and re-armed
+// with reset() across refinement levels and passes: every internal buffer
+// keeps its capacity, so steady-state resets allocate nothing.
 
 #include <optional>
 #include <vector>
 
 #include "partition/partition.hpp"
+#include "support/alloc_stats.hpp"
 
 namespace ppnpart::part {
 
 class MoveContext {
  public:
+  /// Empty context; arm with reset() before use (workspace pattern).
+  MoveContext() = default;
+
   /// Partition must be complete. The context takes a reference: callers
   /// mutate the partition exclusively through apply().
-  MoveContext(const Graph& g, Partition& p, const Constraints& c);
+  MoveContext(const Graph& g, Partition& p, const Constraints& c) {
+    reset(g, p, c);
+  }
+
+  /// Re-arms the context on a (graph, partition, constraints) triple,
+  /// reusing all internal buffer capacity. Same contract as the
+  /// constructor.
+  void reset(const Graph& g, Partition& p, const Constraints& c);
+
+  /// Optional growth counter for the internal buffers (workspace hook).
+  void set_alloc_stats(support::AllocStats* stats) { alloc_stats_ = stats; }
 
   const Graph& graph() const { return *graph_; }
   const Partition& partition() const { return *partition_; }
@@ -43,6 +68,10 @@ class MoveContext {
     return Goodness{resource_excess_, bandwidth_excess_, cut_};
   }
 
+  /// Number of effective apply() calls since reset(). Any cached gain
+  /// computed while this is unchanged is still exact.
+  std::uint64_t apply_count() const { return apply_count_; }
+
   /// Goodness of the partition if u moved to part q (u's part unchanged is
   /// allowed and returns current goodness). O(k).
   Goodness goodness_after(NodeId u, PartId q) const;
@@ -50,9 +79,20 @@ class MoveContext {
   /// Moves u to part q, updating all incremental state. O(degree(u) + k).
   void apply(NodeId u, PartId q);
 
-  /// True iff u has at least one neighbour in another part.
-  bool is_boundary(NodeId u) const;
-  std::vector<NodeId> boundary_nodes() const;
+  /// True iff u has at least one neighbour in another part. O(1).
+  bool is_boundary(NodeId u) const {
+    return conn(u, part_of(u)) < incident_[u];
+  }
+
+  /// Boundary nodes ascending by id. The overload filling a caller buffer
+  /// is the allocation-free hot path; the by-value form remains for
+  /// convenience.
+  void boundary_nodes(std::vector<NodeId>& out) const;
+  std::vector<NodeId> boundary_nodes() const {
+    std::vector<NodeId> out;
+    boundary_nodes(out);
+    return out;
+  }
 
   struct Candidate {
     PartId target = kUnassigned;
@@ -63,17 +103,35 @@ class MoveContext {
   std::optional<Candidate> best_move(NodeId u, bool allow_emptying = false) const;
 
  private:
-  const Graph* graph_;
-  Partition* partition_;
+  /// Adds u to the boundary superset unconditionally; enumeration filters
+  /// non-boundary entries out anyway, so testing is_boundary here would
+  /// just duplicate that work on the hot move path.
+  void mark_boundary(NodeId u) const {
+    if (!in_boundary_list_[u]) {
+      in_boundary_list_[u] = 1;
+      boundary_list_.push_back(u);
+    }
+  }
+
+  const Graph* graph_ = nullptr;
+  Partition* partition_ = nullptr;
   Constraints constraints_;
-  PartId k_;
+  PartId k_ = 0;
   std::vector<Weight> conn_;       // n x k
   std::vector<Weight> loads_;      // k
   std::vector<std::uint32_t> counts_;  // k
+  std::vector<Weight> incident_;   // n: total incident edge weight
   PairwiseCut pairwise_;
   Weight cut_ = 0;
   Weight resource_excess_ = 0;
   Weight bandwidth_excess_ = 0;
+  std::uint64_t apply_count_ = 0;
+  /// Superset of the boundary (lazily compacted on enumeration).
+  mutable std::vector<NodeId> boundary_list_;
+  mutable std::vector<std::uint8_t> in_boundary_list_;
+  /// best_move scratch: parts the probed node connects to.
+  mutable std::vector<PartId> nz_parts_;
+  support::AllocStats* alloc_stats_ = nullptr;
 };
 
 }  // namespace ppnpart::part

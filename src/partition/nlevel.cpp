@@ -10,6 +10,7 @@
 #include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
 #include "partition/refine.hpp"
+#include "partition/workspace.hpp"
 #include "support/hash.hpp"
 #include "support/timer.hpp"
 
@@ -157,6 +158,48 @@ class DynamicPartitionState {
     (*part_)[u] = q;
   }
 
+  /// Fills conn[r] with the total weight from u into part r (conn must be
+  /// sized k). One O(deg) walk shared by all k target evaluations of u.
+  void connectivity_of(NodeId u, std::vector<Weight>& conn) const {
+    std::fill(conn.begin(), conn.end(), Weight{0});
+    for (const auto& [v, w] : dg_->neighbors(u)) {
+      conn[static_cast<std::size_t>((*part_)[v])] += w;
+    }
+  }
+
+  /// Goodness if u moved to part q, via O(k) incremental deltas over `cur`
+  /// (the present goodness) and `conn` (from connectivity_of(u)). Produces
+  /// exactly the value that apply(u, q); goodness(); apply(u, from) used to
+  /// compute — the excess sums telescope — without touching any state.
+  Goodness goodness_if_moved(NodeId u, PartId q, const Goodness& cur,
+                             const std::vector<Weight>& conn) const {
+    const PartId from = (*part_)[u];
+    if (from == q) return cur;
+    const Weight w = dg_->node_weight(u);
+    Goodness good = cur;
+    good.resource_excess +=
+        excess_over(load(from) - w, c_.rmax_of(from)) -
+        excess_over(load(from), c_.rmax_of(from)) +
+        excess_over(load(q) + w, c_.rmax_of(q)) -
+        excess_over(load(q), c_.rmax_of(q));
+    const Weight cuf = conn[static_cast<std::size_t>(from)];
+    const Weight cuq = conn[static_cast<std::size_t>(q)];
+    good.cut += cuf - cuq;
+    auto bw_delta = [&](Weight old_pair, Weight delta) {
+      good.bandwidth_excess += excess_over(old_pair + delta, c_.bmax) -
+                               excess_over(old_pair, c_.bmax);
+    };
+    bw_delta(pair_cut(from, q), cuf - cuq);
+    for (PartId r = 0; r < k_; ++r) {
+      if (r == from || r == q) continue;
+      const Weight cur_r = conn[static_cast<std::size_t>(r)];
+      if (cur_r == 0) continue;
+      bw_delta(pair_cut(from, r), -cur_r);
+      bw_delta(pair_cut(q, r), cur_r);
+    }
+    return good;
+  }
+
   /// Accounts for node `u` splitting off `v` (both already share a part):
   /// u's load shrinks, v's appears, the (u,v) edge and v's external edges
   /// enter the cut structure. Called right after DynamicGraph::uncontract.
@@ -206,6 +249,8 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   const PartId k = request.k;
   const Constraints& c = request.constraints;
   support::Rng rng(request.seed);
+  Workspace local_ws;
+  Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
 
   if (n == 0) {
     result.partition = Partition(0, k);
@@ -321,7 +366,7 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   FmOptions seed_fm;
   seed_fm.max_passes = 4;
   support::Rng seed_rng = rng.derive(0x91EF);
-  constrained_fm_refine(coarsest, coarse_part, c, seed_fm, seed_rng);
+  constrained_fm_refine(coarsest, coarse_part, c, seed_fm, seed_rng, ws);
 
   std::vector<PartId> part(n, 0);
   for (std::size_t i = 0; i < alive_nodes.size(); ++i)
@@ -329,6 +374,8 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
 
   // ---- Un-coarsening: pop one contraction, local search around it. ----
   DynamicPartitionState state(dg, part, k, c);
+  std::vector<NodeId> frontier;
+  std::vector<Weight> conn_scratch(static_cast<std::size_t>(k), 0);
   for (std::size_t s = stack.size(); s-- > 0;) {
     const DynamicGraph::Contraction& rec = stack[s];
     dg.uncontract(rec);
@@ -336,8 +383,11 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
     state.on_uncontract(rec);
 
     // Highly localized search: the un-contracted pair plus its direct
-    // neighbourhood, steepest-improving single-node moves.
-    std::vector<NodeId> frontier{rec.kept, rec.removed};
+    // neighbourhood, steepest-improving single-node moves. The frontier
+    // buffer is reused across the whole un-contraction sweep.
+    frontier.clear();
+    frontier.push_back(rec.kept);
+    frontier.push_back(rec.removed);
     for (const auto& [x, w] : dg.neighbors(rec.kept)) {
       (void)w;
       frontier.push_back(x);
@@ -362,11 +412,14 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
       for (NodeId x : frontier) {
         if (!dg.alive(x)) continue;
         const PartId from = part[x];
+        // One O(deg) connectivity walk serves all k targets; each target is
+        // then an O(k) delta evaluation of exactly the goodness the old
+        // apply-recompute-undo probe produced.
+        state.connectivity_of(x, conn_scratch);
         for (PartId q = 0; q < k; ++q) {
           if (q == from) continue;
-          state.apply(x, q);
-          const Goodness after = state.goodness();
-          state.apply(x, from);
+          const Goodness after =
+              state.goodness_if_moved(x, q, current, conn_scratch);
           if (after < best_after) {
             best_after = after;
             best_node = x;
@@ -390,7 +443,7 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
     FmOptions fm;
     fm.max_passes = options_.final_fm_passes;
     support::Rng fm_rng = rng.derive(0xF1AE);
-    constrained_fm_refine(g, result.partition, c, fm, fm_rng);
+    constrained_fm_refine(g, result.partition, c, fm, fm_rng, ws);
   }
 
   result.finalize(g, c);

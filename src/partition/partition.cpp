@@ -101,14 +101,6 @@ Violation compute_violation(const PartitionMetrics& m, const Constraints& c) {
   return v;
 }
 
-bool operator<(const Goodness& a, const Goodness& b) {
-  if (a.resource_excess != b.resource_excess)
-    return a.resource_excess < b.resource_excess;
-  if (a.bandwidth_excess != b.bandwidth_excess)
-    return a.bandwidth_excess < b.bandwidth_excess;
-  return a.cut < b.cut;
-}
-
 Goodness compute_goodness(const Graph& g, const Partition& p,
                           const Constraints& c) {
   const PartitionMetrics m = compute_metrics(g, p);

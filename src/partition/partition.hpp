@@ -31,6 +31,13 @@ class Partition {
   Partition(NodeId num_nodes, PartId k)
       : assign_(num_nodes, kUnassigned), k_(k) {}
 
+  /// Re-initializes in place to `num_nodes` unassigned nodes and `k` parts,
+  /// reusing the existing capacity (workspace hot-path use).
+  void reset(NodeId num_nodes, PartId k) {
+    assign_.assign(num_nodes, kUnassigned);
+    k_ = k;
+  }
+
   PartId k() const { return k_; }
   NodeId size() const { return static_cast<NodeId>(assign_.size()); }
 
@@ -56,11 +63,22 @@ class PairwiseCut {
   PairwiseCut() = default;
   explicit PairwiseCut(PartId k) : k_(k), m_(static_cast<std::size_t>(k) * k, 0) {}
 
+  /// Re-initializes to a zeroed k x k matrix, reusing existing capacity.
+  void reset(PartId k) {
+    k_ = k;
+    m_.assign(static_cast<std::size_t>(k) * k, 0);
+  }
+
   PartId k() const { return k_; }
   Weight at(PartId a, PartId b) const { return m_[index(a, b)]; }
   void add(PartId a, PartId b, Weight w) {
     m_[index(a, b)] += w;
     m_[index(b, a)] += w;
+  }
+
+  /// Raw row access for hot loops (row(a)[b] == at(a, b)).
+  const Weight* row(PartId a) const {
+    return m_.data() + static_cast<std::size_t>(a) * k_;
   }
 
   /// Largest entry — the paper's "Maximum Local Bandwidth".
@@ -146,8 +164,15 @@ struct Goodness {
   friend bool operator==(const Goodness&, const Goodness&) = default;
 };
 
-/// Lexicographic: smaller is better.
-bool operator<(const Goodness& a, const Goodness& b);
+/// Lexicographic: smaller is better. Inline: this comparison runs tens of
+/// millions of times per FM-heavy partitioner run.
+inline bool operator<(const Goodness& a, const Goodness& b) {
+  if (a.resource_excess != b.resource_excess)
+    return a.resource_excess < b.resource_excess;
+  if (a.bandwidth_excess != b.bandwidth_excess)
+    return a.bandwidth_excess < b.bandwidth_excess;
+  return a.cut < b.cut;
+}
 
 Goodness compute_goodness(const Graph& g, const Partition& p,
                           const Constraints& c);

@@ -18,6 +18,7 @@
 namespace ppnpart::part {
 
 class CoarseningCache;
+class Workspace;
 
 struct PartitionRequest {
   PartId k = 2;
@@ -48,6 +49,15 @@ struct PartitionRequest {
   /// Must change whenever the graph does — a stale key serves the wrong
   /// hierarchy.
   std::uint64_t graph_key = 0;
+
+  /// Optional reusable scratch workspace (non-owning; may be null). When
+  /// set, the multilevel partitioners thread it through their inner loop —
+  /// contraction, matching, refinement — instead of creating a private one,
+  /// so repeated sequential runs reach steady-state zero allocation.
+  /// Ownership rules (see workspace.hpp): one workspace per run at a time,
+  /// NEVER shared across threads. Transient like `stop`: excluded from
+  /// request fingerprints and without effect on results.
+  Workspace* workspace = nullptr;
 
   /// True when the request carries a fired stop signal.
   bool stop_requested() const { return stop != nullptr && stop->stop_requested(); }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
@@ -10,22 +9,31 @@ namespace ppnpart::part {
 
 namespace {
 
-/// A move's gain, componentwise: goodness after minus goodness now.
-/// Lexicographic like Goodness; negative components are improvements.
-struct Delta {
-  Weight resource, bandwidth, cut;
-};
-
-bool operator<(const Delta& a, const Delta& b) {
-  if (a.resource != b.resource) return a.resource < b.resource;
-  if (a.bandwidth != b.bandwidth) return a.bandwidth < b.bandwidth;
-  return a.cut < b.cut;
+/// Lexicographic comparison of a move's gain delta (goodness after minus
+/// goodness now, componentwise; negative components are improvements).
+inline bool delta_less(const FmHeapEntry& a, const FmHeapEntry& b) {
+  if (a.d_resource != b.d_resource) return a.d_resource < b.d_resource;
+  if (a.d_bandwidth != b.d_bandwidth) return a.d_bandwidth < b.d_bandwidth;
+  return a.d_cut < b.d_cut;
 }
 
+/// Heap comparator: min-heap on delta (best gain at the top), over pool
+/// indices. Used with std::push_heap/pop_heap over the workspace-owned
+/// index vector, which is operation-for-operation what std::priority_queue
+/// over whole entries did before the scratch was hoisted — the comparator
+/// sees identical values, so the pop order is identical.
+struct WorseDelta {
+  const FmHeapEntry* pool;
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    return delta_less(pool[b], pool[a]);
+  }
+};
+
 /// One FM pass over the constrained goodness. Returns the pass's best
-/// goodness (state of `p` on return corresponds to it).
+/// goodness (state of `p` on return corresponds to it). All scratch comes
+/// from `ws`; a warm workspace makes the pass allocation-free.
 Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
-                             support::Rng& rng) {
+                             support::Rng& rng, FmScratch& fs) {
   const Graph& g = ctx.graph();
   const NodeId n = g.num_nodes();
 
@@ -35,63 +43,70 @@ Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
   // the global cut; deltas only drift for nodes whose neighbourhood or
   // parts were touched, so the lazy revalidation below stays local (this
   // is what keeps a pass near-linear on large graphs).
-  auto delta_of = [&](const Goodness& after) {
+  auto entry_of = [&](NodeId u, PartId target, const Goodness& after,
+                      std::uint32_t stamp) {
     const Goodness now = ctx.goodness();
-    return Delta{after.resource_excess - now.resource_excess,
-                 after.bandwidth_excess - now.bandwidth_excess,
-                 after.cut - now.cut};
+    return FmHeapEntry{after.resource_excess - now.resource_excess,
+                       after.bandwidth_excess - now.bandwidth_excess,
+                       after.cut - now.cut, u, target, stamp,
+                       static_cast<std::uint32_t>(ctx.apply_count())};
   };
-  struct Entry {
-    Delta delta;
-    NodeId node;
-    PartId target;
-    std::uint64_t stamp;
-  };
-  struct WorseDelta {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return b.delta < a.delta;  // min-heap on delta (best gain first)
-    }
-  };
-  std::priority_queue<Entry, std::vector<Entry>, WorseDelta> heap;
-  std::vector<std::uint64_t> stamp(n, 0);
-  std::vector<bool> locked(n, false);
+  std::vector<FmHeapEntry>& pool = fs.pool;
+  std::vector<std::uint32_t>& heap = fs.heap;
+  pool.clear();
+  heap.clear();
+  // Stamps need only intra-pass equality (the heap is emptied between
+  // passes), so the buffer is grown but never re-zeroed or shrunk: values
+  // persist monotonically, which skips an O(n) memset per pass and the
+  // re-zeroing that shrink-then-grow across levels would cause.
+  if (fs.stamp.size() < n) {
+    support::reserve_tracked(fs.stamp, n, fs.stats);
+    fs.stamp.resize(n);
+  }
+  support::assign_tracked(fs.locked, n, 0, fs.stats);
 
+  auto heap_push = [&](const FmHeapEntry& e) {
+    pool.push_back(e);
+    heap.push_back(static_cast<std::uint32_t>(pool.size() - 1));
+    std::push_heap(heap.begin(), heap.end(), WorseDelta{pool.data()});
+  };
   auto push_candidate = [&](NodeId u) {
-    if (locked[u]) return;
+    if (fs.locked[u]) return;
     auto cand = ctx.best_move(u);
     if (!cand) return;
-    heap.push(Entry{delta_of(cand->after), u, cand->target, stamp[u]});
+    heap_push(entry_of(u, cand->target, cand->after, fs.stamp[u]));
   };
 
   // Seed: boundary nodes plus every node of an over-capacity part (those
   // repair resource violations but need not touch the boundary), in random
   // order so equal-goodness candidates break ties stochastically.
   {
-    std::vector<NodeId> seeds;
+    std::vector<NodeId>& seeds = fs.seeds;
     if (options.seed_boundary_only) {
-      seeds = ctx.boundary_nodes();
+      ctx.boundary_nodes(seeds);
       if (ctx.goodness().resource_excess > 0) {
-        std::vector<bool> seeded(n, false);
-        for (NodeId u : seeds) seeded[u] = true;
+        support::assign_tracked(fs.seeded, n, 0, fs.stats);
+        for (NodeId u : seeds) fs.seeded[u] = 1;
         const Constraints& c = ctx.constraints();
         for (NodeId u = 0; u < n; ++u) {
           const PartId pu = ctx.part_of(u);
-          if (!seeded[u] && ctx.load(pu) > c.rmax_of(pu)) seeds.push_back(u);
+          if (!fs.seeded[u] && ctx.load(pu) > c.rmax_of(pu)) seeds.push_back(u);
         }
       }
     } else {
+      support::reserve_tracked(seeds, n, fs.stats);
       seeds.resize(n);
       for (NodeId u = 0; u < n; ++u) seeds[u] = u;
     }
     rng.shuffle(seeds);
+    support::reserve_tracked(heap, seeds.size(), fs.stats);
+    support::reserve_tracked(pool, seeds.size(), fs.stats);
     for (NodeId u : seeds) push_candidate(u);
   }
 
-  struct MoveRecord {
-    NodeId node;
-    PartId from;
-  };
-  std::vector<MoveRecord> log;
+  std::vector<FmMoveRecord>& log = fs.log;
+  support::reserve_tracked(log, n, fs.stats);
+  log.clear();
   Goodness best = ctx.goodness();
   std::size_t best_prefix = 0;
   const std::uint64_t limit =
@@ -100,28 +115,40 @@ Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
   // Safety valve: lazy revalidation is amortized-cheap, but adversarial
   // weight patterns could ping-pong reinsertions; cap total pops.
   std::uint64_t pops = 0;
-  const std::uint64_t pop_limit = 16ull * std::max<std::uint64_t>(n, 64) ;
+  const std::uint64_t pop_limit = 16ull * std::max<std::uint64_t>(n, 64);
+  // push_back growth past the tracked reserves is real allocator traffic;
+  // account for it at pass end via the capacity delta.
+  const std::size_t pool_cap = pool.capacity();
+  const std::size_t heap_cap = heap.capacity();
 
   while (!heap.empty() && log.size() < limit && pops++ < pop_limit) {
-    Entry e = heap.top();
-    heap.pop();
-    if (locked[e.node] || e.stamp != stamp[e.node]) continue;
-    // Revalidate lazily: the stored delta may have drifted because a
-    // neighbouring move changed loads or pairwise cuts. Recompute; if the
-    // move is now *worse* than advertised, reinsert with the fresh key
-    // (someone else may beat it); if it is as good or better, take it —
-    // it still dominates everything below it in the heap.
-    auto cand = ctx.best_move(e.node);
-    if (!cand) continue;
-    const Delta actual = delta_of(cand->after);
-    if (e.delta < actual) {
-      ++stamp[e.node];
-      heap.push(Entry{actual, e.node, cand->target, stamp[e.node]});
-      continue;
+    const FmHeapEntry e = pool[heap.front()];
+    std::pop_heap(heap.begin(), heap.end(), WorseDelta{pool.data()});
+    heap.pop_back();
+    if (fs.locked[e.node] || e.stamp != fs.stamp[e.node]) continue;
+    PartId target = e.target;
+    if (e.version != static_cast<std::uint32_t>(ctx.apply_count())) {
+      // Revalidate lazily: the stored delta may have drifted because a
+      // neighbouring move changed loads or pairwise cuts. Recompute; if the
+      // move is now *worse* than advertised, reinsert with the fresh key
+      // (someone else may beat it); if it is as good or better, take it —
+      // it still dominates everything below it in the heap. (When no move
+      // at all happened since the push, the stored delta is exact and this
+      // recomputation is skipped.)
+      auto cand = ctx.best_move(e.node);
+      if (!cand) continue;
+      FmHeapEntry actual =
+          entry_of(e.node, cand->target, cand->after, fs.stamp[e.node]);
+      if (delta_less(e, actual)) {
+        actual.stamp = ++fs.stamp[e.node];
+        heap_push(actual);
+        continue;
+      }
+      target = cand->target;
     }
     const PartId from = ctx.part_of(e.node);
-    ctx.apply(e.node, cand->target);
-    locked[e.node] = true;
+    ctx.apply(e.node, target);
+    fs.locked[e.node] = 1;
     log.push_back({e.node, from});
     const Goodness now = ctx.goodness();
     if (now < best) {
@@ -129,10 +156,19 @@ Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
       best_prefix = log.size();
     }
     for (NodeId v : g.neighbors(e.node)) {
-      if (!locked[v]) {
-        ++stamp[v];
+      if (!fs.locked[v]) {
+        ++fs.stamp[v];
         push_candidate(v);
       }
+    }
+  }
+
+  if (fs.stats != nullptr) {
+    if (pool.capacity() > pool_cap) {
+      fs.stats->note((pool.capacity() - pool_cap) * sizeof(FmHeapEntry));
+    }
+    if (heap.capacity() > heap_cap) {
+      fs.stats->note((heap.capacity() - heap_cap) * sizeof(std::uint32_t));
     }
   }
 
@@ -146,24 +182,34 @@ Goodness constrained_fm_pass(MoveContext& ctx, const FmOptions& options,
 }  // namespace
 
 bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
-                           const FmOptions& options, support::Rng& rng) {
-  MoveContext ctx(g, p, c);
+                           const FmOptions& options, support::Rng& rng,
+                           Workspace& ws) {
+  MoveContext& ctx = ws.move_ctx;
+  ctx.reset(g, p, c);
   const Goodness initial = ctx.goodness();
   Goodness current = initial;
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
     support::Rng pass_rng = rng.derive(0x9d5ull * (pass + 1));
-    const Goodness after = constrained_fm_pass(ctx, options, pass_rng);
+    const Goodness after = constrained_fm_pass(ctx, options, pass_rng, ws.fm);
     if (!(after < current)) break;
     current = after;
   }
   return current < initial;
 }
 
+bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
+                           const FmOptions& options, support::Rng& rng) {
+  Workspace ws;
+  return constrained_fm_refine(g, p, c, options, rng, ws);
+}
+
 bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
-                 const SwapRefineOptions& options, support::Rng& rng) {
+                 const SwapRefineOptions& options, support::Rng& rng,
+                 Workspace& ws) {
   const NodeId n = g.num_nodes();
   if (n > options.max_nodes || n < 2) return false;
-  MoveContext ctx(g, p, c);
+  MoveContext& ctx = ws.move_ctx;
+  ctx.reset(g, p, c);
   const Goodness initial = ctx.goodness();
 
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
@@ -202,16 +248,29 @@ bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
   return ctx.goodness() < initial;
 }
 
+bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
+                 const SwapRefineOptions& options, support::Rng& rng) {
+  Workspace ws;
+  return swap_refine(g, p, c, options, rng, ws);
+}
+
 bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
-                       const GreedyRefineOptions& options, support::Rng& rng) {
+                       const GreedyRefineOptions& options, support::Rng& rng,
+                       Workspace& ws) {
   // Balance modelled as a hard cap; cut via the goodness cut component.
   Constraints cap;
   cap.rmax = max_load;
-  MoveContext ctx(g, p, cap);
+  MoveContext& ctx = ws.move_ctx;
+  ctx.reset(g, p, cap);
   const Weight initial_cut = ctx.cut();
+  // The visit order lives in the workspace; every executed pass follows a
+  // pass that moved something (or is the first), so each collection is
+  // warranted — and it is the incremental boundary enumeration, not a
+  // graph rescan.
+  std::vector<NodeId>& order = ws.boundary;
   for (std::uint32_t pass = 0; pass < options.max_passes; ++pass) {
     bool moved = false;
-    std::vector<NodeId> order = ctx.boundary_nodes();
+    ctx.boundary_nodes(order);
     rng.shuffle(order);
     for (NodeId u : order) {
       const PartId from = ctx.part_of(u);
@@ -245,19 +304,29 @@ bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
   return ctx.cut() < initial_cut;
 }
 
+bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
+                       const GreedyRefineOptions& options, support::Rng& rng) {
+  Workspace ws;
+  return greedy_cut_refine(g, p, max_load, options, rng, ws);
+}
+
 bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
                          Weight cap1, std::uint32_t max_passes,
-                         support::Rng& rng) {
+                         support::Rng& rng, Workspace& ws) {
   if (p.k() != 2)
     throw std::invalid_argument("bisection_fm_refine: k must be 2");
   const NodeId n = g.num_nodes();
+  BisectionScratch& bs = ws.bisect;
 
   auto overweight = [&](Weight l0, Weight l1) {
     return std::max<Weight>(0, l0 - cap0) + std::max<Weight>(0, l1 - cap1);
   };
 
   // Local 2-way state: conn-to-own / conn-to-other per node.
-  std::vector<Weight> internal(n, 0), external(n, 0);
+  support::assign_tracked(bs.internal, n, 0, bs.stats);
+  support::assign_tracked(bs.external, n, 0, bs.stats);
+  std::vector<Weight>& internal = bs.internal;
+  std::vector<Weight>& external = bs.external;
   Weight load[2] = {0, 0};
   std::uint32_t count[2] = {0, 0};
   Weight cut = 0;
@@ -287,11 +356,10 @@ bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
   State current = initial;
 
   for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
-    std::vector<bool> locked(n, false);
-    struct MoveRecord {
-      NodeId node;
-    };
-    std::vector<MoveRecord> log;
+    support::assign_tracked(bs.locked, n, 0, bs.stats);
+    std::vector<NodeId>& log = bs.log;
+    support::reserve_tracked(log, n, bs.stats);
+    log.clear();
     State best = current;
     std::size_t best_prefix = 0;
 
@@ -303,7 +371,7 @@ bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
       State pick_state{std::numeric_limits<Weight>::max(),
                        std::numeric_limits<Weight>::max()};
       for (NodeId u = 0; u < n; ++u) {
-        if (locked[u]) continue;
+        if (bs.locked[u]) continue;
         const PartId from = p[u];
         if (count[from] <= 1) continue;
         const Weight w = g.node_weight(u);
@@ -341,8 +409,8 @@ bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
         }
       }
       p.set(pick, to);
-      locked[pick] = true;
-      log.push_back({pick});
+      bs.locked[pick] = 1;
+      log.push_back(pick);
       const State now{overweight(load[0], load[1]), cut};
       if (better(now, best)) {
         best = now;
@@ -352,7 +420,7 @@ bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
 
     // Roll back to best prefix (re-run the same update in reverse).
     for (std::size_t i = log.size(); i-- > best_prefix;) {
-      const NodeId u = log[i].node;
+      const NodeId u = log[i];
       const PartId from = p[u];
       const PartId to = 1 - from;
       const Weight w = g.node_weight(u);
@@ -381,6 +449,13 @@ bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
     (void)rng;
   }
   return better(current, initial);
+}
+
+bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, std::uint32_t max_passes,
+                         support::Rng& rng) {
+  Workspace ws;
+  return bisection_fm_refine(g, p, cap0, cap1, max_passes, rng, ws);
 }
 
 }  // namespace ppnpart::part

@@ -17,6 +17,7 @@
 
 #include "partition/move_context.hpp"
 #include "partition/partition.hpp"
+#include "partition/workspace.hpp"
 #include "support/prng.hpp"
 
 namespace ppnpart::part {
@@ -31,7 +32,12 @@ struct FmOptions {
 };
 
 /// Refines `p` in place toward lower goodness under `c`. Returns true iff
-/// the goodness strictly improved.
+/// the goodness strictly improved. The Workspace overload is the
+/// allocation-free hot path (scratch reused across calls); the plain
+/// overload spins up a private workspace — results are identical.
+bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
+                           const FmOptions& options, support::Rng& rng,
+                           Workspace& ws);
 bool constrained_fm_refine(const Graph& g, Partition& p, const Constraints& c,
                            const FmOptions& options, support::Rng& rng);
 
@@ -44,11 +50,17 @@ struct GreedyRefineOptions {
 /// while improving the load spread) and respect the cap. Returns true iff
 /// the cut improved.
 bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
+                       const GreedyRefineOptions& options, support::Rng& rng,
+                       Workspace& ws);
+bool greedy_cut_refine(const Graph& g, Partition& p, Weight max_load,
                        const GreedyRefineOptions& options, support::Rng& rng);
 
 /// 2-way FM with independent side caps (cap0 for part 0, cap1 for part 1).
 /// Minimizes (total overweight, cut) lexicographically. Returns true iff
 /// improved.
+bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
+                         Weight cap1, std::uint32_t max_passes,
+                         support::Rng& rng, Workspace& ws);
 bool bisection_fm_refine(const Graph& g, Partition& p, Weight cap0,
                          Weight cap1, std::uint32_t max_passes,
                          support::Rng& rng);
@@ -65,6 +77,9 @@ struct SwapRefineOptions {
 /// FM move transits a deep resource violation — swaps sidestep that by
 /// exchanging near-equal weights, which is exactly the move the paper's
 /// tight Experiment 3 needs. Returns true iff goodness improved.
+bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
+                 const SwapRefineOptions& options, support::Rng& rng,
+                 Workspace& ws);
 bool swap_refine(const Graph& g, Partition& p, const Constraints& c,
                  const SwapRefineOptions& options, support::Rng& rng);
 

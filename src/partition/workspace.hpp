@@ -1,0 +1,132 @@
+#pragma once
+// Reusable scratch memory for the multilevel hot path.
+//
+// Every multilevel partitioner run (GP, MetisLike, NLevel, KL) spends its
+// budget in the same inner loop — match, contract, refine, project — and
+// used to pay for fresh allocations at every level and pass: a new n x k
+// connectivity matrix per refinement call, a heap-allocated row buffer per
+// coarse node, per-pass heap/stamp/locked/seed vectors. A Workspace owns all
+// of that scratch once per run; buffers grow to the finest level's sizes and
+// are then reused by every coarser level, every pass and every V-cycle, so
+// the steady-state inner loop performs no allocator traffic at all.
+// `stats()` exposes the counting-allocator hook: it increments only when a
+// workspace buffer actually has to grow, which benches use to certify the
+// O(1)-amortized-allocations-per-level property.
+//
+// Ownership rules: ONE Workspace per partitioner run, created by (or handed
+// to) the run and threaded down by reference. NEVER share a Workspace
+// across threads — it is deliberately unsynchronized scratch; parallel
+// sections (e.g. greedy-grow restarts) must not touch it. Reuse across
+// sequential runs is encouraged (PartitionRequest::workspace) and is where
+// the steady-state zero-allocation behaviour comes from.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contract.hpp"
+#include "partition/matching.hpp"
+#include "partition/move_context.hpp"
+#include "partition/partition.hpp"
+#include "support/alloc_stats.hpp"
+
+namespace ppnpart::part {
+
+/// Heap entry of the constrained FM pass: the move's gain delta
+/// (goodness-after minus goodness-now, lexicographic), its node/target and
+/// the lazy-revalidation stamp.
+struct FmHeapEntry {
+  Weight d_resource, d_bandwidth, d_cut;
+  NodeId node;
+  PartId target;
+  /// Stamps/versions are compared for equality only and only within one
+  /// pass (the heap never survives a pass), so 32 bits cannot collide: a
+  /// pass performs far fewer than 2^32 stamp bumps or moves.
+  std::uint32_t stamp;
+  std::uint32_t version;
+};
+
+struct FmMoveRecord {
+  NodeId node;
+  PartId from;
+};
+
+/// Per-pass scratch of constrained_fm_pass, hoisted out of the pass. The
+/// heap sifts 4-byte pool indices instead of 40-byte entries (identical pop
+/// order: the comparator sees the same values); popped entries stay in the
+/// pool until the pass ends.
+struct FmScratch {
+  support::AllocStats* stats = nullptr;
+  std::vector<FmHeapEntry> pool;        // entries, append-only per pass
+  std::vector<std::uint32_t> heap;      // std::push_heap/pop_heap over pool indices
+  std::vector<std::uint32_t> stamp;     // per-node revalidation stamps
+  std::vector<std::uint8_t> locked;
+  std::vector<NodeId> seeds;
+  std::vector<std::uint8_t> seeded;
+  std::vector<FmMoveRecord> log;
+};
+
+/// Scratch of bisection_fm_refine (2-way FM with side caps).
+struct BisectionScratch {
+  support::AllocStats* stats = nullptr;
+  std::vector<Weight> internal;  // conn to own side
+  std::vector<Weight> external;  // conn to other side
+  std::vector<std::uint8_t> locked;
+  std::vector<NodeId> log;
+};
+
+struct KlStep {
+  NodeId a, b;
+  Weight gain;
+};
+
+/// Scratch of kl_bisection_refine.
+struct KlScratch {
+  support::AllocStats* stats = nullptr;
+  std::vector<Weight> d;  // KL D-values
+  std::vector<std::uint8_t> locked;
+  std::vector<NodeId> side0, side1;
+  std::vector<KlStep> steps;
+};
+
+class Workspace {
+ public:
+  Workspace() {
+    contract.stats = &stats_;
+    matching.stats = &stats_;
+    fm.stats = &stats_;
+    bisect.stats = &stats_;
+    kl.stats = &stats_;
+    move_ctx.set_alloc_stats(&stats_);
+  }
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Growth counter over every workspace-owned buffer. Warm steady state
+  /// (same graph family, same k) must not advance it.
+  const support::AllocStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  graph::ContractScratch contract;
+  MatchingScratch matching;
+  FmScratch fm;
+  BisectionScratch bisect;
+  KlScratch kl;
+
+  /// Reusable incremental mover (reset() per level/pass).
+  MoveContext move_ctx;
+
+  /// Boundary/visit-order buffer for the greedy refiners.
+  std::vector<NodeId> boundary;
+
+  /// Matching competition buffers (coarsen(): candidate vs best-so-far).
+  Matching match_candidate;
+  Matching match_best;
+
+  /// Reusable Partition for per-level refine-project loops.
+  Partition level_partition;
+
+ private:
+  support::AllocStats stats_;
+};
+
+}  // namespace ppnpart::part

@@ -1,0 +1,51 @@
+#pragma once
+// Counting-allocator hook for workspace-owned scratch buffers.
+//
+// The multilevel hot path (contraction, FM passes, MoveContext resets) is
+// meant to be allocation-free in steady state: every scratch buffer lives in
+// a part::Workspace and is only ever *grown*, never freed, between runs.
+// AllocStats counts exactly those growth events, so benches can assert the
+// "near-zero allocations per level once warm" property instead of guessing
+// at allocator traffic.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppnpart::support {
+
+struct AllocStats {
+  /// Number of capacity growths (each one is at least one real allocation).
+  std::uint64_t growths = 0;
+  /// Total bytes requested by those growths.
+  std::uint64_t grown_bytes = 0;
+
+  void note(std::size_t bytes) {
+    ++growths;
+    grown_bytes += bytes;
+  }
+
+  void reset() { *this = AllocStats{}; }
+};
+
+/// reserve() that records a growth event when (and only when) the vector
+/// actually has to reallocate. `stats` may be null.
+template <typename T>
+inline void reserve_tracked(std::vector<T>& v, std::size_t n,
+                            AllocStats* stats) {
+  if (n > v.capacity()) {
+    if (stats != nullptr) stats->note(n * sizeof(T));
+    v.reserve(n);
+  }
+}
+
+/// assign() through a tracked reserve: capacity is reused across calls, so
+/// a warm buffer costs a fill and no allocation.
+template <typename T, typename U>
+inline void assign_tracked(std::vector<T>& v, std::size_t n, const U& value,
+                           AllocStats* stats) {
+  reserve_tracked(v, n, stats);
+  v.assign(n, static_cast<T>(value));
+}
+
+}  // namespace ppnpart::support

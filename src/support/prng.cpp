@@ -76,10 +76,15 @@ Rng Rng::derive(std::uint64_t tag) const {
 }
 
 std::vector<std::uint32_t> Rng::permutation(std::size_t n) {
-  std::vector<std::uint32_t> p(n);
-  std::iota(p.begin(), p.end(), 0u);
-  shuffle(p);
+  std::vector<std::uint32_t> p;
+  permutation_into(n, p);
   return p;
+}
+
+void Rng::permutation_into(std::size_t n, std::vector<std::uint32_t>& out) {
+  out.resize(n);
+  std::iota(out.begin(), out.end(), 0u);
+  shuffle(out);
 }
 
 }  // namespace ppnpart::support

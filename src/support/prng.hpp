@@ -63,6 +63,10 @@ class Rng {
   /// A random permutation of [0, n).
   std::vector<std::uint32_t> permutation(std::size_t n);
 
+  /// Permutation of [0, n) into a caller buffer (capacity reused; draws the
+  /// identical sequence to permutation(n)).
+  void permutation_into(std::size_t n, std::vector<std::uint32_t>& out);
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;

@@ -1,0 +1,120 @@
+// Fixed-seed golden tests: the multilevel partitioners' outputs are part of
+// the determinism contract (PR 1). The fingerprints below were captured from
+// the pre-workspace implementation (GraphBuilder-based contraction, per-pass
+// scratch allocation); the allocation-free hot path must reproduce them
+// bit-for-bit. If a deliberate algorithmic change invalidates them, update
+// the constants in the same PR and say so — a silent mismatch is a
+// determinism regression.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "partition/coarsen_cache.hpp"
+#include "partition/gp.hpp"
+#include "partition/kl.hpp"
+#include "partition/metislike.hpp"
+#include "partition/nlevel.hpp"
+#include "support/hash.hpp"
+
+namespace {
+
+using namespace ppnpart;
+
+graph::Graph pn_graph(graph::NodeId n, std::uint64_t seed) {
+  graph::ProcessNetworkParams params;
+  params.num_nodes = n;
+  params.layers = std::max<std::uint32_t>(8, n / 24);
+  support::Rng rng(seed);
+  return graph::random_process_network(params, rng);
+}
+
+std::uint64_t fingerprint(const part::Partition& p) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = support::hash_combine(h, static_cast<std::uint64_t>(p.k()));
+  for (graph::NodeId u = 0; u < p.size(); ++u) {
+    h = support::hash_combine(h, static_cast<std::uint64_t>(p[u]));
+  }
+  return h;
+}
+
+part::PartitionRequest request_for(const graph::Graph& g) {
+  part::PartitionRequest request;
+  request.k = 4;
+  request.seed = 42;
+  request.constraints.rmax = g.total_node_weight() / 3;
+  request.constraints.bmax = g.total_edge_weight() / 6;
+  return request;
+}
+
+TEST(GoldenDeterminism, GpFixedSeed) {
+  const graph::Graph g = pn_graph(300, 7);
+  part::GpOptions options;
+  options.max_cycles = 4;
+  part::GpPartitioner gp(options);
+  const part::PartitionResult r = gp.run(g, request_for(g));
+  const std::uint64_t fp = fingerprint(r.partition);
+  std::printf("GP fingerprint: 0x%llxull\n", static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0xb76d70c9c12ab48aull);
+}
+
+TEST(GoldenDeterminism, GpCachedFixedSeed) {
+  const graph::Graph g = pn_graph(300, 7);
+  part::CoarseningCache cache;
+  part::GpOptions options;
+  options.max_cycles = 4;
+  part::GpPartitioner gp(options);
+  part::PartitionRequest request = request_for(g);
+  request.coarsen_cache = &cache;
+  const part::PartitionResult r = gp.run(g, request);
+  const std::uint64_t fp = fingerprint(r.partition);
+  std::printf("GP cached fingerprint: 0x%llxull\n",
+              static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0x25d50fb9960fee09ull);
+}
+
+TEST(GoldenDeterminism, MetisLikeFixedSeed) {
+  const graph::Graph g = pn_graph(300, 7);
+  part::MetisLikePartitioner metis;
+  const part::PartitionResult r = metis.run(g, request_for(g));
+  const std::uint64_t fp = fingerprint(r.partition);
+  std::printf("MetisLike fingerprint: 0x%llxull\n",
+              static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0x2e62f1eb0d0e681cull);
+}
+
+TEST(GoldenDeterminism, NLevelFixedSeed) {
+  const graph::Graph g = pn_graph(300, 7);
+  part::NLevelPartitioner nlevel;
+  const part::PartitionResult r = nlevel.run(g, request_for(g));
+  const std::uint64_t fp = fingerprint(r.partition);
+  std::printf("NLevel fingerprint: 0x%llxull\n",
+              static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0xe478be81f7d9e695ull);
+}
+
+TEST(GoldenDeterminism, KlFixedSeed) {
+  const graph::Graph g = pn_graph(200, 11);
+  part::KlPartitioner kl;
+  part::PartitionRequest request;
+  request.k = 4;
+  request.seed = 42;
+  const part::PartitionResult r = kl.run(g, request);
+  const std::uint64_t fp = fingerprint(r.partition);
+  std::printf("KL fingerprint: 0x%llxull\n",
+              static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0x30dbb270ea4905cdull);
+}
+
+TEST(GoldenDeterminism, RepeatRunsIdentical) {
+  const graph::Graph g = pn_graph(300, 7);
+  part::GpOptions options;
+  options.max_cycles = 2;
+  part::GpPartitioner gp(options);
+  const part::PartitionResult a = gp.run(g, request_for(g));
+  const part::PartitionResult b = gp.run(g, request_for(g));
+  EXPECT_EQ(fingerprint(a.partition), fingerprint(b.partition));
+}
+
+}  // namespace

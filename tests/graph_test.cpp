@@ -213,5 +213,38 @@ TEST(Algorithms, DegreeStatsNoEdges) {
   EXPECT_EQ(s.min_edge_weight, 0);
 }
 
+TEST(Graph, EdgeWeightBetweenBinarySearch) {
+  // Hub with neighbours spread across the id range; the sorted-adjacency
+  // binary search must find first/middle/last neighbours and reject the
+  // gaps on both sides and in between.
+  GraphBuilder b(9);
+  b.add_edge(4, 0, 10);  // first neighbour of 4
+  b.add_edge(4, 2, 20);
+  b.add_edge(4, 5, 30);
+  b.add_edge(4, 8, 40);  // last neighbour of 4
+  const Graph g = b.build();
+
+  // Present: first, middle, last — and symmetric lookups.
+  EXPECT_EQ(g.edge_weight_between(4, 0), 10);
+  EXPECT_EQ(g.edge_weight_between(4, 2), 20);
+  EXPECT_EQ(g.edge_weight_between(4, 5), 30);
+  EXPECT_EQ(g.edge_weight_between(4, 8), 40);
+  EXPECT_EQ(g.edge_weight_between(0, 4), 10);
+  EXPECT_EQ(g.edge_weight_between(8, 4), 40);
+
+  // Absent: below the first, between entries, above the last, self.
+  EXPECT_EQ(g.edge_weight_between(4, 1), 0);
+  EXPECT_EQ(g.edge_weight_between(4, 3), 0);
+  EXPECT_EQ(g.edge_weight_between(4, 6), 0);
+  EXPECT_EQ(g.edge_weight_between(4, 7), 0);
+  EXPECT_EQ(g.edge_weight_between(4, 4), 0);
+  EXPECT_FALSE(g.has_edge(4, 6));
+  EXPECT_TRUE(g.has_edge(4, 5));
+
+  // Isolated endpoint: empty adjacency must not be searched out of range.
+  EXPECT_EQ(g.edge_weight_between(1, 4), 0);
+  EXPECT_EQ(g.edge_weight_between(1, 3), 0);
+}
+
 }  // namespace
 }  // namespace ppnpart::graph

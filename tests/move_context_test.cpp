@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/generators.hpp"
 #include "partition/initial.hpp"
 #include "partition/move_context.hpp"
@@ -49,6 +51,86 @@ TEST_P(MoveContextProperty, IncrementalMatchesRecompute) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MoveContextProperty,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+/// Reference boundary enumeration: full scan against compute_metrics-style
+/// adjacency inspection, ascending by id.
+std::vector<NodeId> reference_boundary(const Graph& g, const Partition& p) {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (p[v] != p[u]) {
+        out.push_back(u);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// The incremental boundary set must equal the full rescan after any move
+// sequence, stay ascending, and agree with is_boundary().
+class BoundaryProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundaryProperty, IncrementalBoundaryMatchesRescan) {
+  support::Rng rng(GetParam());
+  const Graph g = graph::erdos_renyi_gnm(60, 180, rng, {1, 10}, {1, 9});
+  const PartId k = 4;
+  Partition p = random_balanced_partition(g, k, rng);
+  Constraints c;
+  c.rmax = g.total_node_weight() / k + 25;
+  MoveContext ctx(g, p, c);
+  std::vector<NodeId> enumerated;
+  for (int step = 0; step < 300; ++step) {
+    const NodeId u = static_cast<NodeId>(rng.uniform_index(g.num_nodes()));
+    const PartId q = static_cast<PartId>(rng.uniform_index(k));
+    ctx.apply(u, q);
+    // Enumerate at varying cadence so both the compact-and-sort path and
+    // the dense-rescan path get exercised with stale entries present.
+    if (step % 7 == 0) {
+      ctx.boundary_nodes(enumerated);
+      EXPECT_EQ(enumerated, reference_boundary(g, p)) << "step " << step;
+      EXPECT_TRUE(std::is_sorted(enumerated.begin(), enumerated.end()));
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const bool listed = std::binary_search(enumerated.begin(),
+                                               enumerated.end(), v);
+        EXPECT_EQ(listed, ctx.is_boundary(v));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundaryProperty,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(MoveContext, ResetReusesAcrossGraphs) {
+  // One context armed on graphs of different sizes and k must behave like a
+  // freshly constructed one each time (the workspace reuse pattern).
+  support::Rng rng(21);
+  MoveContext ctx;
+  for (int round = 0; round < 4; ++round) {
+    const NodeId n = round % 2 == 0 ? 80 : 30;
+    const PartId k = round % 2 == 0 ? 6 : 3;
+    support::Rng ground = rng.derive(round);
+    const Graph g = graph::erdos_renyi_gnm(n, n * 3, ground, {1, 8}, {1, 6});
+    Partition p = random_balanced_partition(g, k, ground);
+    Partition p_copy = p;
+    Constraints c;
+    c.rmax = g.total_node_weight() / k + 10;
+    c.bmax = 30;
+    ctx.reset(g, p, c);
+    MoveContext fresh(g, p_copy, c);
+    EXPECT_EQ(ctx.goodness(), fresh.goodness());
+    EXPECT_EQ(ctx.boundary_nodes(), fresh.boundary_nodes());
+    for (int step = 0; step < 50; ++step) {
+      const NodeId u = static_cast<NodeId>(ground.uniform_index(n));
+      const PartId q = static_cast<PartId>(ground.uniform_index(k));
+      ctx.apply(u, q);
+      fresh.apply(u, q);
+      EXPECT_EQ(ctx.goodness(), fresh.goodness());
+    }
+    EXPECT_EQ(ctx.boundary_nodes(), fresh.boundary_nodes());
+  }
+}
 
 TEST(MoveContext, ConnMatchesAdjacency) {
   graph::GraphBuilder b(4);

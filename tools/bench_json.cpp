@@ -1,0 +1,193 @@
+// bench_json — machine-readable tracker for the multilevel hot path.
+//
+// Runs the end-to-end multilevel workload (GP / MetisLike / NLevel on a
+// 10k-node PN-shaped graph, K=8, the workload of ROADMAP's scaling studies)
+// through one reused part::Workspace and emits BENCH_multilevel.json with
+//   * runs/s and seconds/run per partitioner,
+//   * steady-state workspace allocation growths per run (the counting-
+//     allocator hook; 0 == allocation-free inner loop),
+//   * a peak-RSS proxy (VmHWM on Linux),
+//   * the frozen pre-workspace baseline (commit bb85fa0) measured on the
+//     same workload, so every future run reports its speedup against the
+//     PR-3 starting point.
+//
+// Modes:
+//   bench_json            full workload, writes BENCH_multilevel.json
+//   bench_json --stdout   full workload, JSON to stdout only
+//   bench_json --check    small self-check (CI smoke): verifies the
+//                         workload runs and the steady state allocates
+//                         nothing; exits non-zero on violation.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "partition/nlevel.hpp"
+
+namespace {
+
+using namespace ppnpart;
+
+/// Peak resident set in kilobytes (VmHWM); 0 where unsupported.
+long peak_rss_kb() {
+#if defined(__linux__)
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+#endif
+  return 0;
+}
+
+struct CaseResult {
+  std::string name;
+  int reps = 0;
+  double seconds_per_run = 0;
+  double runs_per_second = 0;
+  double ws_growths_per_run = 0;  // steady-state allocation growths
+  long long cut = 0;
+};
+
+CaseResult run_case(const char* name, part::Partitioner& p,
+                    const graph::Graph& g, part::Workspace& ws, int reps) {
+  // The shared bench harness defines the workload and the warm-then-time
+  // measurement, so this report and bench_scaling's table cannot drift
+  // apart.
+  const bench::MultilevelCase c = bench::run_multilevel_case(p, g, ws, reps);
+  CaseResult r;
+  r.name = name;
+  r.reps = reps;
+  r.seconds_per_run = c.seconds / reps;
+  r.runs_per_second = reps / c.seconds;
+  r.ws_growths_per_run = static_cast<double>(c.ws_growths) / reps;
+  r.cut = static_cast<long long>(c.warm.metrics.total_cut);
+  return r;
+}
+
+void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
+               graph::NodeId n) {
+  // Baseline: pre-workspace implementation (commit bb85fa0), same workload,
+  // same machine class as the numbers committed with PR 3.
+  struct Baseline {
+    const char* name;
+    double seconds_per_run;
+  };
+  const Baseline baseline[] = {
+      {"gp", 0.648}, {"metislike", 0.0148}, {"nlevel", 35.31}};
+
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"multilevel_end_to_end\",\n");
+  std::fprintf(out, "  \"workload\": {\"graph\": \"random_process_network\", "
+                    "\"nodes\": %u, \"k\": 8, \"seed\": 99},\n",
+               n);
+  std::fprintf(out, "  \"peak_rss_kb\": %ld,\n", peak_rss_kb());
+  std::fprintf(out, "  \"baseline_commit\": \"bb85fa0\",\n");
+  // End-to-end workload speedup: one run of every multilevel partitioner,
+  // before vs after (the PR-3 acceptance metric).
+  double total_before = 0, total_after = 0;
+  for (const CaseResult& r : results) {
+    for (const Baseline& b : baseline) {
+      if (r.name == b.name) {
+        total_before += b.seconds_per_run;
+        total_after += r.seconds_per_run;
+      }
+    }
+  }
+  if (total_after > 0) {
+    std::fprintf(out, "  \"workload_speedup_vs_baseline\": %.2f,\n",
+                 total_before / total_after);
+  }
+  std::fprintf(out, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    double base_secs = 0;
+    for (const Baseline& b : baseline) {
+      if (r.name == b.name) base_secs = b.seconds_per_run;
+    }
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"reps\": %d, "
+                 "\"seconds_per_run\": %.4f, \"runs_per_second\": %.4f, "
+                 "\"ws_growths_per_run\": %.2f, \"cut\": %lld, "
+                 "\"baseline_seconds_per_run\": %.4f, "
+                 "\"speedup_vs_baseline\": %.2f}%s\n",
+                 r.name.c_str(), r.reps, r.seconds_per_run, r.runs_per_second,
+                 r.ws_growths_per_run, r.cut, base_secs,
+                 base_secs > 0 ? base_secs / r.seconds_per_run : 0.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int self_check() {
+  // Small instance: correctness of the plumbing plus the allocation-free
+  // steady-state contract, fast enough for CI.
+  const graph::Graph g = bench::multilevel_workload_graph(800);
+  part::Workspace ws;
+  part::GpOptions options;
+  options.max_cycles = 2;
+  part::GpPartitioner gp(options);
+  const part::PartitionRequest request = bench::multilevel_workload_request(g, ws);
+  const part::PartitionResult a = gp.run(g, request);
+  const part::PartitionResult b = gp.run(g, request);
+  if (a.partition.assignments() != b.partition.assignments()) {
+    std::fprintf(stderr, "bench_json --check: nondeterministic results\n");
+    return 1;
+  }
+  // Steady state: a third identical run must not grow any workspace buffer.
+  const std::uint64_t growths_before = ws.stats().growths;
+  gp.run(g, request);
+  const std::uint64_t grown = ws.stats().growths - growths_before;
+  if (grown != 0) {
+    std::fprintf(stderr,
+                 "bench_json --check: %llu workspace growths in steady "
+                 "state (expected 0)\n",
+                 static_cast<unsigned long long>(grown));
+    return 1;
+  }
+  std::printf("bench_json --check: ok (deterministic, allocation-free "
+              "steady state)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool to_stdout = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) return self_check();
+    if (std::strcmp(argv[i], "--stdout") == 0) to_stdout = true;
+  }
+
+  const graph::NodeId n = 10'000;
+  const graph::Graph g = bench::multilevel_workload_graph(n);
+  part::Workspace ws;
+
+  std::vector<CaseResult> results;
+  part::GpOptions gp_options;
+  gp_options.max_cycles = 4;
+  part::GpPartitioner gp(gp_options);
+  part::MetisLikePartitioner metis;
+  part::NLevelPartitioner nlevel;
+  results.push_back(run_case("gp", gp, g, ws, 3));
+  results.push_back(run_case("metislike", metis, g, ws, 20));
+  results.push_back(run_case("nlevel", nlevel, g, ws, 1));
+
+  emit_json(stdout, results, n);
+  if (!to_stdout) {
+    std::FILE* f = std::fopen("BENCH_multilevel.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write BENCH_multilevel.json\n");
+      return 1;
+    }
+    emit_json(f, results, n);
+    std::fclose(f);
+    std::fprintf(stderr, "bench_json: wrote BENCH_multilevel.json\n");
+  }
+  return 0;
+}
