@@ -2,10 +2,12 @@
 // Shared helpers for the bench harnesses: instance generation and aligned
 // table printing.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "partition/gp.hpp"
 #include "partition/metislike.hpp"
@@ -60,6 +62,62 @@ inline MultilevelCase run_multilevel_case(part::Partitioner& p,
   result.seconds = timer.seconds();
   result.ws_growths = ws.stats().growths - growths_before;
   return result;
+}
+
+/// A random small-edit script against `g` — the evolving-network workload
+/// of the incremental-repartitioning scenario (PR 4). Roughly
+/// `edit_fraction * num_nodes` ops: mostly channel reweights, some channel
+/// adds/removes, and (when `node_ops`) occasional process adds/removals.
+/// Deterministic in `rng`; both bench_engine and tools/bench_json drive
+/// exactly this generator so their workloads cannot drift apart.
+inline graph::GraphDelta random_evolution_delta(const graph::Graph& g,
+                                                double edit_fraction,
+                                                support::Rng& rng,
+                                                bool node_ops = true) {
+  graph::GraphDelta delta(g);
+  const graph::NodeId n = g.num_nodes();
+  if (n == 0) return delta;
+  const auto ops = static_cast<std::size_t>(
+      std::max(1.0, edit_fraction * static_cast<double>(n)));
+  std::vector<graph::NodeId> live;  // base nodes not yet removed
+  live.reserve(n);
+  for (graph::NodeId u = 0; u < n; ++u) live.push_back(u);
+  for (std::size_t i = 0; i < ops && live.size() >= 2; ++i) {
+    const std::size_t roll = rng.uniform_index(100);
+    const graph::NodeId u = live[rng.uniform_index(live.size())];
+    if (roll < 60) {  // reweight a channel of u (if it has one alive)
+      if (g.degree(u) != 0) {
+        const graph::NodeId v = g.neighbors(u)[rng.uniform_index(g.degree(u))];
+        if (std::find(live.begin(), live.end(), v) != live.end()) {
+          delta.set_edge_weight(
+              u, v, 1 + static_cast<graph::Weight>(rng.uniform_index(12)));
+          continue;
+        }
+      }
+      // u lost its channels to removals: fall through to adding one.
+    }
+    if (roll < 80 || !node_ops) {  // add a channel
+      const graph::NodeId v = live[rng.uniform_index(live.size())];
+      if (u != v)
+        delta.add_edge(u, v,
+                       1 + static_cast<graph::Weight>(rng.uniform_index(6)));
+      continue;
+    }
+    if (roll < 90) {  // add a process wired to two live ones
+      const graph::NodeId fresh = delta.add_node(
+          10 + static_cast<graph::Weight>(rng.uniform_index(70)));
+      delta.add_edge(fresh, live[rng.uniform_index(live.size())],
+                     1 + static_cast<graph::Weight>(rng.uniform_index(6)));
+      delta.add_edge(fresh, live[rng.uniform_index(live.size())],
+                     1 + static_cast<graph::Weight>(rng.uniform_index(6)));
+      continue;
+    }
+    // retire a process (strands its channels)
+    const std::size_t idx = rng.uniform_index(live.size());
+    delta.remove_node(live[idx]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return delta;
 }
 
 /// A reproducible family of PN-shaped instances with constraints scaled to

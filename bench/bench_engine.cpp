@@ -21,6 +21,13 @@
 //      cache are measured against the PR-1 behaviour (N by-value copies,
 //      every member coarsening from scratch): batch throughput and peak
 //      graph-residency both improve.
+//
+//   5. Evolving network — the 10k-node graph evolves by ~1% edit deltas;
+//      Engine::repartition (warm-started incremental refinement) races a
+//      from-scratch portfolio run on every edited graph. The report shows
+//      the per-delta speedup, the cut-quality ratio against scratch and the
+//      fallback count — the PR-4 acceptance numbers, tracked in
+//      BENCH_multilevel.json by tools/bench_json over the same generator.
 
 #include <cstdio>
 #include <memory>
@@ -269,9 +276,65 @@ int main() {
   // graph — still ~12x below the by-value path.
   std::printf(
       "  graph bytes held by jobs : %.1f KiB shared vs %.1f KiB by-value "
-      "(%dx)\n",
+      "(%dx)\n\n",
       graph_bytes / 1024.0, graph_bytes * double(kSameGraphJobs) / 1024.0,
       kSameGraphJobs);
+
+  // ---- 5. Evolving network: incremental repartition vs from-scratch. ------
+  constexpr int kDeltas = 6;
+  constexpr double kEditFraction = 0.01;
+  engine::EngineOptions iopts;
+  iopts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine inc_engine(iopts);
+  engine::EngineOptions sopts = iopts;
+  sopts.cache_capacity = 0;  // scratch must recompute every edited graph
+  engine::Engine scratch_engine(sopts);
+
+  std::shared_ptr<const graph::Graph> evolving = shared_graph;
+  part::PartitionRequest evolve_request = big_request;
+  evolve_request.constraints.rmax = static_cast<graph::Weight>(
+      1.15 * static_cast<double>(evolving->total_node_weight()) / 8);
+  auto current = inc_engine.run_one(evolving, evolve_request);
+
+  support::Rng evolve_rng(2718);
+  double repart_seconds = 0, scratch_seconds = 0, cut_ratio_sum = 0;
+  int fallbacks = 0, cut_ratios = 0;
+  for (int d = 0; d < kDeltas; ++d) {
+    const graph::GraphDelta delta =
+        bench::random_evolution_delta(*evolving, kEditFraction, evolve_rng);
+    support::Timer rt;
+    const engine::RepartitionOutcome rep = inc_engine.repartition(
+        engine::Job{evolving, evolve_request}, delta, current.best);
+    repart_seconds += rt.seconds();
+    // Cache hits (a delta netting to an already-answered graph) are not
+    // fallbacks — nothing was recomputed.
+    fallbacks += rep.incremental || rep.outcome.from_cache ? 0 : 1;
+
+    support::Timer st;
+    const auto scratch = scratch_engine.run_one(rep.graph, evolve_request);
+    scratch_seconds += st.seconds();
+    if (scratch.best.metrics.total_cut > 0) {
+      cut_ratio_sum +=
+          static_cast<double>(rep.outcome.best.metrics.total_cut) /
+          static_cast<double>(scratch.best.metrics.total_cut);
+      ++cut_ratios;
+    }
+    evolving = rep.graph;
+    current.best = rep.outcome.best;
+  }
+  const engine::EngineStats istats = inc_engine.stats();
+  std::printf("[evolving network]  %d deltas of ~%.0f%% edits on the %u-node "
+              "graph, portfolio=gp\n",
+              kDeltas, kEditFraction * 100, shared_graph->num_nodes());
+  std::printf("  scratch     : %8.3f s/delta\n", scratch_seconds / kDeltas);
+  std::printf("  repartition : %8.3f s/delta  (%d fallbacks)\n",
+              repart_seconds / kDeltas, fallbacks);
+  std::printf("  speedup     : %6.2fx\n",
+              repart_seconds > 0 ? scratch_seconds / repart_seconds : 0.0);
+  std::printf("  cut ratio   : %6.3f (incremental / scratch, mean of %d)\n",
+              cut_ratios > 0 ? cut_ratio_sum / cut_ratios : 0.0, cut_ratios);
+  std::printf("  ws growths  : %llu (engine repartition workspace, whole run)\n",
+              static_cast<unsigned long long>(istats.repartition_ws_growths));
 
   return identical ? 0 : 1;
 }

@@ -43,7 +43,8 @@ struct Engine::JobState {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
-      coarsen_cache_(options_.coarsen_cache_capacity) {
+      coarsen_cache_(options_.coarsen_cache_capacity),
+      incremental_(options_.incremental) {
   if (options_.portfolio.empty())
     throw std::invalid_argument("Engine: portfolio has no members");
   for (const std::string& name : options_.portfolio.members) {
@@ -444,6 +445,92 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   }
 }
 
+RepartitionOutcome Engine::repartition(const Job& job,
+                                       const graph::GraphDelta& delta,
+                                       const part::PartitionResult& prev) {
+  if (job.graph == nullptr)
+    throw std::invalid_argument("Engine: repartition with null graph");
+  if (prev.partition.size() != job.graph->num_nodes())
+    throw std::invalid_argument(
+        "Engine: previous partition does not match the job graph");
+  support::Timer timer;
+
+  graph::GraphDelta::Applied applied = delta.apply(*job.graph);
+  RepartitionOutcome out;
+  out.graph = std::make_shared<const graph::Graph>(std::move(applied.graph));
+  out.node_map = std::move(applied.node_map);
+  out.touched = std::move(applied.touched);
+
+  // Rekey, don't invalidate: the edited graph is a new immutable object
+  // with its own content fingerprint, so the result and coarsening caches
+  // see a distinct key — pre-edit entries stay valid for the pre-edit graph
+  // and can never be served for the post-edit one.
+  const std::uint64_t graph_fp = shared_graph_fingerprint(out.graph);
+  const std::uint64_t key = job_key(graph_fp, job.request);
+
+  // A finished FULL answer for exactly the edited graph + request is a
+  // strictly better reply than re-refining: serve it.
+  if (auto cached = cache_.lookup(key)) {
+    out.outcome = std::move(*cached);
+    out.outcome.from_cache = true;
+    out.outcome.seconds = timer.seconds();
+    out.fallback_reason = "result-cache hit for the edited graph";
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.repartition_cache_hits;
+    return out;
+  }
+
+  part::IncrementalStats istats;
+  std::optional<part::PartitionResult> incr;
+  if (!prev.partition.complete()) {
+    // An untrustworthy warm start declines like every other one (oversized
+    // delta, k change): the portfolio answers instead of the service loop
+    // throwing.
+    istats.fell_back = true;
+    istats.fallback_reason = "previous partition incomplete";
+  } else {
+    std::lock_guard<std::mutex> lock(repart_mutex_);
+    part::PartitionRequest req = job.request;
+    req.workspace = &repart_ws_;
+    incr = incremental_.try_repartition(*out.graph, prev.partition,
+                                        out.node_map, out.touched, req,
+                                        &istats);
+  }
+
+  if (incr.has_value()) {
+    out.incremental = true;
+    PortfolioOutcome& po = out.outcome;
+    po.best = *std::move(incr);
+    po.winner = "incremental";
+    po.key = key;
+    MemberOutcome mo;
+    mo.algorithm = "incremental";
+    mo.ran = true;
+    mo.goodness = goodness_of(po.best);
+    mo.seconds = po.best.seconds;
+    po.members.push_back(std::move(mo));
+    po.seconds = timer.seconds();
+    // NOT cached: the answer depends on `prev`, the cache key does not.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.repartitions_incremental;
+    return out;
+  }
+
+  // Declined: the delta is too large (or the warm start too skewed) for
+  // local repair — run the full portfolio on the edited graph. This flows
+  // through the normal job path, so the answer is cached for future twins.
+  out.fallback_reason = istats.fallback_reason;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.repartitions_fallback;
+  }
+  out.outcome = wait(start_job(Job{out.graph, job.request}, graph_fp, key,
+                               /*check_cache=*/false)
+                         ->id);
+  out.outcome.seconds = timer.seconds();
+  return out;
+}
+
 std::shared_ptr<Engine::JobState> Engine::find_job(JobId id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = jobs_.find(id);
@@ -491,12 +578,19 @@ PortfolioOutcome Engine::wait(JobId id) {
 }
 
 EngineStats Engine::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  EngineStats s = stats_;
+  EngineStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s = stats_;
+  }
   s.cache = cache_.stats();
   s.coarsening = coarsen_cache_.stats();
   s.graph_fingerprints_computed =
       fp_computed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(repart_mutex_);
+    s.repartition_ws_growths = repart_ws_.stats().growths;
+  }
   return s;
 }
 

@@ -27,7 +27,13 @@
 //     coalesce onto one in-flight computation and share its outcome
 //     (marked `coalesced`), instead of racing duplicate portfolios. Jobs
 //     carrying a caller stop token never coalesce — their cancellation
-//     semantics stay their own.
+//     semantics stay their own,
+//   * incremental repartitioning: repartition(job, delta, prev) applies a
+//     GraphDelta to an answered network and refines the previous solution
+//     around the edit sites from a reusable workspace instead of paying a
+//     full portfolio run — falling back to one (and to the caches) when
+//     the delta is too large. The edited graph gets its own content
+//     fingerprint, so every cache rekeys instead of serving stale entries.
 //
 // Entry points: run_one (synchronous), run_batch (fan out a vector of jobs
 // and wait), and a streaming submit/poll/wait trio for callers that overlap
@@ -48,9 +54,12 @@
 
 #include "engine/cache.hpp"
 #include "engine/portfolio.hpp"
+#include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "partition/coarsen_cache.hpp"
+#include "partition/incremental.hpp"
 #include "partition/partitioner.hpp"
+#include "partition/workspace.hpp"
 
 namespace ppnpart::engine {
 
@@ -84,6 +93,13 @@ struct EngineOptions {
   /// (members then coarsen per run, with the request seed folded into the
   /// coarsening randomness, exactly like standalone partitioner use).
   std::size_t coarsen_cache_capacity = 32;
+
+  /// Thresholds of the incremental repartitioning path (see
+  /// part::IncrementalOptions); past them Engine::repartition falls back to
+  /// a FULL PORTFOLIO run — `incremental.fallback_algorithm` is therefore
+  /// ignored here (it only applies to standalone IncrementalPartitioner
+  /// use): the portfolio is the engine's stronger, cacheable fallback.
+  part::IncrementalOptions incremental;
 };
 
 /// Per-member accounting of one job.
@@ -108,6 +124,19 @@ struct PortfolioOutcome {
   std::vector<MemberOutcome> members;
 };
 
+/// Engine::repartition's answer: the portfolio-style outcome plus the
+/// edited graph, the node map and the touched set the caller needs to keep
+/// evolving the network (chain the next delta against `graph`, hand
+/// `outcome.best` back as `prev`).
+struct RepartitionOutcome {
+  PortfolioOutcome outcome;
+  std::shared_ptr<const graph::Graph> graph;  // the post-delta graph
+  std::vector<graph::NodeId> node_map;  // extended old id -> new id
+  std::vector<graph::NodeId> touched;   // delta-touched new-graph ids
+  bool incremental = false;  // true = the warm-started path answered
+  std::string fallback_reason;  // why the full portfolio (or cache) answered
+};
+
 // A caller-armed request.stop is honoured: the per-job token links it as a
 // parent, so firing it cancels the job exactly like the quality gate does
 // (running members stop at their next checkpoint; an answer still exists
@@ -118,6 +147,12 @@ struct EngineStats {
   std::uint64_t members_run = 0;
   std::uint64_t members_skipped = 0;
   std::uint64_t members_failed = 0;
+  std::uint64_t repartitions_incremental = 0;  // warm-started answers
+  std::uint64_t repartitions_fallback = 0;     // declined -> full portfolio
+  std::uint64_t repartition_cache_hits = 0;    // post-edit twin in the cache
+  /// Buffer growths of the engine-owned repartition workspace; a warm
+  /// steady state (stable network size) stops advancing it.
+  std::uint64_t repartition_ws_growths = 0;
   /// Full graph_fingerprint computations; shared graphs are memoized, so a
   /// batch of N jobs over one shared graph computes exactly one. (Distinct
   /// client threads racing the very first submit of the same graph may
@@ -188,6 +223,33 @@ class Engine {
   /// Blocks until the job finishes, then behaves like a successful poll.
   PortfolioOutcome wait(JobId id);
 
+  /// Incremental repartitioning of an evolving network. Applies `delta` to
+  /// job.graph (the PRE-edit graph; immutable, never mutated), projects
+  /// `prev` (the partition answered for that graph) through the old->new
+  /// node map, and refines it with boundary-seeded FM from the engine-owned
+  /// reusable workspace. When the delta exceeds the EngineOptions::incremental
+  /// thresholds, the full portfolio runs on the edited graph instead
+  /// (`incremental == false`, `fallback_reason` says why).
+  ///
+  /// Cache discipline — the edited graph is a NEW immutable object with its
+  /// own content fingerprint, so every digest-keyed cache rekeys
+  /// automatically and pre-edit entries can never be served for the
+  /// post-edit graph. A cached FULL answer for exactly the edited graph is
+  /// served (it is a pure function of graph+request). Incremental answers
+  /// are deliberately NOT inserted into the result cache: they depend on
+  /// `prev`, and the cache key does not — caching them would hand
+  /// prev-dependent answers to future full-effort twins. Fallback runs
+  /// flow through the normal job path and are cached as usual.
+  ///
+  /// Safe to call from multiple client threads; incremental refinement
+  /// serializes on the shared workspace. Budget exemption: the incremental
+  /// path is short and bounded (projection + seeding + a fixed FM pass
+  /// budget) and deliberately does not poll request.stop mid-refinement; a
+  /// caller stop token governs the fallback portfolio run exactly as in
+  /// run_one.
+  RepartitionOutcome repartition(const Job& job, const graph::GraphDelta& delta,
+                                 const part::PartitionResult& prev);
+
   EngineStats stats() const;
 
   /// Clears the result cache and the coarsening cache.
@@ -216,6 +278,14 @@ class Engine {
   EngineOptions options_;
   LruCache<PortfolioOutcome> cache_;
   part::CoarseningCache coarsen_cache_;
+  part::IncrementalPartitioner incremental_;
+
+  /// Reusable scratch of the incremental repartition path. One workspace,
+  /// one user at a time: repartition calls serialize on this mutex (the
+  /// fallback portfolio run does not hold it). Mutable: stats() reads the
+  /// growth counter under it.
+  mutable std::mutex repart_mutex_;
+  part::Workspace repart_ws_;
 
   mutable std::mutex mutex_;  // guards jobs_, inflight_, next_id_, stats_
   std::uint64_t next_id_ = 1;

@@ -1,0 +1,259 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ppnpart::graph {
+
+namespace {
+
+[[noreturn]] void bad_op(const char* op, const char* what) {
+  throw std::invalid_argument(std::string("GraphDelta::") + op + ": " + what);
+}
+
+}  // namespace
+
+void GraphDelta::check_live(NodeId u, const char* op) const {
+  if (u >= num_extended()) bad_op(op, "node out of range");
+  if (is_removed(u)) bad_op(op, "node already removed by this delta");
+}
+
+NodeId GraphDelta::add_node(Weight weight) {
+  if (weight < 0) bad_op("add_node", "negative weight");
+  added_weights_.push_back(weight);
+  return base_nodes_ + static_cast<NodeId>(added_weights_.size() - 1);
+}
+
+void GraphDelta::remove_node(NodeId u) {
+  check_live(u, "remove_node");
+  removed_.push_back(u);
+  if (removed_flags_.size() <= u) removed_flags_.resize(u + 1, 0);
+  removed_flags_[u] = 1;
+}
+
+void GraphDelta::set_node_weight(NodeId u, Weight w) {
+  check_live(u, "set_node_weight");
+  if (w < 0) bad_op("set_node_weight", "negative weight");
+  node_weight_ops_.emplace_back(u, w);
+}
+
+void GraphDelta::add_edge(NodeId u, NodeId v, Weight w) {
+  check_live(u, "add_edge");
+  check_live(v, "add_edge");
+  if (u == v) bad_op("add_edge", "self loop");
+  if (w <= 0) bad_op("add_edge", "weight must be positive");
+  if (u > v) std::swap(u, v);
+  edge_ops_.push_back(
+      {u, v, w, EdgeOpKind::kAdd, static_cast<std::uint32_t>(edge_ops_.size())});
+}
+
+void GraphDelta::remove_edge(NodeId u, NodeId v) {
+  check_live(u, "remove_edge");
+  check_live(v, "remove_edge");
+  if (u == v) bad_op("remove_edge", "self loop");
+  if (u > v) std::swap(u, v);
+  edge_ops_.push_back(
+      {u, v, 0, EdgeOpKind::kRemove, static_cast<std::uint32_t>(edge_ops_.size())});
+}
+
+void GraphDelta::set_edge_weight(NodeId u, NodeId v, Weight w) {
+  check_live(u, "set_edge_weight");
+  check_live(v, "set_edge_weight");
+  if (u == v) bad_op("set_edge_weight", "self loop");
+  if (w <= 0) bad_op("set_edge_weight", "weight must be positive");
+  if (u > v) std::swap(u, v);
+  edge_ops_.push_back(
+      {u, v, w, EdgeOpKind::kSet, static_cast<std::uint32_t>(edge_ops_.size())});
+}
+
+GraphDelta::Applied GraphDelta::apply(const Graph& base) const {
+  if (base.num_nodes() != base_nodes_)
+    throw std::invalid_argument("GraphDelta::apply: base graph size mismatch");
+
+  const NodeId n_ext = num_extended();
+  std::vector<std::uint8_t> removed(n_ext, 0);
+  for (NodeId u : removed_) removed[u] = 1;
+
+  // ---- Node map: surviving extended ids compact in ascending order. ------
+  Applied out;
+  out.node_map.assign(n_ext, kInvalidNode);
+  NodeId n_new = 0;
+  for (NodeId u = 0; u < n_ext; ++u) {
+    if (!removed[u]) out.node_map[u] = n_new++;
+  }
+
+  const auto base_weight_of = [&](NodeId u) {
+    return u < base_nodes_ ? base.node_weight(u)
+                           : added_weights_[u - base_nodes_];
+  };
+
+  // ---- Node weights: base values, then reweight ops in script order. -----
+  std::vector<Weight> vwgt;
+  vwgt.reserve(n_new);
+  for (NodeId u = 0; u < n_ext; ++u) {
+    if (!removed[u]) vwgt.push_back(base_weight_of(u));
+  }
+  for (const auto& [u, w] : node_weight_ops_) {
+    if (!removed[u]) vwgt[out.node_map[u]] = w;
+  }
+
+  // ---- Fold edge ops per pair, in script order. --------------------------
+  // The fold distils an arbitrary op sequence on one pair into a single
+  // final op: kAdd accumulates a (positive) relative delta, kSet/kRemove
+  // reset the pair absolutely, and an add after a remove re-creates the
+  // edge at the added weight.
+  struct FinalOp {
+    NodeId u, v;
+    EdgeOpKind kind;  // kAdd = relative delta, kSet = absolute, kRemove
+    Weight w;
+  };
+  std::vector<FinalOp> final_ops;
+  {
+    std::vector<EdgeOp> ops;
+    ops.reserve(edge_ops_.size());
+    for (const EdgeOp& op : edge_ops_) {
+      // Edge ops on a (later-)removed endpoint are stranded with the node.
+      if (!removed[op.u] && !removed[op.v]) ops.push_back(op);
+    }
+    std::sort(ops.begin(), ops.end(), [](const EdgeOp& a, const EdgeOp& b) {
+      if (a.u != b.u) return a.u < b.u;
+      if (a.v != b.v) return a.v < b.v;
+      return a.seq < b.seq;
+    });
+    final_ops.reserve(ops.size());
+    for (std::size_t i = 0; i < ops.size();) {
+      const NodeId u = ops[i].u, v = ops[i].v;
+      FinalOp f{u, v, EdgeOpKind::kAdd, 0};
+      for (; i < ops.size() && ops[i].u == u && ops[i].v == v; ++i) {
+        switch (ops[i].kind) {
+          case EdgeOpKind::kAdd:
+            if (f.kind == EdgeOpKind::kRemove) {
+              f.kind = EdgeOpKind::kSet;  // removed, then re-created at w
+              f.w = ops[i].w;
+            } else {
+              f.w += ops[i].w;  // relative and absolute both accumulate
+            }
+            break;
+          case EdgeOpKind::kRemove:
+            f.kind = EdgeOpKind::kRemove;
+            f.w = 0;
+            break;
+          case EdgeOpKind::kSet:
+            f.kind = EdgeOpKind::kSet;
+            f.w = ops[i].w;
+            break;
+        }
+      }
+      if (f.kind == EdgeOpKind::kAdd && f.w == 0) continue;  // net no-op
+      final_ops.push_back(f);
+    }
+  }
+
+  // ---- Incidence index: per-node op slices sorted by the other endpoint.
+  // Extended ids compact order-preservingly, so "sorted by extended other"
+  // is "sorted by new other" — rows merge into sorted adjacency directly.
+  struct Incidence {
+    NodeId node, other;
+    std::uint32_t op;
+  };
+  std::vector<Incidence> incidence;
+  incidence.reserve(final_ops.size() * 2);
+  for (std::uint32_t i = 0; i < final_ops.size(); ++i) {
+    incidence.push_back({final_ops[i].u, final_ops[i].v, i});
+    incidence.push_back({final_ops[i].v, final_ops[i].u, i});
+  }
+  std::sort(incidence.begin(), incidence.end(),
+            [](const Incidence& a, const Incidence& b) {
+              if (a.node != b.node) return a.node < b.node;
+              return a.other < b.other;
+            });
+
+  // ---- Merge each row: surviving base adjacency + this node's final ops.
+  std::vector<std::uint8_t> touched(n_ext, 0);
+  std::vector<std::uint64_t> xadj;
+  std::vector<NodeId> adj;
+  std::vector<Weight> ewgt;
+  xadj.reserve(static_cast<std::size_t>(n_new) + 1);
+  adj.reserve(base.adj().size() + final_ops.size() * 2);
+  ewgt.reserve(adj.capacity());
+  xadj.push_back(0);
+
+  std::size_t inc_pos = 0;
+  for (NodeId x = 0; x < n_ext; ++x) {
+    // Incidence entries of removed nodes were never generated (their ops
+    // are stranded above), so inc_pos only ever points at surviving rows.
+    if (removed[x]) continue;
+    const auto nbrs = x < base_nodes_ ? base.neighbors(x) : std::span<const NodeId>{};
+    const auto wgts = x < base_nodes_ ? base.edge_weights(x) : std::span<const Weight>{};
+    const std::size_t inc_begin = inc_pos;
+    while (inc_pos < incidence.size() && incidence[inc_pos].node == x) ++inc_pos;
+
+    std::size_t bi = 0;           // base adjacency cursor
+    std::size_t oi = inc_begin;   // op cursor
+    const auto emit = [&](NodeId other_ext, Weight w) {
+      adj.push_back(out.node_map[other_ext]);
+      ewgt.push_back(w);
+    };
+    while (bi < nbrs.size() || oi < inc_pos) {
+      // Skip base neighbours that the delta removed; x felt the removal.
+      if (bi < nbrs.size() && removed[nbrs[bi]]) {
+        touched[x] = 1;
+        ++bi;
+        continue;
+      }
+      const bool have_base = bi < nbrs.size();
+      const bool have_op = oi < inc_pos;
+      const NodeId y = have_base ? nbrs[bi] : kInvalidNode;
+      const NodeId o = have_op ? incidence[oi].other : kInvalidNode;
+      if (have_base && (!have_op || y < o)) {
+        emit(y, wgts[bi]);  // untouched base edge
+        ++bi;
+      } else if (have_op && (!have_base || o < y)) {
+        // Op on an edge absent from the base: kAdd/kSet create it,
+        // kRemove of a non-existent edge is an ineffective no-op.
+        const FinalOp& f = final_ops[incidence[oi].op];
+        if (f.kind != EdgeOpKind::kRemove) {
+          emit(o, f.w);
+          touched[x] = 1;
+          touched[o] = 1;
+        }
+        ++oi;
+      } else {  // op on an existing base edge
+        const FinalOp& f = final_ops[incidence[oi].op];
+        if (f.kind == EdgeOpKind::kRemove) {
+          touched[x] = 1;
+          touched[y] = 1;
+        } else {
+          const Weight w =
+              f.kind == EdgeOpKind::kAdd ? wgts[bi] + f.w : f.w;
+          emit(y, w);
+          if (w != wgts[bi]) {
+            touched[x] = 1;
+            touched[y] = 1;
+          }
+        }
+        ++bi;
+        ++oi;
+      }
+    }
+    xadj.push_back(adj.size());
+  }
+
+  // ---- Touched set: effective edge edits (marked above), reweighted and
+  // added nodes. Ascending extended order maps to ascending new ids.
+  for (NodeId u = base_nodes_; u < n_ext; ++u) touched[u] = 1;  // added
+  for (const auto& [u, w] : node_weight_ops_) {
+    if (!removed[u] && vwgt[out.node_map[u]] != base_weight_of(u))
+      touched[u] = 1;
+  }
+  for (NodeId u = 0; u < n_ext; ++u) {
+    if (touched[u] && !removed[u]) out.touched.push_back(out.node_map[u]);
+  }
+
+  out.graph = Graph(std::move(xadj), std::move(adj), std::move(ewgt),
+                    std::move(vwgt));
+  return out;
+}
+
+}  // namespace ppnpart::graph

@@ -1,0 +1,121 @@
+#pragma once
+// Edit scripts over immutable CSR graphs — the substrate of incremental
+// repartitioning (evolving process networks).
+//
+// A Graph is immutable by design: every consumer (partitioners, caches,
+// fingerprints) relies on CSR arrays that never change underneath it. A
+// GraphDelta therefore never mutates its base; it accumulates edits and
+// `apply()` materializes a NEW Graph in one O(V + E + ops log ops) pass,
+// together with the node map the partition layer needs to project a
+// previous solution onto the edited network.
+//
+// Identifier convention (the "extended id space"): ids [0, base_nodes) name
+// the base graph's nodes; every add_node() call appends the next id
+// (base_nodes, base_nodes + 1, ...). All ops — including edits that touch
+// just-added nodes — use extended ids, so one delta can add a node and wire
+// it up in the same script. apply() compacts the surviving extended ids in
+// ascending order into the new graph's dense id range and reports the
+// mapping (old/extended id -> new id, kInvalidNode for removed nodes).
+//
+// Semantics:
+//   * remove_node(u) strands u's incident edges: they vanish with the node,
+//     matching a process being deleted from the network along with its
+//     channels. Pending edge ops on a removed endpoint are dropped too.
+//   * add_edge(u, v, w) accumulates: an existing (or previously added) edge
+//     gains w, a missing one is created at w — the same merge-by-sum rule
+//     GraphBuilder applies to duplicate edges.
+//   * set_edge_weight(u, v, w) upserts the weight to exactly w;
+//     remove_edge(u, v) deletes the edge (removing a non-existent edge is a
+//     no-op, so scripts compose without knowing the base's exact edge set).
+//   * Ops on a pair fold in script order, so "remove then add" re-creates
+//     the edge at the added weight.
+//
+// apply() is a pure function of (base, delta): the result is bit-identical
+// to rebuilding the edited graph from scratch through GraphBuilder (same
+// sorted adjacency, same merged weights), so graph digests — and every
+// digest-keyed cache above — agree about what the edited network is. The
+// property suite (tests/incremental_property_test.cpp) fuzzes exactly this
+// equivalence.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ppnpart::graph {
+
+class GraphDelta {
+ public:
+  /// Delta against a base graph with `base_nodes` nodes.
+  explicit GraphDelta(NodeId base_nodes) : base_nodes_(base_nodes) {}
+  explicit GraphDelta(const Graph& base) : GraphDelta(base.num_nodes()) {}
+
+  /// Appends a node; returns its extended id (base_nodes() + #adds so far).
+  NodeId add_node(Weight weight = 1);
+  /// Removes node `u` and every edge incident to it. `u` must exist and not
+  /// already be removed by this delta.
+  void remove_node(NodeId u);
+  void set_node_weight(NodeId u, Weight w);
+
+  /// Adds `w` (> 0) to edge (u, v), creating it at `w` when absent.
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+  /// Deletes edge (u, v); a no-op when the edge does not exist.
+  void remove_edge(NodeId u, NodeId v);
+  /// Upserts edge (u, v) to exactly `w` (> 0).
+  void set_edge_weight(NodeId u, NodeId v, Weight w);
+
+  NodeId base_nodes() const { return base_nodes_; }
+  NodeId nodes_added() const { return static_cast<NodeId>(added_weights_.size()); }
+  NodeId nodes_removed() const { return static_cast<NodeId>(removed_.size()); }
+  std::size_t edge_ops() const { return edge_ops_.size(); }
+  std::size_t num_ops() const {
+    return edge_ops_.size() + removed_.size() + added_weights_.size() +
+           node_weight_ops_.size();
+  }
+  bool empty() const { return num_ops() == 0; }
+
+  struct Applied {
+    Graph graph;
+    /// Extended id (base ids, then added ids in add order) -> new dense id;
+    /// kInvalidNode for nodes removed by the delta.
+    std::vector<NodeId> node_map;
+    /// New-graph ids whose incidence or weight the delta changed: endpoints
+    /// of effective edge edits, reweighted nodes, neighbours of removed
+    /// nodes and added nodes. Sorted ascending, unique. Incremental
+    /// repartitioning uses its size as the fallback-threshold numerator
+    /// (how much of the network the edit disturbed).
+    std::vector<NodeId> touched;
+  };
+
+  /// Materializes the edited graph. `base` must have base_nodes() nodes.
+  /// Edge weights stay positive by construction: add/set accept only
+  /// positive weights, and remove_edge is the only way to delete an edge.
+  Applied apply(const Graph& base) const;
+
+ private:
+  enum class EdgeOpKind : std::uint8_t { kAdd, kRemove, kSet };
+  struct EdgeOp {
+    NodeId u, v;  // canonical: u < v, extended ids
+    Weight w;
+    EdgeOpKind kind;
+    std::uint32_t seq;  // script order; pair folding replays it
+  };
+
+  NodeId num_extended() const { return base_nodes_ + nodes_added(); }
+  bool is_removed(NodeId u) const {
+    return u < removed_flags_.size() && removed_flags_[u] != 0;
+  }
+  void check_live(NodeId u, const char* op) const;
+
+  NodeId base_nodes_ = 0;
+  std::vector<Weight> added_weights_;
+  std::vector<std::pair<NodeId, Weight>> node_weight_ops_;  // script order
+  std::vector<NodeId> removed_;                             // script order
+  /// O(1) liveness probe indexed by extended id (grown lazily): per-op
+  /// validation must not scan `removed_` — large scripts would go
+  /// quadratic in the removal count.
+  std::vector<std::uint8_t> removed_flags_;
+  std::vector<EdgeOp> edge_ops_;
+};
+
+}  // namespace ppnpart::graph

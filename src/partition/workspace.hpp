@@ -88,6 +88,15 @@ struct KlScratch {
   std::vector<KlStep> steps;
 };
 
+/// Scratch of IncrementalPartitioner (projection + greedy seeding of new
+/// nodes). The refinement itself runs through move_ctx/fm like every other
+/// FM consumer.
+struct IncrementalScratch {
+  support::AllocStats* stats = nullptr;
+  std::vector<Weight> loads;      // per-part load during greedy seeding
+  std::vector<Weight> part_conn;  // per-part connectivity of the probed node
+};
+
 class Workspace {
  public:
   Workspace() {
@@ -96,6 +105,7 @@ class Workspace {
     fm.stats = &stats_;
     bisect.stats = &stats_;
     kl.stats = &stats_;
+    incremental.stats = &stats_;
     move_ctx.set_alloc_stats(&stats_);
   }
   Workspace(const Workspace&) = delete;
@@ -111,6 +121,7 @@ class Workspace {
   FmScratch fm;
   BisectionScratch bisect;
   KlScratch kl;
+  IncrementalScratch incremental;
 
   /// Reusable incremental mover (reset() per level/pass).
   MoveContext move_ctx;

@@ -8,6 +8,7 @@
 // "near-zero allocations per level once warm" property instead of guessing
 // at allocator traffic.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -29,13 +30,18 @@ struct AllocStats {
 };
 
 /// reserve() that records a growth event when (and only when) the vector
-/// actually has to reallocate. `stats` may be null.
+/// actually has to reallocate. `stats` may be null. Growth is geometric
+/// (at least 1.5x the old capacity): demand that creeps up by a few
+/// elements per run — e.g. a slowly growing boundary across incremental
+/// repartitions — costs O(log n) growth events total instead of ratcheting
+/// one reallocation per call, while the overshoot stays at most 50% of the
+/// high-water mark. Capacity never affects results.
 template <typename T>
 inline void reserve_tracked(std::vector<T>& v, std::size_t n,
                             AllocStats* stats) {
   if (n > v.capacity()) {
     if (stats != nullptr) stats->note(n * sizeof(T));
-    v.reserve(n);
+    v.reserve(std::max(n, v.capacity() + v.capacity() / 2));
   }
 }
 

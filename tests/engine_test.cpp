@@ -479,5 +479,171 @@ TEST(Engine, DuplicateInFlightKeysCoalesce) {
   EXPECT_TRUE(coalesced) << "second submit never found the first in flight";
 }
 
+// ------------------------------------------------- incremental repartition ---
+
+TEST(Engine, RepartitionIncrementalPathAndChaining) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(11, /*nodes=*/200);
+  const auto first = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(first.winner.empty());
+
+  // A small edit: the warm-started path must answer.
+  graph::GraphDelta delta(*job.graph);
+  delta.set_edge_weight(0, job.graph->neighbors(0)[0], 17);
+  const graph::NodeId fresh = delta.add_node(30);
+  delta.add_edge(fresh, 5, 3);
+
+  const engine::RepartitionOutcome rep = eng.repartition(job, delta, first.best);
+  EXPECT_TRUE(rep.incremental) << rep.fallback_reason;
+  EXPECT_EQ(rep.outcome.winner, "incremental");
+  EXPECT_EQ(rep.graph->num_nodes(), job.graph->num_nodes() + 1);
+  ASSERT_EQ(rep.outcome.best.partition.size(), rep.graph->num_nodes());
+  EXPECT_TRUE(rep.outcome.best.partition.complete());
+  EXPECT_EQ(rep.outcome.best.metrics.total_cut,
+            part::compute_metrics(*rep.graph, rep.outcome.best.partition)
+                .total_cut);
+
+  // Chain a second delta against the repartitioned network.
+  graph::GraphDelta delta2(*rep.graph);
+  delta2.remove_node(3);
+  const engine::RepartitionOutcome rep2 = eng.repartition(
+      engine::Job{rep.graph, job.request}, delta2, rep.outcome.best);
+  EXPECT_TRUE(rep2.incremental) << rep2.fallback_reason;
+  EXPECT_EQ(rep2.graph->num_nodes(), rep.graph->num_nodes() - 1);
+  EXPECT_TRUE(rep2.outcome.best.partition.complete());
+
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.repartitions_incremental, 2u);
+  EXPECT_EQ(stats.repartitions_fallback, 0u);
+}
+
+TEST(Engine, RepartitionNeverServesStaleCacheForEditedGraph) {
+  // Regression guard for the mutated-shared-graph hazard: after an edit,
+  // the old fingerprint's cached result must never be returned for the new
+  // graph — the edited graph is a new object with a new content key.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(13, /*nodes=*/150);
+  const auto first = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(first.winner.empty());
+
+  // Same request twice: the pre-edit answer IS cached under the old key.
+  const auto again = eng.run_one(job.graph, job.request);
+  EXPECT_TRUE(again.from_cache);
+
+  graph::GraphDelta delta(*job.graph);
+  delta.set_node_weight(0, job.graph->node_weight(0) + 5);
+  delta.set_edge_weight(1, job.graph->neighbors(1)[0], 21);
+  const engine::RepartitionOutcome rep = eng.repartition(job, delta, first.best);
+
+  // The edited graph's answer was computed, not replayed from the old key.
+  EXPECT_FALSE(rep.outcome.from_cache);
+  EXPECT_NE(rep.outcome.key, first.key);
+
+  // A full run on the edited graph must also miss (incremental answers are
+  // never cached) and agree about the key split.
+  const auto full = eng.run_one(rep.graph, job.request);
+  EXPECT_FALSE(full.from_cache);
+  EXPECT_EQ(full.key, rep.outcome.key);
+  EXPECT_NE(full.key, first.key);
+
+  // And the old graph's cached answer is still served for the old graph.
+  const auto old_again = eng.run_one(job.graph, job.request);
+  EXPECT_TRUE(old_again.from_cache);
+  EXPECT_EQ(old_again.key, first.key);
+}
+
+TEST(Engine, RepartitionDeclinesIncompletePreviousPartition) {
+  // An untrustworthy warm start (unassigned slots) must decline to the
+  // portfolio like any other, not throw out of the service loop.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"metislike"}};
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(29, /*nodes=*/80);
+  part::PartitionResult bogus;
+  bogus.partition = part::Partition(job.graph->num_nodes(), job.request.k);
+  // right size, but nothing assigned
+
+  graph::GraphDelta delta(*job.graph);
+  delta.set_node_weight(0, 7);
+  const engine::RepartitionOutcome rep = eng.repartition(job, delta, bogus);
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_EQ(rep.fallback_reason, "previous partition incomplete");
+  EXPECT_TRUE(rep.outcome.best.partition.complete());
+}
+
+TEST(Engine, RepartitionFallsBackOnOversizedDelta) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(17, /*nodes=*/120);
+  const auto first = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(first.winner.empty());
+
+  graph::GraphDelta big(*job.graph);
+  for (graph::NodeId u = 0; u < job.graph->num_nodes(); ++u)
+    big.set_node_weight(u, job.graph->node_weight(u) + 1);
+
+  const engine::RepartitionOutcome rep = eng.repartition(job, big, first.best);
+  EXPECT_FALSE(rep.incremental);
+  EXPECT_FALSE(rep.fallback_reason.empty());
+  EXPECT_EQ(rep.outcome.winner, "gp");  // the portfolio answered
+  EXPECT_TRUE(rep.outcome.best.partition.complete());
+  EXPECT_EQ(eng.stats().repartitions_fallback, 1u);
+
+  // Fallback answers are pure (graph, request) functions and ARE cached: a
+  // twin repartition of the same edit is served from the cache.
+  const engine::RepartitionOutcome twin = eng.repartition(job, big, first.best);
+  EXPECT_TRUE(twin.outcome.from_cache);
+  EXPECT_EQ(eng.stats().repartition_cache_hits, 1u);
+  EXPECT_EQ(twin.outcome.best.partition.assignments(),
+            rep.outcome.best.partition.assignments());
+}
+
+TEST(Engine, RepartitionWorkspaceIsAllocationFreeInSteadyState) {
+  // The engine-owned repartition workspace must reach a high-water mark and
+  // stop growing: repeated small edits on a stable-size network pay zero
+  // allocator traffic in the incremental refine loop.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(23, /*nodes=*/300);
+  auto current = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(current.winner.empty());
+  std::shared_ptr<const graph::Graph> g = job.graph;
+
+  support::Rng rng(5);
+  const auto evolve = [&]() {
+    graph::GraphDelta delta(*g);
+    for (int e = 0; e < 6; ++e) {
+      const auto u =
+          static_cast<graph::NodeId>(rng.uniform_index(g->num_nodes()));
+      if (g->degree(u) == 0) continue;
+      const graph::NodeId v = g->neighbors(u)[rng.uniform_index(g->degree(u))];
+      delta.set_edge_weight(
+          u, v, 1 + static_cast<graph::Weight>(rng.uniform_index(12)));
+    }
+    const engine::RepartitionOutcome rep =
+        eng.repartition(engine::Job{g, job.request}, delta, current.best);
+    ASSERT_TRUE(rep.incremental) << rep.fallback_reason;
+    g = rep.graph;
+    current.best = rep.outcome.best;
+  };
+
+  for (int warm = 0; warm < 2; ++warm) ASSERT_NO_FATAL_FAILURE(evolve());
+  const std::uint64_t before = eng.stats().repartition_ws_growths;
+  for (int i = 0; i < 5; ++i) ASSERT_NO_FATAL_FAILURE(evolve());
+  EXPECT_EQ(eng.stats().repartition_ws_growths, before)
+      << "engine repartition workspace allocated in steady state";
+}
+
 }  // namespace
 }  // namespace ppnpart

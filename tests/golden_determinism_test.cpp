@@ -10,12 +10,15 @@
 
 #include <cstdio>
 
+#include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "partition/coarsen_cache.hpp"
 #include "partition/gp.hpp"
+#include "partition/incremental.hpp"
 #include "partition/kl.hpp"
 #include "partition/metislike.hpp"
 #include "partition/nlevel.hpp"
+#include "partition/workspace.hpp"
 #include "support/hash.hpp"
 
 namespace {
@@ -105,6 +108,86 @@ TEST(GoldenDeterminism, KlFixedSeed) {
   std::printf("KL fingerprint: 0x%llxull\n",
               static_cast<unsigned long long>(fp));
   EXPECT_EQ(fp, 0x30dbb270ea4905cdull);
+}
+
+// ---- Incremental repartitioning goldens (PR 4). ---------------------------
+// The incremental path is pinned the same way the PR-3 refactor was: a
+// fixed (graph, previous partition, delta sequence, seed) must reproduce
+// bit-identical partitions across runs and machines. The constants were
+// captured from the first implementation; update them only with a
+// deliberate, called-out algorithmic change.
+
+/// The fixed three-step delta sequence of the incremental goldens: a
+/// reweight, a node addition wired into the network, and a removal.
+graph::GraphDelta golden_delta(const graph::Graph& g, int step) {
+  graph::GraphDelta delta(g);
+  switch (step) {
+    case 0: {
+      delta.set_edge_weight(0, g.neighbors(0)[0], 23);
+      delta.set_node_weight(7, g.node_weight(7) + 11);
+      break;
+    }
+    case 1: {
+      const graph::NodeId fresh = delta.add_node(35);
+      delta.add_edge(fresh, 3, 6);
+      delta.add_edge(fresh, 40, 2);
+      delta.add_edge(10, 11, 4);
+      break;
+    }
+    default: {
+      delta.remove_node(17);
+      delta.remove_edge(2, g.neighbors(2)[0]);
+      break;
+    }
+  }
+  return delta;
+}
+
+std::uint64_t run_incremental_chain(part::Workspace* ws) {
+  const graph::Graph base = pn_graph(300, 7);
+  part::GpOptions options;
+  options.max_cycles = 2;
+  part::GpPartitioner gp(options);
+  part::PartitionRequest request = request_for(base);
+  const part::PartitionResult seed_result = gp.run(base, request);
+
+  part::IncrementalPartitioner inc;
+  graph::Graph g = base;
+  part::Partition prev = seed_result.partition;
+  std::uint64_t h = 0;
+  for (int step = 0; step < 3; ++step) {
+    const graph::GraphDelta::Applied applied = golden_delta(g, step).apply(g);
+    part::PartitionRequest req = request_for(applied.graph);
+    req.workspace = ws;
+    part::IncrementalStats stats;
+    const auto result = inc.try_repartition(applied, prev, req, &stats);
+    EXPECT_TRUE(result.has_value()) << "declined: " << stats.fallback_reason;
+    if (!result.has_value()) return 0;
+    EXPECT_TRUE(result->partition.complete());
+    h = support::hash_combine(h, fingerprint(result->partition));
+    g = applied.graph;
+    prev = result->partition;
+  }
+  return h;
+}
+
+TEST(GoldenDeterminism, IncrementalFixedSeed) {
+  const std::uint64_t fp = run_incremental_chain(nullptr);
+  std::printf("Incremental chain fingerprint: 0x%llxull\n",
+              static_cast<unsigned long long>(fp));
+  EXPECT_EQ(fp, 0x8d5fc6faffef8dffull);
+}
+
+TEST(GoldenDeterminism, IncrementalRepeatRunsIdentical) {
+  // Same chain, three times: no workspace, a fresh workspace, a reused
+  // workspace — all must agree bit-for-bit (the workspace is transient
+  // scratch with no effect on results).
+  part::Workspace ws;
+  const std::uint64_t a = run_incremental_chain(nullptr);
+  const std::uint64_t b = run_incremental_chain(&ws);
+  const std::uint64_t c = run_incremental_chain(&ws);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
 }
 
 TEST(GoldenDeterminism, RepeatRunsIdentical) {

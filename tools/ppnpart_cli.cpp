@@ -24,6 +24,24 @@
 //   --jobs N            batch N jobs with seeds seed..seed+N-1 and report
 //                       the best answer plus engine throughput/cache stats
 //
+// Delta replay mode — evolving networks (PR 4):
+//   --delta FILE        after a full initial run, replay an edit script
+//                       against the input network; each `commit` applies
+//                       the accumulated delta through Engine::repartition
+//                       (incremental warm-started refinement, portfolio
+//                       fallback past the thresholds) and reports one line.
+//                       Script grammar, one op per line ('#' comments):
+//                         addnode [W]      new process (id printed order:
+//                                          n, n+1, ... per commit window)
+//                         rmnode U         retire process U (strands edges)
+//                         nodew U W        set resource weight
+//                         addedge U V [W]  add W to channel (create at W)
+//                         rmedge U V       delete channel
+//                         setedge U V W    set channel weight
+//                         commit           repartition now
+//                       Ids refer to the current (post-previous-commit)
+//                       graph; trailing ops auto-commit at EOF.
+//
 // Like the `summary` line, the `engine ...` stats line is machine-readable
 // output and prints even under --quiet (which suppresses only the
 // human-readable report).
@@ -37,8 +55,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -86,6 +106,9 @@ int main(int argc, char** argv) {
                "engine mode: per-job wall-clock budget (0 = unlimited)");
   args.add_int("jobs", 1,
                "engine mode: batch N jobs with seeds seed..seed+N-1");
+  args.add_string("delta", "",
+                  "replay an edit script against the input network "
+                  "(incremental repartitioning per commit)");
   args.add_string("out", "", "write partition vector (one part id per line)");
   args.add_string("dot", "", "write colour-clustered DOT file");
   args.add_flag("quiet", "suppress the human-readable report");
@@ -173,7 +196,120 @@ int main(int argc, char** argv) {
                            args.get_int("time-budget-ms") > 0 || num_jobs > 1;
   part::PartitionResult result;
   try {
-    if (engine_mode) {
+    if (!args.get_string("delta").empty()) {
+      // ---- Delta replay: evolving network, incremental repartitioning. ---
+      if (num_jobs > 1)
+        return fail("--delta replays one evolving job; it cannot be "
+                    "combined with --jobs");
+      std::ifstream in(args.get_string("delta"));
+      if (!in) return fail("cannot open --delta file");
+      std::string spec = args.get_string("portfolio");
+      if (spec.empty()) spec = algo_name;
+      auto portfolio = engine::Portfolio::parse(spec);
+      if (!portfolio.is_ok()) {
+        std::fprintf(stderr, "ppnpart: %s\n", portfolio.message().c_str());
+        return 1;
+      }
+      engine::EngineOptions eopts;
+      eopts.portfolio = portfolio.value();
+      eopts.time_budget_ms =
+          static_cast<double>(args.get_int("time-budget-ms"));
+      engine::Engine eng(eopts);
+
+      auto shared = std::make_shared<const graph::Graph>(std::move(g));
+      auto initial = eng.run_one(shared, request);
+      if (initial.winner.empty()) {
+        std::fprintf(stderr, "ppnpart: every portfolio member failed\n");
+        return 1;
+      }
+      part::PartitionResult current = initial.best;
+      if (!args.flag("quiet")) {
+        std::printf("portfolio : %s\n", eopts.portfolio.to_string().c_str());
+        std::printf("initial   : winner=%s %s\n", initial.winner.c_str(),
+                    part::describe(initial.best.metrics, constraints).c_str());
+      }
+
+      graph::GraphDelta delta(*shared);
+      int step = 0;
+      const auto commit = [&]() {
+        if (delta.empty()) return;
+        const std::size_t ops = delta.num_ops();
+        const engine::RepartitionOutcome rep =
+            eng.repartition(engine::Job{shared, request}, delta, current);
+        shared = rep.graph;
+        current = rep.outcome.best;
+        if (!args.flag("quiet")) {
+          std::printf(
+              "delta %-3d : ops=%zu nodes=%u path=%s %s%s\n", step, ops,
+              shared->num_nodes(),
+              rep.incremental ? "incremental" : "fallback",
+              part::describe(current.metrics, constraints).c_str(),
+              rep.outcome.from_cache ? " [cache]" : "");
+        }
+        delta = graph::GraphDelta(*shared);
+        ++step;
+      };
+      std::string line;
+      while (std::getline(in, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos)
+          line.resize(hash);
+        // Strict tokenization: every operand must be a whole integer and
+        // the arity must match exactly — a typo must fail the replay, not
+        // silently substitute a default weight.
+        std::istringstream ls(line);
+        std::vector<std::string> tok;
+        for (std::string t; ls >> t;) tok.push_back(std::move(t));
+        if (tok.empty()) continue;  // blank line
+        long long a = 0, b = 0, c = 0;
+        const auto num = [&](std::size_t i, long long& out) {
+          char* end = nullptr;
+          out = std::strtoll(tok[i].c_str(), &end, 10);
+          return end != tok[i].c_str() && *end == '\0';
+        };
+        const auto node = [](long long x) {
+          return static_cast<graph::NodeId>(x);
+        };
+        const std::string& op = tok[0];
+        if (op == "commit" && tok.size() == 1) {
+          commit();
+        } else if (op == "addnode" &&
+                   (tok.size() == 1 || (tok.size() == 2 && num(1, a)))) {
+          delta.add_node(tok.size() == 2 ? a : 1);
+        } else if (op == "rmnode" && tok.size() == 2 && num(1, a)) {
+          delta.remove_node(node(a));
+        } else if (op == "nodew" && tok.size() == 3 && num(1, a) &&
+                   num(2, b)) {
+          delta.set_node_weight(node(a), b);
+        } else if (op == "addedge" && tok.size() >= 3 && tok.size() <= 4 &&
+                   num(1, a) && num(2, b) &&
+                   (tok.size() == 3 || num(3, c))) {
+          delta.add_edge(node(a), node(b), tok.size() == 4 ? c : 1);
+        } else if (op == "rmedge" && tok.size() == 3 && num(1, a) &&
+                   num(2, b)) {
+          delta.remove_edge(node(a), node(b));
+        } else if (op == "setedge" && tok.size() == 4 && num(1, a) &&
+                   num(2, b) && num(3, c)) {
+          delta.set_edge_weight(node(a), node(b), c);
+        } else {
+          std::fprintf(stderr, "ppnpart: bad --delta line: '%s'\n",
+                       line.c_str());
+          return 1;
+        }
+      }
+      commit();  // trailing ops auto-commit
+
+      const engine::EngineStats stats = eng.stats();
+      std::printf(
+          "engine deltas=%d incremental=%llu fallbacks=%llu "
+          "repart_cache_hits=%llu ws_growths=%llu\n",
+          step, static_cast<unsigned long long>(stats.repartitions_incremental),
+          static_cast<unsigned long long>(stats.repartitions_fallback),
+          static_cast<unsigned long long>(stats.repartition_cache_hits),
+          static_cast<unsigned long long>(stats.repartition_ws_growths));
+      result = std::move(current);
+      g = *shared;             // final network for the report/outputs below
+      have_network = false;    // node set may have changed; re-derive
+    } else if (engine_mode) {
       // ---- Portfolio engine: race algorithms, batch seeds. --------------
       // No --portfolio but engine mode via --jobs/--time-budget-ms: honour
       // the requested --algorithm as a one-member portfolio instead of
