@@ -120,6 +120,21 @@ inline graph::GraphDelta random_evolution_delta(const graph::Graph& g,
   return delta;
 }
 
+/// A near-identical ARRIVAL: the evolving-network edit generator applied and
+/// materialized as a fresh plain-CSR graph, the shape a service receives
+/// when callers edit their networks out-of-band and hand over the result
+/// with no delta attached. ~`divergence * num_nodes` edits; node ids stay
+/// stable (edge-only edits by default), which is what the similarity
+/// admission path's stable-id diff exploits. Both bench_engine section 6
+/// and tools/bench_json drive exactly this generator so the tracked
+/// "similarity" numbers and the bench report cannot drift apart.
+inline graph::Graph near_identical_arrival(const graph::Graph& g,
+                                           double divergence,
+                                           support::Rng& rng,
+                                           bool node_ops = false) {
+  return random_evolution_delta(g, divergence, rng, node_ops).apply(g).graph;
+}
+
 /// A reproducible family of PN-shaped instances with constraints scaled to
 /// a tightness factor: rmax = resource_slack * W/k, bmax = bandwidth_slack *
 /// (total edge weight) / (k choose 2)  — slack 1.0 is the tightest sensible

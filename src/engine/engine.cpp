@@ -20,6 +20,16 @@ struct Engine::JobState {
   JobId id = 0;
   std::uint64_t key = 0;
   std::uint64_t graph_fp = 0;
+  /// How admission answered this job; written in admit() before any waiter
+  /// can observe `done`, read by repartition() after collecting the outcome.
+  Route route = Route::kFull;
+  /// False only for run_one's aliasing const& overload: the graph must not
+  /// outlive the call, so it never enters the similarity index.
+  bool owns_graph = true;
+  /// Computed lazily: at the similarity probe, or in finalize_job for
+  /// full-path index insertion. Never accessed concurrently — admission
+  /// runs before fan-out, finalize after every member finished.
+  std::optional<support::GraphSketch> sketch;
   support::StopToken token;
   support::Timer timer;
 
@@ -44,7 +54,9 @@ Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
       cache_(options_.cache_capacity),
       coarsen_cache_(options_.coarsen_cache_capacity),
-      incremental_(options_.incremental) {
+      incremental_(options_.incremental),
+      sim_index_(options_.similarity.enabled ? options_.similarity.capacity
+                                             : 0) {
   if (options_.portfolio.empty())
     throw std::invalid_argument("Engine: portfolio has no members");
   for (const std::string& name : options_.portfolio.members) {
@@ -107,10 +119,12 @@ PortfolioOutcome Engine::run_one(const graph::Graph& g,
   // keep the no-op-deleter control block alive briefly after run_one
   // returns, so the weak_ptr probe could validate a dead graph's entry for
   // a new graph at the reused address. Compute the fingerprint directly.
+  // For the same lifetime reason admit() gets owns_graph == false: the
+  // similarity index must never retain this pointer.
   fp_computed_.fetch_add(1, std::memory_order_relaxed);
   return run_one_impl(
       std::shared_ptr<const graph::Graph>(&g, [](const graph::Graph*) {}),
-      request, graph_fingerprint(g));
+      request, graph_fingerprint(g), /*owns_graph=*/false);
 }
 
 PortfolioOutcome Engine::run_one(std::shared_ptr<const graph::Graph> g,
@@ -118,14 +132,17 @@ PortfolioOutcome Engine::run_one(std::shared_ptr<const graph::Graph> g,
   if (g == nullptr)
     throw std::invalid_argument("Engine: run_one with null graph");
   const std::uint64_t graph_fp = shared_graph_fingerprint(g);
-  return run_one_impl(std::move(g), request, graph_fp);
+  return run_one_impl(std::move(g), request, graph_fp, /*owns_graph=*/true);
 }
 
 PortfolioOutcome Engine::run_one_impl(std::shared_ptr<const graph::Graph> g,
                                       const part::PartitionRequest& request,
-                                      std::uint64_t graph_fp) {
-  // Cache fast path before the Job is even built: a hit costs a hash and a
-  // lookup, never a pool round-trip.
+                                      std::uint64_t graph_fp,
+                                      bool owns_graph) {
+  // Exact-hit fast path before the JobState is even built: a repeated
+  // query costs a hash and a lookup, never job bookkeeping or a pool
+  // round-trip. The pipeline's stage 1 is told not to look again — the
+  // miss was counted here.
   support::Timer timer;
   const std::uint64_t key = job_key(graph_fp, request);
   if (auto cached = cache_.lookup(key)) {
@@ -136,13 +153,10 @@ PortfolioOutcome Engine::run_one_impl(std::shared_ptr<const graph::Graph> g,
     ++stats_.jobs_completed;
     return out;
   }
-  // The lookup above already accounted the miss; don't count it twice.
-  // start_job still consults the single-flight registry, so two run_one
-  // calls racing the same key share one portfolio run.
-  return wait(
-      start_job(Job{std::move(g), request}, graph_fp, key,
-                /*check_cache=*/false)
-          ->id);
+  return wait(admit(Job{std::move(g), request}, graph_fp, owns_graph,
+                    /*caller_warm=*/nullptr, /*warm_stats=*/nullptr,
+                    /*check_cache=*/false)
+                  ->id);
 }
 
 std::vector<PortfolioOutcome> Engine::run_batch(const std::vector<Job>& jobs) {
@@ -172,18 +186,20 @@ Engine::JobId Engine::submit(Job job) {
   if (job.graph == nullptr)
     throw std::invalid_argument("Engine: job has no graph");
   const std::uint64_t graph_fp = shared_graph_fingerprint(job.graph);
-  const std::uint64_t key = job_key(graph_fp, job.request);
-  return start_job(std::move(job), graph_fp, key, /*check_cache=*/true)->id;
+  return admit(std::move(job), graph_fp, /*owns_graph=*/true,
+               /*caller_warm=*/nullptr, /*warm_stats=*/nullptr)
+      ->id;
 }
 
-std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
-                                                    std::uint64_t graph_fp,
-                                                    std::uint64_t key,
-                                                    bool check_cache) {
+std::shared_ptr<Engine::JobState> Engine::admit(
+    Job job, std::uint64_t graph_fp, bool owns_graph,
+    const WarmStartSeed* caller_warm, part::IncrementalStats* warm_stats,
+    bool check_cache) {
   auto state = std::make_shared<JobState>();
   state->job = std::move(job);
-  state->key = key;
   state->graph_fp = graph_fp;
+  state->key = job_key(graph_fp, state->job.request);
+  state->owns_graph = owns_graph;
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -191,19 +207,157 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
     jobs_[state->id] = state;
   }
 
-  // Cache fast path: a finished twin of this job exists — no pool work.
-  if (auto cached = check_cache ? cache_.lookup(state->key)
-                                : std::optional<PortfolioOutcome>{}) {
-    std::lock_guard<std::mutex> lock(state->m);
-    state->outcome = std::move(*cached);
-    state->outcome.from_cache = true;
-    state->outcome.seconds = state->timer.seconds();
-    state->done = true;
-    std::lock_guard<std::mutex> slock(mutex_);
-    ++stats_.jobs_completed;
-    return state;
+  // Stages 1-2 run inline on the admitting thread; an exception must not
+  // leave a never-done state behind for ~Engine to wait on forever.
+  try {
+    // ---- Stage 1: exact fingerprint hit — a finished twin exists. --------
+    if (auto cached = check_cache ? cache_.lookup(state->key)
+                                  : std::optional<PortfolioOutcome>{}) {
+      state->route = Route::kResultCache;
+      PortfolioOutcome out = std::move(*cached);
+      out.from_cache = true;
+      serve_inline(state, std::move(out));
+      return state;
+    }
+
+    // ---- Stage 2: warm start. --------------------------------------------
+    // A caller-supplied delta (repartition) is the stronger signal and owns
+    // the stage; plain arrivals probe the similarity index instead. Either
+    // way a successful warm start is computed fresh ON this job's graph and
+    // is never written to the exact result cache — it depends on the
+    // previous answer it was seeded from, and the cache key does not.
+    if (caller_warm != nullptr) {
+      if (auto warm = run_warm_start(state, *caller_warm, warm_stats)) {
+        state->route = Route::kWarmStart;
+        serve_warm(state, *std::move(warm), "incremental",
+                   /*similarity_served=*/false);
+        return state;
+      }
+    } else if (similarity_enabled() && admit_similarity(state)) {
+      return state;
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.erase(state->id);
+    throw;
   }
 
+  // ---- Stage 3: the full portfolio. --------------------------------------
+  launch_full(state);
+  return state;
+}
+
+std::optional<part::PartitionResult> Engine::run_warm_start(
+    const std::shared_ptr<JobState>& state, const WarmStartSeed& seed,
+    part::IncrementalStats* stats) {
+  part::IncrementalStats local;
+  part::IncrementalStats& istats = stats != nullptr ? *stats : local;
+  if (!seed.prev->complete()) {
+    // An untrustworthy warm start declines like every other one (oversized
+    // delta, k change): the portfolio answers instead of the service loop
+    // throwing.
+    istats.fell_back = true;
+    istats.fallback_reason = "previous partition incomplete";
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(repart_mutex_);
+  part::PartitionRequest req = state->job.request;
+  req.workspace = &repart_ws_;
+  return incremental_.try_repartition(*state->job.graph, *seed.prev,
+                                      seed.node_map, seed.touched, req,
+                                      &istats);
+}
+
+bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
+  state->sketch = support::sketch_of(*state->job.graph);
+  const std::uint64_t compat =
+      request_compat_fingerprint(state->job.request);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.probes;
+  }
+  std::optional<part::PartitionResult> warm;
+  if (auto match =
+          sim_index_.best_match(*state->sketch, compat,
+                                options_.similarity.min_sketch_similarity)) {
+    // The match is a hint; try_repartition_diffed re-derives the exact edit
+    // script and verifies its replay is bit-identical to the arriving graph
+    // before anything is reused. Declines (diff too large, k change,
+    // projected imbalance, reconstruction mismatch) fall through to the
+    // full path.
+    part::IncrementalStats istats;
+    std::lock_guard<std::mutex> lock(repart_mutex_);
+    part::PartitionRequest req = state->job.request;
+    req.workspace = &repart_ws_;
+    warm = incremental_.try_repartition_diffed(*match->entry.graph,
+                                               *state->job.graph,
+                                               match->entry.partition, req,
+                                               &istats);
+  }
+  if (!warm.has_value()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.declines;
+    return false;
+  }
+  state->route = Route::kSimilarity;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.near_hits;
+  }
+  serve_warm(state, *std::move(warm), "similarity", /*similarity_served=*/true);
+  return true;
+}
+
+void Engine::serve_warm(const std::shared_ptr<JobState>& state,
+                        part::PartitionResult result, const char* winner,
+                        bool similarity_served) {
+  // The graph now has a fresh, valid answer of its own: index it so the
+  // NEXT near-identical arrival warm-starts from this one.
+  maybe_index(state, result.partition);
+  PortfolioOutcome out;
+  out.best = std::move(result);
+  out.winner = winner;
+  out.similarity = similarity_served;
+  MemberOutcome mo;
+  mo.algorithm = winner;
+  mo.ran = true;
+  mo.goodness = goodness_of(out.best);
+  mo.seconds = out.best.seconds;
+  out.members.push_back(std::move(mo));
+  serve_inline(state, std::move(out));
+}
+
+void Engine::serve_inline(const std::shared_ptr<JobState>& state,
+                          PortfolioOutcome outcome) {
+  outcome.key = state->key;
+  outcome.seconds = state->timer.seconds();
+  // Same ordering rule as finalize_job: every engine-member touch (here the
+  // stats bump under mutex_) BEFORE `done` is published — the moment a
+  // waiter on another thread observes done it may collect the outcome and
+  // destroy the Engine, leaving this thread only the JobState shared_ptr.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.jobs_completed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->outcome = std::move(outcome);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void Engine::maybe_index(const std::shared_ptr<JobState>& state,
+                         const part::Partition& partition) {
+  if (!similarity_enabled() || !state->owns_graph) return;
+  if (!state->sketch.has_value())
+    state->sketch = support::sketch_of(*state->job.graph);
+  sim_index_.insert({*state->sketch, state->job.graph, state->graph_fp,
+                     request_compat_fingerprint(state->job.request),
+                     partition});
+}
+
+void Engine::launch_full(const std::shared_ptr<JobState>& state) {
   auto& pool = support::ThreadPool::global();
 
   // Single-flight: a running twin of this job exists — attach to it and
@@ -228,7 +382,7 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
           leader->followers.push_back(state);
           std::lock_guard<std::mutex> slock(mutex_);
           ++stats_.jobs_coalesced;
-          return state;
+          return;
         }
       }
       // The leader finished between the registry lookup and locking it (it
@@ -284,7 +438,6 @@ std::shared_ptr<Engine::JobState> Engine::start_job(Job job,
       }
     }
   }
-  return state;
 }
 
 void Engine::run_member(const std::shared_ptr<JobState>& state,
@@ -399,8 +552,14 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   // caching would serve the degraded answer to future full-effort twins.
   const bool caller_cancelled = state->job.request.stop != nullptr &&
                                 state->job.request.stop->stop_requested();
-  if (!snapshot.winner.empty() && !caller_cancelled)
+  if (!snapshot.winner.empty() && !caller_cancelled) {
     cache_.insert(state->key, snapshot);
+    // A complete full-path answer also feeds the similarity index, so the
+    // next near-identical arrival can warm-start from it. (Followers share
+    // the leader's outcome but not its graph identity bookkeeping; only the
+    // leader inserts.)
+    maybe_index(state, snapshot.best.partition);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.jobs_completed;
@@ -464,70 +623,46 @@ RepartitionOutcome Engine::repartition(const Job& job,
   // Rekey, don't invalidate: the edited graph is a new immutable object
   // with its own content fingerprint, so the result and coarsening caches
   // see a distinct key — pre-edit entries stay valid for the pre-edit graph
-  // and can never be served for the post-edit one.
+  // and can never be served for the post-edit one. From here the job flows
+  // through the same admission pipeline as every other entry point, with
+  // the caller's delta seeding stage 2:
+  //   stage 1 — a finished FULL answer for exactly the edited graph +
+  //             request is a strictly better reply than re-refining, serve
+  //             it; stage 2 — warm-started refinement (NOT cached: the
+  //             answer depends on `prev`, the cache key does not); stage 3
+  //             — the delta was too large or the warm start too skewed, the
+  //             portfolio answers and IS cached for future twins.
   const std::uint64_t graph_fp = shared_graph_fingerprint(out.graph);
-  const std::uint64_t key = job_key(graph_fp, job.request);
-
-  // A finished FULL answer for exactly the edited graph + request is a
-  // strictly better reply than re-refining: serve it.
-  if (auto cached = cache_.lookup(key)) {
-    out.outcome = std::move(*cached);
-    out.outcome.from_cache = true;
-    out.outcome.seconds = timer.seconds();
-    out.fallback_reason = "result-cache hit for the edited graph";
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.repartition_cache_hits;
-    return out;
-  }
-
+  const WarmStartSeed seed{&prev.partition, out.node_map, out.touched};
   part::IncrementalStats istats;
-  std::optional<part::PartitionResult> incr;
-  if (!prev.partition.complete()) {
-    // An untrustworthy warm start declines like every other one (oversized
-    // delta, k change): the portfolio answers instead of the service loop
-    // throwing.
-    istats.fell_back = true;
-    istats.fallback_reason = "previous partition incomplete";
-  } else {
-    std::lock_guard<std::mutex> lock(repart_mutex_);
-    part::PartitionRequest req = job.request;
-    req.workspace = &repart_ws_;
-    incr = incremental_.try_repartition(*out.graph, prev.partition,
-                                        out.node_map, out.touched, req,
-                                        &istats);
-  }
-
-  if (incr.has_value()) {
-    out.incremental = true;
-    PortfolioOutcome& po = out.outcome;
-    po.best = *std::move(incr);
-    po.winner = "incremental";
-    po.key = key;
-    MemberOutcome mo;
-    mo.algorithm = "incremental";
-    mo.ran = true;
-    mo.goodness = goodness_of(po.best);
-    mo.seconds = po.best.seconds;
-    po.members.push_back(std::move(mo));
-    po.seconds = timer.seconds();
-    // NOT cached: the answer depends on `prev`, the cache key does not.
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.repartitions_incremental;
-    return out;
-  }
-
-  // Declined: the delta is too large (or the warm start too skewed) for
-  // local repair — run the full portfolio on the edited graph. This flows
-  // through the normal job path, so the answer is cached for future twins.
-  out.fallback_reason = istats.fallback_reason;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.repartitions_fallback;
-  }
-  out.outcome = wait(start_job(Job{out.graph, job.request}, graph_fp, key,
-                               /*check_cache=*/false)
-                         ->id);
+  auto state = admit(Job{out.graph, job.request}, graph_fp,
+                     /*owns_graph=*/true, &seed, &istats);
+  out.outcome = wait(state->id);
   out.outcome.seconds = timer.seconds();
+
+  switch (state->route) {
+    case Route::kResultCache:
+      out.fallback_reason = "result-cache hit for the edited graph";
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.repartition_cache_hits;
+      }
+      break;
+    case Route::kWarmStart:
+      out.incremental = true;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.repartitions_incremental;
+      }
+      break;
+    default:
+      out.fallback_reason = istats.fallback_reason;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.repartitions_fallback;
+      }
+      break;
+  }
   return out;
 }
 
@@ -585,6 +720,8 @@ EngineStats Engine::stats() const {
   }
   s.cache = cache_.stats();
   s.coarsening = coarsen_cache_.stats();
+  s.similarity.insertions = sim_index_.insertions();
+  s.similarity.evictions = sim_index_.evictions();
   s.graph_fingerprints_computed =
       fp_computed_.load(std::memory_order_relaxed);
   {
@@ -597,6 +734,7 @@ EngineStats Engine::stats() const {
 void Engine::clear_cache() {
   cache_.clear();
   coarsen_cache_.clear();
+  sim_index_.clear();
 }
 
 }  // namespace ppnpart::engine

@@ -33,12 +33,31 @@
 //     around the edit sites from a reusable workspace instead of paying a
 //     full portfolio run — falling back to one (and to the caches) when
 //     the delta is too large. The edited graph gets its own content
-//     fingerprint, so every cache rekeys instead of serving stale entries.
+//     fingerprint, so every cache rekeys instead of serving stale entries,
+//   * similarity-aware admission (opt-in, EngineOptions::similarity): plain
+//     CSR arrivals that are near-identical to a recently served graph are
+//     detected by sketch (support::GraphSketch -> SimilarityIndex), diffed
+//     into a GraphDelta (graph::diff) and answered by the same warm-started
+//     refinement — no caller-supplied delta required.
 //
-// Entry points: run_one (synchronous), run_batch (fan out a vector of jobs
-// and wait), and a streaming submit/poll/wait trio for callers that overlap
-// job production with consumption. All three share one code path, one cache
-// and one stats block, and are safe to call from multiple client threads.
+// Every entry point — run_one (synchronous), run_batch (fan out a vector of
+// jobs and wait), the streaming submit/poll/wait trio, and repartition —
+// goes through ONE admission pipeline (admit()):
+//
+//   stage 1  exact fingerprint hit      -> serve the cached result
+//   stage 2  warm start                 -> caller-supplied delta
+//            (repartition) or a sketch near-hit (similarity admission,
+//            re-verified by bit-identical diff reconstruction) seeds
+//            IncrementalPartitioner from the matched graph's partition
+//   stage 3  full portfolio             -> single-flight member fan-out,
+//            the answer enters the result cache and the similarity index
+//
+// Admission correctness rails: a warm-started answer is computed ON the
+// arriving graph (always a valid partition of it), is NEVER written to the
+// exact result cache (it depends on the matched previous answer; the cache
+// key does not), and an estimated-too-far or diff-too-large arrival falls
+// through to the untouched full path. One pipeline, one cache, one stats
+// block; all entry points are safe to call from multiple client threads.
 //
 // Winner selection is deterministic: members are compared by (goodness,
 // member index), never by completion order.
@@ -48,12 +67,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/portfolio.hpp"
+#include "engine/similarity.hpp"
 #include "graph/delta.hpp"
 #include "graph/graph.hpp"
 #include "partition/coarsen_cache.hpp"
@@ -99,7 +120,13 @@ struct EngineOptions {
   /// a FULL PORTFOLIO run — `incremental.fallback_algorithm` is therefore
   /// ignored here (it only applies to standalone IncrementalPartitioner
   /// use): the portfolio is the engine's stronger, cacheable fallback.
+  /// `incremental.max_diff_ops_fraction` also gates the similarity path's
+  /// reconstructed diffs.
   part::IncrementalOptions incremental;
+
+  /// Similarity-aware admission (stage 2 for plain CSR arrivals). Off by
+  /// default — see SimilarityOptions for the knobs and the trade-offs.
+  SimilarityOptions similarity;
 };
 
 /// Per-member accounting of one job.
@@ -118,6 +145,10 @@ struct PortfolioOutcome {
   std::string winner;          // registry name of the winning member
   bool from_cache = false;
   bool coalesced = false;       // served by an identical in-flight job
+  /// Served by similarity admission: a sketch near-hit was diffed and
+  /// warm-started (winner == "similarity"). Mutually exclusive with
+  /// from_cache; the answer was computed fresh on THIS job's graph.
+  bool similarity = false;
   bool budget_expired = false;  // the job's deadline fired
   double seconds = 0;           // engine-observed job latency
   std::uint64_t key = 0;        // cache key (diagnostics)
@@ -161,6 +192,11 @@ struct EngineStats {
   std::uint64_t graph_fingerprints_computed = 0;
   CacheStats cache;
   CacheStats coarsening;  // CoarseningCache traffic (hits = reused builds)
+  /// Similarity-admission traffic: probes (admissions that consulted the
+  /// index), near_hits (warm starts served), declines (probes routed to the
+  /// full path), plus the index's insert/evict counters. Updated under the
+  /// engine mutex — exact even under concurrent submit.
+  SimilarityStats similarity;
 };
 
 /// One unit of work for the batch/streaming entry points. The graph is held
@@ -252,11 +288,29 @@ class Engine {
 
   EngineStats stats() const;
 
-  /// Clears the result cache and the coarsening cache.
+  /// Clears the result cache, the coarsening cache and the similarity
+  /// index.
   void clear_cache();
 
  private:
   struct JobState;
+
+  /// How the admission pipeline answered a job (recorded on its JobState).
+  enum class Route : std::uint8_t {
+    kFull,         // stage 3: portfolio member fan-out
+    kResultCache,  // stage 1: exact fingerprint hit
+    kWarmStart,    // stage 2: caller-supplied delta warm start
+    kSimilarity,   // stage 2: sketch near-hit, diffed and warm-started
+  };
+
+  /// A caller-supplied warm start (repartition): the previous partition of
+  /// the pre-edit graph plus the node map / touched set its delta produced.
+  /// Spans alias caller storage; valid only for the duration of admit().
+  struct WarmStartSeed {
+    const part::Partition* prev = nullptr;
+    std::span<const graph::NodeId> node_map;
+    std::span<const graph::NodeId> touched;
+  };
 
   std::uint64_t job_key(std::uint64_t graph_fp,
                         const part::PartitionRequest& request) const;
@@ -265,20 +319,68 @@ class Engine {
   /// probe assumes the pointee lives exactly as long as the control block.
   std::uint64_t shared_graph_fingerprint(
       const std::shared_ptr<const graph::Graph>& g);
+
+  /// run_one's body: the synchronous entry points prepend an O(1)
+  /// exact-hit fast path ("a hash and a lookup", no JobState) before
+  /// joining the shared pipeline with check_cache=false, so a repeated
+  /// query never pays job bookkeeping.
   PortfolioOutcome run_one_impl(std::shared_ptr<const graph::Graph> g,
                                 const part::PartitionRequest& request,
-                                std::uint64_t graph_fp);
-  std::shared_ptr<JobState> start_job(Job job, std::uint64_t graph_fp,
-                                      std::uint64_t key, bool check_cache);
+                                std::uint64_t graph_fp, bool owns_graph);
+
+  /// The one front door (see the file comment's pipeline). `owns_graph` is
+  /// false only for run_one's aliasing const& overload, whose graph must
+  /// never outlive the call — it may PROBE the similarity index but is
+  /// never inserted into it. `caller_warm`, when set, takes stage 2 (the
+  /// similarity probe is skipped; the caller's delta is the better signal)
+  /// and `warm_stats` receives the warm start's accounting. `check_cache`
+  /// is false when the caller already ran the stage-1 lookup (run_one's
+  /// fast path) — the miss was counted there and must not be recounted.
+  ///
+  /// Stages 1-2 answer INLINE on the admitting thread: a similarity or
+  /// warm-start admission costs sketch + diff + one bounded FM pass
+  /// (~ms-scale, serialized on the shared repartition workspace) before
+  /// submit() returns — accepted because it replaces a portfolio run that
+  /// costs 20x+ more; see ROADMAP for the off-thread follow-up.
+  std::shared_ptr<JobState> admit(Job job, std::uint64_t graph_fp,
+                                  bool owns_graph,
+                                  const WarmStartSeed* caller_warm,
+                                  part::IncrementalStats* warm_stats,
+                                  bool check_cache = true);
+  /// Stage-2 helpers: run the engine-owned warm start machinery.
+  std::optional<part::PartitionResult> run_warm_start(
+      const std::shared_ptr<JobState>& state, const WarmStartSeed& seed,
+      part::IncrementalStats* stats);
+  bool admit_similarity(const std::shared_ptr<JobState>& state);
+  /// Publishes a stage-2 answer: indexes the fresh partition, wraps it as
+  /// a one-member PortfolioOutcome labelled `winner`, serves it inline.
+  void serve_warm(const std::shared_ptr<JobState>& state,
+                  part::PartitionResult result, const char* winner,
+                  bool similarity_served);
+  /// Publishes an admission-stage answer (stages 1-2) on the state.
+  void serve_inline(const std::shared_ptr<JobState>& state,
+                    PortfolioOutcome outcome);
+  /// Records the arriving graph + its fresh answer in the similarity index
+  /// (no-op when disabled or the job does not own its graph).
+  void maybe_index(const std::shared_ptr<JobState>& state,
+                   const part::Partition& partition);
+  /// Stage 3: single-flight registration and portfolio member fan-out.
+  void launch_full(const std::shared_ptr<JobState>& state);
+
   std::shared_ptr<JobState> find_job(JobId id);
   PortfolioOutcome take_outcome(const std::shared_ptr<JobState>& state);
   void run_member(const std::shared_ptr<JobState>& state, std::size_t index);
   void finalize_job(const std::shared_ptr<JobState>& state);
 
+  bool similarity_enabled() const {
+    return options_.similarity.enabled && options_.similarity.capacity > 0;
+  }
+
   EngineOptions options_;
   LruCache<PortfolioOutcome> cache_;
   part::CoarseningCache coarsen_cache_;
   part::IncrementalPartitioner incremental_;
+  SimilarityIndex sim_index_;
 
   /// Reusable scratch of the incremental repartition path. One workspace,
   /// one user at a time: repartition calls serialize on this mutex (the

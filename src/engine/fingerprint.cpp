@@ -20,16 +20,33 @@ std::uint64_t graph_fingerprint(const graph::Graph& g) {
   return part::graph_digest(g);
 }
 
-std::uint64_t request_fingerprint(const part::PartitionRequest& r) {
-  std::uint64_t h = 0x7265715f66707631ull;  // "req_fpv1"
+namespace {
+
+/// The request fields a warm start must agree on: k and the constraint
+/// set. Shared by both request digests so they can never drift — the
+/// compat fingerprint IS the exact fingerprint minus the seed, by
+/// construction. Extend THIS function when Constraints grows a field.
+std::uint64_t hash_request_shape(std::uint64_t h,
+                                 const part::PartitionRequest& r) {
   h = hash_combine(h, static_cast<std::uint64_t>(r.k));
-  h = hash_combine(h, r.seed);
   h = hash_combine(h, static_cast<std::uint64_t>(r.constraints.rmax));
   h = hash_combine(h, static_cast<std::uint64_t>(r.constraints.bmax));
   h = hash_combine(h, r.constraints.rmax_per_part.size());
   for (const auto w : r.constraints.rmax_per_part)
     h = hash_combine(h, static_cast<std::uint64_t>(w));
   return h;
+}
+
+}  // namespace
+
+std::uint64_t request_fingerprint(const part::PartitionRequest& r) {
+  std::uint64_t h = 0x7265715f66707631ull;  // "req_fpv1"
+  h = hash_combine(h, r.seed);
+  return hash_request_shape(h, r);
+}
+
+std::uint64_t request_compat_fingerprint(const part::PartitionRequest& r) {
+  return hash_request_shape(0x7265715f636d7631ull /* "req_cmv1" */, r);
 }
 
 }  // namespace ppnpart::engine

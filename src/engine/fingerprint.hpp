@@ -31,4 +31,11 @@ std::uint64_t graph_fingerprint(const graph::Graph& g);
 /// deliberately excluded.
 std::uint64_t request_fingerprint(const part::PartitionRequest& r);
 
+/// Digest of the request fields a warm start must AGREE on — k and the
+/// constraint set. The seed is deliberately excluded: a previous answer for
+/// the same shape of question remains a valid warm start for a different
+/// seed, and a service's near-identical arrivals routinely vary it. Used to
+/// key SimilarityIndex compatibility, never the exact result cache.
+std::uint64_t request_compat_fingerprint(const part::PartitionRequest& r);
+
 }  // namespace ppnpart::engine

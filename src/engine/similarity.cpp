@@ -1,0 +1,65 @@
+#include "engine/similarity.hpp"
+
+namespace ppnpart::engine {
+
+std::optional<SimilarityIndex::Match> SimilarityIndex::best_match(
+    const support::GraphSketch& sketch, std::uint64_t compat_fp,
+    double min_similarity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto best = entries_.end();
+  double best_sim = 0;
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->compat_fp != compat_fp) continue;
+    const double sim = support::sketch_similarity(sketch, it->sketch);
+    // Strict >: ties keep the earlier (more recently used) entry, so equal
+    // candidates resolve deterministically toward recency.
+    if (sim >= min_similarity && sim > best_sim) {
+      best = it;
+      best_sim = sim;
+    }
+  }
+  if (best == entries_.end()) return std::nullopt;
+  entries_.splice(entries_.begin(), entries_, best);  // LRU touch
+  return Match{*best, best_sim};
+}
+
+void SimilarityIndex::insert(Entry entry) {
+  if (capacity_ == 0) return;
+  if (!entry.partition.complete()) return;  // never index a non-answer
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->graph_fp == entry.graph_fp && it->compat_fp == entry.compat_fp) {
+      *it = std::move(entry);
+      entries_.splice(entries_.begin(), entries_, it);
+      return;
+    }
+  }
+  entries_.push_front(std::move(entry));
+  ++insertions_;
+  if (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t SimilarityIndex::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SimilarityIndex::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::uint64_t SimilarityIndex::insertions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return insertions_;
+}
+
+std::uint64_t SimilarityIndex::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace ppnpart::engine

@@ -1,0 +1,113 @@
+#pragma once
+// Similarity index — the engine's memory of recently served graphs, keyed
+// by sketch rather than by exact fingerprint.
+//
+// The exact result cache answers "have I seen exactly this job?". The
+// SimilarityIndex answers the softer admission question: "have I recently
+// served a graph so close to this arrival that diffing into it and
+// warm-starting beats a full portfolio run?". Each entry retains the served
+// graph itself (shared, immutable), its content fingerprint, its
+// GraphSketch, a request-compatibility digest (k + constraints, not the
+// seed) and the complete partition that answered it — everything
+// IncrementalPartitioner::try_repartition_diffed needs to turn a near-hit
+// into a warm start.
+//
+// Lookup is a linear scan of at most `capacity` entries, each a kSlots-word
+// sketch comparison: ~microseconds against portfolio runs that cost
+// milliseconds to seconds, so no sublinear structure is warranted at these
+// capacities. Matching entries are LRU-touched; insertion replaces an entry
+// with the same (graph fingerprint, compatibility) identity, and evicts the
+// least recently used entry past capacity.
+//
+// Memory: entries hold shared_ptr<const Graph>, so the index pins up to
+// `capacity` graphs (plus one partition vector each). Size the capacity to
+// the working set you want warm, not to the traffic rate.
+//
+// Thread-safe; every method takes the internal mutex. Correctness contract
+// (enforced by the caller, see engine.cpp): a match is a HINT — the caller
+// must re-verify via diff + bit-identical reconstruction before reusing
+// anything, and must never write a similarity-served answer into the exact
+// result cache.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "graph/graph.hpp"
+#include "partition/partition.hpp"
+#include "support/graph_sketch.hpp"
+
+namespace ppnpart::engine {
+
+/// Admission-pipeline knobs (EngineOptions::similarity). Defaults are
+/// documented in README "Tuning the admission pipeline".
+struct SimilarityOptions {
+  /// Master switch, off by default: similarity admission deliberately
+  /// trades a little cut quality (warm starts refine, they do not V-cycle)
+  /// and cross-history reproducibility (answers depend on which graphs were
+  /// served before) for a large latency win on near-identical traffic.
+  /// Opt-in keeps the default engine bit-compatible with its history.
+  bool enabled = false;
+  /// Retained entries (graphs pinned); 0 behaves like enabled == false.
+  std::size_t capacity = 32;
+  /// Minimum sketch similarity to attempt a diff. 1%-edited twins sketch
+  /// at ~0.95; unrelated graphs at ~0. The gap is wide — 0.5 is a
+  /// round-trip-saving pre-filter, not a precision instrument.
+  double min_sketch_similarity = 0.5;
+};
+
+struct SimilarityStats {
+  std::uint64_t probes = 0;     // admissions that consulted the index
+  std::uint64_t near_hits = 0;  // warm starts served from a sketch match
+  std::uint64_t declines = 0;   // probes routed to the full path instead
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class SimilarityIndex {
+ public:
+  explicit SimilarityIndex(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    support::GraphSketch sketch;
+    std::shared_ptr<const graph::Graph> graph;
+    std::uint64_t graph_fp = 0;   // content fingerprint of `graph`
+    std::uint64_t compat_fp = 0;  // request_compat_fingerprint of the answer
+    part::Partition partition;    // the complete partition served for it
+  };
+
+  struct Match {
+    Entry entry;  // copied out under the lock; safe to use unlocked
+    double similarity = 0;
+  };
+
+  /// Best entry with matching `compat_fp` and sketch similarity >=
+  /// `min_similarity` (ties broken toward recency); LRU-touches it.
+  std::optional<Match> best_match(const support::GraphSketch& sketch,
+                                  std::uint64_t compat_fp,
+                                  double min_similarity);
+
+  /// Inserts (or refreshes, keyed by graph_fp + compat_fp) an entry.
+  /// Incomplete partitions are rejected — only servable warm starts belong
+  /// in the index.
+  void insert(Entry entry);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Lifetime insert/evict traffic (probe counters live in EngineStats —
+  /// hits and declines are admission decisions, not index properties).
+  std::uint64_t insertions() const;
+  std::uint64_t evictions() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace ppnpart::engine

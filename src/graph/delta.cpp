@@ -67,6 +67,14 @@ void GraphDelta::set_edge_weight(NodeId u, NodeId v, Weight w) {
       {u, v, w, EdgeOpKind::kSet, static_cast<std::uint32_t>(edge_ops_.size())});
 }
 
+std::vector<GraphDelta::EdgeEdit> GraphDelta::edge_edits() const {
+  std::vector<EdgeEdit> edits;
+  edits.reserve(edge_ops_.size());
+  for (const EdgeOp& op : edge_ops_)
+    edits.push_back({op.u, op.v, op.w, op.kind});
+  return edits;
+}
+
 GraphDelta::Applied GraphDelta::apply(const Graph& base) const {
   if (base.num_nodes() != base_nodes_)
     throw std::invalid_argument("GraphDelta::apply: base graph size mismatch");

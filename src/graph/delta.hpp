@@ -38,6 +38,8 @@
 // equivalence.
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -92,8 +94,29 @@ class GraphDelta {
   /// positive weights, and remove_edge is the only way to delete an edge.
   Applied apply(const Graph& base) const;
 
- private:
+  // ---- Introspection — script serialization (ppnpart --diff emits the
+  // CLI's --delta grammar from these). Replaying node adds, reweights, edge
+  // ops (script order) and removals LAST through a fresh delta reproduces
+  // this delta's apply() exactly: every op then references a live node, and
+  // apply strands ops on removed endpoints regardless of script position.
   enum class EdgeOpKind : std::uint8_t { kAdd, kRemove, kSet };
+  struct EdgeEdit {
+    NodeId u, v;  // canonical: u < v, extended ids
+    Weight w;     // 0 for kRemove
+    EdgeOpKind kind;
+  };
+  /// Weights of the nodes added by this delta, in add (extended-id) order.
+  std::span<const Weight> added_node_weights() const { return added_weights_; }
+  /// (node, weight) reweight ops in script order.
+  std::span<const std::pair<NodeId, Weight>> node_weight_edits() const {
+    return node_weight_ops_;
+  }
+  /// Nodes removed by this delta, in script order.
+  std::span<const NodeId> removed_nodes() const { return removed_; }
+  /// The edge ops in script order.
+  std::vector<EdgeEdit> edge_edits() const;
+
+ private:
   struct EdgeOp {
     NodeId u, v;  // canonical: u < v, extended ids
     Weight w;

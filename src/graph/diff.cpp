@@ -1,0 +1,73 @@
+#include "graph/diff.hpp"
+
+#include <algorithm>
+
+namespace ppnpart::graph {
+
+bool bit_identical(const Graph& a, const Graph& b) {
+  return a.xadj() == b.xadj() && a.adj() == b.adj() &&
+         a.raw_edge_weights() == b.raw_edge_weights() &&
+         a.node_weights() == b.node_weights();
+}
+
+GraphDelta diff(const Graph& base, const Graph& edited) {
+  const NodeId na = base.num_nodes();
+  const NodeId nb = edited.num_nodes();
+  const NodeId nc = std::min(na, nb);  // aligned prefix
+  GraphDelta d(na);
+
+  // Additions first: the extended ids they mint ([na, nb), in order) must be
+  // live before any edge op references them — and under tail-only removals
+  // they compact to exactly the edited graph's ids.
+  for (NodeId u = na; u < nb; ++u) d.add_node(edited.node_weight(u));
+
+  // Node reweights on the aligned prefix.
+  for (NodeId u = 0; u < nc; ++u) {
+    if (base.node_weight(u) != edited.node_weight(u))
+      d.set_node_weight(u, edited.node_weight(u));
+  }
+
+  // Edge edits: per-row sorted merge, each undirected edge visited once via
+  // its lower endpoint (v > u). Base edges whose other endpoint is removed
+  // ([nc, na)) strand with the removal and need no op; edited edges into
+  // added nodes ([nc, nb)) are creations like any other.
+  for (NodeId u = 0; u < nb; ++u) {
+    const auto en = edited.neighbors(u);
+    const auto ew = edited.edge_weights(u);
+    const auto bn = u < nc ? base.neighbors(u) : std::span<const NodeId>{};
+    const auto bw = u < nc ? base.edge_weights(u) : std::span<const Weight>{};
+    std::size_t bi = std::upper_bound(bn.begin(), bn.end(), u) - bn.begin();
+    std::size_t ei = std::upper_bound(en.begin(), en.end(), u) - en.begin();
+    while (bi < bn.size() || ei < en.size()) {
+      // Stranded base edge: the other endpoint is removed by this diff.
+      if (bi < bn.size() && bn[bi] >= nc) {
+        ++bi;
+        continue;
+      }
+      const bool have_base = bi < bn.size();
+      const bool have_edit = ei < en.size();
+      const NodeId vb = have_base ? bn[bi] : kInvalidNode;
+      const NodeId ve = have_edit ? en[ei] : kInvalidNode;
+      if (have_base && (!have_edit || vb < ve)) {
+        d.remove_edge(u, vb);
+        ++bi;
+      } else if (have_edit && (!have_base || ve < vb)) {
+        d.add_edge(u, ve, ew[ei]);
+        ++ei;
+      } else {
+        if (bw[bi] != ew[ei]) d.set_edge_weight(u, ve, ew[ei]);
+        ++bi;
+        ++ei;
+      }
+    }
+  }
+
+  // Tail removals last, so every edge op above referenced a live node at
+  // script-build time. apply() strands nothing extra: no surviving edge op
+  // touches [nb, na).
+  for (NodeId u = nb; u < na; ++u) d.remove_node(u);
+
+  return d;
+}
+
+}  // namespace ppnpart::graph

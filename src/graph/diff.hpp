@@ -1,0 +1,50 @@
+#pragma once
+// Reconstructing an edit script from two concrete graphs — the inverse of
+// GraphDelta::apply, and the front half of similarity-aware admission.
+//
+// The incremental-repartitioning path (PR 4) is driven by a GraphDelta, but
+// a service fronting many users mostly receives plain CSR graphs: the caller
+// edited its network out-of-band and hands over the result, not the edits.
+// diff(base, edited) recovers a minimal edit script between the two under
+// **stable-id alignment**:
+//
+//   * node ids [0, min(na, nb)) name the same process in both graphs
+//     (process networks evolve in place, so ids are stable across edits);
+//   * when the edited graph is larger, ids [na, nb) are node additions — in
+//     the delta's extended-id convention they get exactly those ids;
+//   * when it is smaller, ids [nb, na) are node removals (their incident
+//     edges strand with them, as GraphDelta::remove_node specifies).
+//
+// Within the aligned prefix, per-row sorted merges recover edge additions
+// (add_edge at the edited weight), removals (remove_edge) and reweights
+// (set_edge_weight), plus node reweights. The script is minimal for this
+// alignment: identical rows contribute no ops, and diff(a, a) is empty.
+//
+// Invariant (fuzzed by tests/diff_property_test.cpp, and re-verified at
+// runtime by IncrementalPartitioner::try_repartition_diffed before any
+// partition is reused): diff(a, b).apply(a).graph is BIT-IDENTICAL to b —
+// same CSR arrays, same weights — and the reported node map is the
+// alignment itself (identity on survivors). Graphs whose ids are *not*
+// stable across versions still satisfy the invariant; they just produce a
+// large script, which the admission gates route to a full run.
+//
+// Complexity: O(V + E) over both graphs plus O(ops log ops) inside the
+// resulting delta's apply.
+
+#include "graph/delta.hpp"
+#include "graph/graph.hpp"
+
+namespace ppnpart::graph {
+
+/// Reconstructs the edit script turning `base` into `edited` under
+/// stable-id alignment (see file comment). Total: any pair of graphs has a
+/// diff; near-identical pairs have a near-empty one.
+GraphDelta diff(const Graph& base, const Graph& edited);
+
+/// Exact CSR bit-identity — all four identity-bearing arrays compared, no
+/// hashing. THE check behind diff's reconstruction contract, shared by the
+/// engine's zero-invalid-reuse rail (incremental.cpp) and the CLI's --diff
+/// replay verification so the two can never drift apart.
+bool bit_identical(const Graph& a, const Graph& b);
+
+}  // namespace ppnpart::graph

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "graph/diff.hpp"
 #include "partition/refine.hpp"
 #include "partition/workspace.hpp"
 #include "support/prng.hpp"
@@ -177,6 +178,46 @@ std::optional<PartitionResult> IncrementalPartitioner::try_repartition(
     const PartitionRequest& request, IncrementalStats* stats) {
   return try_repartition(applied.graph, prev, applied.node_map,
                          applied.touched, request, stats);
+}
+
+std::optional<PartitionResult> IncrementalPartitioner::try_repartition_diffed(
+    const Graph& base, const Graph& arriving, const Partition& prev,
+    const PartitionRequest& request, IncrementalStats* stats) {
+  const auto decline = [&](const char* reason) -> std::optional<PartitionResult> {
+    if (stats != nullptr) {
+      *stats = IncrementalStats{};
+      stats->fell_back = true;
+      stats->fallback_reason = reason;
+    }
+    return std::nullopt;
+  };
+  // A mismatched warm start declines instead of throwing: the admission
+  // pipeline treats any decline as "run the full path", and a service loop
+  // must survive a stale index entry.
+  if (prev.size() != base.num_nodes())
+    return decline("previous partition does not match the base graph");
+  if (!prev.complete()) return decline("previous partition incomplete");
+
+  const graph::GraphDelta delta = graph::diff(base, arriving);
+  const std::size_t diff_ops = delta.num_ops();
+  if (static_cast<double>(diff_ops) >
+      options_.max_diff_ops_fraction *
+          static_cast<double>(arriving.num_nodes()))
+    return decline("diff too large");
+
+  graph::GraphDelta::Applied applied = delta.apply(base);
+  // Zero-invalid-reuse rail: the reconstruction must BE the arriving graph,
+  // bit for bit. diff's invariant guarantees it; this exact comparison
+  // makes a violation decline (full run) instead of corrupting an answer.
+  if (!graph::bit_identical(applied.graph, arriving))
+    return decline("diff reconstruction mismatch");
+
+  // The reconstruction and `arriving` are interchangeable now; run on
+  // `arriving` so the result indexes the caller's object.
+  auto result = try_repartition(arriving, prev, applied.node_map,
+                                applied.touched, request, stats);
+  if (stats != nullptr) stats->diff_ops = diff_ops;
+  return result;
 }
 
 PartitionResult IncrementalPartitioner::repartition(

@@ -44,6 +44,11 @@ struct IncrementalOptions {
   /// Decline when the delta touched more than this fraction of the new
   /// graph's nodes — past it, boundary repair stops beating a V-cycle.
   double max_touched_fraction = 0.25;
+  /// Diff-driven warm starts only (try_repartition_diffed): decline when the
+  /// reconstructed edit script carries more than this fraction * |arriving|
+  /// ops — a cheap pre-gate that skips the apply/verify work on arrivals
+  /// that merely share a sketch, before max_touched_fraction gets its say.
+  double max_diff_ops_fraction = 0.25;
   /// Decline when the projected partition's max load exceeds this multiple
   /// of the average part load: the previous solution is too skewed to be a
   /// useful warm start. Only applies under resource budgets (rmax or
@@ -68,6 +73,8 @@ struct IncrementalStats {
   NodeId projected = 0;         // nodes that kept their previous part
   NodeId fresh = 0;             // new nodes assigned greedily
   Goodness projected_goodness;  // valid when !fell_back
+  /// try_repartition_diffed only: size of the reconstructed edit script.
+  std::size_t diff_ops = 0;
 };
 
 class IncrementalPartitioner {
@@ -94,6 +101,20 @@ class IncrementalPartitioner {
   /// Convenience: unpacks a GraphDelta::Applied.
   std::optional<PartitionResult> try_repartition(
       const graph::GraphDelta::Applied& applied, const Partition& prev,
+      const PartitionRequest& request, IncrementalStats* stats = nullptr);
+
+  /// Warm start from a near-identical BASE graph when the caller supplied
+  /// no delta at all — the similarity-admission path. Reconstructs
+  /// base -> arriving as an edit script via graph::diff, pre-gates on its
+  /// size (max_diff_ops_fraction), replays it to recover the node map and
+  /// touched set, and — the zero-invalid-reuse rail — verifies the replayed
+  /// graph is BIT-IDENTICAL to `arriving` (exact CSR array comparison, no
+  /// hashing) before running the normal warm-started path on `arriving`.
+  /// `prev` is the (complete) partition previously answered for `base`.
+  /// Returns nullopt with `stats->fallback_reason` set when any gate fires;
+  /// a returned result is always a valid partition OF `arriving`.
+  std::optional<PartitionResult> try_repartition_diffed(
+      const Graph& base, const Graph& arriving, const Partition& prev,
       const PartitionRequest& request, IncrementalStats* stats = nullptr);
 
   /// try_repartition, falling back to a full `fallback_algorithm` run when

@@ -1,0 +1,64 @@
+#include "support/graph_sketch.hpp"
+
+#include <limits>
+
+#include "support/prng.hpp"
+
+namespace ppnpart::support {
+
+namespace {
+
+constexpr std::uint64_t kEmptySlot = std::numeric_limits<std::uint64_t>::max();
+
+/// Stateless splitmix64 round (the header's splitmix64 advances a stream).
+inline std::uint64_t mix(std::uint64_t x) {
+  std::uint64_t state = x;
+  return splitmix64(state);
+}
+
+}  // namespace
+
+GraphSketch sketch_of(const graph::Graph& g) {
+  GraphSketch s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  s.slots.fill(kEmptySlot);
+
+  // Per-slot salts, derived once; constexpr-stable across runs so sketches
+  // are comparable across processes.
+  std::array<std::uint64_t, GraphSketch::kSlots> salts;
+  std::uint64_t salt_state = 0x736b657463683031ull;  // "sketch01"
+  for (auto& salt : salts) salt = splitmix64(salt_state);
+
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    // Feature of node u: identity plus its local shape. Any edit to u's
+    // weight or an incident channel changes this hash.
+    graph::Weight incident = 0;
+    for (const graph::Weight w : g.edge_weights(u)) incident += w;
+    std::uint64_t h = mix(0x6665617475726531ull ^ u);
+    h = mix(h ^ static_cast<std::uint64_t>(g.node_weight(u)));
+    h = mix(h ^ g.degree(u));
+    h = mix(h ^ static_cast<std::uint64_t>(incident));
+    for (std::size_t i = 0; i < GraphSketch::kSlots; ++i) {
+      const std::uint64_t v = mix(h ^ salts[i]);
+      if (v < s.slots[i]) s.slots[i] = v;
+    }
+  }
+  return s;
+}
+
+double sketch_similarity(const GraphSketch& a, const GraphSketch& b) {
+  std::size_t agree = 0;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < GraphSketch::kSlots; ++i) {
+    // Sentinel slots (empty graphs) only agree with sentinel slots; a pair
+    // of empty graphs is legitimately identical.
+    if (a.slots[i] == kEmptySlot && b.slots[i] == kEmptySlot) continue;
+    ++live;
+    if (a.slots[i] == b.slots[i]) ++agree;
+  }
+  if (live == 0) return 1.0;  // both empty
+  return static_cast<double>(agree) / static_cast<double>(live);
+}
+
+}  // namespace ppnpart::support

@@ -1,0 +1,303 @@
+// graph::diff — the reconstruction invariant behind similarity-aware
+// admission: diff(a, b).apply(a).graph must be BIT-IDENTICAL to b (same CSR
+// arrays, same digests) for ANY pair of graphs, because the engine reuses a
+// previous partition only after replaying exactly this reconstruction.
+//
+// The fuzz here drives randomized pairs through every edit class the delta
+// layer supports — channel reweights, channel adds/removes, process
+// additions (with wiring), process removals (stranding their channels,
+// sometimes cascading until nodes are isolated), heavy shrinks down to
+// fewer nodes than k — plus entirely unrelated pairs, where the invariant
+// must still hold even though the script is large.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/delta.hpp"
+#include "graph/diff.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "partition/coarsen_cache.hpp"  // part::graph_digest
+#include "support/prng.hpp"
+
+namespace ppnpart {
+namespace {
+
+using graph::Graph;
+using graph::GraphDelta;
+using graph::NodeId;
+using graph::Weight;
+
+/// Bit-identity, asserted on the raw CSR arrays (stronger than the digest,
+/// which is also checked because it is what the engine's caches key on).
+void expect_bit_identical(const Graph& a, const Graph& b, const char* what) {
+  EXPECT_EQ(a.xadj(), b.xadj()) << what;
+  EXPECT_EQ(a.adj(), b.adj()) << what;
+  EXPECT_EQ(a.raw_edge_weights(), b.raw_edge_weights()) << what;
+  EXPECT_EQ(a.node_weights(), b.node_weights()) << what;
+  EXPECT_EQ(part::graph_digest(a), part::graph_digest(b)) << what;
+}
+
+void expect_round_trip(const Graph& base, const Graph& edited,
+                       const char* what) {
+  const GraphDelta d = graph::diff(base, edited);
+  const GraphDelta::Applied applied = d.apply(base);
+  expect_bit_identical(applied.graph, edited, what);
+  ASSERT_EQ(applied.node_map.size(),
+            static_cast<std::size_t>(
+                std::max(base.num_nodes(), edited.num_nodes())));
+  // Stable-id alignment: survivors keep their ids, so the node map is the
+  // identity on [0, edited nodes) and invalid on the removed tail.
+  for (NodeId u = 0; u < edited.num_nodes(); ++u)
+    EXPECT_EQ(applied.node_map[u], u) << what;
+  for (NodeId u = edited.num_nodes(); u < base.num_nodes(); ++u)
+    EXPECT_EQ(applied.node_map[u], graph::kInvalidNode) << what;
+}
+
+/// A random edit script over `g`, exercising every op kind. Mirrors the
+/// evolving-network generator in spirit but stays self-contained (tests do
+/// not include bench headers).
+GraphDelta random_edits(const Graph& g, std::size_t ops, support::Rng& rng,
+                        bool allow_node_ops) {
+  GraphDelta d(g);
+  std::vector<NodeId> live;
+  live.reserve(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) live.push_back(u);
+  for (std::size_t i = 0; i < ops && live.size() >= 2; ++i) {
+    const std::size_t roll = rng.uniform_index(100);
+    const NodeId u = live[rng.uniform_index(live.size())];
+    if (roll < 35 && g.degree(u) != 0) {  // reweight a surviving channel
+      const NodeId v = g.neighbors(u)[rng.uniform_index(g.degree(u))];
+      if (std::find(live.begin(), live.end(), v) != live.end()) {
+        d.set_edge_weight(u, v, 1 + static_cast<Weight>(rng.uniform_index(20)));
+        continue;
+      }
+    }
+    if (roll < 50 && g.degree(u) != 0) {  // delete a surviving channel
+      const NodeId v = g.neighbors(u)[rng.uniform_index(g.degree(u))];
+      if (std::find(live.begin(), live.end(), v) != live.end()) {
+        d.remove_edge(u, v);
+        continue;
+      }
+    }
+    if (roll < 65) {  // add a channel
+      const NodeId v = live[rng.uniform_index(live.size())];
+      if (u != v) d.add_edge(u, v, 1 + static_cast<Weight>(rng.uniform_index(9)));
+      continue;
+    }
+    if (roll < 75) {  // reweight a process
+      d.set_node_weight(u, 1 + static_cast<Weight>(rng.uniform_index(90)));
+      continue;
+    }
+    if (!allow_node_ops) continue;
+    if (roll < 88) {  // add a process wired into the live set
+      const NodeId fresh =
+          d.add_node(5 + static_cast<Weight>(rng.uniform_index(60)));
+      d.add_edge(fresh, live[rng.uniform_index(live.size())],
+                 1 + static_cast<Weight>(rng.uniform_index(9)));
+      if (rng.bernoulli(0.5))
+        d.add_edge(fresh, live[rng.uniform_index(live.size())],
+                   1 + static_cast<Weight>(rng.uniform_index(9)));
+      continue;
+    }
+    // retire a process, stranding its channels
+    const std::size_t idx = rng.uniform_index(live.size());
+    d.remove_node(live[idx]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return d;
+}
+
+Graph random_graph(support::Rng& rng) {
+  switch (rng.uniform_index(4)) {
+    case 0: {
+      graph::ProcessNetworkParams p;
+      p.num_nodes = static_cast<NodeId>(8 + rng.uniform_index(120));
+      p.layers = std::max<std::uint32_t>(2, p.num_nodes / 8);
+      return graph::random_process_network(p, rng);
+    }
+    case 1:
+      return graph::erdos_renyi_gnm(
+          static_cast<NodeId>(4 + rng.uniform_index(60)),
+          4 + rng.uniform_index(150), rng, {1, 40}, {1, 12});
+    case 2:
+      return graph::ring_of_cliques(
+          2 + static_cast<std::uint32_t>(rng.uniform_index(5)),
+          2 + static_cast<std::uint32_t>(rng.uniform_index(4)));
+    default:
+      return graph::preferential_attachment(
+          static_cast<NodeId>(6 + rng.uniform_index(80)), 2, rng, {1, 30},
+          {1, 8});
+  }
+}
+
+// ---------------------------------------------------------- round trips ---
+
+TEST(GraphDiff, IdenticalGraphsDiffEmpty) {
+  support::Rng rng(101);
+  for (int i = 0; i < 20; ++i) {
+    const Graph g = random_graph(rng);
+    const GraphDelta d = graph::diff(g, g);
+    EXPECT_TRUE(d.empty());
+    expect_round_trip(g, g, "identical pair");
+  }
+}
+
+TEST(GraphDiff, RoundTripOverRandomEditScripts) {
+  support::Rng rng(202);
+  for (int i = 0; i < 120; ++i) {
+    const Graph base = random_graph(rng);
+    const std::size_t ops = 1 + rng.uniform_index(30);
+    const GraphDelta edits =
+        random_edits(base, ops, rng, /*allow_node_ops=*/true);
+    const Graph edited = edits.apply(base).graph;
+    expect_round_trip(base, edited, "edited pair");
+  }
+}
+
+TEST(GraphDiff, RoundTripUnderHeavyShrinkIncludingBelowK) {
+  // The similarity scenario's nastiest shape: the arriving graph shrank so
+  // far that fewer nodes than parts remain (k > n downstream) and most base
+  // edges strand. The diff must still reconstruct it exactly.
+  support::Rng rng(303);
+  for (int i = 0; i < 40; ++i) {
+    const Graph base = random_graph(rng);
+    GraphDelta shrink(base);
+    const NodeId keep =
+        static_cast<NodeId>(rng.uniform_index(4));  // 0..3 survivors
+    for (NodeId u = base.num_nodes(); u-- > keep;) shrink.remove_node(u);
+    const Graph edited = shrink.apply(base).graph;
+    ASSERT_EQ(edited.num_nodes(), std::min(keep, base.num_nodes()));
+    expect_round_trip(base, edited, "heavy shrink");
+    expect_round_trip(edited, base, "heavy grow (reverse direction)");
+  }
+}
+
+TEST(GraphDiff, RoundTripBetweenUnrelatedGraphs) {
+  // diff is total: even a pair that shares nothing must reconstruct. The
+  // script is large — the admission gates, not diff itself, are what route
+  // such pairs to a full run.
+  support::Rng rng(404);
+  for (int i = 0; i < 40; ++i) {
+    const Graph a = random_graph(rng);
+    const Graph b = random_graph(rng);
+    expect_round_trip(a, b, "unrelated pair");
+    expect_round_trip(b, a, "unrelated pair (reversed)");
+  }
+}
+
+TEST(GraphDiff, EmptyAndTinyGraphs) {
+  // The canonical zero-node CSR (xadj == {0}), as GraphBuilder and
+  // GraphDelta::apply both produce it — a default-constructed Graph{} is a
+  // distinct degenerate representation outside the apply/rebuild contract.
+  const Graph empty = graph::GraphBuilder(0).build();
+  support::Rng rng(505);
+  const Graph g = random_graph(rng);
+  expect_round_trip(empty, g, "empty -> g");
+  expect_round_trip(g, empty, "g -> empty");
+  expect_round_trip(empty, empty, "empty -> empty");
+
+  // Single node, no edges.
+  graph::GraphBuilder one(1);
+  const Graph single = one.build();
+  expect_round_trip(single, g, "single -> g");
+  expect_round_trip(g, single, "g -> single");
+}
+
+// ----------------------------------------------------------- minimality ---
+
+TEST(GraphDiff, ScriptIsMinimalForSmallEdits) {
+  graph::GraphBuilder b(6);
+  b.add_edge(0, 1, 4);
+  b.add_edge(1, 2, 5);
+  b.add_edge(2, 3, 6);
+  b.add_edge(3, 4, 7);
+  b.add_edge(4, 5, 8);
+  const Graph base = b.build();
+
+  // One reweight -> exactly one op.
+  {
+    GraphDelta e(base);
+    e.set_edge_weight(1, 2, 9);
+    const Graph edited = e.apply(base).graph;
+    EXPECT_EQ(graph::diff(base, edited).num_ops(), 1u);
+  }
+  // One node addition wired by one channel -> exactly two ops.
+  {
+    GraphDelta e(base);
+    const NodeId fresh = e.add_node(11);
+    e.add_edge(fresh, 0, 2);
+    const Graph edited = e.apply(base).graph;
+    EXPECT_EQ(graph::diff(base, edited).num_ops(), 2u);
+  }
+  // Removing the LAST node (stable ids!) -> exactly one op; its stranded
+  // channel costs nothing.
+  {
+    GraphDelta e(base);
+    e.remove_node(5);
+    const Graph edited = e.apply(base).graph;
+    EXPECT_EQ(graph::diff(base, edited).num_ops(), 1u);
+  }
+}
+
+// ----------------------------------------------- introspection / replay ---
+
+TEST(GraphDiff, EdgeEditsExposeTheScriptInOrder) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 3);
+  b.add_edge(2, 3, 5);
+  const Graph base = b.build();
+
+  GraphDelta e(base);
+  e.set_edge_weight(0, 1, 7);
+  e.remove_edge(2, 3);
+  e.add_edge(1, 2, 2);
+  const auto edits = e.edge_edits();
+  ASSERT_EQ(edits.size(), 3u);
+  EXPECT_EQ(edits[0].kind, GraphDelta::EdgeOpKind::kSet);
+  EXPECT_EQ(edits[0].u, 0u);
+  EXPECT_EQ(edits[0].v, 1u);
+  EXPECT_EQ(edits[0].w, 7);
+  EXPECT_EQ(edits[1].kind, GraphDelta::EdgeOpKind::kRemove);
+  EXPECT_EQ(edits[2].kind, GraphDelta::EdgeOpKind::kAdd);
+  EXPECT_EQ(edits[2].w, 2);
+}
+
+TEST(GraphDiff, IntrospectionReplayReproducesApply) {
+  // The CLI's --diff serializer emits adds, reweights, edge ops, then
+  // removals; replaying that order through a fresh delta must reproduce
+  // apply() exactly (removal reordering is semantics-preserving because
+  // apply strands ops on removed endpoints wherever they sit).
+  support::Rng rng(606);
+  for (int i = 0; i < 60; ++i) {
+    const Graph base = random_graph(rng);
+    const GraphDelta d =
+        random_edits(base, 1 + rng.uniform_index(25), rng, true);
+
+    GraphDelta replay(base);
+    for (const Weight w : d.added_node_weights()) replay.add_node(w);
+    for (const auto& [u, w] : d.node_weight_edits()) replay.set_node_weight(u, w);
+    for (const auto& op : d.edge_edits()) {
+      switch (op.kind) {
+        case GraphDelta::EdgeOpKind::kAdd:
+          replay.add_edge(op.u, op.v, op.w);
+          break;
+        case GraphDelta::EdgeOpKind::kRemove:
+          replay.remove_edge(op.u, op.v);
+          break;
+        case GraphDelta::EdgeOpKind::kSet:
+          replay.set_edge_weight(op.u, op.v, op.w);
+          break;
+      }
+    }
+    for (const NodeId u : d.removed_nodes()) replay.remove_node(u);
+
+    expect_bit_identical(d.apply(base).graph, replay.apply(base).graph,
+                         "introspection replay");
+  }
+}
+
+}  // namespace
+}  // namespace ppnpart

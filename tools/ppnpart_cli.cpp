@@ -23,6 +23,21 @@
 //   --time-budget-ms N  per-job wall-clock budget (cooperative)
 //   --jobs N            batch N jobs with seeds seed..seed+N-1 and report
 //                       the best answer plus engine throughput/cache stats
+//   --similarity on|off similarity-aware admission (default off): arrivals
+//                       near-identical to a recently served graph are
+//                       diffed into a delta and warm-started instead of
+//                       paying a full portfolio run; the engine stats line
+//                       reports exact hits (cache_hits), near-hits and
+//                       declines
+//
+// Diff mode — reconstruct an edit script from two concrete graphs:
+//   --diff OLD NEW      (positional METIS .graph files) print the minimal
+//                       edit script turning OLD into NEW under stable-id
+//                       alignment, in exactly the --delta replay grammar:
+//                       `ppnpart --graph OLD --delta SCRIPT` replays it.
+//                       The script is verified (replay reconstructs NEW
+//                       bit-identically) before anything is printed; --out
+//                       redirects the script to a file.
 //
 // Delta replay mode — evolving networks (PR 4):
 //   --delta FILE        after a full initial run, replay an edit script
@@ -57,6 +72,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -64,6 +80,7 @@
 
 #include "engine/engine.hpp"
 #include "engine/portfolio.hpp"
+#include "graph/diff.hpp"
 #include "graph/io.hpp"
 #include "partition/exact.hpp"
 #include "partition/partitioner.hpp"
@@ -82,6 +99,83 @@ using namespace ppnpart;
 int fail(const char* message) {
   std::fprintf(stderr, "ppnpart: %s (try --help)\n", message);
   return 1;
+}
+
+/// Serializes a GraphDelta in the --delta replay grammar, in a replay-safe
+/// order: node adds (minting extended ids in order), node reweights, edge
+/// ops in script order, removals last — every op references a live node at
+/// replay-build time, and apply() strands ops on removed endpoints
+/// regardless of position, so the replay reproduces the delta exactly.
+void emit_delta_script(std::ostream& out, const graph::GraphDelta& d) {
+  for (const graph::Weight w : d.added_node_weights())
+    out << "addnode " << w << "\n";
+  for (const auto& [u, w] : d.node_weight_edits())
+    out << "nodew " << u << " " << w << "\n";
+  for (const auto& op : d.edge_edits()) {
+    switch (op.kind) {
+      case graph::GraphDelta::EdgeOpKind::kAdd:
+        out << "addedge " << op.u << " " << op.v << " " << op.w << "\n";
+        break;
+      case graph::GraphDelta::EdgeOpKind::kRemove:
+        out << "rmedge " << op.u << " " << op.v << "\n";
+        break;
+      case graph::GraphDelta::EdgeOpKind::kSet:
+        out << "setedge " << op.u << " " << op.v << " " << op.w << "\n";
+        break;
+    }
+  }
+  for (const graph::NodeId u : d.removed_nodes()) out << "rmnode " << u << "\n";
+  out << "commit\n";
+}
+
+/// --diff OLD NEW: reconstruct, verify, print. Returns the process exit
+/// code.
+int run_diff_mode(const std::string& old_path, const std::string& new_path,
+                  const std::string& out_path) {
+  auto read = [](const std::string& path, graph::Graph& g) -> int {
+    auto result = graph::read_metis_file(path);
+    if (!result) {
+      std::fprintf(stderr, "ppnpart: %s: %s\n", path.c_str(),
+                   result.status().message().c_str());
+      return 1;
+    }
+    g = std::move(result).value();
+    return 0;
+  };
+  graph::Graph old_g, new_g;
+  if (int rc = read(old_path, old_g); rc != 0) return rc;
+  if (int rc = read(new_path, new_g); rc != 0) return rc;
+
+  const graph::GraphDelta d = graph::diff(old_g, new_g);
+  // The replay contract, checked before a single line is printed: applying
+  // the script to OLD must reconstruct NEW bit-identically.
+  const graph::GraphDelta::Applied applied = d.apply(old_g);
+  if (!graph::bit_identical(applied.graph, new_g)) {
+    std::fprintf(stderr,
+                 "ppnpart: internal error: diff replay does not reconstruct "
+                 "'%s'\n",
+                 new_path.c_str());
+    return 1;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) return fail("cannot open --out file");
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+  out << "# ppnpart --diff " << old_path << " " << new_path << "\n"
+      << "# replay with: ppnpart --graph " << old_path << " --delta THIS\n";
+  emit_delta_script(out, d);
+
+  std::fprintf(
+      stderr,
+      "ppnpart: diff %s (n=%u) -> %s (n=%u): %zu ops "
+      "(+%u/-%u nodes, %zu edge ops)\n",
+      old_path.c_str(), old_g.num_nodes(), new_path.c_str(),
+      new_g.num_nodes(), d.num_ops(), d.nodes_added(), d.nodes_removed(),
+      d.edge_ops());
+  return 0;
 }
 
 }  // namespace
@@ -109,6 +203,12 @@ int main(int argc, char** argv) {
   args.add_string("delta", "",
                   "replay an edit script against the input network "
                   "(incremental repartitioning per commit)");
+  args.add_flag("diff",
+                "emit the edit script turning positional OLD into NEW "
+                "(METIS files), consumable by --delta");
+  args.add_string("similarity", "off",
+                  "engine mode: similarity-aware admission (on|off) — "
+                  "near-identical arrivals are diffed and warm-started");
   args.add_string("out", "", "write partition vector (one part id per line)");
   args.add_string("dot", "", "write colour-clustered DOT file");
   args.add_flag("quiet", "suppress the human-readable report");
@@ -126,6 +226,19 @@ int main(int argc, char** argv) {
     for (const std::string& name : ppn::workload_names())
       std::printf("%s\n", name.c_str());
     return 0;
+  }
+
+  const std::string similarity_mode = args.get_string("similarity");
+  if (similarity_mode != "on" && similarity_mode != "off")
+    return fail("--similarity must be 'on' or 'off'");
+  const bool similarity_on = similarity_mode == "on";
+
+  // ---- Diff mode: two positional graph files, no partitioning at all. ---
+  if (args.flag("diff")) {
+    if (args.positional().size() != 2)
+      return fail("--diff requires two positional graph files: OLD NEW");
+    return run_diff_mode(args.positional()[0], args.positional()[1],
+                         args.get_string("out"));
   }
 
   // ---- Resolve the input to a graph (and a network when we have one). ---
@@ -214,6 +327,7 @@ int main(int argc, char** argv) {
       eopts.portfolio = portfolio.value();
       eopts.time_budget_ms =
           static_cast<double>(args.get_int("time-budget-ms"));
+      eopts.similarity.enabled = similarity_on;
       engine::Engine eng(eopts);
 
       auto shared = std::make_shared<const graph::Graph>(std::move(g));
@@ -325,6 +439,7 @@ int main(int argc, char** argv) {
       eopts.portfolio = portfolio.value();
       eopts.time_budget_ms =
           static_cast<double>(args.get_int("time-budget-ms"));
+      eopts.similarity.enabled = similarity_on;
       engine::Engine eng(eopts);
 
       // One shared graph for the whole batch: N jobs hold one copy, the
@@ -366,20 +481,25 @@ int main(int argc, char** argv) {
         std::printf("portfolio : %s\n", eopts.portfolio.to_string().c_str());
         for (std::size_t j = 0; j < outcomes.size(); ++j) {
           std::printf(
-              "job %-5zu : seed=%llu winner=%s %s%s\n", j,
+              "job %-5zu : seed=%llu winner=%s %s%s%s\n", j,
               static_cast<unsigned long long>(job_seeds[j]),
               outcomes[j].winner.empty() ? "[all members failed]"
                                          : outcomes[j].winner.c_str(),
               part::describe(outcomes[j].best.metrics, constraints).c_str(),
-              outcomes[j].from_cache ? " [cache]" : "");
+              outcomes[j].from_cache ? " [cache]" : "",
+              outcomes[j].similarity ? " [similarity]" : "");
         }
       }
       const engine::EngineStats stats = eng.stats();
+      // Admission counters: exact hits are cache_hits, near-hits are
+      // similarity warm starts, declines are probes routed to the full
+      // path. sim_* stay 0 under --similarity off.
       std::printf(
           "engine jobs=%zu seconds=%.4f throughput=%.2f cache_hits=%llu "
           "members_run=%llu members_skipped=%llu members_failed=%llu "
           "coalesced=%llu fingerprints=%llu coarsen_hits=%llu "
-          "coarsen_builds=%llu\n",
+          "coarsen_builds=%llu sim_probes=%llu sim_near_hits=%llu "
+          "sim_declines=%llu\n",
           outcomes.size(), batch_seconds,
           batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
           static_cast<unsigned long long>(stats.cache.hits),
@@ -389,7 +509,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.jobs_coalesced),
           static_cast<unsigned long long>(stats.graph_fingerprints_computed),
           static_cast<unsigned long long>(stats.coarsening.hits),
-          static_cast<unsigned long long>(stats.coarsening.insertions));
+          static_cast<unsigned long long>(stats.coarsening.insertions),
+          static_cast<unsigned long long>(stats.similarity.probes),
+          static_cast<unsigned long long>(stats.similarity.near_hits),
+          static_cast<unsigned long long>(stats.similarity.declines));
     } else if (algo_name == "exact") {
       part::ExactOptions exact_opts;
       const part::ExactResult exact =
