@@ -11,6 +11,7 @@
 #include "graph/generators.hpp"
 #include "partition/gp.hpp"
 #include "partition/metislike.hpp"
+#include "partition/phase_profile.hpp"
 #include "partition/workspace.hpp"
 #include "support/timer.hpp"
 
@@ -43,20 +44,26 @@ inline part::PartitionRequest multilevel_workload_request(
 
 /// Warm-then-time harness: one untimed warming run, `reps` timed runs, and
 /// the workspace growth delta across the timed phase (0 == allocation-free
-/// steady state).
+/// steady state). The timed runs carry a PhaseProfile, so every harness
+/// built on this also reports where the time went (coarsen / initial /
+/// refine shares, accumulated across the `reps` runs).
 struct MultilevelCase {
   double seconds = 0;
   std::uint64_t ws_growths = 0;
   part::PartitionResult warm;
+  part::PhaseProfile phases;  // accumulated over the timed runs only
 };
 
 inline MultilevelCase run_multilevel_case(part::Partitioner& p,
                                           const graph::Graph& g,
                                           part::Workspace& ws, int reps) {
-  const part::PartitionRequest request = multilevel_workload_request(g, ws);
+  part::PartitionRequest request = multilevel_workload_request(g, ws);
   MultilevelCase result;
   result.warm = p.run(g, request);
   const std::uint64_t growths_before = ws.stats().growths;
+  // Profiling hooks cost two clock reads per level — noise against the
+  // millisecond-scale runs they account — so the timed phase carries them.
+  request.phases = &result.phases;
   support::Timer timer;
   for (int i = 0; i < reps; ++i) p.run(g, request);
   result.seconds = timer.seconds();

@@ -8,10 +8,40 @@
 #include "support/stop_token.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace ppnpart::engine {
 
 using part::goodness_of;
+
+const char* to_string(AdmissionDecision::Path path) {
+  switch (path) {
+    case AdmissionDecision::Path::kExactHit: return "exact-hit";
+    case AdmissionDecision::Path::kWarmStart: return "warm-start";
+    case AdmissionDecision::Path::kSimilarity: return "similarity";
+    case AdmissionDecision::Path::kFullPortfolio: return "full-portfolio";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kTraceCat = "engine";
+
+/// The admission decision record on the job's trace track: an instant event
+/// carrying the path (and decline reason, when a probe fell through).
+void trace_decision(std::uint64_t job_id, const AdmissionDecision& d) {
+  if (!support::Tracer::global().enabled()) return;
+  std::string detail = to_string(d.path);
+  if (!d.decline_reason.empty()) {
+    detail += "; declined: ";
+    detail += d.decline_reason;
+  }
+  support::trace_instant(kTraceCat, "admission", job_id,
+                         {{"sim_probed", d.sim_probed ? 1 : 0}}, detail);
+}
+
+}  // namespace
 
 /// All mutable state of one in-flight job. Tasks hold it by shared_ptr so a
 /// client collecting the outcome early never races task teardown.
@@ -30,6 +60,9 @@ struct Engine::JobState {
   /// full-path index insertion. Never accessed concurrently — admission
   /// runs before fan-out, finalize after every member finished.
   std::optional<support::GraphSketch> sketch;
+  /// Built up during admit() (same single-threaded window as `route`),
+  /// copied onto the outcome when the job completes.
+  AdmissionDecision decision;
   support::StopToken token;
   support::Timer timer;
 
@@ -56,13 +89,38 @@ Engine::Engine(EngineOptions options)
       coarsen_cache_(options_.coarsen_cache_capacity),
       incremental_(options_.incremental),
       sim_index_(options_.similarity.enabled ? options_.similarity.capacity
-                                             : 0) {
+                                             : 0),
+      metrics_(options_.metrics != nullptr
+                   ? *options_.metrics
+                   : support::MetricsRegistry::global()) {
   if (options_.portfolio.empty())
     throw std::invalid_argument("Engine: portfolio has no members");
   for (const std::string& name : options_.portfolio.members) {
     if (part::make_partitioner(name) == nullptr)
       throw std::invalid_argument("Engine: unknown portfolio member '" + name +
                                   "'");
+  }
+
+  // Resolve every metric handle once; the hot path then updates plain
+  // relaxed atomics without name lookups or registry locks.
+  path_metrics_.jobs = &metrics_.counter("engine.jobs");
+  path_metrics_.exact_hits = &metrics_.counter("engine.admit.exact_hit");
+  path_metrics_.warm_starts = &metrics_.counter("engine.admit.warm_start");
+  path_metrics_.sim_served = &metrics_.counter("engine.admit.similarity");
+  path_metrics_.sim_declined = &metrics_.counter("engine.admit.sim_decline");
+  path_metrics_.full_runs = &metrics_.counter("engine.admit.full_portfolio");
+  path_metrics_.job_us = &metrics_.histogram("engine.job.time_us");
+  member_metrics_.reserve(options_.portfolio.size());
+  for (const std::string& name : options_.portfolio.members) {
+    MemberMetrics mm;
+    mm.span_name = support::intern_name(name);
+    const std::string prefix = "engine.member." + name + ".";
+    mm.runs = &metrics_.counter(prefix + "runs");
+    mm.wins = &metrics_.counter(prefix + "wins");
+    mm.losses = &metrics_.counter(prefix + "losses");
+    mm.failures = &metrics_.counter(prefix + "failures");
+    mm.time_us = &metrics_.histogram(prefix + "time_us");
+    member_metrics_.push_back(mm);
   }
 }
 
@@ -149,6 +207,12 @@ PortfolioOutcome Engine::run_one_impl(std::shared_ptr<const graph::Graph> g,
     PortfolioOutcome out = std::move(*cached);
     out.from_cache = true;
     out.seconds = timer.seconds();
+    out.decision = AdmissionDecision{};
+    out.decision.path = AdmissionDecision::Path::kExactHit;
+    path_metrics_.jobs->add();
+    path_metrics_.exact_hits->add();
+    path_metrics_.job_us->observe(out.seconds * 1e6);
+    trace_decision(/*job_id=*/0, out.decision);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.jobs_completed;
     return out;
@@ -207,6 +271,16 @@ std::shared_ptr<Engine::JobState> Engine::admit(
     jobs_[state->id] = state;
   }
 
+  // One async span per job, opened on the admitting thread and closed
+  // wherever the job completes (an inline serve here, or a pool worker in
+  // finalize_job) — async events pair by (cat, name, id) across threads.
+  support::trace_async_begin(
+      kTraceCat, "job", state->id,
+      {{"nodes", static_cast<std::int64_t>(state->job.graph->num_nodes())},
+       {"edges", static_cast<std::int64_t>(state->job.graph->num_edges())},
+       {"k", static_cast<std::int64_t>(state->job.request.k)},
+       {"seed", static_cast<std::int64_t>(state->job.request.seed)}});
+
   // Stages 1-2 run inline on the admitting thread; an exception must not
   // leave a never-done state behind for ~Engine to wait on forever.
   try {
@@ -214,6 +288,8 @@ std::shared_ptr<Engine::JobState> Engine::admit(
     if (auto cached = check_cache ? cache_.lookup(state->key)
                                   : std::optional<PortfolioOutcome>{}) {
       state->route = Route::kResultCache;
+      state->decision.path = AdmissionDecision::Path::kExactHit;
+      path_metrics_.exact_hits->add();
       PortfolioOutcome out = std::move(*cached);
       out.from_cache = true;
       serve_inline(state, std::move(out));
@@ -227,12 +303,21 @@ std::shared_ptr<Engine::JobState> Engine::admit(
     // is never written to the exact result cache — it depends on the
     // previous answer it was seeded from, and the cache key does not.
     if (caller_warm != nullptr) {
-      if (auto warm = run_warm_start(state, *caller_warm, warm_stats)) {
+      part::IncrementalStats local_warm;
+      part::IncrementalStats* wstats =
+          warm_stats != nullptr ? warm_stats : &local_warm;
+      if (auto warm = run_warm_start(state, *caller_warm, wstats)) {
         state->route = Route::kWarmStart;
+        state->decision.path = AdmissionDecision::Path::kWarmStart;
+        path_metrics_.warm_starts->add();
         serve_warm(state, *std::move(warm), "incremental",
                    /*similarity_served=*/false);
         return state;
       }
+      // Declined: fall through to the portfolio, but keep the reason on
+      // the record — "why didn't my delta warm-start" is the first
+      // question a trace answers.
+      state->decision.decline_reason = wstats->fallback_reason;
     } else if (similarity_enabled() && admit_similarity(state)) {
       return state;
     }
@@ -269,14 +354,14 @@ std::optional<part::PartitionResult> Engine::run_warm_start(
 }
 
 bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
+  support::ScopedSpan span(kTraceCat, "sim-probe", state->id);
+  state->decision.sim_probed = true;
   state->sketch = support::sketch_of(*state->job.graph);
   const std::uint64_t compat =
       request_compat_fingerprint(state->job.request);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.similarity.probes;
-  }
   std::optional<part::PartitionResult> warm;
+  part::IncrementalStats istats;
+  istats.fallback_reason = "no sketch match";
   if (auto match =
           sim_index_.best_match(*state->sketch, compat,
                                 options_.similarity.min_sketch_similarity)) {
@@ -285,7 +370,9 @@ bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
     // before anything is reused. Declines (diff too large, k change,
     // projected imbalance, reconstruction mismatch) fall through to the
     // full path.
-    part::IncrementalStats istats;
+    span.arg("match_sim_pct",
+             static_cast<std::int64_t>(match->similarity * 100));
+    istats.fallback_reason.clear();
     std::lock_guard<std::mutex> lock(repart_mutex_);
     part::PartitionRequest req = state->job.request;
     req.workspace = &repart_ws_;
@@ -294,14 +381,28 @@ bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
                                                match->entry.partition, req,
                                                &istats);
   }
+  // The probe and its verdict are one transaction under ONE mutex_
+  // acquisition: a concurrent stats() reader always sees
+  // probes == near_hits + declines, never a probe whose outcome is still
+  // in flight.
   if (!warm.has_value()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.similarity.declines;
+    state->decision.decline_reason = istats.fallback_reason.empty()
+                                         ? "warm start declined"
+                                         : istats.fallback_reason;
+    path_metrics_.sim_declined->add();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.similarity.probes;
+      ++stats_.similarity.declines;
+    }
     return false;
   }
   state->route = Route::kSimilarity;
+  state->decision.path = AdmissionDecision::Path::kSimilarity;
+  path_metrics_.sim_served->add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.probes;
     ++stats_.similarity.near_hits;
   }
   serve_warm(state, *std::move(warm), "similarity", /*similarity_served=*/true);
@@ -321,6 +422,7 @@ void Engine::serve_warm(const std::shared_ptr<JobState>& state,
   MemberOutcome mo;
   mo.algorithm = winner;
   mo.ran = true;
+  mo.won = true;
   mo.goodness = goodness_of(out.best);
   mo.seconds = out.best.seconds;
   out.members.push_back(std::move(mo));
@@ -331,6 +433,12 @@ void Engine::serve_inline(const std::shared_ptr<JobState>& state,
                           PortfolioOutcome outcome) {
   outcome.key = state->key;
   outcome.seconds = state->timer.seconds();
+  outcome.decision = state->decision;
+  trace_decision(state->id, state->decision);
+  support::trace_async_end(kTraceCat, "job", state->id, {},
+                           to_string(state->decision.path));
+  path_metrics_.jobs->add();
+  path_metrics_.job_us->observe(outcome.seconds * 1e6);
   // Same ordering rule as finalize_job: every engine-member touch (here the
   // stats bump under mutex_) BEFORE `done` is published — the moment a
   // waiter on another thread observes done it may collect the outcome and
@@ -359,6 +467,12 @@ void Engine::maybe_index(const std::shared_ptr<JobState>& state,
 
 void Engine::launch_full(const std::shared_ptr<JobState>& state) {
   auto& pool = support::ThreadPool::global();
+
+  // Stage 3 is the decision (coalescing below shares the leader's WORK, but
+  // this job still routed full-portfolio): record it before fan-out.
+  state->decision.path = AdmissionDecision::Path::kFullPortfolio;
+  path_metrics_.full_runs->add();
+  trace_decision(state->id, state->decision);
 
   // Single-flight: a running twin of this job exists — attach to it and
   // share its outcome instead of racing a duplicate portfolio. Jobs
@@ -455,37 +569,54 @@ void Engine::run_member(const std::shared_ptr<JobState>& state,
   part::PartitionResult result;
   bool have_result = false;
   if (!skip) {
+    const MemberMetrics& mm = member_metrics_[index];
     support::Timer member_timer;
-    try {
-      auto algo = part::make_partitioner(options_.portfolio.members[index]);
-      part::PartitionRequest req = state->job.request;
-      // Stream `index` of the job seed: independent across members, stable
-      // across scheduling orders.
-      req.seed = support::SeedStream(state->job.request.seed).seed_for(index);
-      req.stop = &state->token;
-      // Coarsening reuse: hand every member the engine's cache plus the
-      // job's memoized graph identity, so the multilevel members share one
-      // canonical hierarchy per (graph, options) across jobs and members.
-      if (options_.coarsen_cache_capacity > 0) {
-        req.coarsen_cache = &coarsen_cache_;
-        req.graph_key = state->graph_fp;
+    {
+      // One span per member run, on the worker's own track, tied to the
+      // job's async span by id; it carries the member's derived seed going
+      // in and its outcome (cut, feasibility) coming out.
+      support::ScopedSpan span(kTraceCat, mm.span_name, state->id);
+      try {
+        auto algo = part::make_partitioner(options_.portfolio.members[index]);
+        part::PartitionRequest req = state->job.request;
+        // Stream `index` of the job seed: independent across members, stable
+        // across scheduling orders.
+        req.seed =
+            support::SeedStream(state->job.request.seed).seed_for(index);
+        req.stop = &state->token;
+        span.arg("seed", static_cast<std::int64_t>(req.seed));
+        // Coarsening reuse: hand every member the engine's cache plus the
+        // job's memoized graph identity, so the multilevel members share one
+        // canonical hierarchy per (graph, options) across jobs and members.
+        if (options_.coarsen_cache_capacity > 0) {
+          req.coarsen_cache = &coarsen_cache_;
+          req.graph_key = state->graph_fp;
+        }
+        result = algo->run(*state->job.graph, req);
+        have_result = true;
+        mo.ran = true;
+        mo.goodness = goodness_of(result);
+        span.arg("cut", static_cast<std::int64_t>(result.metrics.total_cut));
+        span.arg("feasible", result.feasible ? 1 : 0);
+      } catch (const std::exception& e) {
+        mo.ran = true;
+        mo.failed = true;
+        mo.error = e.what();
+        span.arg("failed", 1);
+        span.detail(mo.error);
+      } catch (...) {
+        // Never let an escaped exception leak into a dropped future: the
+        // `remaining` countdown below must always happen or wait() hangs.
+        mo.ran = true;
+        mo.failed = true;
+        mo.error = "unknown exception";
+        span.arg("failed", 1);
       }
-      result = algo->run(*state->job.graph, req);
-      have_result = true;
-      mo.ran = true;
-      mo.goodness = goodness_of(result);
-    } catch (const std::exception& e) {
-      mo.ran = true;
-      mo.failed = true;
-      mo.error = e.what();
-    } catch (...) {
-      // Never let an escaped exception leak into a dropped future: the
-      // `remaining` countdown below must always happen or wait() hangs.
-      mo.ran = true;
-      mo.failed = true;
-      mo.error = "unknown exception";
     }
     mo.seconds = member_timer.seconds();
+    mm.runs->add();
+    if (mo.failed) mm.failures->add();
+    mm.time_us->observe(mo.seconds * 1e6);
   }
 
   bool finished = false;
@@ -527,8 +658,10 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   std::uint64_t run = 0, skipped = 0, failed = 0;
   {
     std::lock_guard<std::mutex> lock(state->m);
+    if (state->have_best) state->members[state->best_index].won = true;
     PortfolioOutcome& out = state->outcome;
     out.key = state->key;
+    out.decision = state->decision;
     out.members = state->members;
     out.budget_expired = state->token.deadline_expired();
     out.seconds = state->timer.seconds();
@@ -543,6 +676,21 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     }
     snapshot = out;
   }
+
+  // Per-member win/loss history — the adaptive-portfolio feedback signal.
+  // `remaining` hit zero, so no member task writes these entries anymore.
+  for (std::size_t i = 0; i < snapshot.members.size(); ++i) {
+    const MemberOutcome& mo = snapshot.members[i];
+    if (!mo.ran || mo.failed) continue;
+    (mo.won ? member_metrics_[i].wins : member_metrics_[i].losses)->add();
+  }
+  path_metrics_.jobs->add();
+  path_metrics_.job_us->observe(snapshot.seconds * 1e6);
+  if (!snapshot.winner.empty())
+    support::trace_instant(kTraceCat, "winner", state->id, {},
+                           snapshot.winner);
+  support::trace_async_end(kTraceCat, "job", state->id, {},
+                           to_string(snapshot.decision.path));
 
   // Only complete answers are worth replaying to future twins. Budgets are
   // deliberately not part of the key: a cached answer computed under any
@@ -592,11 +740,17 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
       stats_.jobs_completed += followers.size();
     }
     for (const auto& f : followers) {
+      path_metrics_.jobs->add();
       {
         std::lock_guard<std::mutex> lock(f->m);
         f->outcome = snapshot;
         f->outcome.coalesced = true;
+        // The follower's own admission record, not the leader's (it routed
+        // full-portfolio and coalesced; the leader may have probed).
+        f->outcome.decision = f->decision;
         f->outcome.seconds = f->timer.seconds();
+        path_metrics_.job_us->observe(f->outcome.seconds * 1e6);
+        support::trace_async_end(kTraceCat, "job", f->id, {}, "coalesced");
         f->done = true;
       }
       f->cv.notify_all();
@@ -720,14 +874,18 @@ EngineStats Engine::stats() const {
   }
   s.cache = cache_.stats();
   s.coarsening = coarsen_cache_.stats();
-  s.similarity.insertions = sim_index_.insertions();
-  s.similarity.evictions = sim_index_.evictions();
+  // One lock acquisition for the pair, so evictions can never exceed
+  // insertions within a snapshot.
+  const SimilarityIndex::Counters sim = sim_index_.counters();
+  s.similarity.insertions = sim.insertions;
+  s.similarity.evictions = sim.evictions;
   s.graph_fingerprints_computed =
       fp_computed_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(repart_mutex_);
     s.repartition_ws_growths = repart_ws_.stats().growths;
   }
+  s.metrics = metrics_.snapshot();
   return s;
 }
 

@@ -81,6 +81,7 @@
 #include "partition/incremental.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/workspace.hpp"
+#include "support/metrics.hpp"
 
 namespace ppnpart::engine {
 
@@ -127,6 +128,13 @@ struct EngineOptions {
   /// Similarity-aware admission (stage 2 for plain CSR arrivals). Off by
   /// default — see SimilarityOptions for the knobs and the trade-offs.
   SimilarityOptions similarity;
+
+  /// Metrics sink (non-owning; must outlive the engine). Null = the
+  /// process-wide support::MetricsRegistry::global(). The engine records
+  /// admission-path counters, job latency histograms and per-member
+  /// run/win/loss/time series under the "engine." prefix; tests hand in a
+  /// private registry to assert exact values in isolation.
+  support::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-member accounting of one job.
@@ -136,8 +144,32 @@ struct MemberOutcome {
   double seconds = 0;
   bool ran = false;     // false = skipped by cancellation before starting
   bool failed = false;  // threw (e.g. Exact on an oversized graph)
+  bool won = false;     // this member's result was selected as the answer
   std::string error;
 };
+
+/// Structured admission decision record: which pipeline stage answered a
+/// job and why. Returned on the outcome and emitted as a trace instant, so
+/// "why did this job take the path it took" is answerable offline — the
+/// provenance signal the adaptive-portfolio roadmap item learns from.
+struct AdmissionDecision {
+  enum class Path : std::uint8_t {
+    kExactHit,       // stage 1: result-cache fingerprint hit
+    kWarmStart,      // stage 2: caller-supplied delta warm start
+    kSimilarity,     // stage 2: sketch near-hit, diffed and warm-started
+    kFullPortfolio,  // stage 3: member fan-out
+  };
+  Path path = Path::kFullPortfolio;
+  /// The similarity index was consulted for this job.
+  bool sim_probed = false;
+  /// Why a consulted warm start fell through to the full path ("no sketch
+  /// match", "diff too large", ...). Empty when it did not.
+  std::string decline_reason;
+};
+
+/// Stable lowercase label of an admission path ("exact-hit", "warm-start",
+/// "similarity", "full-portfolio").
+const char* to_string(AdmissionDecision::Path path);
 
 /// The engine's answer for one job.
 struct PortfolioOutcome {
@@ -152,6 +184,8 @@ struct PortfolioOutcome {
   bool budget_expired = false;  // the job's deadline fired
   double seconds = 0;           // engine-observed job latency
   std::uint64_t key = 0;        // cache key (diagnostics)
+  /// How admission routed this job (decline provenance included).
+  AdmissionDecision decision;
   std::vector<MemberOutcome> members;
 };
 
@@ -195,8 +229,15 @@ struct EngineStats {
   /// Similarity-admission traffic: probes (admissions that consulted the
   /// index), near_hits (warm starts served), declines (probes routed to the
   /// full path), plus the index's insert/evict counters. Updated under the
-  /// engine mutex — exact even under concurrent submit.
+  /// engine mutex — exact even under concurrent submit, and bumped as one
+  /// transaction per probe, so `probes == near_hits + declines` holds in
+  /// EVERY snapshot (never a torn mid-probe view).
   SimilarityStats similarity;
+  /// Snapshot of the engine's metrics registry ("engine." counters, job
+  /// latency histograms, per-member win/loss/time series). Note: a shared
+  /// (global) registry snapshots everything recorded into it, including
+  /// other engines'.
+  support::MetricsSnapshot metrics;
 };
 
 /// One unit of work for the batch/streaming entry points. The graph is held
@@ -381,6 +422,33 @@ class Engine {
   part::CoarseningCache coarsen_cache_;
   part::IncrementalPartitioner incremental_;
   SimilarityIndex sim_index_;
+
+  /// Resolved metrics sink (options_.metrics or the global registry) and
+  /// handles cached at construction: hot-path updates are plain relaxed
+  /// atomics, no name lookups. Pointers are registry-stable for its
+  /// lifetime.
+  support::MetricsRegistry& metrics_;
+  struct PathMetrics {
+    support::Counter* jobs = nullptr;        // engine.jobs
+    support::Counter* exact_hits = nullptr;  // engine.admit.exact_hit
+    support::Counter* warm_starts = nullptr;
+    support::Counter* sim_served = nullptr;
+    support::Counter* sim_declined = nullptr;
+    support::Counter* full_runs = nullptr;
+    support::Histogram* job_us = nullptr;  // engine.job.time_us
+  };
+  PathMetrics path_metrics_;
+  /// Per portfolio member, by index. `span_name` is the member's interned
+  /// registry name, usable as a trace event name.
+  struct MemberMetrics {
+    const char* span_name = nullptr;
+    support::Counter* runs = nullptr;      // engine.member.<name>.runs
+    support::Counter* wins = nullptr;      // selected as the job's answer
+    support::Counter* losses = nullptr;    // ran, completed, not selected
+    support::Counter* failures = nullptr;  // threw
+    support::Histogram* time_us = nullptr;
+  };
+  std::vector<MemberMetrics> member_metrics_;
 
   /// Reusable scratch of the incremental repartition path. One workspace,
   /// one user at a time: repartition calls serialize on this mutex (the

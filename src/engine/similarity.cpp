@@ -62,4 +62,9 @@ std::uint64_t SimilarityIndex::evictions() const {
   return evictions_;
 }
 
+SimilarityIndex::Counters SimilarityIndex::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counters{insertions_, evictions_};
+}
+
 }  // namespace ppnpart::engine

@@ -102,6 +102,15 @@ class SimilarityIndex {
   std::uint64_t insertions() const;
   std::uint64_t evictions() const;
 
+  /// Both lifetime counters under ONE lock acquisition, so a stats()
+  /// assembled from them can never pair an old insertion count with a newer
+  /// eviction count (evictions <= insertions always holds in the pair).
+  struct Counters {
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  Counters counters() const;
+
  private:
   mutable std::mutex mutex_;
   std::size_t capacity_;

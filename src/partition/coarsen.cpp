@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "graph/contract.hpp"
+#include "partition/phase_profile.hpp"
 
 namespace ppnpart::part {
 
@@ -170,6 +171,9 @@ RestrictedHierarchy coarsen_restricted(const Graph& g,
   while (h.coarsest().num_nodes() > options.coarsen_to &&
          h.num_levels() <= options.max_levels) {
     const Graph& current = h.coarsest();
+    PhaseScope phase(ws.phases, PhaseProfile::kCoarsen, ws.phase_cat,
+                     static_cast<std::int64_t>(h.num_levels() - 1),
+                     static_cast<std::int64_t>(current.num_nodes()));
     // Unmatch pairs that straddle parts (the projection must stay exact),
     // deducting each broken pair from the matched weight.
     const auto unmatch_straddlers = [&](Matching& m) {
@@ -223,6 +227,9 @@ Hierarchy coarsen(const Graph& g, const CoarsenOptions& options,
   while (h.coarsest().num_nodes() > options.coarsen_to &&
          h.num_levels() <= options.max_levels) {
     const Graph& current = h.coarsest();
+    PhaseScope phase(ws.phases, PhaseProfile::kCoarsen, ws.phase_cat,
+                     static_cast<std::int64_t>(h.num_levels() - 1),
+                     static_cast<std::int64_t>(current.num_nodes()));
     // Compete the enabled heuristics; the candidate and best-so-far
     // matchings live in workspace buffers swapped back and forth, so the
     // competition allocates nothing once warm.

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "partition/coarsen_cache.hpp"
+#include "partition/phase_profile.hpp"
 #include "partition/workspace.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
@@ -13,6 +14,8 @@
 namespace ppnpart::part {
 
 namespace {
+
+constexpr const char* kTraceCat = "gp";
 
 /// Refines an assignment down a hierarchy, recording the trace. `assign`
 /// indexes the coarsest graph on entry and the finest on return. `finest`
@@ -29,6 +32,9 @@ std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
   fm.max_passes = options.refine_passes;
   for (std::size_t level = h.num_levels(); level-- > 0;) {
     const Graph& g = level == 0 ? finest : h.graphs[level];
+    PhaseScope phase(ws.phases, PhaseProfile::kRefine, ws.phase_cat,
+                     static_cast<std::int64_t>(level),
+                     static_cast<std::int64_t>(g.num_nodes()));
     if (level + 1 < h.num_levels()) {
       // Project from the coarser level.
       std::vector<PartId> finer(g.num_nodes());
@@ -119,6 +125,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
 
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   std::optional<std::vector<PartId>> best_assign;
   Goodness best_goodness;
@@ -146,6 +153,11 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
       Hierarchy local;
       if (request.coarsen_cache != nullptr) {
         if (!shared_h) {
+          // The fetch covers a cache hit or an inline build (the cache's
+          // canonical builder uses its own workspace, so per-level charges
+          // do not double-count); either way it is coarsening time.
+          PhaseScope phase(request.phases, PhaseProfile::kCoarsen, kTraceCat,
+                           -1, static_cast<std::int64_t>(g.num_nodes()));
           const std::uint64_t gkey =
               request.graph_key != 0 ? request.graph_key : graph_digest(g);
           shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, g);
@@ -156,14 +168,20 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
       const Hierarchy& h = shared_h ? *shared_h : local;
       record_coarsen_trace(h, g, cycle, &result.trace);
       const Graph& coarsest = h.num_levels() == 1 ? g : h.coarsest();
-      support::Rng grow_rng = cycle_rng.derive(0x6120);
-      Partition seed_part =
-          greedy_grow_initial(coarsest, k, c, grow_opts, grow_rng);
-      support::Rng seed_fm_rng = cycle_rng.derive(0x6121);
-      constrained_fm_refine(coarsest, seed_part, c, fm, seed_fm_rng, ws);
-      std::vector<PartId> coarse_assign(coarsest.num_nodes());
-      for (NodeId u = 0; u < coarsest.num_nodes(); ++u)
-        coarse_assign[u] = seed_part[u];
+      std::vector<PartId> coarse_assign;
+      {
+        PhaseScope phase(request.phases, PhaseProfile::kInitial, kTraceCat,
+                         static_cast<std::int64_t>(h.num_levels() - 1),
+                         static_cast<std::int64_t>(coarsest.num_nodes()));
+        support::Rng grow_rng = cycle_rng.derive(0x6120);
+        Partition seed_part =
+            greedy_grow_initial(coarsest, k, c, grow_opts, grow_rng);
+        support::Rng seed_fm_rng = cycle_rng.derive(0x6121);
+        constrained_fm_refine(coarsest, seed_part, c, fm, seed_fm_rng, ws);
+        coarse_assign.resize(coarsest.num_nodes());
+        for (NodeId u = 0; u < coarsest.num_nodes(); ++u)
+          coarse_assign[u] = seed_part[u];
+      }
       assign = refine_down(h, g, std::move(coarse_assign), k, c, options_,
                            cycle_rng, cycle, &result.trace, ws);
     } else {

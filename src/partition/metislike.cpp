@@ -9,6 +9,7 @@
 #include "partition/coarsen.hpp"
 #include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
+#include "partition/phase_profile.hpp"
 #include "partition/refine.hpp"
 #include "partition/workspace.hpp"
 #include "support/timer.hpp"
@@ -16,6 +17,8 @@
 namespace ppnpart::part {
 
 namespace {
+
+constexpr const char* kTraceCat = "metislike";
 
 /// Recursive bisection of `g` into parts [part_offset, part_offset + k);
 /// writes into `assign` through `original_of` (ids of g's nodes in the
@@ -98,6 +101,7 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   support::Rng rng(request.seed);
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   // Under unit balance, partition a copy whose node weights are all 1 (edge
   // weights — the cut — are untouched); metrics are computed on the real
@@ -127,6 +131,8 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   Hierarchy local;
   std::shared_ptr<const Hierarchy> shared_h;
   if (request.coarsen_cache != nullptr) {
+    PhaseScope phase(request.phases, PhaseProfile::kCoarsen, kTraceCat, -1,
+                     static_cast<std::int64_t>(work->num_nodes()));
     // Unit-balance runs coarsen a rewritten graph: the caller's graph_key
     // names the original, so key the cache on the work graph's own digest.
     const std::uint64_t gkey = (work == &g && request.graph_key != 0)
@@ -143,8 +149,13 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   std::vector<PartId> coarse_assign(coarsest.num_nodes(), 0);
   std::vector<NodeId> identity(coarsest.num_nodes());
   for (NodeId u = 0; u < coarsest.num_nodes(); ++u) identity[u] = u;
-  recursive_bisect(coarsest, identity, k, 0, options_.imbalance,
-                   options_.bisection_fm_passes, rng, coarse_assign, ws);
+  {
+    PhaseScope phase(request.phases, PhaseProfile::kInitial, kTraceCat,
+                     static_cast<std::int64_t>(h.num_levels() - 1),
+                     static_cast<std::int64_t>(coarsest.num_nodes()));
+    recursive_bisect(coarsest, identity, k, 0, options_.imbalance,
+                     options_.bisection_fm_passes, rng, coarse_assign, ws);
+  }
 
   // --- Uncoarsening: project + greedy k-way boundary refinement. ---------
   const Weight total = work->total_node_weight();
@@ -164,6 +175,9 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   for (std::size_t level = h.num_levels(); level-- > 0;) {
     // Level 0 of a cached hierarchy is empty; the work graph stands in.
     const Graph& level_graph = level == 0 ? *work : h.graphs[level];
+    PhaseScope phase(request.phases, PhaseProfile::kRefine, kTraceCat,
+                     static_cast<std::int64_t>(level),
+                     static_cast<std::int64_t>(level_graph.num_nodes()));
     if (level + 1 < h.num_levels()) {
       std::vector<PartId> finer(level_graph.num_nodes());
       for (NodeId u = 0; u < level_graph.num_nodes(); ++u) {

@@ -9,6 +9,7 @@
 
 #include "partition/coarsen_cache.hpp"
 #include "partition/initial.hpp"
+#include "partition/phase_profile.hpp"
 #include "partition/refine.hpp"
 #include "partition/workspace.hpp"
 #include "support/hash.hpp"
@@ -17,6 +18,8 @@
 namespace ppnpart::part {
 
 namespace {
+
+constexpr const char* kTraceCat = "nlevel";
 
 /// Hash-map adjacency graph supporting single-edge contraction and exact
 /// un-contraction (the n-level hierarchy is the stack of contractions).
@@ -251,6 +254,7 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   support::Rng rng(request.seed);
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   if (n == 0) {
     result.partition = Partition(0, k);
@@ -314,30 +318,40 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
     }
   };
 
-  if (request.coarsen_cache != nullptr) {
-    const std::uint64_t gkey =
-        request.graph_key != 0 ? request.graph_key : graph_digest(g);
-    const std::uint64_t okey = support::hash_combine(
-        0x6e6c65766c5f6370ull /* "nlevl_cp" */, static_cast<std::uint64_t>(stop));
-    bool built_here = false;
-    const auto seq = request.coarsen_cache->contractions(gkey, okey, [&] {
-      CoarseningCache::ContractionSeq s;
-      s.reserve(n > stop ? n - stop : 0);
-      heap_coarsen(&s);
-      built_here = true;
-      return s;
-    });
-    // A hit (or a coalesced wait on another run's build) leaves our dynamic
-    // graph untouched: replay the cached pair sequence on it.
-    if (!built_here) {
-      for (const auto& [kept, removed] : *seq)
-        stack.push_back(dg.contract(kept, removed));
+  {
+    PhaseScope phase(request.phases, PhaseProfile::kCoarsen, kTraceCat, -1,
+                     static_cast<std::int64_t>(n));
+    if (request.coarsen_cache != nullptr) {
+      const std::uint64_t gkey =
+          request.graph_key != 0 ? request.graph_key : graph_digest(g);
+      const std::uint64_t okey = support::hash_combine(
+          0x6e6c65766c5f6370ull /* "nlevl_cp" */,
+          static_cast<std::uint64_t>(stop));
+      bool built_here = false;
+      const auto seq = request.coarsen_cache->contractions(gkey, okey, [&] {
+        CoarseningCache::ContractionSeq s;
+        s.reserve(n > stop ? n - stop : 0);
+        heap_coarsen(&s);
+        built_here = true;
+        return s;
+      });
+      // A hit (or a coalesced wait on another run's build) leaves our
+      // dynamic graph untouched: replay the cached pair sequence on it.
+      if (!built_here) {
+        for (const auto& [kept, removed] : *seq)
+          stack.push_back(dg.contract(kept, removed));
+      }
+    } else {
+      heap_coarsen(nullptr);
     }
-  } else {
-    heap_coarsen(nullptr);
+    phase.arg("contractions", static_cast<std::int64_t>(stack.size()));
   }
 
   // ---- Initial partitioning of the coarsest graph. ---------------------
+  std::vector<PartId> part(n, 0);
+  {
+  PhaseScope initial_phase(request.phases, PhaseProfile::kInitial, kTraceCat,
+                           -1, static_cast<std::int64_t>(dg.alive_count()));
   // Materialize alive nodes into a static graph for the greedy seeding.
   std::vector<NodeId> alive_nodes;
   alive_nodes.reserve(dg.alive_count());
@@ -368,11 +382,15 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   support::Rng seed_rng = rng.derive(0x91EF);
   constrained_fm_refine(coarsest, coarse_part, c, seed_fm, seed_rng, ws);
 
-  std::vector<PartId> part(n, 0);
   for (std::size_t i = 0; i < alive_nodes.size(); ++i)
     part[alive_nodes[i]] = coarse_part[static_cast<NodeId>(i)];
+  }
 
   // ---- Un-coarsening: pop one contraction, local search around it. ----
+  {
+  PhaseScope refine_phase(request.phases, PhaseProfile::kRefine, kTraceCat,
+                          -1, static_cast<std::int64_t>(n));
+  refine_phase.arg("contractions", static_cast<std::int64_t>(stack.size()));
   DynamicPartitionState state(dg, part, k, c);
   std::vector<NodeId> frontier;
   std::vector<Weight> conn_scratch(static_cast<std::size_t>(k), 0);
@@ -434,12 +452,15 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
       }
     }
   }
+  }
 
   result.partition = Partition(n, k);
   for (NodeId u = 0; u < n; ++u) result.partition.set(u, part[u]);
 
   // Final full polish on the finest graph.
   if (options_.final_fm_passes > 0) {
+    PhaseScope phase(request.phases, PhaseProfile::kRefine, kTraceCat, 0,
+                     static_cast<std::int64_t>(n));
     FmOptions fm;
     fm.max_passes = options_.final_fm_passes;
     support::Rng fm_rng = rng.derive(0xF1AE);

@@ -19,6 +19,7 @@ namespace ppnpart::part {
 
 class CoarseningCache;
 class Workspace;
+struct PhaseProfile;
 
 struct PartitionRequest {
   PartId k = 2;
@@ -58,6 +59,14 @@ struct PartitionRequest {
   /// NEVER shared across threads. Transient like `stop`: excluded from
   /// request fingerprints and without effect on results.
   Workspace* workspace = nullptr;
+
+  /// Optional per-phase profiling sink (non-owning; may be null). When set,
+  /// the multilevel partitioners charge coarsen / initial / refine wall
+  /// clock (and hierarchy depth) into it, accumulating across V-cycles and
+  /// sequential runs. One profile per run at a time, NEVER shared across
+  /// threads (plain counters, like `workspace`). Transient like `stop`:
+  /// excluded from request fingerprints and without effect on results.
+  PhaseProfile* phases = nullptr;
 
   /// True when the request carries a fired stop signal.
   bool stop_requested() const { return stop != nullptr && stop->stop_requested(); }

@@ -31,6 +31,8 @@
 
 namespace ppnpart::part {
 
+struct PhaseProfile;
+
 /// Heap entry of the constrained FM pass: the move's gain delta
 /// (goodness-after minus goodness-now, lexicographic), its node/target and
 /// the lazy-revalidation stamp.
@@ -135,6 +137,16 @@ class Workspace {
 
   /// Reusable Partition for per-level refine-project loops.
   Partition level_partition;
+
+  /// Transient per-run profiling context, installed from
+  /// PartitionRequest::phases via PhaseContextScope so shared helpers
+  /// (coarsen(), per-level refine loops) can charge their phase without
+  /// signature churn. Non-owning; null = no profiling. Not scratch: never
+  /// grows, never counted by stats().
+  PhaseProfile* phases = nullptr;
+  /// Trace category for spans emitted through this workspace — the running
+  /// algorithm's registry name (static string); null = "multilevel".
+  const char* phase_cat = nullptr;
 
  private:
   support::AllocStats stats_;

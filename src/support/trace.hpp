@@ -1,0 +1,256 @@
+#pragma once
+// End-to-end tracing — the measurement substrate of the engine and the
+// multilevel pipeline.
+//
+// A Tracer is a fixed-capacity ring buffer of TraceEvents (complete spans,
+// instant events and cross-thread async begin/end pairs) written lock-free
+// from any thread: recording is one relaxed fetch_add to claim a slot plus a
+// per-slot seqlock write, so concurrent partitioner threads never serialize
+// on a tracing mutex. When the ring wraps, the oldest events are overwritten
+// (and counted) — a long-running service keeps the most recent window, which
+// is the one a "where did this 40 ms go" question is about.
+//
+// Recording degrades to nothing in two tiers:
+//   * runtime: Tracer::set_enabled(false) (the default) reduces every
+//     ScopedSpan to a single relaxed atomic load — cheap enough to leave in
+//     the multilevel inner loop permanently;
+//   * compile time: building with PPN_TRACE_DISABLED (CMake option
+//     PPNPART_TRACE_DISABLED) turns ScopedSpan / trace_instant /
+//     trace_async_* into empty inline no-ops the optimizer deletes, and
+//     pins Tracer::enabled() to false. Call sites compile unchanged.
+//
+// Events carry static-string names/categories (use intern_name() for
+// dynamic ones like portfolio member names), up to four integer args and a
+// short truncated free-text `detail` — enough for admission decision
+// records and per-level phase spans without any allocation on the hot path.
+//
+// Export is the Chrome trace_event JSON format: load the file in
+// chrome://tracing or https://ui.perfetto.dev to see per-thread span nests,
+// per-job async tracks and instant decision markers on one timeline.
+//
+// Determinism contract: tracing OBSERVES, it never participates. Enabling
+// or disabling it must not change any partition output (pinned by the
+// golden-determinism tests).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace ppnpart::support {
+
+/// One recorded event. POD-ish on purpose: ring slots are copied in and out
+/// under a seqlock, so the type must be trivially copyable.
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+  static constexpr std::size_t kDetailBytes = 64;
+
+  enum class Kind : std::uint8_t {
+    kSpan,        // complete span: ts_us + dur_us   (chrome ph "X")
+    kInstant,     // point event                     (chrome ph "i")
+    kAsyncBegin,  // cross-thread span open, by id   (chrome ph "b")
+    kAsyncEnd,    // cross-thread span close, by id  (chrome ph "e")
+  };
+
+  struct Arg {
+    const char* key = nullptr;  // static or interned string; null = unused
+    std::int64_t value = 0;
+  };
+
+  const char* cat = nullptr;   // static or interned string
+  const char* name = nullptr;  // static or interned string
+  std::uint64_t ts_us = 0;     // microseconds since the tracer's epoch
+  std::uint64_t dur_us = 0;    // kSpan only
+  std::uint64_t id = 0;        // correlation id (job id, ...); 0 = none
+  std::uint32_t tid = 0;       // dense per-thread id (Tracer::current_tid)
+  Kind kind = Kind::kSpan;
+  Arg args[kMaxArgs] = {};
+  char detail[kDetailBytes] = {};  // optional free text, truncated, NUL-safe
+
+  /// Appends an integer arg; silently dropped past kMaxArgs.
+  void add_arg(const char* key, std::int64_t value) {
+    for (Arg& a : args) {
+      if (a.key == nullptr) {
+        a = Arg{key, value};
+        return;
+      }
+    }
+  }
+
+  /// Copies (and truncates) free text into `detail`.
+  void set_detail(std::string_view text) {
+    const std::size_t n = text.size() < kDetailBytes - 1 ? text.size()
+                                                         : kDetailBytes - 1;
+    std::memcpy(detail, text.data(), n);
+    detail[n] = '\0';
+  }
+};
+
+/// Returns a stable, never-freed copy of `name` for use as a TraceEvent
+/// name/cat/arg key. Intended for small closed sets (partitioner registry
+/// names); every distinct string is retained for the process lifetime.
+const char* intern_name(std::string_view name);
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 14;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer every ScopedSpan/trace_instant records into.
+  static Tracer& global();
+
+  /// Runtime switch; a no-op under PPN_TRACE_DISABLED (enabled() stays
+  /// false, so nothing is ever recorded).
+  void set_enabled(bool on);
+  bool enabled() const {
+#ifdef PPN_TRACE_DISABLED
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+
+  /// Microseconds since this tracer's construction (monotonic).
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Small dense id of the calling thread (stable for the thread lifetime).
+  static std::uint32_t current_tid();
+
+  /// Records an event (timestamps/tid must already be filled in). Lock-free:
+  /// a relaxed fetch_add claims the slot, a per-slot seqlock guards the
+  /// copy. Recording while disabled is allowed (tests use it); the public
+  /// helpers all early-out on enabled() before building the event.
+  void record(const TraceEvent& ev);
+
+  /// Consistent copy of the ring's live events, oldest first (sorted by
+  /// timestamp, then tid). Slots mid-write are skipped, not blocked on.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Drops every recorded event (the epoch is unchanged).
+  void clear();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded over the tracer lifetime (monotonic, includes
+  /// overwritten ones).
+  std::uint64_t recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound so far.
+  std::uint64_t overwritten() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// Writes the ring as Chrome trace_event JSON ({"traceEvents": [...]}),
+  /// loadable in chrome://tracing and Perfetto.
+  void write_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct Slot {
+    /// Seqlock: even = stable, odd = being written. 0 = never written.
+    std::atomic<std::uint32_t> seq{0};
+    TraceEvent ev;
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+#ifndef PPN_TRACE_DISABLED
+
+/// RAII span over the global tracer: records one complete event covering
+/// construction..destruction when tracing is enabled AT CONSTRUCTION (the
+/// decision is latched so a mid-span toggle cannot record a half-built
+/// event). When disabled, construction costs one relaxed load.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* cat, const char* name, std::uint64_t id = 0)
+      : active_(Tracer::global().enabled()) {
+    if (active_) {
+      ev_.cat = cat;
+      ev_.name = name;
+      ev_.id = id;
+      ev_.tid = Tracer::current_tid();
+      ev_.kind = TraceEvent::Kind::kSpan;
+      ev_.ts_us = Tracer::global().now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (!active_) return;
+    Tracer& t = Tracer::global();
+    ev_.dur_us = t.now_us() - ev_.ts_us;
+    t.record(ev_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  void arg(const char* key, std::int64_t value) {
+    if (active_) ev_.add_arg(key, value);
+  }
+  void detail(std::string_view text) {
+    if (active_) ev_.set_detail(text);
+  }
+
+ private:
+  TraceEvent ev_;
+  bool active_;
+};
+
+/// Records a point event (decision records, markers).
+void trace_instant(const char* cat, const char* name, std::uint64_t id = 0,
+                   std::initializer_list<TraceEvent::Arg> args = {},
+                   std::string_view detail = {});
+
+/// Cross-thread span: begin/end are matched by (cat, name, id) by the
+/// viewer, so the pair may come from different threads (e.g. a job admitted
+/// on the client thread and finalized on a pool worker).
+void trace_async_begin(const char* cat, const char* name, std::uint64_t id,
+                       std::initializer_list<TraceEvent::Arg> args = {},
+                       std::string_view detail = {});
+void trace_async_end(const char* cat, const char* name, std::uint64_t id,
+                     std::initializer_list<TraceEvent::Arg> args = {},
+                     std::string_view detail = {});
+
+#else  // PPN_TRACE_DISABLED: same API, empty inline bodies, zero hot-path
+       // residue — the overhead guard in bench_json certifies this tier.
+
+class ScopedSpan {
+ public:
+  ScopedSpan(const char*, const char*, std::uint64_t = 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  constexpr bool active() const { return false; }
+  void arg(const char*, std::int64_t) {}
+  void detail(std::string_view) {}
+};
+
+inline void trace_instant(const char*, const char*, std::uint64_t = 0,
+                          std::initializer_list<TraceEvent::Arg> = {},
+                          std::string_view = {}) {}
+inline void trace_async_begin(const char*, const char*, std::uint64_t,
+                              std::initializer_list<TraceEvent::Arg> = {},
+                              std::string_view = {}) {}
+inline void trace_async_end(const char*, const char*, std::uint64_t,
+                            std::initializer_list<TraceEvent::Arg> = {},
+                            std::string_view = {}) {}
+
+#endif  // PPN_TRACE_DISABLED
+
+}  // namespace ppnpart::support

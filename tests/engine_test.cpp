@@ -645,5 +645,190 @@ TEST(Engine, RepartitionWorkspaceIsAllocationFreeInSteadyState) {
       << "engine repartition workspace allocated in steady state";
 }
 
+// ------------------------------------------------------- observability ---
+
+/// ~1% channel reweights — the near-identical-arrival shape of the
+/// similarity-admission tests.
+std::shared_ptr<const graph::Graph> perturb_graph(const graph::Graph& g,
+                                                  std::uint64_t seed) {
+  support::Rng rng(seed);
+  graph::GraphDelta d(g);
+  const std::size_t ops =
+      std::max<std::size_t>(1, g.num_nodes() / 100);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng.uniform_index(g.num_nodes()));
+    if (g.degree(u) == 0) continue;
+    const graph::NodeId v = g.neighbors(u)[rng.uniform_index(g.degree(u))];
+    d.set_edge_weight(u, v,
+                      1 + static_cast<graph::Weight>(rng.uniform_index(12)));
+  }
+  return std::make_shared<const graph::Graph>(d.apply(g).graph);
+}
+
+TEST(Engine, AdmissionDecisionRecordsRouteAndProvenance) {
+  // Every outcome carries the structured record of which pipeline stage
+  // answered it and, when a warm start was consulted but fell through, why.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.similarity.enabled = true;
+  support::MetricsRegistry registry;  // private: exact values, no crosstalk
+  opts.metrics = &registry;
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(41, /*nodes=*/300);
+
+  const auto first = eng.run_one(job.graph, job.request);
+  EXPECT_EQ(first.decision.path,
+            engine::AdmissionDecision::Path::kFullPortfolio);
+  EXPECT_TRUE(first.decision.sim_probed);  // consulted an empty index
+  EXPECT_FALSE(first.decision.decline_reason.empty());
+  EXPECT_STREQ(engine::to_string(first.decision.path), "full-portfolio");
+
+  const auto second = eng.run_one(job.graph, job.request);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.decision.path, engine::AdmissionDecision::Path::kExactHit);
+  EXPECT_FALSE(second.decision.sim_probed);  // stage 1 answers before it
+  EXPECT_TRUE(second.decision.decline_reason.empty());
+
+  const auto arriving = perturb_graph(*job.graph, 77);
+  const auto sim = eng.run_one(arriving, job.request);
+  ASSERT_TRUE(sim.similarity);
+  EXPECT_EQ(sim.decision.path, engine::AdmissionDecision::Path::kSimilarity);
+  EXPECT_TRUE(sim.decision.sim_probed);
+  EXPECT_TRUE(sim.decision.decline_reason.empty());
+
+  // The admission-path counters in the private registry tell the same
+  // story, job for job.
+  const support::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or("engine.jobs"), 3u);
+  EXPECT_EQ(snap.counter_or("engine.admit.full_portfolio"), 1u);
+  EXPECT_EQ(snap.counter_or("engine.admit.exact_hit"), 1u);
+  EXPECT_EQ(snap.counter_or("engine.admit.similarity"), 1u);
+  EXPECT_EQ(snap.counter_or("engine.admit.sim_decline"), 1u);
+  const auto* job_us = snap.find_histogram("engine.job.time_us");
+  ASSERT_NE(job_us, nullptr);
+  EXPECT_EQ(job_us->hist.count, 3u);
+}
+
+TEST(Engine, RepartitionDecisionRecordsWarmStart) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  engine::Engine eng(opts);
+  engine::Job job = make_job(43, /*nodes=*/300);
+  const auto first = eng.run_one(job.graph, job.request);
+  ASSERT_FALSE(first.winner.empty());
+
+  graph::GraphDelta delta(*job.graph);
+  delta.set_edge_weight(0, job.graph->neighbors(0)[0], 17);
+  const engine::RepartitionOutcome rep =
+      eng.repartition(engine::Job{job.graph, job.request}, delta, first.best);
+  ASSERT_TRUE(rep.incremental) << rep.fallback_reason;
+  EXPECT_EQ(rep.outcome.decision.path,
+            engine::AdmissionDecision::Path::kWarmStart);
+  // Caller-supplied deltas take stage 2 directly; the sketch index is
+  // never consulted for them.
+  EXPECT_FALSE(rep.outcome.decision.sim_probed);
+}
+
+TEST(Engine, MemberWinLossMetricsAreExact) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike"}};
+  support::MetricsRegistry registry;
+  opts.metrics = &registry;
+  engine::Engine eng(opts);
+
+  constexpr std::uint64_t kJobs = 4;
+  std::vector<engine::Job> batch;
+  for (std::uint64_t j = 0; j < kJobs; ++j)
+    batch.push_back(make_job(50 + j, /*nodes=*/96));
+  const auto outcomes = eng.run_batch(batch);
+  ASSERT_EQ(outcomes.size(), kJobs);
+
+  // Exactly one member wins each job, and the flag agrees with `winner`.
+  for (const engine::PortfolioOutcome& out : outcomes) {
+    ASSERT_FALSE(out.winner.empty());
+    int winners = 0;
+    for (const engine::MemberOutcome& m : out.members) {
+      if (m.won) {
+        ++winners;
+        EXPECT_EQ(m.algorithm, out.winner);
+      }
+    }
+    EXPECT_EQ(winners, 1);
+  }
+
+  // Registry view: every member ran every job; wins partition the jobs and
+  // wins + losses == runs (nothing failed, nothing was skipped).
+  const support::MetricsSnapshot snap = registry.snapshot();
+  std::uint64_t wins_total = 0;
+  for (const char* member : {"gp", "metislike"}) {
+    const std::string prefix = std::string("engine.member.") + member;
+    const std::uint64_t runs = snap.counter_or(prefix + ".runs");
+    const std::uint64_t wins = snap.counter_or(prefix + ".wins");
+    const std::uint64_t losses = snap.counter_or(prefix + ".losses");
+    EXPECT_EQ(runs, kJobs) << member;
+    EXPECT_EQ(snap.counter_or(prefix + ".failures"), 0u) << member;
+    EXPECT_EQ(wins + losses, runs) << member;
+    const auto* time_us = snap.find_histogram(prefix + ".time_us");
+    ASSERT_NE(time_us, nullptr) << member;
+    EXPECT_EQ(time_us->hist.count, kJobs) << member;
+    wins_total += wins;
+  }
+  EXPECT_EQ(wins_total, kJobs);
+  EXPECT_EQ(snap.counter_or("engine.jobs"), kJobs);
+
+  // The same snapshot rides on EngineStats for callers that only see the
+  // engine.
+  EXPECT_EQ(eng.stats().metrics.counter_or("engine.jobs"), kJobs);
+}
+
+TEST(Engine, StatsSnapshotIsNeverTornUnderConcurrentSubmit) {
+  // Satellite rail of the observability PR: similarity counters are bumped
+  // transactionally with their verdict, so EVERY stats() snapshot satisfies
+  // probes == near_hits + declines and evictions <= insertions — even while
+  // submits are in full flight on other threads.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"metislike"}};
+  opts.similarity.enabled = true;
+  engine::Engine eng(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const engine::EngineStats s = eng.stats();
+      if (s.similarity.probes != s.similarity.near_hits + s.similarity.declines)
+        torn.fetch_add(1, std::memory_order_relaxed);
+      if (s.similarity.evictions > s.similarity.insertions)
+        torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  constexpr int kWriters = 2;
+  constexpr std::uint64_t kJobsPerWriter = 24;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&eng, w] {
+      for (std::uint64_t j = 0; j < kJobsPerWriter; ++j) {
+        // Distinct graphs keep the full path (and its probes) busy; the
+        // occasional perturbed repeat exercises the near-hit transaction.
+        engine::Job job =
+            make_job(100 + w * kJobsPerWriter + j, /*nodes=*/64);
+        if (j % 3 == 2) job.graph = perturb_graph(*job.graph, j);
+        (void)eng.run_one(job.graph, job.request);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(torn.load(), 0u) << "a stats() snapshot saw a torn mid-probe view";
+  const engine::EngineStats final_stats = eng.stats();
+  EXPECT_EQ(final_stats.similarity.probes,
+            final_stats.similarity.near_hits + final_stats.similarity.declines);
+  EXPECT_GE(final_stats.similarity.probes, kWriters * kJobsPerWriter);
+}
+
 }  // namespace
 }  // namespace ppnpart

@@ -18,8 +18,10 @@
 #include "partition/kl.hpp"
 #include "partition/metislike.hpp"
 #include "partition/nlevel.hpp"
+#include "partition/phase_profile.hpp"
 #include "partition/workspace.hpp"
 #include "support/hash.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -188,6 +190,30 @@ TEST(GoldenDeterminism, IncrementalRepeatRunsIdentical) {
   const std::uint64_t c = run_incremental_chain(&ws);
   EXPECT_EQ(a, b);
   EXPECT_EQ(b, c);
+}
+
+TEST(GoldenDeterminism, TracedAndProfiledRunMatchesTheGolden) {
+  // Observability is observe-only (PR 6): the GP golden run with tracing
+  // enabled AND a PhaseProfile attached must reproduce the same fingerprint
+  // as the bare run above, bit for bit. A drift here means instrumentation
+  // leaked into the algorithm (e.g. a reordered RNG derivation).
+  support::Tracer::global().set_enabled(true);
+  const graph::Graph g = pn_graph(300, 7);
+  part::GpOptions options;
+  options.max_cycles = 4;
+  part::GpPartitioner gp(options);
+  part::PhaseProfile profile;
+  part::PartitionRequest request = request_for(g);
+  request.phases = &profile;
+  const part::PartitionResult r = gp.run(g, request);
+  support::Tracer::global().set_enabled(false);
+  support::Tracer::global().clear();
+
+  EXPECT_EQ(fingerprint(r.partition), 0xb76d70c9c12ab48aull);
+  // And the ride-along profile genuinely accounted the run.
+  EXPECT_GT(profile.entries[part::PhaseProfile::kCoarsen].calls, 0u);
+  EXPECT_GT(profile.entries[part::PhaseProfile::kInitial].calls, 0u);
+  EXPECT_GT(profile.entries[part::PhaseProfile::kRefine].calls, 0u);
 }
 
 TEST(GoldenDeterminism, RepeatRunsIdentical) {

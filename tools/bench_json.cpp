@@ -25,6 +25,14 @@
 // sized and metrics-consistent for ITS arrival) and no stale-cache serve
 // (no arrival is answered from the exact cache under another graph's key).
 //
+// PR 6 adds the "phases" block: per-partitioner coarsen/initial/refine time
+// shares on the tracked workload (via the PhaseProfile threaded through the
+// shared harness) and the tracing-off hook cost in nanoseconds — the
+// overhead the observability layer charges the inner loop when nobody is
+// watching. --check gates both: shares must sum to ~1 without exceeding the
+// wall clock, profiling must not change any answer, and the disabled hook
+// must stay in the nanosecond range.
+//
 // Modes:
 //   bench_json            full workload, writes BENCH_multilevel.json
 //   bench_json --stdout   full workload, JSON to stdout only
@@ -46,6 +54,7 @@
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
 #include "partition/nlevel.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -72,7 +81,24 @@ struct CaseResult {
   double runs_per_second = 0;
   double ws_growths_per_run = 0;  // steady-state allocation growths
   long long cut = 0;
+  part::PhaseProfile phases;  // accumulated across the timed runs
 };
+
+/// Cost of one tracing hook when tracing is OFF — the tier the multilevel
+/// inner loop pays permanently. Measured as ScopedSpan construct+destroy
+/// (one relaxed atomic load) plus an arg() call per iteration; the
+/// PPN_TRACE_DISABLED build optimizes the whole loop to nothing and
+/// reports ~0.
+double disabled_span_ns() {
+  support::Tracer::global().set_enabled(false);
+  constexpr int kIters = 2'000'000;
+  support::Timer timer;
+  for (int i = 0; i < kIters; ++i) {
+    support::ScopedSpan span("bench", "disabled-probe");
+    span.arg("i", i);
+  }
+  return timer.seconds() * 1e9 / kIters;
+}
 
 /// The evolving-network scenario: D deltas of ~`edit_fraction` edits chain
 /// through Engine::repartition; every edited graph is also answered from
@@ -269,12 +295,13 @@ CaseResult run_case(const char* name, part::Partitioner& p,
   r.runs_per_second = reps / c.seconds;
   r.ws_growths_per_run = static_cast<double>(c.ws_growths) / reps;
   r.cut = static_cast<long long>(c.warm.metrics.total_cut);
+  r.phases = c.phases;
   return r;
 }
 
 void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
                const IncrementalResult& inc, const SimilarityResult& sim,
-               graph::NodeId n) {
+               graph::NodeId n, double span_ns) {
   // Baseline: pre-workspace implementation (commit bb85fa0), same workload,
   // same machine class as the numbers committed with PR 3.
   struct Baseline {
@@ -325,6 +352,41 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  // Phase profile (PR 6): where each multilevel partitioner's time goes on
+  // this workload, as shares of the accounted coarsen/initial/refine time
+  // (shares sum to 1 by construction; `coverage_of_wall` is how much of the
+  // timed wall clock the three phases explain). `tracing_off_span_ns` is
+  // the cost of one tracing hook with tracing disabled at runtime — the
+  // tier the inner loop pays permanently; the PPN_TRACE_DISABLED build
+  // reports ~0 for it.
+  std::fprintf(out, "  \"phases\": {\n");
+  std::fprintf(out, "    \"tracing_off_span_ns\": %.1f,\n", span_ns);
+  std::fprintf(out, "    \"cases\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    const part::PhaseProfile& p = r.phases;
+    const double wall_us = r.seconds_per_run * r.reps * 1e6;
+    std::fprintf(
+        out,
+        "      {\"name\": \"%s\", \"levels\": %u, "
+        "\"coarsen_share\": %.4f, \"initial_share\": %.4f, "
+        "\"refine_share\": %.4f, \"coverage_of_wall\": %.4f, "
+        "\"coarsen_us_per_run\": %.1f, \"initial_us_per_run\": %.1f, "
+        "\"refine_us_per_run\": %.1f}%s\n",
+        r.name.c_str(), p.max_level, p.share(part::PhaseProfile::kCoarsen),
+        p.share(part::PhaseProfile::kInitial),
+        p.share(part::PhaseProfile::kRefine),
+        wall_us > 0 ? static_cast<double>(p.total_us()) / wall_us : 0.0,
+        static_cast<double>(p.entries[part::PhaseProfile::kCoarsen].time_us) /
+            r.reps,
+        static_cast<double>(p.entries[part::PhaseProfile::kInitial].time_us) /
+            r.reps,
+        static_cast<double>(p.entries[part::PhaseProfile::kRefine].time_us) /
+            r.reps,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   // Evolving-network scenario (PR 4): Engine::repartition vs a from-scratch
   // portfolio {gp} run on every edited graph.
   std::fprintf(
@@ -384,6 +446,65 @@ int self_check() {
                  static_cast<unsigned long long>(grown));
     return 1;
   }
+  // Phase-profile gates (PR 6): a profiled run must charge every phase at
+  // least once, shares must sum to 1, the accounted time must not exceed
+  // the wall clock it claims to explain, and attaching a profile must not
+  // change the answer (instrumentation observes, it never participates).
+  {
+    part::PhaseProfile prof;
+    part::PartitionRequest preq = request;
+    preq.phases = &prof;
+    support::Timer phase_timer;
+    const part::PartitionResult profiled = gp.run(g, preq);
+    const double wall_us = phase_timer.seconds() * 1e6;
+    if (profiled.partition.assignments() != a.partition.assignments()) {
+      std::fprintf(stderr,
+                   "bench_json --check: phase profiling changed the "
+                   "partition\n");
+      return 1;
+    }
+    double share_sum = 0;
+    for (std::size_t i = 0; i < part::PhaseProfile::kNumPhases; ++i) {
+      const auto phase = static_cast<part::PhaseProfile::Phase>(i);
+      if (prof.entries[i].calls == 0) {
+        std::fprintf(stderr,
+                     "bench_json --check: phase '%s' never charged\n",
+                     part::PhaseProfile::phase_name(phase));
+        return 1;
+      }
+      share_sum += prof.share(phase);
+    }
+    if (prof.total_us() == 0 || share_sum < 0.999 || share_sum > 1.001) {
+      std::fprintf(stderr,
+                   "bench_json --check: phase shares sum to %.4f over %llu "
+                   "us (expected ~1 over > 0 us)\n",
+                   share_sum,
+                   static_cast<unsigned long long>(prof.total_us()));
+      return 1;
+    }
+    // Single-layer accounting: the three phases never overlap, so their sum
+    // is bounded by the run's wall clock (small slack for clock-read skew).
+    if (static_cast<double>(prof.total_us()) > wall_us * 1.02 + 1000.0) {
+      std::fprintf(stderr,
+                   "bench_json --check: accounted %llu us exceeds the %.0f "
+                   "us wall clock (double-counted phase?)\n",
+                   static_cast<unsigned long long>(prof.total_us()), wall_us);
+      return 1;
+    }
+  }
+  // Overhead gate: with tracing disabled at runtime a hook must cost
+  // nanoseconds (one relaxed load; ~0 when compiled out). The generous
+  // bound catches a hook accidentally doing real work when off, without
+  // flaking on machine noise.
+  const double span_ns = disabled_span_ns();
+  if (span_ns > 250.0) {
+    std::fprintf(stderr,
+                 "bench_json --check: tracing-off hook costs %.1f ns "
+                 "(bound 250)\n",
+                 span_ns);
+    return 1;
+  }
+
   // Evolving-network smoke: small edits must stay on the incremental path,
   // chain deterministically, and keep the engine's repartition workspace
   // allocation-free once warm.
@@ -487,8 +608,9 @@ int self_check() {
   std::printf("bench_json --check: ok (deterministic, allocation-free "
               "steady state; incremental chain deterministic and "
               "fallback-free; similarity admission all-hit, valid, "
-              "stale-free, cut ratio %.3f)\n",
-              sim_check.mean_cut_ratio_vs_scratch);
+              "stale-free, cut ratio %.3f; phase shares consistent, "
+              "tracing-off hook %.1f ns)\n",
+              sim_check.mean_cut_ratio_vs_scratch, span_ns);
   return 0;
 }
 
@@ -520,14 +642,15 @@ int main(int argc, char** argv) {
   const SimilarityResult sim =
       run_similarity_case(g, /*arrivals=*/6, /*divergence=*/0.01);
 
-  emit_json(stdout, results, inc, sim, n);
+  const double span_ns = disabled_span_ns();
+  emit_json(stdout, results, inc, sim, n, span_ns);
   if (!to_stdout) {
     std::FILE* f = std::fopen("BENCH_multilevel.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_json: cannot write BENCH_multilevel.json\n");
       return 1;
     }
-    emit_json(f, results, inc, sim, n);
+    emit_json(f, results, inc, sim, n, span_ns);
     std::fclose(f);
     std::fprintf(stderr, "bench_json: wrote BENCH_multilevel.json\n");
   }

@@ -66,6 +66,14 @@
 //   --dot FILE          colour-clustered DOT of the partitioned network
 //   --summary           one-line machine-readable result (always printed)
 //
+// Observability (PR 6):
+//   --trace FILE        Chrome trace_event JSON timeline of the whole run —
+//                       per-job admission spans and decision records, member
+//                       races, per-level coarsen/initial/refine phases; load
+//                       in chrome://tracing or https://ui.perfetto.dev
+//   --metrics           print the process metrics registry (admission-path
+//                       counters, per-member win/loss, latency histograms)
+//
 // Exit codes: 0 feasible (or unconstrained), 2 infeasible, 1 usage error.
 
 #include <algorithm>
@@ -89,7 +97,9 @@
 #include "ppn/paper_instances.hpp"
 #include "ppn/workloads.hpp"
 #include "support/cli.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 #include "viz/dot.hpp"
 
 namespace {
@@ -213,6 +223,13 @@ int main(int argc, char** argv) {
   args.add_string("dot", "", "write colour-clustered DOT file");
   args.add_flag("quiet", "suppress the human-readable report");
   args.add_flag("report", "print the per-part / hot-pair analysis table");
+  args.add_string("trace", "",
+                  "record a Chrome trace_event JSON timeline of the run "
+                  "(admission decisions, member races, per-level multilevel "
+                  "phases) to FILE; open in chrome://tracing or Perfetto");
+  args.add_flag("metrics",
+                "print the process metrics registry (engine counters and "
+                "latency histograms) after the run");
 
   if (auto status = args.parse(argc, argv); !status.is_ok()) {
     std::fprintf(stderr, "ppnpart: %s\n", status.message().c_str());
@@ -226,6 +243,19 @@ int main(int argc, char** argv) {
     for (const std::string& name : ppn::workload_names())
       std::printf("%s\n", name.c_str());
     return 0;
+  }
+
+  // Tracing switches on before any work so admission spans from the very
+  // first job land in the ring. Under PPN_TRACE_DISABLED nothing records
+  // and the file written at exit is an empty (but valid) timeline.
+  const std::string trace_path = args.get_string("trace");
+  if (!trace_path.empty()) {
+#ifdef PPN_TRACE_DISABLED
+    std::fprintf(stderr,
+                 "ppnpart: warning: tracing is compiled out "
+                 "(PPNPART_TRACE_DISABLED); --trace will be empty\n");
+#endif
+    support::Tracer::global().set_enabled(true);
   }
 
   const std::string similarity_mode = args.get_string("similarity");
@@ -580,6 +610,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "ppnpart: %s\n", status.message().c_str());
       return 1;
     }
+  }
+
+  // ---- Observability outputs. ----------------------------------------------
+  if (!trace_path.empty()) {
+    std::ofstream trace_out(trace_path);
+    if (!trace_out) return fail("cannot open --trace file");
+    support::Tracer& tracer = support::Tracer::global();
+    tracer.write_chrome_trace(trace_out);
+    std::fprintf(stderr,
+                 "ppnpart: wrote %s (%llu events recorded, %llu lost to ring "
+                 "wraparound)\n",
+                 trace_path.c_str(),
+                 static_cast<unsigned long long>(tracer.recorded()),
+                 static_cast<unsigned long long>(tracer.overwritten()));
+  }
+  if (args.flag("metrics")) {
+    std::printf("%s", support::MetricsRegistry::global()
+                          .snapshot()
+                          .to_string()
+                          .c_str());
   }
   return result.feasible || constraints.unconstrained() ? 0 : 2;
 }
