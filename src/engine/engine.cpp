@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "engine/fingerprint.hpp"
+#include "support/contracts.hpp"
 #include "support/prng.hpp"
 #include "support/stop_token.hpp"
 #include "support/thread_pool.hpp"
@@ -458,6 +459,11 @@ void Engine::serve_inline(const std::shared_ptr<JobState>& state,
 void Engine::maybe_index(const std::shared_ptr<JobState>& state,
                          const part::Partition& partition) {
   if (!similarity_enabled() || !state->owns_graph) return;
+  // The index replays this partition as a warm-start seed onto graphs that
+  // diff cleanly against ours; an incomplete or mis-sized one is never a
+  // valid seed.
+  PPN_DCHECK(partition.size() == state->job.graph->num_nodes());
+  PPN_DCHECK(partition.complete());
   if (!state->sketch.has_value())
     state->sketch = support::sketch_of(*state->job.graph);
   sim_index_.insert({*state->sketch, state->job.graph, state->graph_fp,
@@ -579,6 +585,11 @@ void Engine::run_member(const std::shared_ptr<JobState>& state,
       try {
         auto algo = part::make_partitioner(options_.portfolio.members[index]);
         part::PartitionRequest req = state->job.request;
+        // A caller-supplied workspace or phase profile is single-run state
+        // ("NEVER share across threads"); members run concurrently, so each
+        // must fall back to its own locals instead of aliasing them.
+        req.workspace = nullptr;
+        req.phases = nullptr;
         // Stream `index` of the job seed: independent across members, stable
         // across scheduling orders.
         req.seed =
@@ -701,6 +712,12 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   const bool caller_cancelled = state->job.request.stop != nullptr &&
                                 state->job.request.stop->stop_requested();
   if (!snapshot.winner.empty() && !caller_cancelled) {
+    // Cache hygiene contract: only complete partitions of the right shape
+    // may be replayed to future twins — a torn entry would poison every
+    // exact hit and warm start derived from it.
+    PPN_DCHECK(snapshot.best.partition.size() ==
+               state->job.graph->num_nodes());
+    PPN_DCHECK(snapshot.best.partition.complete());
     cache_.insert(state->key, snapshot);
     // A complete full-path answer also feeds the similarity index, so the
     // next near-identical arrival can warm-start from it. (Followers share

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/contracts.hpp"
+
 namespace ppnpart::graph {
 
 Graph contract_csr(const Graph& fine, std::span<const NodeId> fine_to_coarse,
@@ -96,6 +98,15 @@ Graph contract_csr(const Graph& fine, std::span<const NodeId> fine_to_coarse,
     } else {
       std::sort(scratch.row.begin(), scratch.row.end());
     }
+#if PPN_CONTRACTS_ENABLED
+    // Produced-row audit: each coarse row must be strictly sorted and free
+    // of self loops, or downstream binary searches (edge_weight_between)
+    // silently misread the coarse graph.
+    for (std::size_t i = 0; i < row_len; ++i) {
+      PPN_DCHECK(row_data[i].first != c);
+      PPN_DCHECK(i == 0 || row_data[i - 1].first < row_data[i].first);
+    }
+#endif
     for (const auto& [cv, w] : scratch.row) {
       scratch.adj.push_back(cv);
       scratch.ewgt.push_back(w);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "support/contracts.hpp"
+
 namespace ppnpart::graph {
 
 namespace {
@@ -200,6 +202,10 @@ GraphDelta::Applied GraphDelta::apply(const Graph& base) const {
     std::size_t bi = 0;           // base adjacency cursor
     std::size_t oi = inc_begin;   // op cursor
     const auto emit = [&](NodeId other_ext, Weight w) {
+      // Every surviving edge endpoint must have a compacted id; emitting a
+      // kInvalidNode here means the removed-endpoint stranding above leaked
+      // an op through.
+      PPN_DCHECK(out.node_map[other_ext] != kInvalidNode);
       adj.push_back(out.node_map[other_ext]);
       ewgt.push_back(w);
     };
@@ -247,6 +253,9 @@ GraphDelta::Applied GraphDelta::apply(const Graph& base) const {
     }
     xadj.push_back(adj.size());
   }
+  // One xadj entry per surviving node plus the leading 0, or the Graph we
+  // are about to build is structurally torn.
+  PPN_DCHECK(xadj.size() == static_cast<std::size_t>(n_new) + 1);
 
   // ---- Touched set: effective edge edits (marked above), reweighted and
   // added nodes. Ascending extended order maps to ascending new ids.

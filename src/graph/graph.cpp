@@ -1,10 +1,10 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <stdexcept>
 
+#include "support/contracts.hpp"
 #include "support/strings.hpp"
 
 namespace ppnpart::graph {
@@ -16,8 +16,18 @@ Graph::Graph(std::vector<std::uint64_t> xadj, std::vector<NodeId> adj,
       adj_(std::move(adj)),
       ewgt_(std::move(edge_weights)),
       vwgt_(std::move(node_weights)) {
-  assert(xadj_.size() == vwgt_.size() + 1);
-  assert(adj_.size() == ewgt_.size());
+  // CSR shape contract. Structural (O(1)) checks only — full validate() is
+  // the caller-facing audit; these catch internal producers (contraction,
+  // delta application) handing over inconsistent arrays. A default-built
+  // graph (all four arrays empty) is exempt.
+  PPN_CHECK_MSG(
+      xadj_.empty() ? vwgt_.empty() : xadj_.size() == vwgt_.size() + 1,
+      "CSR xadj must have num_nodes + 1 entries");
+  PPN_CHECK_MSG(adj_.size() == ewgt_.size(),
+                "CSR adjacency and edge-weight arrays must align");
+  PPN_CHECK_MSG(xadj_.empty() || xadj_.front() == 0, "CSR xadj[0] must be 0");
+  PPN_CHECK_MSG(xadj_.empty() || xadj_.back() == adj_.size(),
+                "CSR xadj[n] must equal |adj|");
   total_node_weight_ =
       std::accumulate(vwgt_.begin(), vwgt_.end(), Weight{0});
   total_edge_weight_ =

@@ -125,6 +125,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
 
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  WorkspaceLease lease(ws);
   PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   std::optional<std::vector<PartId>> best_assign;

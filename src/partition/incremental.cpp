@@ -85,6 +85,7 @@ std::optional<PartitionResult> IncrementalPartitioner::try_repartition(
   // ---- 2. Seed new nodes greedily by connectivity. -----------------------
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  WorkspaceLease lease(ws);
   const Constraints& c = request.constraints;
   std::vector<Weight>& loads = ws.incremental.loads;
   std::vector<Weight>& part_conn = ws.incremental.part_conn;
@@ -129,6 +130,9 @@ std::optional<PartitionResult> IncrementalPartitioner::try_repartition(
     loads[static_cast<std::size_t>(best)] += wx;
     ++fresh;
   }
+  // Projection covered survivors, the greedy loop covered everything else:
+  // from here on the partition must be total, or FM below walks kUnassigned.
+  PPN_DCHECK(p.complete());
 
   // ---- Warm-start quality gate. ------------------------------------------
   // MoveContext doubles as the O(n k) metrics pass here: its reset yields

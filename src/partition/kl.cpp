@@ -237,6 +237,7 @@ PartitionResult KlPartitioner::run(const Graph& g,
   support::Rng rng(request.seed);
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  WorkspaceLease lease(ws);
   kl_recurse(g, identity, result.partition, 0, request.k, options_, rng, ws);
 
   result.finalize(g, request.constraints);

@@ -101,6 +101,7 @@ PartitionResult MetisLikePartitioner::run(const Graph& g,
   support::Rng rng(request.seed);
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  WorkspaceLease lease(ws);
   PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   // Under unit balance, partition a copy whose node weights are all 1 (edge

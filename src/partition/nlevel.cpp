@@ -254,6 +254,7 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
   support::Rng rng(request.seed);
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
+  WorkspaceLease lease(ws);
   PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
   if (n == 0) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/contracts.hpp"
 
 namespace ppnpart::part {
 
@@ -41,8 +42,15 @@ class Partition {
   PartId k() const { return k_; }
   NodeId size() const { return static_cast<NodeId>(assign_.size()); }
 
-  PartId operator[](NodeId u) const { return assign_[u]; }
-  void set(NodeId u, PartId p) { assign_[u] = p; }
+  PartId operator[](NodeId u) const {
+    PPN_ASSERT(u < assign_.size());
+    return assign_[u];
+  }
+  void set(NodeId u, PartId p) {
+    PPN_ASSERT(u < assign_.size());
+    PPN_ASSERT(p == kUnassigned || (p >= 0 && p < k_));
+    assign_[u] = p;
+  }
 
   bool complete() const;
   /// Nodes assigned to part p.

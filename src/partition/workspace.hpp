@@ -20,6 +20,7 @@
 // sequential runs is encouraged (PartitionRequest::workspace) and is where
 // the steady-state zero-allocation behaviour comes from.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "partition/move_context.hpp"
 #include "partition/partition.hpp"
 #include "support/alloc_stats.hpp"
+#include "support/contracts.hpp"
 
 namespace ppnpart::part {
 
@@ -150,6 +152,43 @@ class Workspace {
 
  private:
   support::AllocStats stats_;
+#if PPN_CONTRACTS_ENABLED
+  friend class WorkspaceLease;
+  /// Debug-only exclusivity flag; see WorkspaceLease.
+  std::atomic<bool> in_use_{false};
+#endif
+};
+
+/// RAII enforcement of the ownership rule above: ONE run per Workspace at a
+/// time. Every partitioner entry point takes a lease on the workspace it
+/// resolved (caller-supplied or local) for the duration of the run; taking
+/// a second lease — two threads sharing one workspace, or a re-entrant run
+/// handed its caller's scratch — aborts in Debug builds with the usual
+/// contract diagnostics. The flag is atomic so a cross-thread violation is
+/// reported deterministically instead of being itself a data race; Release
+/// builds compile the guard away entirely.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(Workspace& ws)
+#if PPN_CONTRACTS_ENABLED
+      : ws_(&ws) {
+    PPN_CHECK_MSG(!ws_->in_use_.exchange(true, std::memory_order_acq_rel),
+                  "Workspace already in use: two partitioner runs share one "
+                  "workspace (concurrently or re-entrantly)");
+  }
+  ~WorkspaceLease() { ws_->in_use_.store(false, std::memory_order_release); }
+#else
+  {
+    (void)ws;
+  }
+#endif
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+#if PPN_CONTRACTS_ENABLED
+ private:
+  Workspace* ws_;
+#endif
 };
 
 }  // namespace ppnpart::part

@@ -1,0 +1,25 @@
+#include "support/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppnpart::support {
+
+[[noreturn]] void contract_violated(const char* file, int line,
+                                    const char* expr, const char* msg) {
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "%s:%d: contract violated: %s (%s)\n", file, line,
+                 expr, msg);
+  } else {
+    std::fprintf(stderr, "%s:%d: contract violated: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void contract_violated(const char* file, int line,
+                                    const char* expr, const std::string& msg) {
+  contract_violated(file, line, expr, msg.c_str());
+}
+
+}  // namespace ppnpart::support

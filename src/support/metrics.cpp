@@ -19,7 +19,7 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   if (bounds_.empty()) bounds_ = latency_bounds_us();
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
-  counts_.reset(new std::atomic<std::uint64_t>[bounds_.size() + 1]);
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
 }
 
@@ -119,14 +119,14 @@ MetricsRegistry& MetricsRegistry::global() {
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
-  if (!slot) slot.reset(new Counter());
+  if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
-  if (!slot) slot.reset(new Gauge());
+  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
@@ -134,7 +134,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
-  if (!slot) slot.reset(new Histogram(std::move(bounds)));
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 

@@ -18,6 +18,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "support/contracts.hpp"
+
 namespace ppnpart::support {
 
 class StopToken {
@@ -36,6 +38,9 @@ class StopToken {
   /// is published before the armed flag, so a reader either sees no
   /// deadline or a fully written one — never a torn value.
   void set_deadline_after(double seconds) {
+    // Arming contract: a deadline is a wall-clock budget. Negative or NaN
+    // budgets are caller bugs (an already-expired deadline is request_stop).
+    PPN_ASSERT(seconds >= 0);
     const Clock::time_point deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(seconds));
@@ -49,6 +54,8 @@ class StopToken {
   /// engine) layer its per-job budget on top of a caller's own cancel
   /// signal. Atomic like the deadline, so linking late cannot race polls.
   void set_parent(const StopToken* parent) {
+    // A self-parent would make stop_requested() recurse forever.
+    PPN_ASSERT(parent != this);
     parent_.store(parent, std::memory_order_release);
   }
 

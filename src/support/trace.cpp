@@ -4,9 +4,68 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <unordered_set>
 
+// ThreadSanitizer detection: GCC defines __SANITIZE_THREAD__, clang exposes
+// it through __has_feature.
+#if defined(__SANITIZE_THREAD__)
+#define PPN_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PPN_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef PPN_TSAN_ENABLED
+#define PPN_TSAN_ENABLED 0
+#endif
+
 namespace ppnpart::support {
+
+namespace {
+
+#if PPN_TSAN_ENABLED
+// The seqlock's payload copies are deliberate data races: record() writes
+// `slot.ev` while snapshot() speculatively reads it, and the seq recheck
+// discards any torn read. That design is invisible to TSan, which (rightly,
+// per the C++ memory model) reports the plain conflicting accesses. Under
+// TSan builds only, copy the payload as relaxed atomic words instead: the
+// same bytes move, no ordering claims are added (the seqlock's
+// acquire/release on `seq` still provides them), and every access TSan sees
+// is atomic. Normal builds keep the plain copy — the disabled-hook overhead
+// bound in bench_json depends on it staying a memcpy.
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent is copied word-by-word under TSan");
+static_assert(sizeof(TraceEvent) % sizeof(std::uint64_t) == 0,
+              "TraceEvent must be whole 64-bit words (pad if it grows)");
+static_assert(alignof(TraceEvent) >= alignof(std::uint64_t),
+              "TraceEvent words must be naturally aligned for atomic_ref");
+
+void relaxed_word_copy(TraceEvent& dst, const TraceEvent& src) {
+  // atomic_ref requires mutable access even for loads until C++26; the
+  // source object is never actually written through this cast.
+  auto* d = reinterpret_cast<std::uint64_t*>(&dst);
+  auto* s = reinterpret_cast<std::uint64_t*>(const_cast<TraceEvent*>(&src));
+  for (std::size_t i = 0; i < sizeof(TraceEvent) / sizeof(std::uint64_t);
+       ++i) {
+    std::atomic_ref<std::uint64_t>(d[i]).store(
+        std::atomic_ref<std::uint64_t>(s[i]).load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+#endif  // PPN_TSAN_ENABLED
+
+/// Copies a trace payload in or out of a ring slot. Plain assignment in
+/// normal builds; relaxed atomic words under TSan (see above).
+void copy_payload(TraceEvent& dst, const TraceEvent& src) {
+#if PPN_TSAN_ENABLED
+  relaxed_word_copy(dst, src);
+#else
+  dst = src;
+#endif
+}
+
+}  // namespace
 
 const char* intern_name(std::string_view name) {
   static std::mutex mutex;
@@ -19,7 +78,7 @@ const char* intern_name(std::string_view name) {
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
-      slots_(new Slot[capacity == 0 ? 1 : capacity]),
+      slots_(std::make_unique<Slot[]>(capacity == 0 ? 1 : capacity)),
       epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer& Tracer::global() {
@@ -55,7 +114,7 @@ void Tracer::record(const TraceEvent& ev) {
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed))
     return;
-  slot.ev = ev;
+  copy_payload(slot.ev, ev);
   slot.seq.store(seq + 2, std::memory_order_release);
 }
 
@@ -68,9 +127,17 @@ std::vector<TraceEvent> Tracer::snapshot() const {
       const std::uint32_t before = slot.seq.load(std::memory_order_acquire);
       if (before == 0) break;       // never written
       if (before & 1u) continue;    // mid-write; retry
-      TraceEvent ev = slot.ev;
+      TraceEvent ev;
+      copy_payload(ev, slot.ev);
+#if PPN_TSAN_ENABLED
+      // TSan neither models nor allows standalone fences (GCC hard-errors
+      // on atomic_thread_fence under -fsanitize=thread); an acquire on the
+      // recheck load provides the same ordering for the validation.
+      if (slot.seq.load(std::memory_order_acquire) == before) {
+#else
       std::atomic_thread_fence(std::memory_order_acquire);
       if (slot.seq.load(std::memory_order_relaxed) == before) {
+#endif
         out.push_back(ev);
         break;
       }

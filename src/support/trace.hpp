@@ -31,6 +31,13 @@
 // Determinism contract: tracing OBSERVES, it never participates. Enabling
 // or disabling it must not change any partition output (pinned by the
 // golden-determinism tests).
+//
+// ThreadSanitizer: the seqlock's payload copies are deliberate, recheck-
+// resolved data races, which TSan reports as written. TSan builds
+// (PPNPART_TSAN, or any -fsanitize=thread compile) switch the payload copy
+// to relaxed atomic words in trace.cpp — identical bytes and ordering
+// semantics, zero cost in normal builds, and a race-free ring as far as
+// TSan can observe.
 
 #include <atomic>
 #include <chrono>

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# clang-tidy driver over src/, using the project .clang-tidy and the
+# compile_commands.json CMake exports on every configure.
+#
+#   tools/run_tidy.sh [--require] [build-dir]
+#
+# Without clang-tidy installed the script SKIPS with exit 0 (the reference
+# dev container is GCC-only); pass --require — as the CI clang-tidy job
+# does after apt-installing the tool — to turn absence into a failure.
+# CLANG_TIDY=<binary> overrides discovery.
+set -euo pipefail
+
+require=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --require) require=1 ;;
+    -h|--help) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+tidy="${CLANG_TIDY:-}"
+if [[ -z "$tidy" ]]; then
+  for cand in clang-tidy clang-tidy-21 clang-tidy-20 clang-tidy-19 \
+              clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      tidy="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy" ]]; then
+  if [[ "$require" -eq 1 ]]; then
+    echo "run_tidy.sh: clang-tidy not found (--require set)" >&2
+    exit 1
+  fi
+  echo "run_tidy.sh: clang-tidy not found; skipping (pass --require to fail)"
+  exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [[ ! -f "$db" ]]; then
+  echo "run_tidy.sh: $db missing; run: cmake -B $build_dir -S ." >&2
+  exit 1
+fi
+
+mapfile -t files < <(git ls-files 'src/*.cpp' 'src/**/*.cpp')
+if [[ "${#files[@]}" -eq 0 ]]; then
+  echo "run_tidy.sh: no src/ translation units found" >&2
+  exit 1
+fi
+
+echo "run_tidy.sh: $($tidy --version | head -n 2 | tail -n 1 | sed 's/^ *//')"
+echo "run_tidy.sh: checking ${#files[@]} files against $db"
+# xargs -P fans files across cores; any nonzero tidy exit (a warning, via
+# WarningsAsErrors in .clang-tidy) fails the pipeline.
+printf '%s\n' "${files[@]}" |
+  xargs -P "$(nproc)" -n 4 "$tidy" -p "$build_dir" --quiet
+echo "run_tidy.sh: clean"
