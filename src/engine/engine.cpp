@@ -1,10 +1,14 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <stdexcept>
 
 #include "engine/fingerprint.hpp"
+#include "partition/coarsen.hpp"
+#include "partition/initial.hpp"
 #include "support/contracts.hpp"
+#include "support/fault_injection.hpp"
 #include "support/prng.hpp"
 #include "support/stop_token.hpp"
 #include "support/thread_pool.hpp"
@@ -21,8 +25,43 @@ const char* to_string(AdmissionDecision::Path path) {
     case AdmissionDecision::Path::kWarmStart: return "warm-start";
     case AdmissionDecision::Path::kSimilarity: return "similarity";
     case AdmissionDecision::Path::kFullPortfolio: return "full-portfolio";
+    case AdmissionDecision::Path::kShed: return "shed";
   }
   return "?";
+}
+
+const char* to_string(AdmissionDecision::DegradeRung rung) {
+  switch (rung) {
+    case AdmissionDecision::DegradeRung::kFull: return "full";
+    case AdmissionDecision::DegradeRung::kCheapMembers: return "cheap-members";
+    case AdmissionDecision::DegradeRung::kGpOnly: return "gp-only";
+    case AdmissionDecision::DegradeRung::kProjected: return "projected";
+  }
+  return "?";
+}
+
+const char* to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNew: return "reject_new";
+    case ShedPolicy::kDropOldest: return "drop_oldest";
+    case ShedPolicy::kDeadlineAware: return "deadline_aware";
+  }
+  return "?";
+}
+
+support::Result<ShedPolicy> parse_shed_policy(const std::string& name) {
+  if (name == "reject_new") return ShedPolicy::kRejectNew;
+  if (name == "drop_oldest") return ShedPolicy::kDropOldest;
+  if (name == "deadline_aware") return ShedPolicy::kDeadlineAware;
+  return support::Result<ShedPolicy>::error(
+      support::StatusCode::kInvalidArgument,
+      "unknown shed policy '" + name +
+          "' (expected reject_new | drop_oldest | deadline_aware)");
+}
+
+bool is_cheap_member(const std::string& name) {
+  return name == "gp" || name == "metislike" || name == "kl" ||
+         name == "spectral" || name == "random";
 }
 
 namespace {
@@ -34,6 +73,10 @@ constexpr const char* kTraceCat = "engine";
 void trace_decision(std::uint64_t job_id, const AdmissionDecision& d) {
   if (!support::Tracer::global().enabled()) return;
   std::string detail = to_string(d.path);
+  if (d.rung != AdmissionDecision::DegradeRung::kFull) {
+    detail += "; rung: ";
+    detail += to_string(d.rung);
+  }
   if (!d.decline_reason.empty()) {
     detail += "; declined: ";
     detail += d.decline_reason;
@@ -77,6 +120,13 @@ struct Engine::JobState {
   std::size_t remaining = 0;
   bool done = false;
   bool collected = false;  // outcome moved out by a wait()/poll() winner
+  /// Bounded-admission bookkeeping. `holds_slot` (guarded by the engine
+  /// mutex_): this job occupies one of the max_running_jobs slots and must
+  /// release it in finalize_job. `queued_start`: the queue pump started this
+  /// job, so its fan-out must use the pool even from a worker thread — the
+  /// waiter is an external client, nothing on this thread blocks on it.
+  bool holds_slot = false;
+  bool queued_start = false;
   PortfolioOutcome outcome;
   /// Identical-key jobs coalesced onto this one (single-flight); completed
   /// with a copy of this job's outcome by finalize_job. Guarded by `m`,
@@ -110,6 +160,17 @@ Engine::Engine(EngineOptions options)
   path_metrics_.sim_served = &metrics_.counter("engine.admit.similarity");
   path_metrics_.sim_declined = &metrics_.counter("engine.admit.sim_decline");
   path_metrics_.full_runs = &metrics_.counter("engine.admit.full_portfolio");
+  // Overload-protection series. `full_portfolio` keeps meaning "routed to
+  // stage 3": rejected/shed jobs routed there and were then refused, so
+  // they are a subset of it, and degrade counters are a subset of admitted
+  // stage-3 jobs.
+  path_metrics_.rejected = &metrics_.counter("engine.admit.rejected");
+  path_metrics_.shed = &metrics_.counter("engine.admit.shed");
+  path_metrics_.degrade_cheap =
+      &metrics_.counter("engine.degrade.cheap_members");
+  path_metrics_.degrade_gp = &metrics_.counter("engine.degrade.gp_only");
+  path_metrics_.degrade_projected =
+      &metrics_.counter("engine.degrade.projected");
   path_metrics_.job_us = &metrics_.histogram("engine.job.time_us");
   member_metrics_.reserve(options_.portfolio.size());
   for (const std::string& name : options_.portfolio.members) {
@@ -122,6 +183,16 @@ Engine::Engine(EngineOptions options)
     mm.failures = &metrics_.counter(prefix + "failures");
     mm.time_us = &metrics_.histogram(prefix + "time_us");
     member_metrics_.push_back(mm);
+  }
+
+  if (options_.queue_capacity > 0) {
+    // Auto cap: enough concurrent jobs that their member tasks about fill
+    // the pool; a portfolio larger than the pool still runs one at a time.
+    max_running_resolved_ =
+        options_.max_running_jobs != 0
+            ? options_.max_running_jobs
+            : std::max<std::size_t>(1, support::ThreadPool::global().size() /
+                                           options_.portfolio.size());
   }
 }
 
@@ -382,6 +453,13 @@ bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
                                                match->entry.partition, req,
                                                &istats);
   }
+  // Chaos seam: a verification failure must route the job to the untouched
+  // full path — the unverified warm start is never served.
+  if (warm.has_value() &&
+      support::fault_fire(support::FaultSite::kSimilarityVerify)) {
+    warm.reset();
+    istats.fallback_reason = "injected: similarity verify";
+  }
   // The probe and its verdict are one transaction under ONE mutex_
   // acquisition: a concurrent stats() reader always sees
   // probes == near_hits + declines, never a probe whose outcome is still
@@ -478,7 +556,6 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
   // this job still routed full-portfolio): record it before fan-out.
   state->decision.path = AdmissionDecision::Path::kFullPortfolio;
   path_metrics_.full_runs->add();
-  trace_decision(state->id, state->decision);
 
   // Single-flight: a running twin of this job exists — attach to it and
   // share its outcome instead of racing a duplicate portfolio. Jobs
@@ -500,6 +577,7 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
         std::lock_guard<std::mutex> lock(leader->m);
         if (!leader->done) {
           leader->followers.push_back(state);
+          trace_decision(state->id, state->decision);
           std::lock_guard<std::mutex> slock(mutex_);
           ++stats_.jobs_coalesced;
           return;
@@ -511,13 +589,156 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
     }
   }
 
+  // Bounded admission: the gate picks the degradation rung and either lets
+  // the job run now, parks it for a free running slot, or sheds it (or a
+  // queued victim). Single-flight attach stays ABOVE the gate on purpose —
+  // coalescing consumes no capacity. Inline (pool-worker) admissions are
+  // exempt: they degrade to serial below and hold no pool slot, and parking
+  // one would block a worker the running jobs may need.
+  if (options_.queue_capacity > 0 && !pool.on_worker_thread() &&
+      !admission_gate(state))
+    return;  // queued (pump_queue fans out later) or shed (outcome is done)
+
+  trace_decision(state->id, state->decision);
+  fan_out(state);
+}
+
+bool Engine::admission_gate(const std::shared_ptr<JobState>& state) {
+  using Rung = AdmissionDecision::DegradeRung;
+  const std::size_t cap = options_.queue_capacity;
+  std::shared_ptr<JobState> victim;
+  support::Status refusal;
+  bool queued = false;
+  bool run_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t depth = queue_.size();
+    const support::StopToken* stop = state->job.request.stop;
+    // The ladder is a pure function of (depth snapshot, caller budget): a
+    // fixed submission order replays the same rungs.
+    Rung rung = Rung::kFull;
+    if (options_.degrade_under_load) {
+      if (stop != nullptr && stop->seconds_until_deadline() <= 0) {
+        // The caller's budget is already gone: the cheapest valid answer
+        // NOW beats a queued full answer the caller stopped waiting for.
+        rung = Rung::kProjected;
+      } else if (2 * depth >= cap) {
+        rung = Rung::kGpOnly;
+      } else if (4 * depth >= cap) {
+        rung = Rung::kCheapMembers;
+      }
+    }
+    state->decision.rung = rung;
+
+    if (rung == Rung::kProjected) {
+      // Projected answers are served inline by the admitting thread: no
+      // pool slot, no queue entry — they cannot pile up behind the queue.
+      run_now = true;
+    } else if (running_full_ < max_running_resolved_) {
+      ++running_full_;
+      state->holds_slot = true;
+      run_now = true;
+    } else if (options_.shed_policy == ShedPolicy::kDeadlineAware &&
+               stop != nullptr && avg_job_seconds_ > 0 &&
+               stop->seconds_until_deadline() <=
+                   static_cast<double>(depth + 1) * avg_job_seconds_) {
+      // The deadline cannot survive the drain of the queue ahead (estimated
+      // from recent job latency): refuse now instead of computing an answer
+      // nobody is still waiting for.
+      refusal = support::Status::error(
+          support::StatusCode::kDeadlineExceeded,
+          "engine: deadline expires before " + std::to_string(depth + 1) +
+              " queued job(s) can drain");
+      ++stats_.jobs_rejected;
+      path_metrics_.rejected->add();
+    } else if (depth < cap) {
+      queue_.push_back(state);
+      queued = true;
+    } else if (options_.shed_policy == ShedPolicy::kDropOldest) {
+      victim = queue_.front();
+      queue_.pop_front();
+      queue_.push_back(state);
+      queued = true;
+      ++stats_.jobs_shed;
+      path_metrics_.shed->add();
+    } else {
+      refusal = support::Status::error(
+          support::StatusCode::kResourceExhausted,
+          "engine: admission queue full (" + std::to_string(cap) +
+              " pending)");
+      ++stats_.jobs_rejected;
+      path_metrics_.rejected->add();
+    }
+
+    if ((run_now || queued) && rung != Rung::kFull) {
+      ++stats_.jobs_degraded;
+      switch (rung) {
+        case Rung::kCheapMembers: path_metrics_.degrade_cheap->add(); break;
+        case Rung::kGpOnly: path_metrics_.degrade_gp->add(); break;
+        case Rung::kProjected: path_metrics_.degrade_projected->add(); break;
+        case Rung::kFull: break;
+      }
+    }
+  }
+
+  if (victim != nullptr)
+    serve_error(victim,
+                support::Status::error(support::StatusCode::kResourceExhausted,
+                                       "engine: shed by drop_oldest"));
+  if (!refusal.is_ok()) {
+    serve_error(state, std::move(refusal));
+    return false;
+  }
+  if (queued) {
+    trace_decision(state->id, state->decision);
+    return false;
+  }
+  return run_now;
+}
+
+std::vector<std::size_t> Engine::members_for_rung(
+    AdmissionDecision::DegradeRung rung) const {
+  using Rung = AdmissionDecision::DegradeRung;
+  const std::vector<std::string>& members = options_.portfolio.members;
+  std::vector<std::size_t> out;
+  if (rung == Rung::kCheapMembers) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (is_cheap_member(members[i])) out.push_back(i);
+    // A portfolio of only expensive members still answers: member 0 runs.
+    if (out.empty()) out.push_back(0);
+    return out;
+  }
+  if (rung == Rung::kGpOnly) {
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (members[i] == "gp") return {i};
+    for (std::size_t i = 0; i < members.size(); ++i)
+      if (is_cheap_member(members[i])) return {i};
+    return {0};
+  }
+  // kFull (and kProjected, which never reaches the member loop).
+  out.resize(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) out[i] = i;
+  return out;
+}
+
+void Engine::fan_out(const std::shared_ptr<JobState>& state) {
+  auto& pool = support::ThreadPool::global();
+  if (state->decision.rung == AdmissionDecision::DegradeRung::kProjected) {
+    serve_projected(state);
+    return;
+  }
+
   const std::size_t n = options_.portfolio.size();
+  const std::vector<std::size_t> selected =
+      members_for_rung(state->decision.rung);
   {
     std::lock_guard<std::mutex> lock(state->m);
     state->members.resize(n);
     for (std::size_t i = 0; i < n; ++i)
       state->members[i].algorithm = options_.portfolio.members[i];
-    state->remaining = n;
+    // Members outside the rung stay ran == false — the same "skipped" shape
+    // cancellation produces, so every consumer already handles it.
+    state->remaining = selected.size();
   }
   if (options_.time_budget_ms > 0)
     state->token.set_deadline_after(options_.time_budget_ms / 1e3);
@@ -527,15 +748,22 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
   if (state->job.request.stop != nullptr)
     state->token.set_parent(state->job.request.stop);
 
-  if (pool.on_worker_thread()) {
+  if (pool.on_worker_thread() && !state->queued_start) {
     // Called from inside the pool (e.g. a client task): fanning out and
     // blocking would deadlock a saturated pool, so degrade to serial.
-    for (std::size_t i = 0; i < n; ++i) run_member(state, i);
+    // (Pump-started jobs fan onto the pool even from a worker: their waiter
+    // is an external client thread, nothing on this thread blocks on them.)
+    for (std::size_t i : selected) run_member(state, i);
   } else {
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t si = 0; si < selected.size(); ++si) {
       // Futures are intentionally dropped: completion is tracked by
       // `remaining`, and packaged_task keeps the shared state alive.
       try {
+        // Chaos seam: an injected submit failure exercises the same
+        // unsubmitted-tail accounting a real allocation failure would.
+        if (support::fault_fire(support::FaultSite::kPoolTask))
+          throw support::FaultInjected("injected: pool task submit");
+        const std::size_t i = selected[si];
         pool.submit([this, state, i] { run_member(state, i); });
       } catch (...) {
         // A failed submit (e.g. allocation) must not unwind out of here:
@@ -546,11 +774,12 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
         bool finished = false;
         {
           std::lock_guard<std::mutex> lock(state->m);
-          for (std::size_t j = i; j < n; ++j) {
-            state->members[j].failed = true;
-            state->members[j].error = "engine: task submission failed";
+          for (std::size_t sj = si; sj < selected.size(); ++sj) {
+            state->members[selected[sj]].failed = true;
+            state->members[selected[sj]].error =
+                "engine: task submission failed";
           }
-          state->remaining -= n - i;
+          state->remaining -= selected.size() - si;
           finished = state->remaining == 0;
         }
         if (finished) finalize_job(state);
@@ -558,6 +787,149 @@ void Engine::launch_full(const std::shared_ptr<JobState>& state) {
       }
     }
   }
+}
+
+void Engine::pump_queue() {
+  // Collect starts under the lock, fan out after it: fan_out takes state->m
+  // and pool locks that must not nest under mutex_.
+  std::vector<std::shared_ptr<JobState>> start;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!queue_.empty() && running_full_ < max_running_resolved_) {
+      std::shared_ptr<JobState> next = queue_.front();
+      queue_.pop_front();
+      ++running_full_;
+      next->holds_slot = true;
+      next->queued_start = true;
+      start.push_back(std::move(next));
+    }
+  }
+  for (const std::shared_ptr<JobState>& s : start) fan_out(s);
+}
+
+void Engine::serve_error(const std::shared_ptr<JobState>& state,
+                         support::Status status) {
+  // Same ordering rule as finalize_job: every engine-member touch before
+  // the `done` flip — a waiter may destroy the Engine the moment it
+  // observes done.
+  PortfolioOutcome snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->decision.path = AdmissionDecision::Path::kShed;
+    PortfolioOutcome& out = state->outcome;
+    out.status = std::move(status);
+    out.key = state->key;
+    out.decision = state->decision;
+    out.seconds = state->timer.seconds();
+    snapshot = out;
+  }
+  trace_decision(state->id, state->decision);
+  support::trace_async_end(kTraceCat, "job", state->id, {},
+                           snapshot.status.to_string());
+  {
+    // A shed single-flight leader must leave the registry before `done`, so
+    // a racing twin can take the key and compute a real answer.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(state->key);
+    if (it != inflight_.end() && it->second == state) inflight_.erase(it);
+  }
+
+  std::vector<std::shared_ptr<JobState>> followers;
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    followers.swap(state->followers);
+    state->done = true;
+  }
+  state->cv.notify_all();
+
+  if (!followers.empty()) {
+    // Followers share the leader's fate — and its typed error. Account them
+    // while they still pin the engine in jobs_ (see finalize_job).
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.jobs_shed += followers.size();
+    }
+    path_metrics_.shed->add(followers.size());
+    for (const std::shared_ptr<JobState>& f : followers) {
+      {
+        std::lock_guard<std::mutex> lock(f->m);
+        f->decision.path = AdmissionDecision::Path::kShed;
+        f->outcome = snapshot;
+        f->outcome.coalesced = true;
+        f->outcome.decision = f->decision;
+        f->outcome.seconds = f->timer.seconds();
+        support::trace_async_end(kTraceCat, "job", f->id, {}, "shed");
+        f->done = true;
+      }
+      f->cv.notify_all();
+    }
+  }
+}
+
+void Engine::serve_projected(const std::shared_ptr<JobState>& state) {
+  support::ScopedSpan span(kTraceCat, "projected", state->id);
+  const graph::Graph& g = *state->job.graph;
+  const part::PartitionRequest& req = state->job.request;
+  support::Timer timer;
+  part::PartitionResult result;
+  try {
+    part::CoarsenOptions copts;
+    std::shared_ptr<const part::Hierarchy> h;
+    if (options_.coarsen_cache_capacity > 0) {
+      // Reuse (or build) the canonical hierarchy every multilevel member
+      // shares — under overload it is usually already hot.
+      h = coarsen_cache_.hierarchy(state->graph_fp, copts, g);
+    } else {
+      support::Rng coarsen_rng(hash_combine(req.seed, 0x70726f6aull));
+      h = std::make_shared<const part::Hierarchy>(
+          part::coarsen(g, copts, coarsen_rng));
+    }
+    const graph::Graph& coarsest = h->num_levels() == 1 ? g : h->coarsest();
+    part::GreedyGrowOptions gopts;
+    gopts.parallel = false;  // the saturated pool is the reason we're here
+    support::Rng grow_rng(hash_combine(req.seed, 0x70726f6a32ull));
+    part::Partition coarse = part::greedy_grow_initial(
+        coarsest, req.k, req.constraints, gopts, grow_rng);
+    std::vector<part::PartId> assign;
+    if (h->num_levels() <= 1) {
+      assign = coarse.assignments();
+    } else {
+      // Cached hierarchies drop graphs[0] (every consumer holds the finest
+      // graph), so project to level 1 and walk the last map against g.
+      std::vector<part::PartId> lvl1 =
+          h->project_to_level(coarse.assignments(), 1);
+      assign.resize(g.num_nodes());
+      for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+        assign[u] = lvl1[h->maps[0][u]];
+    }
+    result.partition = part::Partition(g.num_nodes(), req.k);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u)
+      result.partition.set(u, assign[u]);
+    result.finalize(g, req.constraints);
+    result.algorithm = "projected";
+    result.seconds = timer.seconds();
+  } catch (...) {
+    serve_error(state,
+                support::Status::error(support::StatusCode::kInternal,
+                                       "engine: projected answer failed"));
+    return;
+  }
+  span.arg("cut", static_cast<std::int64_t>(result.metrics.total_cut));
+
+  // A projected answer is a valid, complete partition but is NEVER cached
+  // or similarity-indexed: the rung depends on transient load, the cache
+  // key does not (serve_inline touches neither).
+  PortfolioOutcome out;
+  out.best = std::move(result);
+  out.winner = "projected";
+  MemberOutcome mo;
+  mo.algorithm = "projected";
+  mo.ran = true;
+  mo.won = true;
+  mo.goodness = goodness_of(out.best);
+  mo.seconds = out.best.seconds;
+  out.members.push_back(std::move(mo));
+  serve_inline(state, std::move(out));
 }
 
 void Engine::run_member(const std::shared_ptr<JobState>& state,
@@ -583,6 +955,12 @@ void Engine::run_member(const std::shared_ptr<JobState>& state,
       // in and its outcome (cut, feasibility) coming out.
       support::ScopedSpan span(kTraceCat, mm.span_name, state->id);
       try {
+        // Chaos seam: an injected member failure takes the same catch path
+        // a real partitioner exception does — accounted, never fatal.
+        if (support::fault_fire(support::FaultSite::kMemberRun))
+          throw support::FaultInjected("injected: member run (" +
+                                       options_.portfolio.members[index] +
+                                       ")");
         auto algo = part::make_partitioner(options_.portfolio.members[index]);
         part::PartitionRequest req = state->job.request;
         // A caller-supplied workspace or phase profile is single-run state
@@ -679,6 +1057,12 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     if (state->have_best) {
       out.best = state->best;
       out.winner = state->members[state->best_index].algorithm;
+    } else {
+      // No member produced a result (every selected one failed or could not
+      // be submitted): a typed error, not a silently empty partition.
+      out.status =
+          support::Status::error(support::StatusCode::kInternal,
+                                 "engine: every portfolio member failed");
     }
     for (const MemberOutcome& mo : state->members) {
       if (mo.failed) ++failed;
@@ -711,7 +1095,15 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
   // caching would serve the degraded answer to future full-effort twins.
   const bool caller_cancelled = state->job.request.stop != nullptr &&
                                 state->job.request.stop->stop_requested();
-  if (!snapshot.winner.empty() && !caller_cancelled) {
+  // A degraded answer is equally excluded: the rung depends on transient
+  // load, the cache key does not — caching it would serve reduced-effort
+  // answers to future full-effort twins. The kCacheInsert chaos seam models
+  // a dropped insert (cache unavailable): future twins recompute, nothing
+  // torn, nothing stale.
+  const bool degraded =
+      snapshot.decision.rung != AdmissionDecision::DegradeRung::kFull;
+  if (!snapshot.winner.empty() && !caller_cancelled && !degraded &&
+      !support::fault_fire(support::FaultSite::kCacheInsert)) {
     // Cache hygiene contract: only complete partitions of the right shape
     // may be replayed to future twins — a torn entry would poison every
     // exact hit and warm start derived from it.
@@ -731,11 +1123,20 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     stats_.members_run += run;
     stats_.members_skipped += skipped;
     stats_.members_failed += failed;
+    // Release this job's running slot and feed the deadline-aware policy's
+    // latency estimate (EWMA of recent jobs, full and degraded alike).
+    if (state->holds_slot) --running_full_;
+    avg_job_seconds_ = avg_job_seconds_ == 0
+                           ? snapshot.seconds
+                           : 0.8 * avg_job_seconds_ + 0.2 * snapshot.seconds;
     // Leave the single-flight registry before publishing done, so a racer
     // that finds this state there can rely on attaching or retrying.
     auto it = inflight_.find(state->key);
     if (it != inflight_.end() && it->second == state) inflight_.erase(it);
   }
+  // Start queued work into the freed slot — still BEFORE the done flip
+  // (the ordering rule above: pump touches queue_/mutex_ and the pool).
+  pump_queue();
 
   // Drain followers atomically with the done flip: a new follower can only
   // attach while !done, so none is stranded after the swap.

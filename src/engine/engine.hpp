@@ -64,6 +64,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -82,8 +83,37 @@
 #include "partition/partitioner.hpp"
 #include "partition/workspace.hpp"
 #include "support/metrics.hpp"
+#include "support/status.hpp"
 
 namespace ppnpart::engine {
+
+/// What bounded admission does when the pending queue is full (see
+/// EngineOptions::queue_capacity). Shed jobs complete immediately with a
+/// typed error on PortfolioOutcome::status — submit() itself never blocks.
+enum class ShedPolicy : std::uint8_t {
+  /// Refuse the arriving job (kResourceExhausted); queued work is safe.
+  kRejectNew,
+  /// Admit the arriving job and shed the OLDEST still-queued job instead
+  /// (kResourceExhausted): freshest work wins, e.g. when newer requests
+  /// supersede older ones.
+  kDropOldest,
+  /// Like kRejectNew, but additionally refuses any job whose caller
+  /// StopToken deadline will expire before the queue ahead of it can drain
+  /// (kDeadlineExceeded, estimated from the engine's recent job latency) —
+  /// no cycles are spent computing answers nobody is still waiting for.
+  kDeadlineAware,
+};
+
+/// Stable lowercase label ("reject_new", "drop_oldest", "deadline_aware").
+const char* to_string(ShedPolicy policy);
+/// Parses a shed-policy name (the CLI's --shed values); kInvalidArgument on
+/// anything else.
+support::Result<ShedPolicy> parse_shed_policy(const std::string& name);
+
+/// Members cheap enough for the degradation ladder's reduced rungs: the
+/// single-pass heuristics plus GP (nlevel/annealing/tabu/genetic/exact are
+/// the expensive tail — on the tracked workload NLevel alone costs ~30x GP).
+bool is_cheap_member(const std::string& name);
 
 struct EngineOptions {
   Portfolio portfolio = Portfolio::defaults();
@@ -129,6 +159,39 @@ struct EngineOptions {
   /// default — see SimilarityOptions for the knobs and the trade-offs.
   SimilarityOptions similarity;
 
+  /// Overload protection: bounds the number of stage-3 (full-portfolio)
+  /// jobs admitted but not yet fanned out. 0 (default) disables protection
+  /// entirely — every job fans out immediately, exactly the pre-overload
+  /// behaviour. With a capacity set, submit() NEVER blocks and never queues
+  /// unboundedly: a full queue sheds per `shed_policy`, and rising depth
+  /// walks the degradation ladder (see AdmissionDecision::DegradeRung)
+  /// before any shedding happens. The capacity is enforced against the
+  /// depth snapshot each admission observes; concurrent admits can
+  /// transiently overshoot by the number of in-flight submit() calls.
+  std::size_t queue_capacity = 0;
+
+  /// What to do with the overflow once the queue is full.
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+
+  /// How many stage-3 jobs may be fanned out onto the pool concurrently
+  /// while overload protection is on (ignored when queue_capacity == 0).
+  /// 0 = auto: pool size / portfolio size, at least 1 — member tasks about
+  /// fill the pool. Finished jobs pump the queue, so held-back jobs start
+  /// the moment capacity frees.
+  std::size_t max_running_jobs = 0;
+
+  /// Graceful degradation ladder (only meaningful with queue_capacity > 0):
+  /// instead of failing under load, admission deterministically steps down
+  ///   full portfolio -> cheap-members-only -> GP-only -> projected answer
+  /// by observed queue depth (quarter/half of capacity) and caller budget
+  /// (an expired StopToken deadline gets the projected rung: a coarse
+  /// answer now beats a full answer after the caller stopped waiting).
+  /// The rung is a pure function of (depth snapshot, budget state), so a
+  /// fixed submission order replays the same ladder. Degraded answers are
+  /// NEVER written to the result cache or the similarity index — the rung
+  /// depends on transient load, the cache key does not.
+  bool degrade_under_load = true;
+
   /// Metrics sink (non-owning; must outlive the engine). Null = the
   /// process-wide support::MetricsRegistry::global(). The engine records
   /// admission-path counters, job latency histograms and per-member
@@ -158,8 +221,20 @@ struct AdmissionDecision {
     kWarmStart,      // stage 2: caller-supplied delta warm start
     kSimilarity,     // stage 2: sketch near-hit, diffed and warm-started
     kFullPortfolio,  // stage 3: member fan-out
+    kShed,           // bounded admission refused/evicted the job (typed
+                     // error on PortfolioOutcome::status, no answer)
+  };
+  /// The degradation ladder's rung for a stage-3 job (see
+  /// EngineOptions::degrade_under_load). Anything below kFull marks a
+  /// degraded answer: valid and complete, computed with reduced effort.
+  enum class DegradeRung : std::uint8_t {
+    kFull = 0,       // the whole portfolio raced
+    kCheapMembers,   // only the portfolio's cheap members ran
+    kGpOnly,         // a single cheap member ran
+    kProjected,      // coarsen + initial partition + project, no refinement
   };
   Path path = Path::kFullPortfolio;
+  DegradeRung rung = DegradeRung::kFull;
   /// The similarity index was consulted for this job.
   bool sim_probed = false;
   /// Why a consulted warm start fell through to the full path ("no sketch
@@ -168,11 +243,20 @@ struct AdmissionDecision {
 };
 
 /// Stable lowercase label of an admission path ("exact-hit", "warm-start",
-/// "similarity", "full-portfolio").
+/// "similarity", "full-portfolio", "shed").
 const char* to_string(AdmissionDecision::Path path);
+/// Stable lowercase label of a degradation rung ("full", "cheap-members",
+/// "gp-only", "projected").
+const char* to_string(AdmissionDecision::DegradeRung rung);
 
 /// The engine's answer for one job.
 struct PortfolioOutcome {
+  /// Why there is no answer, when there is none: shed jobs carry
+  /// kResourceExhausted (queue full) or kDeadlineExceeded (deadline-aware
+  /// admission), and a job whose every member failed carries kInternal.
+  /// ok() whenever `winner` is non-empty — check this FIRST; `best` is
+  /// meaningless on error.
+  support::Status status;
   part::PartitionResult best;  // the winning member's full result
   std::string winner;          // registry name of the winning member
   bool from_cache = false;
@@ -209,6 +293,17 @@ struct RepartitionOutcome {
 struct EngineStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_coalesced = 0;  // duplicates served by single-flight
+  /// Bounded-admission accounting (queue_capacity > 0). Every submitted
+  /// stage-3 job ends in exactly one of completed / rejected / shed:
+  /// `rejected` = refused at admission (queue full under reject_new /
+  /// deadline_aware, or an unmeetable deadline); `shed` = admitted, queued,
+  /// then evicted by drop_oldest before running. Both complete immediately
+  /// with a typed error outcome. `degraded` counts jobs ADMITTED below the
+  /// full rung (decision-time count; a degraded job later evicted by
+  /// drop_oldest still counted here).
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_degraded = 0;
   std::uint64_t members_run = 0;
   std::uint64_t members_skipped = 0;
   std::uint64_t members_failed = 0;
@@ -289,15 +384,26 @@ class Engine {
   std::vector<PortfolioOutcome> run_batch(const std::vector<Job>& jobs);
   std::vector<PortfolioOutcome> run_batch(std::vector<Job>&& jobs);
 
-  /// Streaming: enqueue a job and return immediately.
+  /// Streaming: enqueue a job and return immediately. With overload
+  /// protection on (EngineOptions::queue_capacity > 0) this NEVER blocks on
+  /// a full queue: a refused job still gets a valid JobId whose outcome is
+  /// already complete, with an empty `winner` and a typed
+  /// PortfolioOutcome::status (kResourceExhausted / kDeadlineExceeded) —
+  /// poll/wait on it return immediately, exactly like any finished job.
+  /// Rejection is reported through the outcome rather than here so every
+  /// caller, streaming or batch, sees one uniform completion protocol.
   JobId submit(Job job);
 
   /// Non-blocking: the outcome if the job finished, nullopt otherwise.
-  /// A returned outcome releases the job's bookkeeping; a second poll of
-  /// the same id reports an error (std::invalid_argument).
+  /// A shed/rejected job counts as finished the moment submit() returns
+  /// (its typed-error outcome is immediately available). A returned outcome
+  /// releases the job's bookkeeping; a second poll of the same id reports
+  /// an error (std::invalid_argument).
   std::optional<PortfolioOutcome> poll(JobId id);
 
   /// Blocks until the job finishes, then behaves like a successful poll.
+  /// Never blocks on a shed/rejected job — those are born finished; check
+  /// outcome.status to distinguish an answer from a typed refusal.
   PortfolioOutcome wait(JobId id);
 
   /// Incremental repartitioning of an evolving network. Applies `delta` to
@@ -407,6 +513,33 @@ class Engine {
                    const part::Partition& partition);
   /// Stage 3: single-flight registration and portfolio member fan-out.
   void launch_full(const std::shared_ptr<JobState>& state);
+  /// Bounded-admission gate (queue_capacity > 0): picks the degradation
+  /// rung from the depth snapshot + caller budget, then either marks the
+  /// state runnable (true), queues it, or sheds it / a queued victim per
+  /// the policy. False = the caller must NOT fan out; the state's outcome
+  /// is (or will be) published by the gate machinery.
+  bool admission_gate(const std::shared_ptr<JobState>& state);
+  /// Member indices the given rung races (kFull -> all; reduced rungs pick
+  /// from the cheap set). Never empty.
+  std::vector<std::size_t> members_for_rung(
+      AdmissionDecision::DegradeRung rung) const;
+  /// The actual pool fan-out of launch_full, factored out so the queue
+  /// pump can start held-back jobs later.
+  void fan_out(const std::shared_ptr<JobState>& state);
+  /// Starts queued jobs while running slots are free. Called when a
+  /// finishing job releases its slot — before its `done` flip, per
+  /// finalize_job's ordering rule.
+  void pump_queue();
+  /// Completes a job WITHOUT an answer: publishes a typed-error outcome,
+  /// drains single-flight followers with the same error, erases the
+  /// inflight entry. The shed path's finalize_job.
+  void serve_error(const std::shared_ptr<JobState>& state,
+                   support::Status status);
+  /// The ladder's last rung: coarsen (via the coarsening cache when on) +
+  /// greedy-grow on the coarsest level + project to the finest — a valid,
+  /// feasible-balance-effort answer at a fraction of one member's cost.
+  /// Never cached or indexed.
+  void serve_projected(const std::shared_ptr<JobState>& state);
 
   std::shared_ptr<JobState> find_job(JobId id);
   PortfolioOutcome take_outcome(const std::shared_ptr<JobState>& state);
@@ -435,6 +568,11 @@ class Engine {
     support::Counter* sim_served = nullptr;
     support::Counter* sim_declined = nullptr;
     support::Counter* full_runs = nullptr;
+    support::Counter* rejected = nullptr;   // engine.admit.rejected
+    support::Counter* shed = nullptr;       // engine.admit.shed
+    support::Counter* degrade_cheap = nullptr;  // engine.degrade.cheap_members
+    support::Counter* degrade_gp = nullptr;     // engine.degrade.gp_only
+    support::Counter* degrade_projected = nullptr;  // engine.degrade.projected
     support::Histogram* job_us = nullptr;  // engine.job.time_us
   };
   PathMetrics path_metrics_;
@@ -463,6 +601,14 @@ class Engine {
   /// Single-flight registry: cache key -> the JobState computing it.
   std::unordered_map<std::uint64_t, std::shared_ptr<JobState>> inflight_;
   EngineStats stats_;
+  /// Bounded admission (all under mutex_): stage-3 jobs admitted but
+  /// awaiting a running slot, the count of jobs currently fanned out, the
+  /// resolved concurrent-job cap, and an EWMA of recent job latency (the
+  /// deadline-aware policy's drain-time estimate).
+  std::deque<std::shared_ptr<JobState>> queue_;
+  std::size_t running_full_ = 0;
+  std::size_t max_running_resolved_ = 0;
+  double avg_job_seconds_ = 0;
 
   std::atomic<std::uint64_t> fp_computed_{0};
   mutable std::mutex fp_mutex_;  // guards fp_memo_

@@ -21,13 +21,15 @@ support::Result<Portfolio> Portfolio::parse(const std::string& spec) {
     name.erase(std::remove(name.begin(), name.end(), ' '), name.end());
     if (name.empty()) continue;
     if (std::find(names.begin(), names.end(), name) == names.end()) {
-      return support::Status::error("unknown portfolio member '" + name +
-                                    "' (see partitioner_names())");
+      return support::Status::error(
+          support::StatusCode::kInvalidArgument,
+          "unknown portfolio member '" + name + "' (see partitioner_names())");
     }
     p.members.push_back(std::move(name));
   }
   if (p.members.empty())
-    return support::Status::error("portfolio spec names no algorithms");
+    return support::Status::error(support::StatusCode::kInvalidArgument,
+                                  "portfolio spec names no algorithms");
   return p;
 }
 

@@ -10,6 +10,7 @@ namespace ppnpart::graph {
 
 using support::Result;
 using support::Status;
+using support::StatusCode;
 using support::str_format;
 
 void write_metis(std::ostream& out, const Graph& g) {
@@ -27,9 +28,11 @@ void write_metis(std::ostream& out, const Graph& g) {
 
 Status write_metis_file(const std::string& path, const Graph& g) {
   std::ofstream out(path);
-  if (!out) return Status::error("cannot open for writing: " + path);
+  if (!out) return Status::error(StatusCode::kUnavailable,
+                             "cannot open for writing: " + path);
   write_metis(out, g);
-  return out ? Status::ok() : Status::error("write failed: " + path);
+  return out ? Status::ok() : Status::error(StatusCode::kUnavailable,
+                                      "write failed: " + path);
 }
 
 Result<Graph> read_metis(std::istream& in) {
@@ -44,28 +47,34 @@ Result<Graph> read_metis(std::istream& in) {
     if (t.empty() || t[0] == '%') continue;
     auto tokens = support::split_ws(t);
     if (tokens.size() < 2 || tokens.size() > 4)
-      return Result<Graph>::error("metis: malformed header");
+      return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                  "metis: malformed header");
     std::int64_t vn = 0, vm = 0;
     if (!support::parse_i64(tokens[0], vn) || !support::parse_i64(tokens[1], vm))
-      return Result<Graph>::error("metis: malformed header numbers");
+      return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                  "metis: malformed header numbers");
     n = static_cast<std::uint64_t>(vn);
     m = static_cast<std::uint64_t>(vm);
     if (tokens.size() >= 3) fmt = tokens[2];
     if (tokens.size() == 4) {
       std::int64_t vncon = 1;
       if (!support::parse_i64(tokens[3], vncon) || vncon != 1)
-        return Result<Graph>::error("metis: only ncon=1 supported");
+        return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                    "metis: only ncon=1 supported");
       ncon = 1;
     }
     have_header = true;
     break;
   }
   (void)ncon;
-  if (!have_header) return Result<Graph>::error("metis: empty input");
+  if (!have_header)
+    return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "metis: empty input");
   // fmt is up to 3 chars: [has_vertex_sizes][has_vertex_weights][has_edge_weights]
   while (fmt.size() < 3) fmt.insert(fmt.begin(), '0');
   if (fmt[0] == '1')
-    return Result<Graph>::error("metis: vertex sizes unsupported");
+    return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "metis: vertex sizes unsupported");
   const bool has_vwgt = fmt[1] == '1';
   const bool has_ewgt = fmt[2] == '1';
 
@@ -80,26 +89,31 @@ Result<Graph> read_metis(std::istream& in) {
     if (has_vwgt) {
       if (tokens.empty())
         return Result<Graph>::error(
+            StatusCode::kInvalidArgument,
             str_format("metis: node %u missing weight", u + 1));
       std::int64_t w = 1;
       if (!support::parse_i64(tokens[pos++], w) || w < 0)
         return Result<Graph>::error(
+            StatusCode::kInvalidArgument,
             str_format("metis: node %u bad weight", u + 1));
       builder.set_node_weight(u, w);
     }
     const std::size_t stride = has_ewgt ? 2 : 1;
     if ((tokens.size() - pos) % stride != 0)
       return Result<Graph>::error(
+          StatusCode::kInvalidArgument,
           str_format("metis: node %u odd token count", u + 1));
     for (; pos < tokens.size(); pos += stride) {
       std::int64_t v1 = 0, w = 1;
       if (!support::parse_i64(tokens[pos], v1) || v1 < 1 ||
           static_cast<std::uint64_t>(v1) > n)
         return Result<Graph>::error(
+            StatusCode::kInvalidArgument,
             str_format("metis: node %u bad neighbour", u + 1));
       if (has_ewgt &&
           (!support::parse_i64(tokens[pos + 1], w) || w <= 0))
         return Result<Graph>::error(
+            StatusCode::kInvalidArgument,
             str_format("metis: node %u bad edge weight", u + 1));
       const NodeId v = static_cast<NodeId>(v1 - 1);
       // Each undirected edge appears twice in the file; add once.
@@ -107,7 +121,8 @@ Result<Graph> read_metis(std::istream& in) {
     }
   }
   if (read_nodes != n)
-    return Result<Graph>::error("metis: fewer node lines than header claims");
+    return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "metis: fewer node lines than header claims");
   Graph g = builder.build();
   if (g.num_edges() != m) {
     // Tolerated: some writers count self loops or miscount; the builder
@@ -118,7 +133,8 @@ Result<Graph> read_metis(std::istream& in) {
 
 Result<Graph> read_metis_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return Result<Graph>::error("cannot open: " + path);
+  if (!in) return Result<Graph>::error(StatusCode::kUnavailable,
+                                "cannot open: " + path);
   return read_metis(in);
 }
 
@@ -138,24 +154,28 @@ void write_adjacency_matrix(std::ostream& out, const Graph& g) {
 
 Result<Graph> read_adjacency_matrix(std::istream& in) {
   std::int64_t n = 0;
-  if (!(in >> n) || n < 0) return Result<Graph>::error("matrix: bad size");
+  if (!(in >> n) || n < 0) return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "matrix: bad size");
   GraphBuilder builder(static_cast<NodeId>(n));
   std::vector<std::vector<Weight>> mat(
       static_cast<std::size_t>(n), std::vector<Weight>(n, 0));
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       if (!(in >> mat[i][j]))
-        return Result<Graph>::error("matrix: truncated rows");
+        return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "matrix: truncated rows");
     }
   }
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = i + 1; j < n; ++j) {
       if (mat[i][j] != mat[j][i])
         return Result<Graph>::error(
+            StatusCode::kInvalidArgument,
             str_format("matrix: asymmetric at (%lld, %lld)",
                        static_cast<long long>(i), static_cast<long long>(j)));
       if (mat[i][j] < 0)
-        return Result<Graph>::error("matrix: negative edge weight");
+        return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "matrix: negative edge weight");
       if (mat[i][j] > 0)
         builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
                          mat[i][j]);
@@ -163,8 +183,10 @@ Result<Graph> read_adjacency_matrix(std::istream& in) {
   }
   for (std::int64_t i = 0; i < n; ++i) {
     Weight w = 1;
-    if (!(in >> w)) return Result<Graph>::error("matrix: missing node weights");
-    if (w < 0) return Result<Graph>::error("matrix: negative node weight");
+    if (!(in >> w)) return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "matrix: missing node weights");
+    if (w < 0) return Result<Graph>::error(StatusCode::kInvalidArgument,
+                                "matrix: negative node weight");
     builder.set_node_weight(static_cast<NodeId>(i), w);
   }
   return builder.build();

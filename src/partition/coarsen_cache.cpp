@@ -1,5 +1,6 @@
 #include "partition/coarsen_cache.hpp"
 
+#include "support/fault_injection.hpp"
 #include "support/hash.hpp"
 
 namespace ppnpart::part {
@@ -119,6 +120,12 @@ std::shared_ptr<const void> CoarseningCache::get_or_build(
   std::shared_ptr<const void> value;
   std::exception_ptr error;
   try {
+    // Chaos seam: a leader whose build blows up must propagate the error to
+    // every coalesced follower and leave the cache clean for a retry — the
+    // single-flight failure path below is exactly what the injected throw
+    // exercises.
+    if (support::fault_fire(support::FaultSite::kCoarsenLeader))
+      throw support::FaultInjected("injected: coarsening-cache leader build");
     value = build();
   } catch (...) {
     error = std::current_exception();

@@ -76,30 +76,35 @@ Status ArgParser::parse(int argc, const char* const* argv) {
     }
     auto it = options_.find(name);
     if (it == options_.end())
-      return Status::error("unknown option --" + name);
+      return Status::error(StatusCode::kInvalidArgument,
+                           "unknown option --" + name);
     Option& opt = it->second;
     if (opt.kind == Kind::kFlag) {
-      if (has_value) return Status::error("--" + name + " takes no value");
+      if (has_value) return Status::error(StatusCode::kInvalidArgument,
+                                      "--" + name + " takes no value");
       opt.flag_value = true;
       continue;
     }
     if (!has_value) {
       if (i + 1 >= argc)
-        return Status::error("--" + name + " expects a value");
+        return Status::error(StatusCode::kInvalidArgument,
+                             "--" + name + " expects a value");
       value = argv[++i];
     }
     switch (opt.kind) {
       case Kind::kInt: {
         std::int64_t v = 0;
         if (!parse_i64(value, v))
-          return Status::error("--" + name + ": not an integer: " + value);
+          return Status::error(StatusCode::kInvalidArgument,
+                               "--" + name + ": not an integer: " + value);
         opt.int_value = v;
         break;
       }
       case Kind::kDouble: {
         double v = 0;
         if (!parse_f64(value, v))
-          return Status::error("--" + name + ": not a number: " + value);
+          return Status::error(StatusCode::kInvalidArgument,
+                               "--" + name + ": not a number: " + value);
         opt.double_value = v;
         break;
       }

@@ -1,0 +1,145 @@
+#include "support/fault_injection.hpp"
+
+#include "support/prng.hpp"
+#include "support/strings.hpp"
+
+namespace ppnpart::support {
+
+namespace {
+
+/// One stateless SplitMix64 draw: the schedule must be a pure function of
+/// (seed, site, index), not of a mutable stream.
+std::uint64_t draw_hash(std::uint64_t seed, std::size_t site,
+                        std::uint64_t index) {
+  std::uint64_t state =
+      seed ^ (0x9e3779b97f4a7c15ull * (site + 1)) ^ (index * 0xbf58476d1ce4e5b9ull);
+  return splitmix64(state);
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kCacheInsert: return "cache.insert";
+    case FaultSite::kCoarsenLeader: return "coarsen.leader";
+    case FaultSite::kMemberRun: return "member.run";
+    case FaultSite::kPoolTask: return "pool.task";
+    case FaultSite::kSimilarityVerify: return "sim.verify";
+    case FaultSite::kCount: break;
+  }
+  return "?";
+}
+
+Result<FaultPlan> parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "off") {
+    plan.site_mask = 0;
+    return plan;
+  }
+  for (const std::string& pair : split(spec, ',')) {
+    const std::string item(trim(pair));
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      return Result<FaultPlan>::error(
+          StatusCode::kInvalidArgument,
+          "faults: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      std::int64_t seed = 0;
+      if (!parse_i64(value, seed) || seed < 0)
+        return Result<FaultPlan>::error(StatusCode::kInvalidArgument,
+                                        "faults: bad seed '" + value + "'");
+      plan.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "rate") {
+      double rate = 0;
+      if (!parse_f64(value, rate) || rate < 0 || !(rate <= 1e9))
+        return Result<FaultPlan>::error(StatusCode::kInvalidArgument,
+                                        "faults: bad rate '" + value + "'");
+      plan.rate = rate;
+    } else if (key == "sites") {
+      if (value == "all") {
+        plan.site_mask = (1u << kNumFaultSites) - 1;
+        continue;
+      }
+      std::uint32_t mask = 0;
+      for (const std::string& name : split(value, '+')) {
+        bool known = false;
+        for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+          if (name == to_string(static_cast<FaultSite>(i))) {
+            mask |= 1u << i;
+            known = true;
+            break;
+          }
+        }
+        if (!known)
+          return Result<FaultPlan>::error(
+              StatusCode::kInvalidArgument,
+              "faults: unknown site '" + name +
+                  "' (cache.insert, coarsen.leader, member.run, pool.task, "
+                  "sim.verify)");
+      }
+      plan.site_mask = mask;
+    } else {
+      return Result<FaultPlan>::error(
+          StatusCode::kInvalidArgument,
+          "faults: unknown key '" + key + "' (seed, rate, sites)");
+    }
+  }
+  return plan;
+}
+
+FaultInjector& FaultInjector::global() {
+  // Leaked like ThreadPool::global(): pool tasks draining during static
+  // destruction may still reach fault sites.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  seed_.store(plan.seed, std::memory_order_relaxed);
+  if (plan.rate >= 1.0) {
+    threshold_.store(~0ull, std::memory_order_relaxed);
+  } else {
+    threshold_.store(
+        static_cast<std::uint64_t>(plan.rate * 18446744073709551616.0),
+        std::memory_order_relaxed);
+  }
+  mask_.store(plan.site_mask, std::memory_order_relaxed);
+  armed_.store(plan.site_mask != 0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  const std::size_t idx = static_cast<std::size_t>(site);
+  PerSite& s = sites_[idx];
+  s.checks.fetch_add(1, std::memory_order_relaxed);
+  if ((mask_.load(std::memory_order_relaxed) & (1u << idx)) == 0) return false;
+  const std::uint64_t index = s.draws.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t threshold = threshold_.load(std::memory_order_relaxed);
+  const std::uint64_t hash =
+      draw_hash(seed_.load(std::memory_order_relaxed), idx, index);
+  const bool fire = threshold == ~0ull || hash < threshold;
+  if (fire) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+std::array<FaultInjector::SiteCounts, kNumFaultSites> FaultInjector::counts()
+    const {
+  std::array<SiteCounts, kNumFaultSites> out;
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    out[i].checks = sites_[i].checks.load(std::memory_order_relaxed);
+    out[i].fired = sites_[i].fired.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void FaultInjector::reset_counts() {
+  for (PerSite& s : sites_) {
+    s.draws.store(0, std::memory_order_relaxed);
+    s.checks.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ppnpart::support

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "support/contracts.hpp"
 
@@ -68,6 +69,15 @@ class StopToken {
   bool deadline_expired() const {
     if (!has_deadline_.load(std::memory_order_acquire)) return false;
     return Clock::now() >= deadline();
+  }
+
+  /// Seconds until the armed deadline (negative once it passed); +infinity
+  /// when none is armed. Deadline-aware admission uses this to shed jobs
+  /// whose budget cannot survive the queue wait ahead of them.
+  double seconds_until_deadline() const {
+    if (!has_deadline_.load(std::memory_order_acquire))
+      return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline() - Clock::now()).count();
   }
 
   /// True once `request_stop()` was called (here or on a linked parent) or

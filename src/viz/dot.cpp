@@ -91,10 +91,12 @@ support::Status write_file(
     const std::string& path,
     const std::function<void(std::ostream&)>& writer) {
   std::ofstream out(path);
-  if (!out) return support::Status::error("cannot open for writing: " + path);
+  if (!out) return support::Status::error(support::StatusCode::kUnavailable,
+                                  "cannot open for writing: " + path);
   writer(out);
   return out ? support::Status::ok()
-             : support::Status::error("write failed: " + path);
+             : support::Status::error(support::StatusCode::kUnavailable,
+                                      "write failed: " + path);
 }
 }  // namespace
 

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "engine/cache.hpp"
 #include "engine/engine.hpp"
@@ -17,6 +20,9 @@
 #include "graph/generators.hpp"
 #include "partition/coarsen_cache.hpp"
 #include "support/prng.hpp"
+#include "support/status.hpp"
+#include "support/stop_token.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ppnpart {
 namespace {
@@ -828,6 +834,206 @@ TEST(Engine, StatsSnapshotIsNeverTornUnderConcurrentSubmit) {
   EXPECT_EQ(final_stats.similarity.probes,
             final_stats.similarity.near_hits + final_stats.similarity.declines);
   EXPECT_GE(final_stats.similarity.probes, kWriters * kJobsPerWriter);
+}
+
+// ---------------------------------------------------- bounded admission ---
+
+/// Parks every global-pool worker on a spin flag so queued engine work
+/// cannot drain: admission depth then depends only on the submission order,
+/// making the degradation ladder exactly predictable.
+class PoolBlocker {
+ public:
+  PoolBlocker() {
+    auto& pool = support::ThreadPool::global();
+    for (unsigned i = 0; i < pool.size(); ++i) {
+      futures_.push_back(pool.submit([this] {
+        started_.fetch_add(1, std::memory_order_relaxed);
+        while (!release_.load(std::memory_order_relaxed))
+          std::this_thread::yield();
+      }));
+    }
+    while (started_.load(std::memory_order_relaxed) < pool.size())
+      std::this_thread::yield();
+  }
+
+  void release() {
+    if (release_.exchange(true)) return;
+    for (std::future<void>& f : futures_) f.get();
+  }
+
+  ~PoolBlocker() { release(); }
+
+ private:
+  std::atomic<bool> release_{false};
+  std::atomic<unsigned> started_{0};
+  std::vector<std::future<void>> futures_;
+};
+
+TEST(Engine, BoundedAdmissionWalksTheLadderAndRejectsAtCapacity) {
+  using Rung = engine::AdmissionDecision::DegradeRung;
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "annealing"}};
+  opts.queue_capacity = 4;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kRejectNew;
+  engine::Engine eng(opts);
+
+  PoolBlocker blocker;
+  std::vector<engine::Engine::JobId> ids;
+  for (std::uint64_t s = 0; s < 6; ++s)
+    ids.push_back(eng.submit(make_job(500 + s, /*nodes=*/48)));
+
+  // The sixth submit found the queue full under reject_new: born finished
+  // with a typed refusal, so wait() returns immediately even though the
+  // pool is still fully parked.
+  const engine::PortfolioOutcome rejected = eng.wait(ids[5]);
+  EXPECT_EQ(rejected.status.code(), support::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(rejected.winner.empty());
+  EXPECT_EQ(rejected.decision.path, engine::AdmissionDecision::Path::kShed);
+
+  blocker.release();
+
+  // Depth at admission: 0(run) 0 1 2 3 -> full full cheap gp gp with cap 4.
+  const Rung expected[5] = {Rung::kFull, Rung::kFull, Rung::kCheapMembers,
+                            Rung::kGpOnly, Rung::kGpOnly};
+  for (int j = 0; j < 5; ++j) {
+    const engine::PortfolioOutcome out = eng.wait(ids[j]);
+    EXPECT_TRUE(out.status.is_ok()) << out.status.to_string();
+    EXPECT_FALSE(out.winner.empty());
+    EXPECT_EQ(out.decision.rung, expected[j]) << "job " << j;
+    EXPECT_TRUE(out.best.partition.complete());
+  }
+
+  // Every submitted job ended in exactly one bucket.
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.jobs_completed, 5u);
+  EXPECT_EQ(stats.jobs_rejected, 1u);
+  EXPECT_EQ(stats.jobs_shed, 0u);
+  EXPECT_EQ(stats.jobs_degraded, 3u);
+
+  // Degraded answers must not poison the cache: the cheap-rung key misses
+  // (recomputed at full strength now that the load is gone) while the
+  // full-rung key hits.
+  const engine::Job full_again = make_job(500, /*nodes=*/48);
+  const engine::Job cheap_again = make_job(502, /*nodes=*/48);
+  EXPECT_TRUE(eng.run_one(full_again.graph, full_again.request).from_cache);
+  const engine::PortfolioOutcome recomputed =
+      eng.run_one(cheap_again.graph, cheap_again.request);
+  EXPECT_FALSE(recomputed.from_cache);
+  EXPECT_EQ(recomputed.decision.rung, Rung::kFull);
+}
+
+TEST(Engine, DropOldestShedsTheQueueHeadWithTypedError) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"metislike"}};
+  opts.queue_capacity = 1;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kDropOldest;
+  opts.degrade_under_load = false;  // isolate shedding from the ladder
+  engine::Engine eng(opts);
+
+  PoolBlocker blocker;
+  const auto a = eng.submit(make_job(600, /*nodes=*/48));  // running slot
+  const auto b = eng.submit(make_job(601, /*nodes=*/48));  // queue head
+  const auto c = eng.submit(make_job(602, /*nodes=*/48));  // full: b is shed
+
+  const engine::PortfolioOutcome shed = eng.wait(b);
+  EXPECT_EQ(shed.status.code(), support::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(shed.winner.empty());
+  EXPECT_EQ(shed.decision.path, engine::AdmissionDecision::Path::kShed);
+
+  blocker.release();
+  EXPECT_TRUE(eng.wait(a).status.is_ok());
+  const engine::PortfolioOutcome late = eng.wait(c);
+  EXPECT_TRUE(late.status.is_ok()) << late.status.to_string();
+  EXPECT_FALSE(late.winner.empty());
+
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.jobs_shed, 1u);
+  EXPECT_EQ(stats.jobs_rejected, 0u);
+}
+
+TEST(Engine, DeadlineAwareRefusesBudgetsThatCannotSurviveTheQueue) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "annealing"}};
+  opts.queue_capacity = 8;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kDeadlineAware;
+  opts.degrade_under_load = false;
+  engine::Engine eng(opts);
+
+  // Seed the latency estimate: the first completed job sets the EWMA.
+  const engine::Job first = make_job(700, /*nodes=*/96);
+  const engine::PortfolioOutcome seeded =
+      eng.run_one(first.graph, first.request);
+  ASSERT_TRUE(seeded.status.is_ok());
+  ASSERT_GT(seeded.seconds, 0.0);
+
+  PoolBlocker blocker;
+  const auto running = eng.submit(make_job(701, /*nodes=*/48));
+  const auto queued1 = eng.submit(make_job(702, /*nodes=*/48));
+  const auto queued2 = eng.submit(make_job(703, /*nodes=*/48));
+
+  // Two jobs queued ahead: the estimated drain is 3x the average latency,
+  // so a budget of ~2x the seeded latency is refused instead of queueing
+  // behind work it will never see finish. (The refusal also fires if the
+  // deadline expires before the gate runs — negative slack still loses.)
+  support::StopToken doomed_token;
+  doomed_token.set_deadline_after(2.0 * seeded.seconds);
+  engine::Job doomed = make_job(704, /*nodes=*/48);
+  doomed.request.stop = &doomed_token;
+  const engine::PortfolioOutcome refused = eng.wait(eng.submit(std::move(doomed)));
+  EXPECT_EQ(refused.status.code(), support::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(refused.winner.empty());
+
+  // A roomy budget queues normally behind the same depth.
+  support::StopToken roomy_token;
+  roomy_token.set_deadline_after(60.0);
+  engine::Job roomy = make_job(705, /*nodes=*/48);
+  roomy.request.stop = &roomy_token;
+  const auto ok_id = eng.submit(std::move(roomy));
+
+  blocker.release();
+  EXPECT_TRUE(eng.wait(running).status.is_ok());
+  EXPECT_TRUE(eng.wait(queued1).status.is_ok());
+  EXPECT_TRUE(eng.wait(queued2).status.is_ok());
+  EXPECT_TRUE(eng.wait(ok_id).status.is_ok());
+  EXPECT_EQ(eng.stats().jobs_rejected, 1u);
+}
+
+TEST(Engine, ExpiredBudgetGetsProjectedAnswerInline) {
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "annealing"}};
+  opts.queue_capacity = 2;
+  engine::Engine eng(opts);
+
+  support::StopToken expired;
+  expired.set_deadline_after(0.0);
+  engine::Job job = make_job(800, /*nodes=*/96);
+  job.request.stop = &expired;
+  const auto shared = job.graph;
+  const part::PartitionRequest request = job.request;
+
+  // The budget is already gone: the bottom rung serves a projected answer
+  // inline — coarsest-level greedy growth projected back to the full graph,
+  // no pool slot, no queue entry.
+  const engine::PortfolioOutcome out = eng.run_one(shared, request);
+  EXPECT_TRUE(out.status.is_ok()) << out.status.to_string();
+  EXPECT_EQ(out.winner, "projected");
+  EXPECT_EQ(out.decision.rung,
+            engine::AdmissionDecision::DegradeRung::kProjected);
+  EXPECT_TRUE(out.best.partition.complete());
+  EXPECT_EQ(eng.stats().jobs_degraded, 1u);
+
+  // Projected answers are never cached: the same key recomputes at full
+  // strength once the budget pressure is gone.
+  part::PartitionRequest full_request = request;
+  full_request.stop = nullptr;
+  const engine::PortfolioOutcome full = eng.run_one(shared, full_request);
+  EXPECT_FALSE(full.from_cache);
+  EXPECT_NE(full.winner, "projected");
+  EXPECT_TRUE(eng.run_one(shared, full_request).from_cache);
 }
 
 }  // namespace

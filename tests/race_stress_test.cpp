@@ -32,6 +32,7 @@
 #include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "partition/coarsen_cache.hpp"
+#include "support/fault_injection.hpp"
 #include "support/metrics.hpp"
 #include "support/prng.hpp"
 #include "support/stop_token.hpp"
@@ -247,6 +248,74 @@ TEST(RaceStressTest, StopTokenLateArming) {
     EXPECT_TRUE(done.load());
     EXPECT_FALSE(token.deadline_expired());
   }
+}
+
+TEST(RaceStressTest, QueueShedRacesFaultsAndLateArming) {
+  // The overload seams all at once: a tiny bounded queue sheds under
+  // drop_oldest while injected member/pool-task exceptions propagate
+  // through fan-out and callers arm stop deadlines AFTER submitting — the
+  // three mechanisms that each touch JobState/queue_/stats_ from different
+  // threads. The contract: every wait() returns (shed jobs are born
+  // finished), and completed + rejected + shed covers every job in the
+  // final snapshot with no torn intermediate ones.
+  const bool chaos = support::faults_compiled_in();
+  if (chaos) {
+    auto plan = support::parse_fault_plan(
+        "seed=21,rate=0.25,sites=member.run+pool.task");
+    ASSERT_TRUE(plan.is_ok()) << plan.message();
+    support::FaultInjector::global().reset_counts();
+    support::FaultInjector::global().arm(plan.value());
+  }
+
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike"}};
+  opts.queue_capacity = 2;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kDropOldest;
+  engine::Engine eng(opts);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 6;
+  std::atomic<std::uint64_t> finished{0};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<bool> stop_reader{false};
+  std::thread reader([&] {
+    while (!stop_reader.load(std::memory_order_relaxed)) {
+      const engine::EngineStats s = eng.stats();
+      if (s.jobs_completed + s.jobs_rejected + s.jobs_shed >
+          kThreads * kPerThread)
+        torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&eng, &finished, t] {
+      for (std::uint64_t j = 0; j < kPerThread; ++j) {
+        support::StopToken token;
+        engine::Job job =
+            make_job(make_shared_graph(3000 + t * 100 + j, 48),
+                     3000 + t * 100 + j);
+        job.request.stop = &token;
+        const engine::Engine::JobId id = eng.submit(std::move(job));
+        // Arm late, racing the gate's budget reads and the member polls;
+        // half the budgets fire mid-run, half never do.
+        token.set_deadline_after(j % 2 == 0 ? 0.002 : 30.0);
+        (void)eng.wait(id);
+        finished.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  stop_reader.store(true, std::memory_order_relaxed);
+  reader.join();
+  if (chaos) support::FaultInjector::global().disarm();
+
+  EXPECT_EQ(finished.load(), kThreads * kPerThread);
+  EXPECT_EQ(torn.load(), 0u);
+  const engine::EngineStats s = eng.stats();
+  EXPECT_EQ(s.jobs_completed + s.jobs_rejected + s.jobs_shed,
+            kThreads * kPerThread);
 }
 
 }  // namespace

@@ -478,6 +478,58 @@ TEST(Result, ValueAndError) {
   EXPECT_EQ(bad.value_or(9), 9);
 }
 
+TEST(Status, TypedCodesRoundTrip) {
+  const Status s =
+      Status::error(StatusCode::kResourceExhausted, "queue full");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.message(), "queue full");
+  EXPECT_EQ(s.to_string(), "RESOURCE_EXHAUSTED: queue full");
+
+  // The legacy untyped factory stays callable and maps to kInternal, so
+  // old call sites keep compiling while new ones branch on the code.
+  EXPECT_EQ(Status::error("boom").code(), StatusCode::kInternal);
+  // An "error" may never smuggle kOk past is_ok() checks.
+  EXPECT_NE(Status::error(StatusCode::kOk, "lying").code(), StatusCode::kOk);
+  EXPECT_STREQ(to_string(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(to_string(StatusCode::kOk), "OK");
+}
+
+TEST(Result, TypedCodesPropagate) {
+  const Result<int> bad =
+      Result<int>::error(StatusCode::kUnavailable, "no file");
+  EXPECT_EQ(bad.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnavailable);
+  const Result<int> ok(3);
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+}
+
+TEST(Result, ValueOrMovesFromRvalueResults) {
+  // A move-instrumented payload: value_or on an rvalue Result must move the
+  // held value out, not copy it (the lvalue overload still copies).
+  struct Probe {
+    int copies = 0;
+    int moves = 0;
+    Probe() = default;
+    Probe(const Probe& o) : copies(o.copies + 1), moves(o.moves) {}
+    Probe(Probe&& o) noexcept : copies(o.copies), moves(o.moves + 1) {}
+    Probe& operator=(const Probe&) = default;
+    Probe& operator=(Probe&&) noexcept = default;
+  };
+
+  Result<Probe> lv(Probe{});
+  const Probe copied = lv.value_or(Probe{});
+  EXPECT_GE(copied.copies, 1);  // lvalue access keeps the stored value
+
+  const Probe moved = Result<Probe>(Probe{}).value_or(Probe{});
+  EXPECT_EQ(moved.copies, 0);  // rvalue access steals it — no copy at all
+
+  // The fallback path is unaffected by the qualifier.
+  const Probe fallback =
+      Result<Probe>::error(StatusCode::kInternal, "x").value_or(Probe{});
+  EXPECT_EQ(fallback.copies, 0);
+}
+
 // ---------------------------------------------------------------- timer ---
 
 TEST(Timer, MeasuresElapsedTime) {

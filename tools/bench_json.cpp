@@ -33,6 +33,13 @@
 // wall clock, profiling must not change any answer, and the disabled hook
 // must stay in the nanosecond range.
 //
+// PR 8 adds the "robustness" block: a parked-pool burst against bounded
+// admission (capacity 4, one running slot) reporting the shed rate and the
+// degradation-rung distribution, plus one expired-budget arrival answered
+// by the projected bottom rung. --check gates the accounting identity
+// (completed + rejected + shed covers every arrival), typed refusal codes,
+// the inline projected answer, and schedule replay across identical bursts.
+//
 // Modes:
 //   bench_json            full workload, writes BENCH_multilevel.json
 //   bench_json --stdout   full workload, JSON to stdout only
@@ -45,15 +52,22 @@
 //                         cut ratio <= 1.05 and a deterministic admission
 //                         chain; exits non-zero on violation.
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
 #include "partition/nlevel.hpp"
+#include "support/stop_token.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace {
@@ -282,6 +296,125 @@ SimilarityResult run_similarity_case(const graph::Graph& base, int arrivals,
   return r;
 }
 
+/// The overload scenario (PR 8): every pool worker is parked on a spin
+/// flag, a burst of distinct jobs hits a bounded-admission engine
+/// (capacity 4, one running slot), and one arrival comes in with an
+/// already-expired budget. Depth at admission is then a pure function of
+/// submission order, so the degradation-ladder walk, the shed set and the
+/// projected inline answer are exactly reproducible — the block reports
+/// the shed rate and the rung distribution, and --check gates the
+/// accounting identity and the replay.
+struct RobustnessResult {
+  int jobs = 0;  // burst size, excluding the expired-budget arrival
+  std::size_t queue_capacity = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t rung_full = 0;
+  std::uint64_t rung_cheap = 0;
+  std::uint64_t rung_gp = 0;
+  std::uint64_t rung_projected = 0;
+  std::uint64_t untyped_errors = 0;  // refusals missing a real StatusCode
+  double shed_rate = 0;              // (rejected + shed) / total arrivals
+  bool accounting_exact = false;     // completed + rejected + shed == total
+  bool projected_served = false;     // the expired-budget arrival answered
+};
+
+RobustnessResult run_robustness_case(
+    const graph::Graph& base, int jobs,
+    std::vector<std::pair<int, int>>* schedule = nullptr) {
+  RobustnessResult r;
+  r.jobs = jobs;
+  r.queue_capacity = 4;
+
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp", "metislike"}};
+  opts.queue_capacity = r.queue_capacity;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kRejectNew;
+  engine::Engine eng(opts);
+
+  part::Workspace ws;  // request shaping only; engine requests drop it
+  part::PartitionRequest req = bench::multilevel_workload_request(base, ws);
+  req.workspace = nullptr;
+  auto shared = std::make_shared<const graph::Graph>(base);
+
+  // Park every worker so the burst cannot drain mid-submission.
+  auto& pool = support::ThreadPool::global();
+  std::atomic<bool> release{false};
+  std::atomic<unsigned> parked{0};
+  std::vector<std::future<void>> blockers;
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    blockers.push_back(pool.submit([&release, &parked] {
+      parked.fetch_add(1, std::memory_order_relaxed);
+      while (!release.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    }));
+  }
+  while (parked.load(std::memory_order_relaxed) < pool.size())
+    std::this_thread::yield();
+
+  std::vector<engine::Engine::JobId> ids;
+  for (int j = 0; j < jobs; ++j) {
+    engine::Job job;
+    job.graph = shared;
+    job.request = req;
+    job.request.seed = req.seed + 1 + static_cast<std::uint64_t>(j);
+    ids.push_back(eng.submit(std::move(job)));
+  }
+
+  // An arrival whose budget is already gone: the bottom rung projects an
+  // answer inline on the submitting thread — even with every worker parked.
+  support::StopToken expired;
+  expired.set_deadline_after(0.0);
+  engine::Job last;
+  last.graph = shared;
+  last.request = req;
+  last.request.seed = req.seed + 1000;
+  last.request.stop = &expired;
+  const engine::PortfolioOutcome projected =
+      eng.run_one(last.graph, last.request);
+  r.projected_served =
+      projected.status.is_ok() && projected.winner == "projected" &&
+      projected.best.partition.complete();
+
+  release.store(true, std::memory_order_relaxed);
+  for (std::future<void>& f : blockers) f.get();
+
+  auto tally = [&r, schedule](const engine::PortfolioOutcome& out) {
+    using Rung = engine::AdmissionDecision::DegradeRung;
+    if (schedule != nullptr)
+      schedule->emplace_back(static_cast<int>(out.decision.path),
+                             static_cast<int>(out.decision.rung));
+    if (!out.status.is_ok()) {
+      if (out.status.code() == support::StatusCode::kOk ||
+          out.status.code() == support::StatusCode::kInternal)
+        ++r.untyped_errors;  // overload refusals must say WHY, typed
+      return;
+    }
+    switch (out.decision.rung) {
+      case Rung::kFull: ++r.rung_full; break;
+      case Rung::kCheapMembers: ++r.rung_cheap; break;
+      case Rung::kGpOnly: ++r.rung_gp; break;
+      case Rung::kProjected: ++r.rung_projected; break;
+    }
+  };
+  for (const engine::Engine::JobId id : ids) tally(eng.wait(id));
+  tally(projected);
+
+  const engine::EngineStats stats = eng.stats();
+  r.completed = stats.jobs_completed;
+  r.rejected = stats.jobs_rejected;
+  r.shed = stats.jobs_shed;
+  r.degraded = stats.jobs_degraded;
+  const auto total = static_cast<std::uint64_t>(jobs) + 1;
+  r.accounting_exact = r.completed + r.rejected + r.shed == total;
+  r.shed_rate = static_cast<double>(r.rejected + r.shed) /
+                static_cast<double>(total);
+  return r;
+}
+
 CaseResult run_case(const char* name, part::Partitioner& p,
                     const graph::Graph& g, part::Workspace& ws, int reps) {
   // The shared bench harness defines the workload and the warm-then-time
@@ -301,7 +434,7 @@ CaseResult run_case(const char* name, part::Partitioner& p,
 
 void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
                const IncrementalResult& inc, const SimilarityResult& sim,
-               graph::NodeId n, double span_ns) {
+               const RobustnessResult& rob, graph::NodeId n, double span_ns) {
   // Baseline: pre-workspace implementation (commit bb85fa0), same workload,
   // same machine class as the numbers committed with PR 3.
   struct Baseline {
@@ -409,7 +542,7 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       "\"scratch_seconds_per_run\": %.4f, \"admit_seconds_per_run\": %.4f, "
       "\"speedup_vs_scratch\": %.2f, \"mean_cut_ratio_vs_scratch\": %.4f, "
       "\"near_hits\": %llu, \"declines\": %llu, \"invalid_reuses\": %llu, "
-      "\"stale_serves\": %llu}\n",
+      "\"stale_serves\": %llu},\n",
       sim.arrivals, sim.divergence, sim.scratch_seconds_per_run,
       sim.admit_seconds_per_run, sim.speedup_vs_scratch,
       sim.mean_cut_ratio_vs_scratch,
@@ -417,6 +550,27 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       static_cast<unsigned long long>(sim.declines),
       static_cast<unsigned long long>(sim.invalid_reuses),
       static_cast<unsigned long long>(sim.stale_serves));
+  // Overload scenario (PR 8): a parked-pool burst against bounded
+  // admission — shed rate and degradation-rung distribution.
+  std::fprintf(
+      out,
+      "  \"robustness\": {\"burst_jobs\": %d, \"queue_capacity\": %zu, "
+      "\"completed\": %llu, \"rejected\": %llu, \"shed\": %llu, "
+      "\"degraded\": %llu, \"shed_rate\": %.4f, "
+      "\"rungs\": {\"full\": %llu, \"cheap_members\": %llu, "
+      "\"gp_only\": %llu, \"projected\": %llu}, "
+      "\"accounting_exact\": %s, \"projected_served\": %s}\n",
+      rob.jobs, rob.queue_capacity,
+      static_cast<unsigned long long>(rob.completed),
+      static_cast<unsigned long long>(rob.rejected),
+      static_cast<unsigned long long>(rob.shed),
+      static_cast<unsigned long long>(rob.degraded), rob.shed_rate,
+      static_cast<unsigned long long>(rob.rung_full),
+      static_cast<unsigned long long>(rob.rung_cheap),
+      static_cast<unsigned long long>(rob.rung_gp),
+      static_cast<unsigned long long>(rob.rung_projected),
+      rob.accounting_exact ? "true" : "false",
+      rob.projected_served ? "true" : "false");
   std::fprintf(out, "}\n");
 }
 
@@ -605,12 +759,57 @@ int self_check() {
     return 1;
   }
 
+  // Overload gates (PR 8): every arrival of the parked-pool burst must land
+  // in exactly one accounting bucket, refusals must carry a real
+  // StatusCode, the expired-budget arrival must be answered inline, and a
+  // second identical burst must replay the same (path, rung) schedule —
+  // the degradation ladder is deterministic, not load-lucky. All gates are
+  // structural, not timing-based.
+  std::vector<std::pair<int, int>> burst_a, burst_b;
+  const RobustnessResult rob = run_robustness_case(g, /*jobs=*/12, &burst_a);
+  if (!rob.accounting_exact) {
+    std::fprintf(stderr,
+                 "bench_json --check: overload accounting leaked a job "
+                 "(completed %llu + rejected %llu + shed %llu != %d)\n",
+                 static_cast<unsigned long long>(rob.completed),
+                 static_cast<unsigned long long>(rob.rejected),
+                 static_cast<unsigned long long>(rob.shed), rob.jobs + 1);
+    return 1;
+  }
+  if (rob.untyped_errors != 0) {
+    std::fprintf(stderr,
+                 "bench_json --check: %llu overload refusal(s) without a "
+                 "typed StatusCode\n",
+                 static_cast<unsigned long long>(rob.untyped_errors));
+    return 1;
+  }
+  if (!rob.projected_served) {
+    std::fprintf(stderr,
+                 "bench_json --check: expired-budget arrival was not served "
+                 "a projected answer\n");
+    return 1;
+  }
+  if (rob.rejected + rob.shed == 0 || rob.degraded == 0) {
+    std::fprintf(stderr,
+                 "bench_json --check: the overload burst neither shed nor "
+                 "degraded — the gate never engaged\n");
+    return 1;
+  }
+  (void)run_robustness_case(g, /*jobs=*/12, &burst_b);
+  if (burst_a != burst_b) {
+    std::fprintf(stderr,
+                 "bench_json --check: nondeterministic degradation-ladder "
+                 "schedule across identical bursts\n");
+    return 1;
+  }
+
   std::printf("bench_json --check: ok (deterministic, allocation-free "
               "steady state; incremental chain deterministic and "
               "fallback-free; similarity admission all-hit, valid, "
               "stale-free, cut ratio %.3f; phase shares consistent, "
-              "tracing-off hook %.1f ns)\n",
-              sim_check.mean_cut_ratio_vs_scratch, span_ns);
+              "tracing-off hook %.1f ns; overload burst exact and "
+              "replayable, shed rate %.2f)\n",
+              sim_check.mean_cut_ratio_vs_scratch, span_ns, rob.shed_rate);
   return 0;
 }
 
@@ -641,16 +840,20 @@ int main(int argc, char** argv) {
       run_incremental_case(g, /*deltas=*/6, /*edit_fraction=*/0.01);
   const SimilarityResult sim =
       run_similarity_case(g, /*arrivals=*/6, /*divergence=*/0.01);
+  // The overload burst runs on a smaller instance: the scenario measures
+  // admission behaviour, not partitioner throughput.
+  const RobustnessResult rob =
+      run_robustness_case(bench::multilevel_workload_graph(800), /*jobs=*/12);
 
   const double span_ns = disabled_span_ns();
-  emit_json(stdout, results, inc, sim, n, span_ns);
+  emit_json(stdout, results, inc, sim, rob, n, span_ns);
   if (!to_stdout) {
     std::FILE* f = std::fopen("BENCH_multilevel.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_json: cannot write BENCH_multilevel.json\n");
       return 1;
     }
-    emit_json(f, results, inc, sim, n, span_ns);
+    emit_json(f, results, inc, sim, rob, n, span_ns);
     std::fclose(f);
     std::fprintf(stderr, "bench_json: wrote BENCH_multilevel.json\n");
   }

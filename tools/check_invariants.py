@@ -26,6 +26,11 @@ Rules (each has a stable id, used in the allowlist):
                           identically under PPNPART_TRACE_DISABLED, so they
                           may only use the ScopedSpan/trace_* wrappers that
                           have no-op twins.
+  status-error-code       Status::error / Result<T>::error called without a
+                          leading StatusCode:: in src/ — the untyped overload
+                          exists only for legacy callers; new errors must be
+                          typed so callers can branch on *why* (retry on
+                          kUnavailable, give up on kInvalidArgument).
 
 Exceptions live in tools/invariant_allowlist.txt, one per line:
 
@@ -251,12 +256,37 @@ def rule_tracer_in_header(path, stripped, lines):
     )
 
 
+STATUS_ERROR_RE = re.compile(r"\b(?:Status|Result\s*<[^;{}()]*?>)\s*::\s*error\s*\(")
+
+
+def rule_status_error_code(path, stripped, lines):
+    if path.endswith("support/status.hpp"):
+        return []  # the legacy-overload forwarding shim itself
+    found = []
+    for m in STATUS_ERROR_RE.finditer(stripped):
+        first = stripped[m.end() : m.end() + 200].lstrip()
+        if re.match(r"(?:\w+\s*::\s*)*StatusCode\s*::", first):
+            continue  # possibly namespace-qualified (support::StatusCode::k...)
+        line_no = stripped.count("\n", 0, m.start()) + 1
+        found.append(
+            Finding(
+                "status-error-code",
+                path,
+                line_no,
+                enclosing_function(lines, line_no),
+                "untyped Status/Result error; name a StatusCode",
+            )
+        )
+    return found
+
+
 RULES = [
     rule_thread_outside_pool,
     rule_result_cache_write,
     rule_workspace_ref_capture,
     rule_raw_new_delete,
     rule_tracer_in_header,
+    rule_status_error_code,
 ]
 
 
@@ -380,6 +410,13 @@ SELF_TESTS = [
         "src/partition/phase_profile.hpp",
         "inline void f() { Tracer::global().record(ev); }\n",
         "inline void f() { support::ScopedSpan span(\"cat\", \"name\"); }\n",
+    ),
+    (
+        "status-error-code",
+        "src/graph/io.cpp",
+        'Status f() {\n  return Status::error("bad header");\n}\n',
+        "Status f() {\n"
+        "  return Status::error(StatusCode::kInvalidArgument, reason);\n}\n",
     ),
 ]
 

@@ -30,6 +30,21 @@
 //                       reports exact hits (cache_hits), near-hits and
 //                       declines
 //
+// Overload protection & fault injection (PR 8):
+//   --queue-cap N       bounded admission: at most N stage-3 jobs pending;
+//                       0 (default) = unbounded legacy behaviour. With a
+//                       cap set, submit() never blocks — overflow is shed
+//                       with a typed error, and rising queue depth walks
+//                       the degradation ladder (full portfolio ->
+//                       cheap-members-only -> GP-only -> projected answer)
+//   --shed POLICY       reject_new | drop_oldest | deadline_aware
+//                       (what a full queue does; default reject_new)
+//   --faults SPEC       deterministic fault injection, e.g.
+//                       "seed=42,rate=0.25,sites=member.run+cache.insert"
+//                       ("off" disarms; sites=all = every seam). Injected
+//                       failures take the same paths real ones do; the
+//                       per-site check/fire counts print to stderr at exit
+//
 // Diff mode — reconstruct an edit script from two concrete graphs:
 //   --diff OLD NEW      (positional METIS .graph files) print the minimal
 //                       edit script turning OLD into NEW under stable-id
@@ -97,6 +112,7 @@
 #include "ppn/paper_instances.hpp"
 #include "ppn/workloads.hpp"
 #include "support/cli.hpp"
+#include "support/fault_injection.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
@@ -219,6 +235,15 @@ int main(int argc, char** argv) {
   args.add_string("similarity", "off",
                   "engine mode: similarity-aware admission (on|off) — "
                   "near-identical arrivals are diffed and warm-started");
+  args.add_int("queue-cap", 0,
+               "engine mode: bounded admission queue capacity "
+               "(0 = unbounded); overflow is shed with a typed error");
+  args.add_string("shed", "reject_new",
+                  "engine mode: full-queue policy — reject_new | "
+                  "drop_oldest | deadline_aware");
+  args.add_string("faults", "",
+                  "deterministic fault injection spec: "
+                  "seed=U,rate=F,sites=member.run+... ('off' disarms)");
   args.add_string("out", "", "write partition vector (one part id per line)");
   args.add_string("dot", "", "write colour-clustered DOT file");
   args.add_flag("quiet", "suppress the human-readable report");
@@ -263,6 +288,34 @@ int main(int argc, char** argv) {
     return fail("--similarity must be 'on' or 'off'");
   const bool similarity_on = similarity_mode == "on";
 
+  // Overload protection + fault injection knobs, resolved before any work.
+  const auto queue_cap =
+      static_cast<std::size_t>(std::max<long long>(0, args.get_int("queue-cap")));
+  auto shed_policy = engine::parse_shed_policy(args.get_string("shed"));
+  if (!shed_policy.is_ok()) {
+    std::fprintf(stderr, "ppnpart: --shed: %s\n",
+                 shed_policy.message().c_str());
+    return 1;
+  }
+  bool faults_armed = false;
+  if (const std::string faults_spec = args.get_string("faults");
+      !faults_spec.empty()) {
+    auto plan = support::parse_fault_plan(faults_spec);
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "ppnpart: --faults: %s\n",
+                   plan.message().c_str());
+      return 1;
+    }
+    if (plan.value().site_mask != 0) {
+      if (!support::faults_compiled_in())
+        std::fprintf(stderr,
+                     "ppnpart: warning: fault injection is compiled out "
+                     "(PPNPART_FAULTS_DISABLED); --faults has no effect\n");
+      support::FaultInjector::global().arm(plan.value());
+      faults_armed = true;
+    }
+  }
+
   // ---- Diff mode: two positional graph files, no partitioning at all. ---
   if (args.flag("diff")) {
     if (args.positional().size() != 2)
@@ -288,7 +341,10 @@ int main(int argc, char** argv) {
   if (!args.get_string("graph").empty()) {
     auto result = graph::read_metis_file(args.get_string("graph"));
     if (!result) {
-      std::fprintf(stderr, "ppnpart: %s\n", result.status().message().c_str());
+      // to_string() keeps the code visible (UNAVAILABLE: missing file vs
+      // INVALID_ARGUMENT: malformed contents want different user fixes).
+      std::fprintf(stderr, "ppnpart: %s\n",
+                   result.status().to_string().c_str());
       return 1;
     }
     g = std::move(result).value();
@@ -297,7 +353,8 @@ int main(int argc, char** argv) {
     if (!in) return fail("cannot open --matrix file");
     auto result = graph::read_adjacency_matrix(in);
     if (!result) {
-      std::fprintf(stderr, "ppnpart: %s\n", result.status().message().c_str());
+      std::fprintf(stderr, "ppnpart: %s\n",
+                   result.status().to_string().c_str());
       return 1;
     }
     g = std::move(result).value();
@@ -358,6 +415,8 @@ int main(int argc, char** argv) {
       eopts.time_budget_ms =
           static_cast<double>(args.get_int("time-budget-ms"));
       eopts.similarity.enabled = similarity_on;
+      eopts.queue_capacity = queue_cap;
+      eopts.shed_policy = shed_policy.value();
       engine::Engine eng(eopts);
 
       auto shared = std::make_shared<const graph::Graph>(std::move(g));
@@ -470,6 +529,8 @@ int main(int argc, char** argv) {
       eopts.time_budget_ms =
           static_cast<double>(args.get_int("time-budget-ms"));
       eopts.similarity.enabled = similarity_on;
+      eopts.queue_capacity = queue_cap;
+      eopts.shed_policy = shed_policy.value();
       engine::Engine eng(eopts);
 
       // One shared graph for the whole batch: N jobs hold one copy, the
@@ -490,8 +551,8 @@ int main(int argc, char** argv) {
       const auto outcomes = eng.run_batch(std::move(batch));
       const double batch_seconds = batch_timer.seconds();
 
-      // Best job across the batch; jobs whose members all failed have no
-      // winner (and a default-constructed best) and must not be compared.
+      // Best job across the batch; jobs without an answer (shed with a
+      // typed error, or every member failed) must not be compared.
       std::size_t best_job = outcomes.size();
       for (std::size_t j = 0; j < outcomes.size(); ++j) {
         if (outcomes[j].winner.empty()) continue;
@@ -501,7 +562,19 @@ int main(int argc, char** argv) {
           best_job = j;
       }
       if (best_job == outcomes.size()) {
-        std::fprintf(stderr, "ppnpart: every portfolio member failed\n");
+        // Branch on WHY: resource exhaustion asks for a retry with a larger
+        // --queue-cap (or less load); an internal error does not.
+        const support::StatusCode code = outcomes.empty()
+                                             ? support::StatusCode::kInternal
+                                             : outcomes[0].status.code();
+        if (code == support::StatusCode::kResourceExhausted ||
+            code == support::StatusCode::kDeadlineExceeded)
+          std::fprintf(stderr,
+                       "ppnpart: every job was shed (%s) — raise "
+                       "--queue-cap or reduce --jobs\n",
+                       support::to_string(code));
+        else
+          std::fprintf(stderr, "ppnpart: every portfolio member failed\n");
         return 1;
       }
       const engine::PortfolioOutcome& winner_out = outcomes[best_job];
@@ -510,14 +583,26 @@ int main(int argc, char** argv) {
       if (!args.flag("quiet")) {
         std::printf("portfolio : %s\n", eopts.portfolio.to_string().c_str());
         for (std::size_t j = 0; j < outcomes.size(); ++j) {
+          if (outcomes[j].winner.empty()) {
+            // No answer: the typed status says why (shed queue, expired
+            // deadline, every member failed).
+            std::printf("job %-5zu : seed=%llu error=%s\n", j,
+                        static_cast<unsigned long long>(job_seeds[j]),
+                        outcomes[j].status.to_string().c_str());
+            continue;
+          }
+          const char* rung_tag =
+              outcomes[j].decision.rung ==
+                      engine::AdmissionDecision::DegradeRung::kFull
+                  ? ""
+                  : " [degraded]";
           std::printf(
-              "job %-5zu : seed=%llu winner=%s %s%s%s\n", j,
+              "job %-5zu : seed=%llu winner=%s %s%s%s%s\n", j,
               static_cast<unsigned long long>(job_seeds[j]),
-              outcomes[j].winner.empty() ? "[all members failed]"
-                                         : outcomes[j].winner.c_str(),
+              outcomes[j].winner.c_str(),
               part::describe(outcomes[j].best.metrics, constraints).c_str(),
               outcomes[j].from_cache ? " [cache]" : "",
-              outcomes[j].similarity ? " [similarity]" : "");
+              outcomes[j].similarity ? " [similarity]" : "", rung_tag);
         }
       }
       const engine::EngineStats stats = eng.stats();
@@ -529,7 +614,7 @@ int main(int argc, char** argv) {
           "members_run=%llu members_skipped=%llu members_failed=%llu "
           "coalesced=%llu fingerprints=%llu coarsen_hits=%llu "
           "coarsen_builds=%llu sim_probes=%llu sim_near_hits=%llu "
-          "sim_declines=%llu\n",
+          "sim_declines=%llu rejected=%llu shed=%llu degraded=%llu\n",
           outcomes.size(), batch_seconds,
           batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
           static_cast<unsigned long long>(stats.cache.hits),
@@ -542,7 +627,10 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.coarsening.insertions),
           static_cast<unsigned long long>(stats.similarity.probes),
           static_cast<unsigned long long>(stats.similarity.near_hits),
-          static_cast<unsigned long long>(stats.similarity.declines));
+          static_cast<unsigned long long>(stats.similarity.declines),
+          static_cast<unsigned long long>(stats.jobs_rejected),
+          static_cast<unsigned long long>(stats.jobs_shed),
+          static_cast<unsigned long long>(stats.jobs_degraded));
     } else if (algo_name == "exact") {
       part::ExactOptions exact_opts;
       const part::ExactResult exact =
@@ -630,6 +718,16 @@ int main(int argc, char** argv) {
                           .snapshot()
                           .to_string()
                           .c_str());
+  }
+  if (faults_armed) {
+    // Per-site check/fire tallies, so a chaos run shows which seams the
+    // seeded schedule actually hit (stderr: diagnostics, not results).
+    const auto counts = support::FaultInjector::global().counts();
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      std::fprintf(stderr, "ppnpart: faults %-14s checks=%llu fired=%llu\n",
+                   support::to_string(static_cast<support::FaultSite>(i)),
+                   static_cast<unsigned long long>(counts[i].checks),
+                   static_cast<unsigned long long>(counts[i].fired));
   }
   return result.feasible || constraints.unconstrained() ? 0 : 2;
 }
