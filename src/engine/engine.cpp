@@ -98,14 +98,27 @@ struct Engine::JobState {
   /// can observe `done`, read by repartition() after collecting the outcome.
   Route route = Route::kFull;
   /// False only for run_one's aliasing const& overload: the graph must not
-  /// outlive the call, so it never enters the similarity index.
+  /// outlive the call, so it never enters the similarity index (and never
+  /// leads a near-twin cohort — its answer could not be indexed, so parked
+  /// followers would wait behind nothing).
   bool owns_graph = true;
   /// Computed lazily: at the similarity probe, or in finalize_job for
-  /// full-path index insertion. Never accessed concurrently — admission
-  /// runs before fan-out, finalize after every member finished.
+  /// full-path index insertion. Single-owner at every point in time — the
+  /// admitting thread writes it, then hands the state to exactly one
+  /// continuation (warm-start task, follower resumption, or member
+  /// fan-out/finalize), each ordered by a pool submit or a registry mutex.
   std::optional<support::GraphSketch> sketch;
-  /// Built up during admit() (same single-threaded window as `route`),
-  /// copied onto the outcome when the job completes.
+  /// request_compat_fingerprint of this job, cached at the similarity probe
+  /// (the pending-leader registry is keyed by it).
+  std::uint64_t compat_fp = 0;
+  /// This job registered as a near-twin cohort leader in the similarity
+  /// index's pending registry; every completion path must resolve it (see
+  /// resolve_sim_pending). Written in admit(), cleared by the completion
+  /// path — ordered by the same handoffs as `sketch`.
+  bool sim_pending_leader = false;
+  /// Built up during admit() and, for deferred similarity verdicts, by the
+  /// warm-start task (the state's single owner at that point); copied onto
+  /// the outcome when the job completes.
   AdmissionDecision decision;
   support::StopToken token;
   support::Timer timer;
@@ -143,7 +156,8 @@ Engine::Engine(EngineOptions options)
                                              : 0),
       metrics_(options_.metrics != nullptr
                    ? *options_.metrics
-                   : support::MetricsRegistry::global()) {
+                   : support::MetricsRegistry::global()),
+      warm_pool_(options_.warm_workspaces) {
   if (options_.portfolio.empty())
     throw std::invalid_argument("Engine: portfolio has no members");
   for (const std::string& name : options_.portfolio.members) {
@@ -159,6 +173,10 @@ Engine::Engine(EngineOptions options)
   path_metrics_.warm_starts = &metrics_.counter("engine.admit.warm_start");
   path_metrics_.sim_served = &metrics_.counter("engine.admit.similarity");
   path_metrics_.sim_declined = &metrics_.counter("engine.admit.sim_decline");
+  // Async-stage series: verdicts handed to the pool, and near-twin
+  // followers parked behind a pending leader.
+  path_metrics_.sim_deferred = &metrics_.counter("engine.admit.sim_deferred");
+  path_metrics_.sim_parked = &metrics_.counter("engine.admit.sim_parked");
   path_metrics_.full_runs = &metrics_.counter("engine.admit.full_portfolio");
   // Overload-protection series. `full_portfolio` keeps meaning "routed to
   // stage 3": rejected/shed jobs routed there and were then refused, so
@@ -172,6 +190,7 @@ Engine::Engine(EngineOptions options)
   path_metrics_.degrade_projected =
       &metrics_.counter("engine.degrade.projected");
   path_metrics_.job_us = &metrics_.histogram("engine.job.time_us");
+  path_metrics_.warm_us = &metrics_.histogram("engine.warm.time_us");
   member_metrics_.reserve(options_.portfolio.size());
   for (const std::string& name : options_.portfolio.members) {
     MemberMetrics mm;
@@ -284,9 +303,17 @@ PortfolioOutcome Engine::run_one_impl(std::shared_ptr<const graph::Graph> g,
     path_metrics_.jobs->add();
     path_metrics_.exact_hits->add();
     path_metrics_.job_us->observe(out.seconds * 1e6);
-    trace_decision(/*job_id=*/0, out.decision);
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.jobs_completed;
+    // Every cached hit draws its own id from the job id stream, so trace
+    // instants of distinct queries stay distinguishable instead of all
+    // collapsing onto id 0. The id never enters jobs_ — there is no
+    // JobState to collect.
+    std::uint64_t trace_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      trace_id = next_id_++;
+      ++stats_.jobs_completed;
+    }
+    trace_decision(trace_id, out.decision);
     return out;
   }
   return wait(admit(Job{std::move(g), request}, graph_fp, owns_graph,
@@ -394,6 +421,9 @@ std::shared_ptr<Engine::JobState> Engine::admit(
       return state;
     }
   } catch (...) {
+    // A registered cohort leader must not leave parked followers stranded
+    // behind a job that never ran.
+    resolve_sim_pending(state);
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.erase(state->id);
     throw;
@@ -417,9 +447,11 @@ std::optional<part::PartitionResult> Engine::run_warm_start(
     istats.fallback_reason = "previous partition incomplete";
     return std::nullopt;
   }
-  std::lock_guard<std::mutex> lock(repart_mutex_);
+  // Exclusive scratch from the engine-owned pool: concurrent repartition
+  // calls each lease their own workspace instead of serializing on one.
+  part::WorkspacePool::Lease lease = warm_pool_.acquire();
   part::PartitionRequest req = state->job.request;
-  req.workspace = &repart_ws_;
+  req.workspace = lease.get();
   return incremental_.try_repartition(*state->job.graph, *seed.prev,
                                       seed.node_map, seed.touched, req,
                                       &istats);
@@ -429,29 +461,102 @@ bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
   support::ScopedSpan span(kTraceCat, "sim-probe", state->id);
   state->decision.sim_probed = true;
   state->sketch = support::sketch_of(*state->job.graph);
-  const std::uint64_t compat =
-      request_compat_fingerprint(state->job.request);
+  state->compat_fp = request_compat_fingerprint(state->job.request);
+
+  // One atomic probe of the index AND the pending-leader registry: a near
+  // twin either warm-starts from an indexed entry, parks behind the leader
+  // already computing that entry's answer, or becomes the cohort leader
+  // itself. This is ALL the submitter pays for a similarity admission — the
+  // diff -> verify -> refine verdict runs off-thread.
+  SimilarityIndex::ProbeResult probe = sim_index_.probe_or_park(
+      *state->sketch, state->compat_fp,
+      options_.similarity.min_sketch_similarity, state->id,
+      /*may_lead=*/state->owns_graph, state);
+  switch (probe.role) {
+    case SimilarityIndex::ProbeRole::kMatch:
+      span.arg("match_sim_pct",
+               static_cast<std::int64_t>(probe.match->similarity * 100));
+      spawn_warm_task(state, *std::move(probe.match));
+      return true;
+    case SimilarityIndex::ProbeRole::kParked:
+      // The leader's full-path answer will land in the index; this job's
+      // warm start resumes from it (resolve_sim_pending -> resume_follower)
+      // instead of racing a duplicate portfolio. The probe's verdict is
+      // still open — it is counted when the warm start resolves.
+      state->decision.warm_deferred = true;
+      span.detail("parked behind pending leader");
+      path_metrics_.sim_parked->add();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.similarity.parked;
+      }
+      return true;
+    case SimilarityIndex::ProbeRole::kLeader:
+      // First of a cohort nothing was answered for yet: route full, and let
+      // finalize/serve_error/serve_inline resume whoever parks behind us.
+      state->sim_pending_leader = true;
+      state->decision.warm_leader = true;
+      span.detail("pending leader");
+      [[fallthrough]];
+    case SimilarityIndex::ProbeRole::kMiss:
+      count_probe_declined(state, "no sketch match");
+      return false;
+  }
+  return false;
+}
+
+void Engine::spawn_warm_task(const std::shared_ptr<JobState>& state,
+                             SimilarityIndex::Match match) {
+  state->decision.warm_deferred = true;
+  path_metrics_.sim_deferred->add();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.deferred;
+  }
+  try {
+    support::ThreadPool::global().submit(
+        [this, state, match = std::move(match)]() mutable {
+          run_warm_task(state, std::move(match));
+        });
+  } catch (...) {
+    // A failed task submission must not strand the job (the match was
+    // consumed by the dead closure): decline to the untouched full path.
+    count_probe_declined(state, "warm task submission failed");
+    launch_full(state);
+  }
+}
+
+void Engine::run_warm_task(const std::shared_ptr<JobState>& state,
+                           SimilarityIndex::Match match) {
+  support::ScopedSpan span(kTraceCat, "sim-warm", state->id);
+  support::Timer timer;
   std::optional<part::PartitionResult> warm;
   part::IncrementalStats istats;
-  istats.fallback_reason = "no sketch match";
-  if (auto match =
-          sim_index_.best_match(*state->sketch, compat,
-                                options_.similarity.min_sketch_similarity)) {
+  try {
+    // Exclusive scratch from the engine-owned pool: concurrent warm-start
+    // tasks each lease their own workspace (never shared — the
+    // WorkspaceLease guard inside try_repartition still enforces the
+    // one-run-per-workspace rule).
+    part::WorkspacePool::Lease lease = warm_pool_.acquire();
+    part::PartitionRequest req = state->job.request;
+    req.workspace = lease.get();
     // The match is a hint; try_repartition_diffed re-derives the exact edit
     // script and verifies its replay is bit-identical to the arriving graph
     // before anything is reused. Declines (diff too large, k change,
     // projected imbalance, reconstruction mismatch) fall through to the
     // full path.
-    span.arg("match_sim_pct",
-             static_cast<std::int64_t>(match->similarity * 100));
-    istats.fallback_reason.clear();
-    std::lock_guard<std::mutex> lock(repart_mutex_);
-    part::PartitionRequest req = state->job.request;
-    req.workspace = &repart_ws_;
-    warm = incremental_.try_repartition_diffed(*match->entry.graph,
+    warm = incremental_.try_repartition_diffed(*match.entry.graph,
                                                *state->job.graph,
-                                               match->entry.partition, req,
+                                               match.entry.partition, req,
                                                &istats);
+  } catch (const std::exception& e) {
+    // The warm start is an optimization; its failure routes to the full
+    // path rather than unwinding a pool worker with the job stranded.
+    warm.reset();
+    istats.fallback_reason = std::string("warm start threw: ") + e.what();
+  } catch (...) {
+    warm.reset();
+    istats.fallback_reason = "warm start threw";
   }
   // Chaos seam: a verification failure must route the job to the untouched
   // full path — the unverified warm start is never served.
@@ -460,32 +565,78 @@ bool Engine::admit_similarity(const std::shared_ptr<JobState>& state) {
     warm.reset();
     istats.fallback_reason = "injected: similarity verify";
   }
-  // The probe and its verdict are one transaction under ONE mutex_
-  // acquisition: a concurrent stats() reader always sees
-  // probes == near_hits + declines, never a probe whose outcome is still
-  // in flight.
+  path_metrics_.warm_us->observe(timer.seconds() * 1e6);
   if (!warm.has_value()) {
-    state->decision.decline_reason = istats.fallback_reason.empty()
-                                         ? "warm start declined"
-                                         : istats.fallback_reason;
-    path_metrics_.sim_declined->add();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.similarity.probes;
-      ++stats_.similarity.declines;
-    }
-    return false;
+    count_probe_declined(state, istats.fallback_reason.empty()
+                                    ? "warm start declined"
+                                    : istats.fallback_reason);
+    // On this worker thread launch_full degrades to a serial member loop —
+    // still off the submitter, exactly the inline-admission discipline.
+    launch_full(state);
+    return;
   }
   state->route = Route::kSimilarity;
   state->decision.path = AdmissionDecision::Path::kSimilarity;
   path_metrics_.sim_served->add();
+  // The probe and its verdict are one transaction under ONE mutex_
+  // acquisition — even though the verdict lands on a pool thread, a
+  // concurrent stats() reader always sees probes == near_hits + declines,
+  // never a probe whose outcome is still in flight.
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.similarity.probes;
     ++stats_.similarity.near_hits;
   }
   serve_warm(state, *std::move(warm), "similarity", /*similarity_served=*/true);
-  return true;
+}
+
+void Engine::count_probe_declined(const std::shared_ptr<JobState>& state,
+                                  const std::string& reason) {
+  state->decision.decline_reason = reason;
+  path_metrics_.sim_declined->add();
+  // Same one-transaction rule as the near-hit side of run_warm_task.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.similarity.probes;
+    ++stats_.similarity.declines;
+  }
+}
+
+void Engine::resume_follower(const std::shared_ptr<JobState>& state) {
+  // Parked until the leader resolved. Re-probe the index: on leader success
+  // its fresh entry is there (finalize_job insert()s BEFORE it resolves the
+  // cohort); a miss means the leader failed, degraded or was shed, and this
+  // follower falls to the full path.
+  std::optional<SimilarityIndex::Match> match;
+  if (similarity_enabled())
+    match = sim_index_.best_match(*state->sketch, state->compat_fp,
+                                  options_.similarity.min_sketch_similarity);
+  if (match.has_value()) {
+    run_warm_task(state, *std::move(match));
+    return;
+  }
+  count_probe_declined(state, "pending leader produced no warm seed");
+  launch_full(state);
+}
+
+void Engine::resolve_sim_pending(const std::shared_ptr<JobState>& state) {
+  if (!state->sim_pending_leader) return;
+  state->sim_pending_leader = false;
+  std::vector<std::shared_ptr<void>> parked =
+      sim_index_.resolve_pending(state->compat_fp, state->id);
+  for (std::shared_ptr<void>& handle : parked) {
+    auto follower = std::static_pointer_cast<JobState>(std::move(handle));
+    // Each follower resumes as its own pool task, so the leader's
+    // completion path never pays N-1 warm starts serially. The `this`
+    // capture is safe: the follower sits un-done in jobs_, and ~Engine
+    // drains every such job before the engine dies.
+    try {
+      support::ThreadPool::global().submit(
+          [this, follower] { resume_follower(follower); });
+    } catch (...) {
+      resume_follower(follower);  // degraded: resolve inline, never strand
+    }
+  }
 }
 
 void Engine::serve_warm(const std::shared_ptr<JobState>& state,
@@ -526,6 +677,10 @@ void Engine::serve_inline(const std::shared_ptr<JobState>& state,
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.jobs_completed;
   }
+  // A pending similarity leader can end up here via the projected rung
+  // (launch_full -> gate -> serve_projected): its answer was never indexed,
+  // so the parked cohort re-probes, misses, and routes full.
+  resolve_sim_pending(state);
   {
     std::lock_guard<std::mutex> lock(state->m);
     state->outcome = std::move(outcome);
@@ -639,12 +794,19 @@ bool Engine::admission_gate(const std::shared_ptr<JobState>& state) {
       state->holds_slot = true;
       run_now = true;
     } else if (options_.shed_policy == ShedPolicy::kDeadlineAware &&
-               stop != nullptr && avg_job_seconds_ > 0 &&
-               stop->seconds_until_deadline() <=
-                   static_cast<double>(depth + 1) * avg_job_seconds_) {
+               stop != nullptr &&
+               (stop->seconds_until_deadline() <= 0 ||
+                (avg_job_seconds_ > 0 &&
+                 stop->seconds_until_deadline() <=
+                     static_cast<double>(depth + 1) * avg_job_seconds_))) {
       // The deadline cannot survive the drain of the queue ahead (estimated
       // from recent job latency): refuse now instead of computing an answer
-      // nobody is still waiting for.
+      // nobody is still waiting for. An already-expired deadline needs no
+      // estimate at all — before the EWMA's first full-path completion seeds
+      // it, avg_job_seconds_ is 0 and the drain test alone would wave a
+      // whole cold-start burst of unmeetable deadlines into the queue.
+      // Live deadlines stay admitted until the predictor has real data:
+      // refusing them on a guess would shed meetable work.
       refusal = support::Status::error(
           support::StatusCode::kDeadlineExceeded,
           "engine: deadline expires before " + std::to_string(depth + 1) +
@@ -833,6 +995,10 @@ void Engine::serve_error(const std::shared_ptr<JobState>& state,
     auto it = inflight_.find(state->key);
     if (it != inflight_.end() && it->second == state) inflight_.erase(it);
   }
+  // A shed/refused pending similarity leader never indexed an answer: its
+  // parked cohort re-probes, misses, and falls to the full path — shedding
+  // the leader sheds only the leader.
+  resolve_sim_pending(state);
 
   std::vector<std::shared_ptr<JobState>> followers;
   {
@@ -851,6 +1017,7 @@ void Engine::serve_error(const std::shared_ptr<JobState>& state,
     }
     path_metrics_.shed->add(followers.size());
     for (const std::shared_ptr<JobState>& f : followers) {
+      resolve_sim_pending(f);  // same stranding rule as the leader above
       {
         std::lock_guard<std::mutex> lock(f->m);
         f->decision.path = AdmissionDecision::Path::kShed;
@@ -1117,6 +1284,11 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     // leader inserts.)
     maybe_index(state, snapshot.best.partition);
   }
+  // Resume any near-twins parked behind this job — strictly AFTER
+  // maybe_index, so their re-probe finds the fresh entry. On the paths that
+  // skipped the insert (degraded, cancelled, failed, chaos) they re-probe,
+  // miss, and fall to the full path; either way nobody stays parked.
+  resolve_sim_pending(state);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.jobs_completed;
@@ -1124,11 +1296,16 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     stats_.members_skipped += skipped;
     stats_.members_failed += failed;
     // Release this job's running slot and feed the deadline-aware policy's
-    // latency estimate (EWMA of recent jobs, full and degraded alike).
+    // latency estimate. Only full-rung completions seed/update the EWMA:
+    // degraded rungs finish fast by design, and letting them in would bias
+    // the drain estimate low — exactly when overload makes it matter most.
     if (state->holds_slot) --running_full_;
-    avg_job_seconds_ = avg_job_seconds_ == 0
-                           ? snapshot.seconds
-                           : 0.8 * avg_job_seconds_ + 0.2 * snapshot.seconds;
+    if (snapshot.decision.rung == AdmissionDecision::DegradeRung::kFull) {
+      avg_job_seconds_ =
+          avg_job_seconds_ == 0
+              ? snapshot.seconds
+              : 0.8 * avg_job_seconds_ + 0.2 * snapshot.seconds;
+    }
     // Leave the single-flight registry before publishing done, so a racer
     // that finds this state there can rely on attaching or retrying.
     auto it = inflight_.find(state->key);
@@ -1159,6 +1336,11 @@ void Engine::finalize_job(const std::shared_ptr<JobState>& state) {
     }
     for (const auto& f : followers) {
       path_metrics_.jobs->add();
+      // A coalesced job can itself be a pending similarity leader (it
+      // probed, registered, routed full, then attached to this twin): its
+      // parked cohort resumes now — the shared answer was already indexed
+      // above, so their re-probe finds it.
+      resolve_sim_pending(f);
       {
         std::lock_guard<std::mutex> lock(f->m);
         f->outcome = snapshot;
@@ -1289,6 +1471,7 @@ EngineStats Engine::stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     s = stats_;
+    s.avg_job_seconds = avg_job_seconds_;
   }
   s.cache = cache_.stats();
   s.coarsening = coarsen_cache_.stats();
@@ -1299,10 +1482,9 @@ EngineStats Engine::stats() const {
   s.similarity.evictions = sim.evictions;
   s.graph_fingerprints_computed =
       fp_computed_.load(std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(repart_mutex_);
-    s.repartition_ws_growths = repart_ws_.stats().growths;
-  }
+  // Per-slot growth counters snapshotted at lease release — a leased
+  // workspace's live counter is never read here (it belongs to its holder).
+  s.repartition_ws_growths = warm_pool_.total_growths();
   s.metrics = metrics_.snapshot();
   return s;
 }

@@ -48,7 +48,13 @@
 //   stage 2  warm start                 -> caller-supplied delta
 //            (repartition) or a sketch near-hit (similarity admission,
 //            re-verified by bit-identical diff reconstruction) seeds
-//            IncrementalPartitioner from the matched graph's partition
+//            IncrementalPartitioner from the matched graph's partition.
+//            For similarity the submitter only pays the sketch probe: the
+//            diff -> verify -> refine verdict runs as a WARM-START TASK on
+//            the thread pool, with scratch leased from an engine-owned
+//            WorkspacePool. Concurrent near-twins of an unanswered graph
+//            coalesce batch-aware: the first routes full as the cohort's
+//            leader, the rest park and warm-start from its indexed answer
 //   stage 3  full portfolio             -> single-flight member fan-out,
 //            the answer enters the result cache and the similarity index
 //
@@ -81,7 +87,7 @@
 #include "partition/coarsen_cache.hpp"
 #include "partition/incremental.hpp"
 #include "partition/partitioner.hpp"
-#include "partition/workspace.hpp"
+#include "partition/workspace_pool.hpp"
 #include "support/metrics.hpp"
 #include "support/status.hpp"
 
@@ -158,6 +164,13 @@ struct EngineOptions {
   /// Similarity-aware admission (stage 2 for plain CSR arrivals). Off by
   /// default — see SimilarityOptions for the knobs and the trade-offs.
   SimilarityOptions similarity;
+
+  /// Size of the engine-owned workspace pool that warm starts lease scratch
+  /// from (similarity warm-start tasks and repartition calls). Each
+  /// workspace grows to the working graph size and is then reused; more
+  /// workspaces let more warm starts refine concurrently, fewer cap the
+  /// scratch memory. At least one is always built.
+  std::size_t warm_workspaces = 2;
 
   /// Overload protection: bounds the number of stage-3 (full-portfolio)
   /// jobs admitted but not yet fanned out. 0 (default) disables protection
@@ -237,6 +250,15 @@ struct AdmissionDecision {
   DegradeRung rung = DegradeRung::kFull;
   /// The similarity index was consulted for this job.
   bool sim_probed = false;
+  /// The similarity verdict (diff -> verify -> refine) ran as a warm-start
+  /// task on the pool instead of on the submitting thread — set both for
+  /// sketch matches handed straight to a task and for parked near-twin
+  /// followers resumed by their leader.
+  bool warm_deferred = false;
+  /// This job led a near-twin cohort: it arrived before any twin was
+  /// answered, registered as the pending leader and routed full-portfolio;
+  /// its answer seeded the parked followers' warm starts.
+  bool warm_leader = false;
   /// Why a consulted warm start fell through to the full path ("no sketch
   /// match", "diff too large", ...). Empty when it did not.
   std::string decline_reason;
@@ -310,8 +332,9 @@ struct EngineStats {
   std::uint64_t repartitions_incremental = 0;  // warm-started answers
   std::uint64_t repartitions_fallback = 0;     // declined -> full portfolio
   std::uint64_t repartition_cache_hits = 0;    // post-edit twin in the cache
-  /// Buffer growths of the engine-owned repartition workspace; a warm
-  /// steady state (stable network size) stops advancing it.
+  /// Buffer growths across the engine-owned warm-start workspace pool
+  /// (summed at each lease release); a warm steady state (stable network
+  /// size) stops advancing it.
   std::uint64_t repartition_ws_growths = 0;
   /// Full graph_fingerprint computations; shared graphs are memoized, so a
   /// batch of N jobs over one shared graph computes exactly one. (Distinct
@@ -319,14 +342,23 @@ struct EngineStats {
   /// each compute once — the memo coalesces every later call, not the
   /// initial race.)
   std::uint64_t graph_fingerprints_computed = 0;
+  /// The deadline-aware policy's drain-time estimate: an EWMA of FULL-rung
+  /// completion latencies. 0 until the first full-path completion seeds it
+  /// (degraded/projected completions never feed it — they finish fast by
+  /// design and would bias the estimate low). Diagnostics: this is the
+  /// per-job seconds the admission gate multiplies by queue depth.
+  double avg_job_seconds = 0;
   CacheStats cache;
   CacheStats coarsening;  // CoarseningCache traffic (hits = reused builds)
   /// Similarity-admission traffic: probes (admissions that consulted the
   /// index), near_hits (warm starts served), declines (probes routed to the
-  /// full path), plus the index's insert/evict counters. Updated under the
-  /// engine mutex — exact even under concurrent submit, and bumped as one
-  /// transaction per probe, so `probes == near_hits + declines` holds in
-  /// EVERY snapshot (never a torn mid-probe view).
+  /// full path), deferred/parked (async-stage traffic), plus the index's
+  /// insert/evict counters. Updated under the engine mutex — exact even
+  /// under concurrent submit. A probe and its verdict are bumped as one
+  /// transaction AT RESOLUTION TIME (on the warm-start task's pool thread
+  /// when deferred), so `probes == near_hits + declines` holds in EVERY
+  /// snapshot — never a torn mid-probe view, even while verdicts are in
+  /// flight on the pool.
   SimilarityStats similarity;
   /// Snapshot of the engine's metrics registry ("engine." counters, job
   /// latency histograms, per-member win/loss/time series). Note: a shared
@@ -424,8 +456,10 @@ class Engine {
   /// prev-dependent answers to future full-effort twins. Fallback runs
   /// flow through the normal job path and are cached as usual.
   ///
-  /// Safe to call from multiple client threads; incremental refinement
-  /// serializes on the shared workspace. Budget exemption: the incremental
+  /// Safe to call from multiple client threads; each incremental refinement
+  /// leases its own workspace from the engine-owned pool (concurrent calls
+  /// only wait when every pooled workspace is busy). Budget exemption: the
+  /// incremental
   /// path is short and bounded (projection + seeding + a fixed FM pass
   /// budget) and deliberately does not poll request.stop mid-refinement; a
   /// caller stop token governs the fallback portfolio run exactly as in
@@ -478,17 +512,19 @@ class Engine {
   /// The one front door (see the file comment's pipeline). `owns_graph` is
   /// false only for run_one's aliasing const& overload, whose graph must
   /// never outlive the call — it may PROBE the similarity index but is
-  /// never inserted into it. `caller_warm`, when set, takes stage 2 (the
-  /// similarity probe is skipped; the caller's delta is the better signal)
-  /// and `warm_stats` receives the warm start's accounting. `check_cache`
-  /// is false when the caller already ran the stage-1 lookup (run_one's
-  /// fast path) — the miss was counted there and must not be recounted.
+  /// never inserted into it (and never leads a near-twin cohort).
+  /// `caller_warm`, when set, takes stage 2 (the similarity probe is
+  /// skipped; the caller's delta is the better signal) and `warm_stats`
+  /// receives the warm start's accounting. `check_cache` is false when the
+  /// caller already ran the stage-1 lookup (run_one's fast path) — the miss
+  /// was counted there and must not be recounted.
   ///
-  /// Stages 1-2 answer INLINE on the admitting thread: a similarity or
-  /// warm-start admission costs sketch + diff + one bounded FM pass
-  /// (~ms-scale, serialized on the shared repartition workspace) before
-  /// submit() returns — accepted because it replaces a portfolio run that
-  /// costs 20x+ more; see ROADMAP for the off-thread follow-up.
+  /// Stage 1 and the caller-delta warm start answer inline on the admitting
+  /// thread (a cache hit is O(1); repartition is a synchronous API). A
+  /// SIMILARITY admission costs the submitter only the sketch probe: the
+  /// diff -> verify -> refine verdict runs as a warm-start task on the
+  /// thread pool (spawn_warm_task / run_warm_task), so submit() returns in
+  /// bounded time with the warm start still in flight.
   std::shared_ptr<JobState> admit(Job job, std::uint64_t graph_fp,
                                   bool owns_graph,
                                   const WarmStartSeed* caller_warm,
@@ -499,6 +535,29 @@ class Engine {
       const std::shared_ptr<JobState>& state, const WarmStartSeed& seed,
       part::IncrementalStats* stats);
   bool admit_similarity(const std::shared_ptr<JobState>& state);
+  /// Hands the deferred similarity verdict to the pool (falls through to
+  /// the full path when the task cannot be submitted). The probe is counted
+  /// when the verdict lands, never here.
+  void spawn_warm_task(const std::shared_ptr<JobState>& state,
+                       SimilarityIndex::Match match);
+  /// The warm-start task body: lease a pooled workspace, diff -> verify ->
+  /// refine, then either serve the similarity answer or decline to the
+  /// full path. Runs on a pool worker (or inline as spawn's fallback).
+  void run_warm_task(const std::shared_ptr<JobState>& state,
+                     SimilarityIndex::Match match);
+  /// One-transaction probe accounting for a declined verdict (see
+  /// EngineStats::similarity); the caller routes the job afterwards.
+  void count_probe_declined(const std::shared_ptr<JobState>& state,
+                            const std::string& reason);
+  /// Resumes a parked near-twin follower after its leader resolved:
+  /// re-probes the index (the leader's answer is there on success) and
+  /// warm-starts from it, or declines to the full path.
+  void resume_follower(const std::shared_ptr<JobState>& state);
+  /// If `state` leads a near-twin cohort, unregisters it and hands every
+  /// parked follower its own resumption task. MUST be called on every
+  /// completion path of a potential leader, before its `done` flip — a
+  /// stranded follower would hang its waiter forever.
+  void resolve_sim_pending(const std::shared_ptr<JobState>& state);
   /// Publishes a stage-2 answer: indexes the fresh partition, wraps it as
   /// a one-member PortfolioOutcome labelled `winner`, serves it inline.
   void serve_warm(const std::shared_ptr<JobState>& state,
@@ -567,13 +626,16 @@ class Engine {
     support::Counter* warm_starts = nullptr;
     support::Counter* sim_served = nullptr;
     support::Counter* sim_declined = nullptr;
+    support::Counter* sim_deferred = nullptr;  // engine.admit.sim_deferred
+    support::Counter* sim_parked = nullptr;    // engine.admit.sim_parked
     support::Counter* full_runs = nullptr;
     support::Counter* rejected = nullptr;   // engine.admit.rejected
     support::Counter* shed = nullptr;       // engine.admit.shed
     support::Counter* degrade_cheap = nullptr;  // engine.degrade.cheap_members
     support::Counter* degrade_gp = nullptr;     // engine.degrade.gp_only
     support::Counter* degrade_projected = nullptr;  // engine.degrade.projected
-    support::Histogram* job_us = nullptr;  // engine.job.time_us
+    support::Histogram* job_us = nullptr;   // engine.job.time_us
+    support::Histogram* warm_us = nullptr;  // engine.warm.time_us
   };
   PathMetrics path_metrics_;
   /// Per portfolio member, by index. `span_name` is the member's interned
@@ -588,12 +650,12 @@ class Engine {
   };
   std::vector<MemberMetrics> member_metrics_;
 
-  /// Reusable scratch of the incremental repartition path. One workspace,
-  /// one user at a time: repartition calls serialize on this mutex (the
-  /// fallback portfolio run does not hold it). Mutable: stats() reads the
-  /// growth counter under it.
-  mutable std::mutex repart_mutex_;
-  part::Workspace repart_ws_;
+  /// Reusable scratch of every warm start (similarity warm-start tasks and
+  /// repartition calls): a small pool of workspaces handed out as exclusive
+  /// leases, so concurrent warm starts neither share scratch nor serialize
+  /// on one mutex. Engine code never constructs an ad-hoc Workspace — the
+  /// `workspace-pool-lease` lint rule enforces it.
+  part::WorkspacePool warm_pool_;
 
   mutable std::mutex mutex_;  // guards jobs_, inflight_, next_id_, stats_
   std::uint64_t next_id_ = 1;

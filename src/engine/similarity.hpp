@@ -23,6 +23,16 @@
 // `capacity` graphs (plus one partition vector each). Size the capacity to
 // the working set you want warm, not to the traffic rate.
 //
+// Batch-aware probing: alongside the entries the index keeps a small
+// pending-leader registry (keyed by compat fingerprint + sketch
+// neighborhood). When a burst of near-twins arrives before any of them has
+// been answered, the first probe registers as the cohort's LEADER and runs
+// the full path once; the others PARK behind it and warm-start from the
+// leader's answer the moment it lands in the index — N concurrent
+// near-twins cost one portfolio run and N-1 warm starts instead of N races.
+// probe_or_park makes the entry-vs-leader decision under one lock, so no
+// arrival can slip between "no entry" and "no leader".
+//
 // Thread-safe; every method takes the internal mutex. Correctness contract
 // (enforced by the caller, see engine.cpp): a match is a HINT — the caller
 // must re-verify via diff + bit-identical reconstruction before reusing
@@ -34,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "partition/partition.hpp"
@@ -62,6 +73,14 @@ struct SimilarityStats {
   std::uint64_t probes = 0;     // admissions that consulted the index
   std::uint64_t near_hits = 0;  // warm starts served from a sketch match
   std::uint64_t declines = 0;   // probes routed to the full path instead
+  /// Async-stage traffic. `deferred`: probes whose diff/verify/refine ran
+  /// as a pool task instead of on the submitting thread. `parked`: probes
+  /// that waited for a pending leader's full-path answer before resolving
+  /// (batch-aware near-twin coalescing). Both are bumped at decision time;
+  /// the probe itself is only counted when its verdict lands, so neither
+  /// participates in the probes == near_hits + declines transaction.
+  std::uint64_t deferred = 0;
+  std::uint64_t parked = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
 };
@@ -89,12 +108,57 @@ class SimilarityIndex {
                                   std::uint64_t compat_fp,
                                   double min_similarity);
 
+  /// Batch-aware probing: the outcome of one atomic probe of the index AND
+  /// the pending-leader registry. A single lock acquisition rules out the
+  /// TOCTOU window between "no entry yet" and "park behind the leader that
+  /// is computing one".
+  enum class ProbeRole : std::uint8_t {
+    kMatch,   // an indexed entry matched: warm-start from `match`
+    kParked,  // a sketch-similar pending leader exists; the caller's handle
+              // was parked and will be returned by resolve_pending
+    kLeader,  // no entry, no leader: the caller is now the pending leader
+              // for this neighborhood and must resolve_pending on EVERY
+              // completion path
+    kMiss,    // no entry, no leader, and the caller may not lead
+  };
+  struct ProbeResult {
+    ProbeRole role = ProbeRole::kMiss;
+    std::optional<Match> match;  // set only for kMatch
+  };
+
+  /// One probe of both structures under one lock: an indexed best match
+  /// wins (LRU-touched, like best_match); otherwise a pending leader with
+  /// the same compat key and sketch similarity >= `min_similarity` adopts
+  /// `follower` as a parked handle; otherwise the caller registers as the
+  /// pending leader (when `may_lead`) or plainly misses. The registry is
+  /// keyed by compat fingerprint + sketch neighborhood — at these scales a
+  /// similarity scan over the few pending leaders stands in for banded LSH
+  /// buckets.
+  ProbeResult probe_or_park(const support::GraphSketch& sketch,
+                            std::uint64_t compat_fp, double min_similarity,
+                            std::uint64_t leader_job, bool may_lead,
+                            std::shared_ptr<void> follower);
+
+  /// Removes the pending entry owned by (compat_fp, leader_job) and returns
+  /// its parked follower handles for the caller to resume. Call it AFTER the
+  /// leader's answer was insert()ed (or when the leader failed/was shed):
+  /// followers re-probe and either warm-start from the fresh entry or fall
+  /// to the full path. Safe when no such entry exists (returns empty).
+  std::vector<std::shared_ptr<void>> resolve_pending(
+      std::uint64_t compat_fp, std::uint64_t leader_job);
+
+  /// Pending leaders currently registered (diagnostics/tests).
+  std::size_t pending_leaders() const;
+
   /// Inserts (or refreshes, keyed by graph_fp + compat_fp) an entry.
   /// Incomplete partitions are rejected — only servable warm starts belong
   /// in the index.
   void insert(Entry entry);
 
   std::size_t size() const;
+  /// Drops every retained entry. Pending leaders are deliberately NOT
+  /// cleared: they describe in-flight jobs whose parked followers would be
+  /// stranded forever if the registry forgot them mid-flight.
   void clear();
 
   /// Lifetime insert/evict traffic (probe counters live in EngineStats —
@@ -112,9 +176,24 @@ class SimilarityIndex {
   Counters counters() const;
 
  private:
+  std::optional<Match> best_match_locked(const support::GraphSketch& sketch,
+                                         std::uint64_t compat_fp,
+                                         double min_similarity);
+
+  /// One near-twin cohort awaiting its leader's full-path answer. Follower
+  /// handles are opaque (the engine parks JobStates); they are only ever
+  /// handed back to the code that parked them.
+  struct PendingLeader {
+    support::GraphSketch sketch;
+    std::uint64_t compat_fp = 0;
+    std::uint64_t leader_job = 0;
+    std::vector<std::shared_ptr<void>> followers;
+  };
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
   std::list<Entry> entries_;  // front = most recently used
+  std::vector<PendingLeader> pending_;  // few entries: linear scan
   std::uint64_t insertions_ = 0;
   std::uint64_t evictions_ = 0;
 };

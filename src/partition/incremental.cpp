@@ -83,6 +83,8 @@ std::optional<PartitionResult> IncrementalPartitioner::try_repartition(
   }
 
   // ---- 2. Seed new nodes greedily by connectivity. -----------------------
+  // The engine always injects a pool-leased workspace here; local_ws is the
+  // standalone-caller fallback and costs a cold allocation per call.
   Workspace local_ws;
   Workspace& ws = request.workspace != nullptr ? *request.workspace : local_ws;
   WorkspaceLease lease(ws);

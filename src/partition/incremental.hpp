@@ -18,7 +18,11 @@
 //   3. refine    — boundary-driven constrained FM from the reusable
 //                  Workspace (seeded from the part boundary, which the
 //                  edit sites sit on or near); the warm steady state
-//                  allocates nothing.
+//                  allocates nothing. Callers inject the Workspace via
+//                  request.workspace — the engine always passes one leased
+//                  from its WorkspacePool so concurrent warm-start tasks
+//                  never share scratch; the local fallback below exists
+//                  only for standalone callers that pass none.
 //
 // When the edit is too large for local repair to be trustworthy — too many
 // touched nodes, a changed k, or a projected load imbalance past the

@@ -1,0 +1,56 @@
+#include "partition/workspace_pool.hpp"
+
+#include <algorithm>
+
+namespace ppnpart::part {
+
+WorkspacePool::WorkspacePool(std::size_t capacity) {
+  const std::size_t n = std::max<std::size_t>(1, capacity);
+  all_.reserve(n);
+  free_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    all_.push_back(Slot{std::make_unique<Workspace>(), 0});
+  // Fill the free stack so slot 0 is handed out first: a mostly-serial
+  // caller keeps hitting the same warm workspace.
+  for (std::size_t i = n; i-- > 0;) free_.push_back(i);
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !free_.empty(); });
+  const std::size_t index = free_.back();
+  free_.pop_back();
+  return Lease(this, all_[index].ws.get(), index);
+}
+
+void WorkspacePool::Lease::release() {
+  if (pool_ == nullptr) return;
+  pool_->put_back(index_);
+  pool_ = nullptr;
+  ws_ = nullptr;
+}
+
+void WorkspacePool::put_back(std::size_t index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // The holder is gone, so reading the (unsynchronized) growth counter
+    // cannot race a user; the snapshot makes total_growths() race-free.
+    all_[index].growths = all_[index].ws->stats().growths;
+    free_.push_back(index);
+  }
+  cv_.notify_one();
+}
+
+std::size_t WorkspacePool::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+std::uint64_t WorkspacePool::total_growths() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Slot& slot : all_) total += slot.growths;
+  return total;
+}
+
+}  // namespace ppnpart::part

@@ -1,0 +1,112 @@
+#pragma once
+// Leased pool of reusable Workspaces for the engine's warm-start machinery.
+//
+// A Workspace is deliberately unsynchronized scratch with a hard ownership
+// rule: ONE run at a time, never shared across threads. The engine used to
+// satisfy that rule with a single workspace behind a mutex — correct, but it
+// serialized every warm start, and once similarity warm starts moved onto
+// pool tasks it would have parked the submitter behind whichever task held
+// the lock. A WorkspacePool keeps a small fixed set of workspaces and hands
+// them out as exclusive RAII leases instead: concurrent warm-start tasks
+// each lease their own scratch, and the WorkspaceLease debug guard inside
+// the partitioner entry points still aborts if any path ever shares one.
+//
+// acquire() blocks until a workspace frees. That is deadlock-free here:
+// holders are bounded warm-start runs that never wait on non-holders, so
+// some holder always completes and releases. Hand-out is LIFO — the most
+// recently released (size-warm, cache-warm) workspace goes out first, so a
+// steady state of same-sized graphs keeps reusing one warm workspace and
+// stops growing buffers entirely (the property
+// EngineStats::repartition_ws_growths tracks).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "partition/workspace.hpp"
+
+namespace ppnpart::part {
+
+class WorkspacePool {
+ public:
+  /// Builds `capacity` workspaces up front (at least one). No allocation
+  /// happens on acquire/release.
+  explicit WorkspacePool(std::size_t capacity);
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  /// Exclusive RAII lease of one pooled workspace; returns it to the pool
+  /// on destruction. Movable, never copyable — exactly one owner at a
+  /// time, like the workspace itself.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { release(); }
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(other.ws_), index_(other.index_) {
+      other.pool_ = nullptr;
+      other.ws_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ws_ = other.ws_;
+        index_ = other.index_;
+        other.pool_ = nullptr;
+        other.ws_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Workspace* get() const { return ws_; }
+    Workspace& operator*() const { return *ws_; }
+    explicit operator bool() const { return ws_ != nullptr; }
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, Workspace* ws, std::size_t index)
+        : pool_(pool), ws_(ws), index_(index) {}
+    void release();
+    WorkspacePool* pool_ = nullptr;
+    Workspace* ws_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  /// Blocks until a workspace is free, then leases it (LIFO hand-out).
+  Lease acquire();
+
+  /// Fixed at construction; safe to read without the lock.
+  std::size_t capacity() const { return all_.size(); }
+  /// Workspaces currently free (diagnostics/tests).
+  std::size_t available() const;
+  /// Sum of buffer growths across every pooled workspace, as of each
+  /// workspace's last release — a leased workspace's in-flight growths are
+  /// counted when it comes back, so this never races a holder's unsynchronized
+  /// scratch. Warm steady state (stable graph family) stops advancing it.
+  std::uint64_t total_growths() const;
+
+ private:
+  friend class Lease;
+  void put_back(std::size_t index);
+
+  struct Slot {
+    std::unique_ptr<Workspace> ws;
+    /// Growth counter snapshot taken at release time (under mutex_, with no
+    /// concurrent user by the lease exclusivity rule).
+    std::uint64_t growths = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Slot> all_;            // fixed after construction
+  std::vector<std::size_t> free_;    // indices into all_, LIFO stack
+};
+
+}  // namespace ppnpart::part

@@ -1002,6 +1002,197 @@ TEST(Engine, DeadlineAwareRefusesBudgetsThatCannotSurviveTheQueue) {
   EXPECT_EQ(eng.stats().jobs_rejected, 1u);
 }
 
+TEST(Engine, SimilaritySubmitDoesNotBlockOnWarmStart) {
+  // Tentpole rail: admit() charges the submitter only the sketch probe. The
+  // diff -> verify -> refine verdict runs as a pool task — with every pool
+  // worker parked, submit() must still return with the job un-done and the
+  // warm start merely queued. If any of that work ran on the submitting
+  // thread, the job would already be finished here.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.similarity.enabled = true;
+  engine::Engine eng(opts);
+
+  engine::Job job = make_job(900, /*nodes=*/300);
+  ASSERT_FALSE(eng.run_one(job.graph, job.request).winner.empty());
+
+  PoolBlocker blocker;
+  const auto near = perturb_graph(*job.graph, 5);
+  const auto id = eng.submit(engine::Job{near, job.request});
+  EXPECT_FALSE(eng.poll(id).has_value()) << "warm start ran on the submitter";
+
+  // The probe matched and was deferred; its verdict is still open — and the
+  // counters say exactly that: only the seeding run's probe has resolved,
+  // so probes == near_hits + declines holds mid-flight too.
+  {
+    const engine::EngineStats stats = eng.stats();
+    EXPECT_EQ(stats.similarity.deferred, 1u);
+    EXPECT_EQ(stats.similarity.probes, 1u);
+    EXPECT_EQ(stats.similarity.declines, 1u);
+    EXPECT_EQ(stats.similarity.near_hits, 0u);
+  }
+
+  blocker.release();
+  const engine::PortfolioOutcome out = eng.wait(id);
+  EXPECT_TRUE(out.similarity);
+  EXPECT_EQ(out.winner, "similarity");
+  EXPECT_TRUE(out.decision.warm_deferred);
+  EXPECT_EQ(out.best.partition.size(), near->num_nodes());
+  EXPECT_TRUE(out.best.partition.complete());
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.similarity.probes, 2u);
+  EXPECT_EQ(stats.similarity.near_hits, 1u);
+  EXPECT_EQ(stats.similarity.declines, 1u);
+}
+
+TEST(Engine, NearTwinFollowersCoalesceOntoLeader) {
+  // Batch-aware probing: N concurrent near-twins with NO indexed answer yet
+  // cost one full portfolio run plus N-1 warm starts. The first submission
+  // registers as the cohort's pending leader; the rest park behind it and
+  // resume from its indexed answer.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.similarity.enabled = true;
+  engine::Engine eng(opts);
+
+  const engine::Job seed = make_job(910, /*nodes=*/300);
+  const auto base = seed.graph;
+
+  // Park the pool BEFORE any submission, so the leader's answer cannot land
+  // until every follower has probed — the whole cohort is truly concurrent.
+  PoolBlocker blocker;
+  constexpr int kTwins = 5;
+  std::vector<engine::Engine::JobId> ids;
+  ids.push_back(eng.submit(engine::Job{base, seed.request}));
+  for (int t = 1; t < kTwins; ++t) {
+    ids.push_back(eng.submit(engine::Job{
+        perturb_graph(*base, static_cast<std::uint64_t>(t)), seed.request}));
+  }
+  for (const auto id : ids) EXPECT_FALSE(eng.poll(id).has_value());
+  EXPECT_EQ(eng.stats().similarity.parked,
+            static_cast<std::uint64_t>(kTwins - 1));
+
+  blocker.release();
+  const engine::PortfolioOutcome leader = eng.wait(ids[0]);
+  EXPECT_EQ(leader.decision.path,
+            engine::AdmissionDecision::Path::kFullPortfolio);
+  EXPECT_TRUE(leader.decision.warm_leader);
+  EXPECT_FALSE(leader.similarity);
+  for (int t = 1; t < kTwins; ++t) {
+    const engine::PortfolioOutcome out = eng.wait(ids[t]);
+    EXPECT_TRUE(out.similarity) << "twin " << t;
+    EXPECT_EQ(out.winner, "similarity") << "twin " << t;
+    EXPECT_TRUE(out.decision.warm_deferred) << "twin " << t;
+    EXPECT_TRUE(out.best.partition.complete()) << "twin " << t;
+  }
+
+  // Exact accounting: every twin probed once; the leader declined (empty
+  // index) and was the ONLY full-portfolio member run; the other N-1 all
+  // warm-started off its answer.
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.similarity.probes, static_cast<std::uint64_t>(kTwins));
+  EXPECT_EQ(stats.similarity.near_hits,
+            static_cast<std::uint64_t>(kTwins - 1));
+  EXPECT_EQ(stats.similarity.declines, 1u);
+  EXPECT_EQ(stats.members_run, 1u);
+  EXPECT_EQ(stats.jobs_completed, static_cast<std::uint64_t>(kTwins));
+}
+
+TEST(Engine, DeadlineAwarePredictorColdStart) {
+  // Regression: before the EWMA has ANY completion to learn from,
+  // avg_job_seconds is 0 and the drain estimate `(depth+1) * avg` waves
+  // everything through — including deadlines that have ALREADY expired. An
+  // expired deadline needs no estimate: it must be refused even on a cold
+  // predictor. Live deadlines keep queueing until the predictor has data.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.queue_capacity = 8;
+  opts.max_running_jobs = 1;
+  opts.shed_policy = engine::ShedPolicy::kDeadlineAware;
+  opts.degrade_under_load = false;  // isolate refusal from the ladder
+  engine::Engine eng(opts);
+  EXPECT_EQ(eng.stats().avg_job_seconds, 0.0);
+
+  PoolBlocker blocker;
+  const auto running = eng.submit(make_job(920, /*nodes=*/48));
+  const auto queued = eng.submit(make_job(921, /*nodes=*/48));
+
+  support::StopToken expired;
+  expired.set_deadline_after(0.0);
+  engine::Job doomed = make_job(922, /*nodes=*/48);
+  doomed.request.stop = &expired;
+  const engine::PortfolioOutcome refused =
+      eng.wait(eng.submit(std::move(doomed)));
+  EXPECT_EQ(refused.status.code(), support::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(refused.winner.empty());
+
+  // A live deadline on the same cold predictor queues normally: refusing it
+  // on a guess would shed meetable work.
+  support::StopToken live;
+  live.set_deadline_after(60.0);
+  engine::Job patient = make_job(923, /*nodes=*/48);
+  patient.request.stop = &live;
+  const auto patient_id = eng.submit(std::move(patient));
+
+  blocker.release();
+  EXPECT_TRUE(eng.wait(running).status.is_ok());
+  EXPECT_TRUE(eng.wait(queued).status.is_ok());
+  EXPECT_TRUE(eng.wait(patient_id).status.is_ok());
+  const engine::EngineStats stats = eng.stats();
+  EXPECT_EQ(stats.jobs_rejected, 1u);
+  EXPECT_GT(stats.avg_job_seconds, 0.0);  // seeded by the full completions
+}
+
+TEST(Engine, DegradedCompletionsDoNotSeedTheDrainPredictor) {
+  // The EWMA learns only from FULL-rung completions: degraded rungs finish
+  // fast by design, and feeding them in would bias the drain estimate low
+  // exactly when overload makes it matter.
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.queue_capacity = 4;
+  opts.max_running_jobs = 1;
+  engine::Engine eng(opts);
+
+  // A projected (bottom-rung) answer is served inline and must leave the
+  // predictor cold.
+  support::StopToken gone;
+  gone.set_deadline_after(0.0);
+  engine::Job rushed = make_job(930, /*nodes=*/96);
+  rushed.request.stop = &gone;
+  const auto projected = eng.run_one(rushed.graph, rushed.request);
+  ASSERT_EQ(projected.decision.rung,
+            engine::AdmissionDecision::DegradeRung::kProjected);
+  EXPECT_EQ(eng.stats().avg_job_seconds, 0.0);
+
+  // Build a deterministic rung mix: h runs (depth 0, full); q1 queues at
+  // depth 0 (full); q2 at depth 1 (cheap); q3 at depth 2 (gp-only). With
+  // max_running 1 they finalize in exactly that order, so the EWMA after
+  // the drain is a pure function of the two FULL completions' latencies —
+  // bit-equal to replaying the update rule on the reported seconds. If the
+  // degraded q2/q3 fed the estimate, this equality breaks.
+  PoolBlocker blocker;
+  const auto h = eng.submit(make_job(931, /*nodes=*/48));
+  const auto q1 = eng.submit(make_job(932, /*nodes=*/48));
+  const auto q2 = eng.submit(make_job(933, /*nodes=*/48));
+  const auto q3 = eng.submit(make_job(934, /*nodes=*/48));
+  blocker.release();
+
+  const engine::PortfolioOutcome out_h = eng.wait(h);
+  const engine::PortfolioOutcome out_q1 = eng.wait(q1);
+  const engine::PortfolioOutcome out_q2 = eng.wait(q2);
+  const engine::PortfolioOutcome out_q3 = eng.wait(q3);
+  ASSERT_EQ(out_h.decision.rung, engine::AdmissionDecision::DegradeRung::kFull);
+  ASSERT_EQ(out_q1.decision.rung,
+            engine::AdmissionDecision::DegradeRung::kFull);
+  ASSERT_NE(out_q2.decision.rung,
+            engine::AdmissionDecision::DegradeRung::kFull);
+  ASSERT_NE(out_q3.decision.rung,
+            engine::AdmissionDecision::DegradeRung::kFull);
+
+  const double expected = 0.8 * out_h.seconds + 0.2 * out_q1.seconds;
+  EXPECT_DOUBLE_EQ(eng.stats().avg_job_seconds, expected);
+}
+
 TEST(Engine, ExpiredBudgetGetsProjectedAnswerInline) {
   engine::EngineOptions opts;
   opts.portfolio = engine::Portfolio{{"gp", "annealing"}};

@@ -136,6 +136,61 @@ TEST(RaceStressTest, SimilarityAdmissionConcurrentProbes) {
   });
 }
 
+TEST(RaceStressTest, SimilarityCountersStaySolventUnderAsyncVerdicts) {
+  // The probe-counting transaction: with warm-start verdicts landing on
+  // pool threads (deferred matches, parked followers resuming, declines
+  // falling back to full runs), a stats() reader racing the whole mess must
+  // NEVER see probes != near_hits + declines — the probe and its verdict
+  // are bumped under one lock at resolution time, not split across the
+  // admission and the verdict.
+  engine::EngineOptions opt;
+  opt.portfolio = engine::Portfolio::parse("gp").value();
+  opt.similarity.enabled = true;
+  engine::Engine eng(opt);
+
+  const auto base = make_shared_graph(31, 64);
+  std::vector<std::shared_ptr<const graph::Graph>> variants;
+  for (int v = 0; v < 8; ++v) {
+    graph::GraphDelta delta(base->num_nodes());
+    delta.add_edge(static_cast<graph::NodeId>(v),
+                   static_cast<graph::NodeId>(v * 5 + 3), 2 + v);
+    variants.push_back(std::make_shared<const graph::Graph>(
+        delta.apply(*base).graph));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const engine::EngineStats s = eng.stats();
+      if (s.similarity.probes !=
+          s.similarity.near_hits + s.similarity.declines)
+        torn.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  run_threads(6, [&](unsigned t) {
+    for (int i = 0; i < 6; ++i) {
+      // Distinct near-twins per iteration: every admission really probes
+      // (no exact hits), and bursts of them race leader registration,
+      // parking, and index inserts against each other.
+      const auto& g = variants[(t + static_cast<unsigned>(i) * 3) %
+                               variants.size()];
+      engine::Job job = make_job(g, 5);
+      const engine::PortfolioOutcome out = eng.run_one(job.graph, job.request);
+      EXPECT_EQ(out.best.partition.size(), g->num_nodes());
+      EXPECT_TRUE(out.best.partition.complete());
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+
+  EXPECT_EQ(torn.load(), 0u);
+  const engine::EngineStats s = eng.stats();
+  EXPECT_EQ(s.similarity.probes, s.similarity.near_hits + s.similarity.declines);
+  EXPECT_GT(s.similarity.probes, 0u);
+}
+
 TEST(RaceStressTest, CoarsenCacheSingleFlight) {
   part::CoarseningCache cache(8);
   const auto g = make_shared_graph(21, 96);

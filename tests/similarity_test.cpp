@@ -154,6 +154,61 @@ TEST(SimilarityIndex, RejectsIncompletePartitions) {
   EXPECT_EQ(index.size(), 0u);
 }
 
+TEST(SimilarityIndex, ProbeOrParkAssignsRolesUnderOneLock) {
+  using Role = engine::SimilarityIndex::ProbeRole;
+  engine::SimilarityIndex index(4);
+  const auto g = make_pn(14, 96);
+  const support::GraphSketch sketch = support::sketch_of(*g);
+
+  // Empty index, empty registry: the first prober becomes the leader.
+  auto first = index.probe_or_park(sketch, /*compat_fp=*/1, 0.5,
+                                   /*leader_job=*/100, /*may_lead=*/true,
+                                   std::make_shared<int>(0));
+  EXPECT_EQ(first.role, Role::kLeader);
+  EXPECT_EQ(index.pending_leaders(), 1u);
+
+  // Sketch twins of the same compat key park behind the pending leader;
+  // their handles come back from resolve_pending in arrival order.
+  auto f1 = std::make_shared<int>(1);
+  auto f2 = std::make_shared<int>(2);
+  EXPECT_EQ(index.probe_or_park(sketch, 1, 0.5, 101, true, f1).role,
+            Role::kParked);
+  EXPECT_EQ(index.probe_or_park(sketch, 1, 0.5, 102, true, f2).role,
+            Role::kParked);
+  EXPECT_EQ(index.pending_leaders(), 1u);
+
+  // A different compat key is its own cohort (leads, never parks), and a
+  // prober that may not lead plainly misses.
+  EXPECT_EQ(index
+                .probe_or_park(sketch, /*compat_fp=*/2, 0.5, 103, true,
+                               std::make_shared<int>(3))
+                .role,
+            Role::kLeader);
+  const auto far = make_pn(15, 96);
+  EXPECT_EQ(index
+                .probe_or_park(support::sketch_of(*far), 1, 0.5, 104,
+                               /*may_lead=*/false, std::make_shared<int>(4))
+                .role,
+            Role::kMiss);
+
+  // Resolving hands back exactly the parked handles and erases the entry;
+  // a second resolve (or a wrong leader id) is a safe no-op.
+  auto parked = index.resolve_pending(/*compat_fp=*/1, /*leader_job=*/100);
+  ASSERT_EQ(parked.size(), 2u);
+  EXPECT_EQ(parked[0].get(), f1.get());
+  EXPECT_EQ(parked[1].get(), f2.get());
+  EXPECT_TRUE(index.resolve_pending(1, 100).empty());
+  EXPECT_EQ(index.pending_leaders(), 1u);  // compat 2's leader remains
+
+  // Once an entry is indexed, probers match it instead of leading/parking.
+  index.insert(make_entry(g, /*compat=*/1));
+  auto hit = index.probe_or_park(sketch, 1, 0.5, 105, true,
+                                 std::make_shared<int>(5));
+  EXPECT_EQ(hit.role, Role::kMatch);
+  ASSERT_TRUE(hit.match.has_value());
+  EXPECT_EQ(hit.match->entry.graph.get(), g.get());
+}
+
 // ---------------------------------------------------------------- engine ---
 
 TEST(Engine, SimilarityNearHitWarmStartsAndStaysValid) {

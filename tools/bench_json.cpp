@@ -52,12 +52,14 @@
 //                         cut ratio <= 1.05 and a deterministic admission
 //                         chain; exits non-zero on violation.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -415,6 +417,111 @@ RobustnessResult run_robustness_case(
   return r;
 }
 
+/// The near-twin burst scenario (PR 9): every pool worker is parked, then a
+/// burst of near-identical arrivals is submitted with NO indexed answer to
+/// match — the first registers as the cohort's pending leader, the rest park
+/// behind it. Because the warm-start stage runs as pool tasks, every
+/// submit() must return with its job still pending (the parked pool is the
+/// proof that no diff/verify/refine ran on the submitting thread). After
+/// release, the whole cohort must cost exactly one full portfolio run plus
+/// N-1 warm starts, with the probe counters solvent at the end.
+struct NearTwinBurstResult {
+  int twins = 0;  // burst size, leader included
+  double divergence = 0;
+  double max_submit_seconds = 0;  // worst single submit() latency
+  std::uint64_t inline_serves = 0;   // jobs done before the pool was released
+  std::uint64_t invalid_serves = 0;  // wrong-size/incomplete answers
+  std::uint64_t full_member_runs = 0;  // portfolio members executed
+  std::uint64_t probes = 0;
+  std::uint64_t near_hits = 0;
+  std::uint64_t declines = 0;
+  std::uint64_t parked = 0;
+  bool counters_solvent = false;  // probes == near_hits + declines
+};
+
+NearTwinBurstResult run_neartwin_burst_case(const graph::Graph& base,
+                                            int twins, double divergence) {
+  NearTwinBurstResult r;
+  r.twins = twins;
+  r.divergence = divergence;
+
+  engine::EngineOptions opts;
+  opts.portfolio = engine::Portfolio{{"gp"}};
+  opts.similarity.enabled = true;
+  engine::Engine eng(opts);
+
+  part::Workspace ws;  // request shaping only; engine requests drop it
+  part::PartitionRequest req = bench::multilevel_workload_request(base, ws);
+  req.workspace = nullptr;
+
+  auto shared = std::make_shared<const graph::Graph>(base);
+  std::vector<std::shared_ptr<const graph::Graph>> arrivals{shared};
+  support::Rng rng(9090);
+  for (int t = 1; t < twins; ++t) {
+    arrivals.push_back(std::make_shared<const graph::Graph>(
+        bench::near_identical_arrival(base, divergence, rng)));
+  }
+
+  // Park every worker BEFORE the first submission: the leader's answer
+  // cannot land until every twin has probed, so the cohort really is
+  // concurrent, and any admission work beyond the sketch probe would have
+  // nowhere to run but the submitting thread.
+  auto& pool = support::ThreadPool::global();
+  std::atomic<bool> release{false};
+  std::atomic<unsigned> parked_workers{0};
+  std::vector<std::future<void>> blockers;
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    blockers.push_back(pool.submit([&release, &parked_workers] {
+      parked_workers.fetch_add(1, std::memory_order_relaxed);
+      while (!release.load(std::memory_order_relaxed))
+        std::this_thread::yield();
+    }));
+  }
+  while (parked_workers.load(std::memory_order_relaxed) < pool.size())
+    std::this_thread::yield();
+
+  std::vector<engine::Engine::JobId> ids;
+  for (int t = 0; t < twins; ++t) {
+    support::Timer submit_timer;
+    ids.push_back(eng.submit(engine::Job{arrivals[static_cast<std::size_t>(t)],
+                                         req}));
+    r.max_submit_seconds =
+        std::max(r.max_submit_seconds, submit_timer.seconds());
+  }
+  // Zero-inline-serve rail: with the pool parked nothing can have finished
+  // yet — a done job here means warm-start (or worse, portfolio) work ran on
+  // the submitting thread. (poll() consumes a finished outcome, so keep it.)
+  std::vector<std::optional<engine::PortfolioOutcome>> early(
+      static_cast<std::size_t>(twins));
+  for (int t = 0; t < twins; ++t) {
+    early[static_cast<std::size_t>(t)] =
+        eng.poll(ids[static_cast<std::size_t>(t)]);
+    if (early[static_cast<std::size_t>(t)].has_value()) ++r.inline_serves;
+  }
+
+  release.store(true, std::memory_order_relaxed);
+  for (std::future<void>& f : blockers) f.get();
+
+  for (int t = 0; t < twins; ++t) {
+    const std::size_t i = static_cast<std::size_t>(t);
+    const engine::PortfolioOutcome out =
+        early[i].has_value() ? *early[i] : eng.wait(ids[i]);
+    if (!out.status.is_ok() ||
+        out.best.partition.size() != arrivals[i]->num_nodes() ||
+        !out.best.partition.complete())
+      ++r.invalid_serves;
+  }
+
+  const engine::EngineStats stats = eng.stats();
+  r.full_member_runs = stats.members_run;
+  r.probes = stats.similarity.probes;
+  r.near_hits = stats.similarity.near_hits;
+  r.declines = stats.similarity.declines;
+  r.parked = stats.similarity.parked;
+  r.counters_solvent = r.probes == r.near_hits + r.declines;
+  return r;
+}
+
 CaseResult run_case(const char* name, part::Partitioner& p,
                     const graph::Graph& g, part::Workspace& ws, int reps) {
   // The shared bench harness defines the workload and the warm-then-time
@@ -434,7 +541,8 @@ CaseResult run_case(const char* name, part::Partitioner& p,
 
 void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
                const IncrementalResult& inc, const SimilarityResult& sim,
-               const RobustnessResult& rob, graph::NodeId n, double span_ns) {
+               const RobustnessResult& rob, const NearTwinBurstResult& burst,
+               graph::NodeId n, double span_ns) {
   // Baseline: pre-workspace implementation (commit bb85fa0), same workload,
   // same machine class as the numbers committed with PR 3.
   struct Baseline {
@@ -559,7 +667,7 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       "\"degraded\": %llu, \"shed_rate\": %.4f, "
       "\"rungs\": {\"full\": %llu, \"cheap_members\": %llu, "
       "\"gp_only\": %llu, \"projected\": %llu}, "
-      "\"accounting_exact\": %s, \"projected_served\": %s}\n",
+      "\"accounting_exact\": %s, \"projected_served\": %s},\n",
       rob.jobs, rob.queue_capacity,
       static_cast<unsigned long long>(rob.completed),
       static_cast<unsigned long long>(rob.rejected),
@@ -571,6 +679,25 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       static_cast<unsigned long long>(rob.rung_projected),
       rob.accounting_exact ? "true" : "false",
       rob.projected_served ? "true" : "false");
+  // Near-twin burst scenario (PR 9): parked-pool cohort coalescing — one
+  // full run plus N-1 deferred warm starts, with submit() never paying for
+  // any of it.
+  std::fprintf(
+      out,
+      "  \"neartwin_burst\": {\"twins\": %d, \"divergence\": %.3f, "
+      "\"max_submit_seconds\": %.6f, \"inline_serves\": %llu, "
+      "\"invalid_serves\": %llu, \"full_member_runs\": %llu, "
+      "\"probes\": %llu, \"near_hits\": %llu, \"declines\": %llu, "
+      "\"parked\": %llu, \"counters_solvent\": %s}\n",
+      burst.twins, burst.divergence, burst.max_submit_seconds,
+      static_cast<unsigned long long>(burst.inline_serves),
+      static_cast<unsigned long long>(burst.invalid_serves),
+      static_cast<unsigned long long>(burst.full_member_runs),
+      static_cast<unsigned long long>(burst.probes),
+      static_cast<unsigned long long>(burst.near_hits),
+      static_cast<unsigned long long>(burst.declines),
+      static_cast<unsigned long long>(burst.parked),
+      burst.counters_solvent ? "true" : "false");
   std::fprintf(out, "}\n");
 }
 
@@ -803,13 +930,70 @@ int self_check() {
     return 1;
   }
 
+  // Near-twin burst gates (PR 9): the submitting thread pays only the
+  // sketch probe. With every pool worker parked, no submission may come
+  // back finished (inline_serves == 0 is the structural proof that zero
+  // warm-start time ran inline), and the worst submit() latency stays far
+  // below a single portfolio run. After release: exactly one full run
+  // (portfolio {gp} => one member execution) answers the whole cohort, the
+  // other N-1 arrivals warm-start, and the probe ledger balances.
+  const NearTwinBurstResult nb =
+      run_neartwin_burst_case(g, /*twins=*/8, /*divergence=*/0.01);
+  if (nb.inline_serves != 0) {
+    std::fprintf(stderr,
+                 "bench_json --check: %llu burst submission(s) finished with "
+                 "the pool parked — warm-start work ran on the submitter\n",
+                 static_cast<unsigned long long>(nb.inline_serves));
+    return 1;
+  }
+  if (nb.max_submit_seconds > 0.5) {
+    std::fprintf(stderr,
+                 "bench_json --check: worst burst submit() took %.3f s "
+                 "(bound 0.5 — admission must not block on warm starts)\n",
+                 nb.max_submit_seconds);
+    return 1;
+  }
+  if (nb.invalid_serves != 0) {
+    std::fprintf(stderr,
+                 "bench_json --check: %llu invalid burst serve(s)\n",
+                 static_cast<unsigned long long>(nb.invalid_serves));
+    return 1;
+  }
+  if (nb.full_member_runs != 1 ||
+      nb.near_hits != static_cast<std::uint64_t>(nb.twins - 1) ||
+      nb.declines != 1 ||
+      nb.parked != static_cast<std::uint64_t>(nb.twins - 1)) {
+    std::fprintf(stderr,
+                 "bench_json --check: burst of %d near-twins cost %llu full "
+                 "member run(s), %llu near-hits, %llu declines, %llu parked "
+                 "(expected 1 / %d / 1 / %d)\n",
+                 nb.twins,
+                 static_cast<unsigned long long>(nb.full_member_runs),
+                 static_cast<unsigned long long>(nb.near_hits),
+                 static_cast<unsigned long long>(nb.declines),
+                 static_cast<unsigned long long>(nb.parked), nb.twins - 1,
+                 nb.twins - 1);
+    return 1;
+  }
+  if (!nb.counters_solvent) {
+    std::fprintf(stderr,
+                 "bench_json --check: burst probe ledger insolvent "
+                 "(probes %llu != near_hits %llu + declines %llu)\n",
+                 static_cast<unsigned long long>(nb.probes),
+                 static_cast<unsigned long long>(nb.near_hits),
+                 static_cast<unsigned long long>(nb.declines));
+    return 1;
+  }
+
   std::printf("bench_json --check: ok (deterministic, allocation-free "
               "steady state; incremental chain deterministic and "
               "fallback-free; similarity admission all-hit, valid, "
               "stale-free, cut ratio %.3f; phase shares consistent, "
               "tracing-off hook %.1f ns; overload burst exact and "
-              "replayable, shed rate %.2f)\n",
-              sim_check.mean_cut_ratio_vs_scratch, span_ns, rob.shed_rate);
+              "replayable, shed rate %.2f; near-twin burst non-blocking, "
+              "%d twins -> 1 full run + %llu warm starts)\n",
+              sim_check.mean_cut_ratio_vs_scratch, span_ns, rob.shed_rate,
+              nb.twins, static_cast<unsigned long long>(nb.near_hits));
   return 0;
 }
 
@@ -844,16 +1028,20 @@ int main(int argc, char** argv) {
   // admission behaviour, not partitioner throughput.
   const RobustnessResult rob =
       run_robustness_case(bench::multilevel_workload_graph(800), /*jobs=*/12);
+  // The near-twin burst also runs on the small instance: it measures the
+  // submit path and cohort coalescing, not partitioner throughput.
+  const NearTwinBurstResult burst = run_neartwin_burst_case(
+      bench::multilevel_workload_graph(800), /*twins=*/8, /*divergence=*/0.01);
 
   const double span_ns = disabled_span_ns();
-  emit_json(stdout, results, inc, sim, rob, n, span_ns);
+  emit_json(stdout, results, inc, sim, rob, burst, n, span_ns);
   if (!to_stdout) {
     std::FILE* f = std::fopen("BENCH_multilevel.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_json: cannot write BENCH_multilevel.json\n");
       return 1;
     }
-    emit_json(f, results, inc, sim, rob, n, span_ns);
+    emit_json(f, results, inc, sim, rob, burst, n, span_ns);
     std::fclose(f);
     std::fprintf(stderr, "bench_json: wrote BENCH_multilevel.json\n");
   }

@@ -31,6 +31,15 @@ Rules (each has a stable id, used in the allowlist):
                           exists only for legacy callers; new errors must be
                           typed so callers can branch on *why* (retry on
                           kUnavailable, give up on kInvalidArgument).
+  workspace-pool-lease    an ad-hoc `Workspace <name>` local/member declared
+                          in src/engine/ — engine code (warm-start tasks
+                          especially, which run concurrently on the pool)
+                          must lease exclusive scratch from the engine-owned
+                          part::WorkspacePool; a stray local silently forfeits
+                          warm-buffer reuse and dodges the pool's
+                          growth-counter snapshots, and a stray member
+                          reintroduces the shared-workspace serialization the
+                          pool exists to remove.
 
 Exceptions live in tools/invariant_allowlist.txt, one per line:
 
@@ -280,6 +289,24 @@ def rule_status_error_code(path, stripped, lines):
     return found
 
 
+WORKSPACE_DECL_RE = re.compile(
+    r"\b(?:part\s*::\s*)?Workspace\s+[A-Za-z_]\w*\s*[;{=(]"
+)
+
+
+def rule_workspace_pool_lease(path, stripped, lines):
+    if "/engine/" not in path:
+        return []
+    return _findings_for(
+        "workspace-pool-lease",
+        WORKSPACE_DECL_RE,
+        path,
+        stripped,
+        lines,
+        "ad-hoc Workspace in engine code; acquire a WorkspacePool lease",
+    )
+
+
 RULES = [
     rule_thread_outside_pool,
     rule_result_cache_write,
@@ -287,6 +314,7 @@ RULES = [
     rule_raw_new_delete,
     rule_tracer_in_header,
     rule_status_error_code,
+    rule_workspace_pool_lease,
 ]
 
 
@@ -417,6 +445,15 @@ SELF_TESTS = [
         'Status f() {\n  return Status::error("bad header");\n}\n',
         "Status f() {\n"
         "  return Status::error(StatusCode::kInvalidArgument, reason);\n}\n",
+    ),
+    (
+        "workspace-pool-lease",
+        "src/engine/engine.cpp",
+        "void Engine::run_warm_task() {\n"
+        "  part::Workspace scratch;\n  req.workspace = &scratch;\n}\n",
+        "void Engine::run_warm_task() {\n"
+        "  part::WorkspacePool::Lease lease = warm_pool_.acquire();\n"
+        "  req.workspace = lease.get();\n}\n",
     ),
 ]
 

@@ -25,10 +25,11 @@
 //                       the best answer plus engine throughput/cache stats
 //   --similarity on|off similarity-aware admission (default off): arrivals
 //                       near-identical to a recently served graph are
-//                       diffed into a delta and warm-started instead of
-//                       paying a full portfolio run; the engine stats line
-//                       reports exact hits (cache_hits), near-hits and
-//                       declines
+//                       diffed into a delta and warm-started off-thread
+//                       instead of paying a full portfolio run; concurrent
+//                       near-twins coalesce behind one full run; the engine
+//                       stats line reports exact hits (cache_hits),
+//                       near-hits, declines, deferred and parked
 //
 // Overload protection & fault injection (PR 8):
 //   --queue-cap N       bounded admission: at most N stage-3 jobs pending;
@@ -608,13 +609,18 @@ int main(int argc, char** argv) {
       const engine::EngineStats stats = eng.stats();
       // Admission counters: exact hits are cache_hits, near-hits are
       // similarity warm starts, declines are probes routed to the full
-      // path. sim_* stay 0 under --similarity off.
+      // path; sim_deferred counts probe-time matches whose warm start was
+      // handed straight to the pool, sim_parked counts near-twin arrivals
+      // that coalesced behind an in-flight leader (disjoint; parked
+      // followers' warm starts also run on the pool once the leader
+      // lands). sim_* stay 0 under --similarity off.
       std::printf(
           "engine jobs=%zu seconds=%.4f throughput=%.2f cache_hits=%llu "
           "members_run=%llu members_skipped=%llu members_failed=%llu "
           "coalesced=%llu fingerprints=%llu coarsen_hits=%llu "
           "coarsen_builds=%llu sim_probes=%llu sim_near_hits=%llu "
-          "sim_declines=%llu rejected=%llu shed=%llu degraded=%llu\n",
+          "sim_declines=%llu sim_deferred=%llu sim_parked=%llu "
+          "rejected=%llu shed=%llu degraded=%llu\n",
           outcomes.size(), batch_seconds,
           batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
           static_cast<unsigned long long>(stats.cache.hits),
@@ -628,6 +634,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(stats.similarity.probes),
           static_cast<unsigned long long>(stats.similarity.near_hits),
           static_cast<unsigned long long>(stats.similarity.declines),
+          static_cast<unsigned long long>(stats.similarity.deferred),
+          static_cast<unsigned long long>(stats.similarity.parked),
           static_cast<unsigned long long>(stats.jobs_rejected),
           static_cast<unsigned long long>(stats.jobs_shed),
           static_cast<unsigned long long>(stats.jobs_degraded));
