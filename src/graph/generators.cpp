@@ -150,6 +150,128 @@ Graph random_process_network(const ProcessNetworkParams& params,
   return builder.build();
 }
 
+Graph streamed_process_network(const ProcessNetworkParams& params,
+                               support::Rng& rng) {
+  const NodeId n = params.num_nodes;
+  if (n == 0) return Graph();
+  const std::uint32_t layers =
+      std::max<std::uint32_t>(1, std::min<NodeId>(params.layers, n));
+  // Contiguous layer blocks: layer l is [floor(n*l/L), floor(n*(l+1)/L)),
+  // so later layers hold strictly larger node ids and layer_of inverts
+  // layer_begin exactly.
+  const auto layer_begin = [n, layers](std::uint32_t l) {
+    return static_cast<NodeId>(static_cast<std::uint64_t>(n) * l / layers);
+  };
+  const auto layer_of = [n, layers](NodeId u) {
+    return static_cast<std::uint32_t>(static_cast<std::uint64_t>(u) * layers /
+                                      n);
+  };
+
+  const double extra_mean = std::max(0.0, params.forward_degree - 1.0);
+  const auto extra_base = static_cast<std::uint32_t>(extra_mean);
+  const double extra_frac = extra_mean - extra_base;
+
+  // One deterministic pass over the per-node stream. Both invocations run
+  // from the same Rng state, so every draw (weights, picks, dedup retries)
+  // replays identically; the sinks are the only difference between the
+  // count pass and the fill pass.
+  std::vector<NodeId> picked;  // u's accepted targets, for local dedup
+  auto stream = [&](support::Rng& r, auto&& node_sink, auto&& edge_sink) {
+    for (NodeId u = 0; u < n; ++u) {
+      Weight w = draw(params.resource, r);
+      if (r.bernoulli(params.hub_fraction)) w *= 3;
+      node_sink(u, std::max<Weight>(w, 1));
+
+      picked.clear();
+      const std::uint32_t l = layer_of(u);
+      // Emits one channel u—v with v drawn uniformly from [lo, hi)∖{u},
+      // dropped on a duplicate after a few bounded retries (identical
+      // decisions either pass). Every edge leaves from its higher-id
+      // endpoint, so cross-node duplicates cannot exist.
+      const auto emit_to = [&](NodeId lo, NodeId hi) {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const NodeId v =
+              lo + static_cast<NodeId>(r.uniform_index(hi - lo));
+          if (v == u) return;  // l == 0 range is [0, u); defensive
+          if (std::find(picked.begin(), picked.end(), v) != picked.end())
+            continue;
+          picked.push_back(v);
+          edge_sink(u, v, draw(params.bandwidth, r));
+          return;
+        }
+      };
+
+      if (u == 0) continue;
+      // Parent channel: previous layer (or an earlier node inside layer 0)
+      // — connectivity by induction on node id.
+      if (l > 0)
+        emit_to(layer_begin(l - 1), layer_begin(l));
+      else
+        emit_to(0, u);
+      // Extra channels: one layer back, or a longer skip.
+      std::uint32_t extras = extra_base;
+      if (extra_frac > 0.0 && r.bernoulli(extra_frac)) ++extras;
+      for (std::uint32_t i = 0; i < extras; ++i) {
+        std::uint32_t tl;
+        if (l >= 2 && r.bernoulli(params.skip_probability))
+          tl = static_cast<std::uint32_t>(r.uniform_index(l - 1));
+        else if (l >= 1)
+          tl = l - 1;
+        else
+          continue;
+        emit_to(layer_begin(tl), layer_begin(tl + 1));
+      }
+    }
+  };
+
+  // Pass 1 (copy of the caller's stream): node weights and degrees.
+  std::vector<Weight> vwgt(n, 1);
+  std::vector<std::uint64_t> xadj(static_cast<std::size_t>(n) + 1, 0);
+  {
+    support::Rng count_rng = rng;
+    stream(
+        count_rng, [&](NodeId u, Weight w) { vwgt[u] = w; },
+        [&](NodeId u, NodeId v, Weight) {
+          ++xadj[u + 1];
+          ++xadj[v + 1];
+        });
+  }
+  for (NodeId u = 0; u < n; ++u) xadj[u + 1] += xadj[u];
+
+  // Pass 2 (advances the caller's stream): fill both CSR directions.
+  std::vector<NodeId> adj(xadj[n]);
+  std::vector<Weight> ewgt(xadj[n]);
+  {
+    std::vector<std::uint64_t> cursor(xadj.begin(), xadj.end() - 1);
+    stream(
+        rng, [](NodeId, Weight) {},
+        [&](NodeId u, NodeId v, Weight w) {
+          adj[cursor[u]] = v;
+          ewgt[cursor[u]++] = w;
+          adj[cursor[v]] = u;
+          ewgt[cursor[v]++] = w;
+        });
+  }
+  // Per-node insertion sort (degrees are small) to meet the strictly-sorted
+  // adjacency invariant.
+  for (NodeId u = 0; u < n; ++u) {
+    const std::uint64_t b = xadj[u], e = xadj[u + 1];
+    for (std::uint64_t i = b + 1; i < e; ++i) {
+      const NodeId a = adj[i];
+      const Weight w = ewgt[i];
+      std::uint64_t j = i;
+      for (; j > b && adj[j - 1] > a; --j) {
+        adj[j] = adj[j - 1];
+        ewgt[j] = ewgt[j - 1];
+      }
+      adj[j] = a;
+      ewgt[j] = w;
+    }
+  }
+  return Graph(std::move(xadj), std::move(adj), std::move(ewgt),
+               std::move(vwgt));
+}
+
 Graph ring_of_cliques(std::uint32_t cliques, std::uint32_t clique_size,
                       Weight intra_weight, Weight inter_weight) {
   if (cliques == 0 || clique_size == 0) return Graph();

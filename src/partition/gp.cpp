@@ -6,9 +6,11 @@
 #include <stdexcept>
 
 #include "partition/coarsen_cache.hpp"
+#include "partition/parallel.hpp"
 #include "partition/phase_profile.hpp"
 #include "partition/workspace.hpp"
 #include "support/log.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace ppnpart::part {
@@ -25,11 +27,13 @@ constexpr const char* kTraceCat = "gp";
 std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
                                 std::vector<PartId> assign, PartId k,
                                 const Constraints& c, const GpOptions& options,
+                                const ParallelOptions& par,
                                 support::Rng& rng, std::uint32_t cycle,
                                 std::vector<GpLevelTrace>* trace,
                                 Workspace& ws) {
   FmOptions fm;
   fm.max_passes = options.refine_passes;
+  support::ThreadPool& pool = support::ThreadPool::global();
   for (std::size_t level = h.num_levels(); level-- > 0;) {
     const Graph& g = level == 0 ? finest : h.graphs[level];
     PhaseScope phase(ws.phases, PhaseProfile::kRefine, ws.phase_cat,
@@ -45,14 +49,30 @@ std::vector<PartId> refine_down(const Hierarchy& h, const Graph& finest,
     p.reset(g.num_nodes(), k);
     for (NodeId u = 0; u < g.num_nodes(); ++u) p.set(u, assign[u]);
     support::Rng level_rng = rng.derive(0xFEEDull * (level + 1) + cycle);
-    constrained_fm_refine(g, p, c, fm, level_rng, ws);
-    // Alternate FM with the swap neighbourhood on small graphs (coarsest
-    // levels and small instances); swaps are what tight-Rmax repairs need.
-    SwapRefineOptions swap_opts;
-    for (std::uint32_t round = 0; round < 3; ++round) {
-      const bool swapped = swap_refine(g, p, c, swap_opts, level_rng, ws);
-      if (!swapped) break;
+    if (par.threads > 1 && g.num_nodes() >= par.min_parallel_nodes) {
+      // Large level on the parallel path: goodness-monotone label
+      // propagation across the pool, then one bounded serial FM pass. LP
+      // does the bulk move work in parallel; the capped FM pass repairs
+      // what LP cannot see (tight constraint corners, negative-gain
+      // escapes) at a serial cost that stays a small fraction of the
+      // level — the Amdahl term is move_limit, not the node count.
+      LpRefineOptions lp;
+      parallel_lp_refine(g, p, c, lp, par, ws, pool);
+      FmOptions polish = fm;
+      polish.max_passes = 1;
+      polish.move_limit = std::max<std::uint64_t>(
+          4096, static_cast<std::uint64_t>(g.num_nodes()) / 8);
+      constrained_fm_refine(g, p, c, polish, level_rng, ws);
+    } else {
       constrained_fm_refine(g, p, c, fm, level_rng, ws);
+      // Alternate FM with the swap neighbourhood on small graphs (coarsest
+      // levels and small instances); swaps are what tight-Rmax repairs need.
+      SwapRefineOptions swap_opts;
+      for (std::uint32_t round = 0; round < 3; ++round) {
+        const bool swapped = swap_refine(g, p, c, swap_opts, level_rng, ws);
+        if (!swapped) break;
+        constrained_fm_refine(g, p, c, fm, level_rng, ws);
+      }
     }
     for (NodeId u = 0; u < g.num_nodes(); ++u) assign[u] = p[u];
     if (trace != nullptr) {
@@ -128,6 +148,10 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
   WorkspaceLease lease(ws);
   PhaseContextScope<Workspace> phase_ctx(ws, request.phases, kTraceCat);
 
+  support::ThreadPool& pool = support::ThreadPool::global();
+  const ParallelOptions par =
+      resolve_parallel(request.threads, request.deterministic, pool);
+
   std::optional<std::vector<PartId>> best_assign;
   Goodness best_goodness;
   std::uint32_t feasible_cycles = 0;
@@ -163,6 +187,11 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
               request.graph_key != 0 ? request.graph_key : graph_digest(g);
           shared_h = request.coarsen_cache->hierarchy(gkey, coarsen_opts, g);
         }
+      } else if (par.threads > 1) {
+        // Parallel heavy-edge coarsening (deterministic by default; no RNG
+        // consumed). A coarsen_cache, when present, wins instead: reusing
+        // the shared canonical hierarchy beats rebuilding it in parallel.
+        local = parallel_coarsen(g, coarsen_opts, par, ws, pool);
       } else {
         local = coarsen(g, coarsen_opts, cycle_rng, ws);
       }
@@ -184,7 +213,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
           coarse_assign[u] = seed_part[u];
       }
       assign = refine_down(h, g, std::move(coarse_assign), k, c, options_,
-                           cycle_rng, cycle, &result.trace, ws);
+                           par, cycle_rng, cycle, &result.trace, ws);
     } else {
       // Cyclic re-coarsening around the incumbent (paper: "coarsened back to
       // the lowest level if needed … repeated a number of parametrized
@@ -212,7 +241,7 @@ GpResult GpPartitioner::run_detailed(const Graph& g,
         }
       }
       assign = refine_down(rh.hierarchy, g, std::move(coarse), k, c, options_,
-                           cycle_rng, cycle, &result.trace, ws);
+                           par, cycle_rng, cycle, &result.trace, ws);
     }
 
     Partition p(g.num_nodes(), k);

@@ -346,6 +346,11 @@ PartitionResult NLevelPartitioner::run(const Graph& g,
       heap_coarsen(nullptr);
     }
     phase.arg("contractions", static_cast<std::int64_t>(stack.size()));
+    // The phases block's "levels" is the hierarchy depth; for n-level that
+    // is the contraction-sequence length (one contraction per level), which
+    // the level -1/0 PhaseScopes above cannot record on their own.
+    if (request.phases != nullptr)
+      request.phases->note_depth(static_cast<std::uint32_t>(stack.size()));
   }
 
   // ---- Initial partitioning of the coarsest graph. ---------------------

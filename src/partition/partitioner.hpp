@@ -27,6 +27,23 @@ struct PartitionRequest {
   /// ignore them, exactly like METIS in the paper's experiments.
   Constraints constraints;
   std::uint64_t seed = 1;
+  /// Intra-run parallelism: worker chunks used by the parallel multilevel
+  /// kernels (parallel.hpp). 1 (default) = today's serial path, untouched
+  /// byte for byte; 0 = auto (thread-pool size); >= 2 routes GP/MetisLike
+  /// through parallel coarsening and parallel LP refinement for large
+  /// levels. Unlike `workspace`/`phases` this is an algorithm knob: the
+  /// parallel path is a *different* (still deterministic) algorithm than
+  /// the serial one, so results differ between threads == 1 and >= 2 — but
+  /// with `deterministic` set they are identical across ALL values >= 2
+  /// (and across machines), so the golden policy survives.
+  std::uint32_t threads = 1;
+  /// Fix the parallel reduction order (chunk-index merges, synchronous LP
+  /// rounds, node-id tie-breaks): fixed-seed results become a pure function
+  /// of (graph, options), bit-identical at any thread count. Default ON;
+  /// free-running mode (false) may differ run to run and exists for peak
+  /// throughput and for hammering the lock-free paths under TSan.
+  bool deterministic = true;
+
   /// Optional cooperative-stop signal (non-owning; may be null). Iterative
   /// partitioners poll it at checkpoint granularity — V-cycle, temperature
   /// step, generation, tabu iteration — and return their best-so-far

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "graph/contract.hpp"
@@ -101,6 +102,69 @@ struct IncrementalScratch {
   std::vector<Weight> part_conn;  // per-part connectivity of the probed node
 };
 
+/// One LP move proposal from a parallel scan chunk (parallel.hpp): move
+/// `node` to part `to`. Validated against the exact goodness at commit time.
+struct LpCandidate {
+  NodeId node;
+  PartId to;
+};
+
+/// Per-chunk scratch of the parallel kernels. A chunk task owns exactly one
+/// arena for the duration of a phase; arenas are interior to the single
+/// leased Workspace and pairwise disjoint, so the one-lease-per-run
+/// ownership rule holds unchanged — the lease covers the run, the arenas
+/// partition the scratch among that run's worker chunks.
+struct ThreadArena {
+  support::AllocStats* stats = nullptr;
+  /// LP candidate buffer; merged across arenas once per round.
+  std::vector<LpCandidate> moves;
+};
+
+/// Shared buffers of the parallel multilevel kernels (parallel.hpp). The
+/// proposal/weight arrays back the deterministic mutual-proposal matching
+/// (phase-separated plain access: every slot has exactly one writer per
+/// phase); the atomic claim array backs the free-running CAS matching.
+struct ParallelScratch {
+  support::AllocStats* stats = nullptr;
+  /// Per-node proposed partner (mutual-proposal rounds).
+  std::vector<NodeId> proposal;
+  /// Weight of the proposed edge, consumed when a proposal pairs up.
+  std::vector<Weight> proposal_weight;
+  /// Chunk-merged LP candidates (deterministic: chunk-index order == node
+  /// order; free-running: completion order).
+  std::vector<LpCandidate> merged;
+  /// Per-chunk representative counts / exclusive prefix bases for the
+  /// parallel fine-to-coarse id assignment.
+  std::vector<NodeId> chunk_base;
+
+  /// Atomic per-node `matched` words for the CAS claim protocol, grown to
+  /// `n` (contents unspecified on return; callers re-initialize).
+  std::atomic<NodeId>* claims(std::size_t n) {
+    if (n > claims_cap_) {
+      if (stats != nullptr) stats->note(n * sizeof(std::atomic<NodeId>));
+      claims_ = std::make_unique<std::atomic<NodeId>[]>(n);
+      claims_cap_ = n;
+    }
+    return claims_.get();
+  }
+
+  /// The i-th chunk arena, created on first use (a growth event) and reused
+  /// by every later phase, level and run.
+  ThreadArena& arena(std::size_t i) {
+    while (arenas_.size() <= i) {
+      if (stats != nullptr) stats->note(sizeof(ThreadArena));
+      arenas_.push_back(std::make_unique<ThreadArena>());
+      arenas_.back()->stats = stats;
+    }
+    return *arenas_[i];
+  }
+
+ private:
+  std::unique_ptr<std::atomic<NodeId>[]> claims_;
+  std::size_t claims_cap_ = 0;
+  std::vector<std::unique_ptr<ThreadArena>> arenas_;
+};
+
 class Workspace {
  public:
   Workspace() {
@@ -110,6 +174,7 @@ class Workspace {
     bisect.stats = &stats_;
     kl.stats = &stats_;
     incremental.stats = &stats_;
+    parallel.stats = &stats_;
     move_ctx.set_alloc_stats(&stats_);
   }
   Workspace(const Workspace&) = delete;
@@ -126,6 +191,7 @@ class Workspace {
   BisectionScratch bisect;
   KlScratch kl;
   IncrementalScratch incremental;
+  ParallelScratch parallel;
 
   /// Reusable incremental mover (reset() per level/pass).
   MoveContext move_ctx;

@@ -110,6 +110,37 @@ TEST(Generators, Grid2dStructure) {
   EXPECT_EQ(g.degree(5), 4u);
 }
 
+TEST(Generators, StreamedProcessNetworkValidConnectedDeterministic) {
+  ProcessNetworkParams params;
+  params.num_nodes = 5000;
+  params.layers = 40;
+  params.forward_degree = 2.4;
+  support::Rng a(11), b(11), c(12);
+  const Graph ga = streamed_process_network(params, a);
+  EXPECT_TRUE(ga.validate().empty()) << ga.validate();
+  EXPECT_TRUE(is_connected(ga));
+  EXPECT_GE(ga.num_edges(), static_cast<std::uint64_t>(params.num_nodes));
+  const Graph gb = streamed_process_network(params, b);
+  EXPECT_EQ(ga.adj(), gb.adj());
+  EXPECT_EQ(ga.node_weights(), gb.node_weights());
+  const Graph gc = streamed_process_network(params, c);
+  EXPECT_NE(ga.adj(), gc.adj());
+}
+
+TEST(Generators, StreamedProcessNetworkWeightsInRange) {
+  ProcessNetworkParams params;
+  params.num_nodes = 2000;
+  params.resource = {10, 80};
+  params.bandwidth = {1, 12};
+  support::Rng rng(13);
+  const Graph g = streamed_process_network(params, rng);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_GE(s.min_node_weight, 10);
+  EXPECT_LE(s.max_node_weight, 3 * 80);  // hubs scale 3x
+  EXPECT_GE(s.min_edge_weight, 1);
+  EXPECT_LE(s.max_edge_weight, 12);
+}
+
 TEST(Generators, EmptyInputsProduceEmptyGraphs) {
   support::Rng rng(8);
   EXPECT_EQ(erdos_renyi_gnm(0, 5, rng).num_nodes(), 0u);
@@ -118,6 +149,7 @@ TEST(Generators, EmptyInputsProduceEmptyGraphs) {
   ProcessNetworkParams params;
   params.num_nodes = 0;
   EXPECT_EQ(random_process_network(params, rng).num_nodes(), 0u);
+  EXPECT_EQ(streamed_process_network(params, rng).num_nodes(), 0u);
 }
 
 }  // namespace

@@ -32,6 +32,8 @@
 #include "graph/delta.hpp"
 #include "graph/generators.hpp"
 #include "partition/coarsen_cache.hpp"
+#include "partition/parallel.hpp"
+#include "partition/workspace.hpp"
 #include "support/fault_injection.hpp"
 #include "support/metrics.hpp"
 #include "support/prng.hpp"
@@ -371,6 +373,53 @@ TEST(RaceStressTest, QueueShedRacesFaultsAndLateArming) {
   const engine::EngineStats s = eng.stats();
   EXPECT_EQ(s.jobs_completed + s.jobs_rejected + s.jobs_shed,
             kThreads * kPerThread);
+}
+
+TEST(RaceStressTest, FreeRunningMatchingAndLpUnderContention) {
+  // PR 10's lock-free seams: the CAS claim protocol of free-running
+  // parallel matching (threads race compare_exchange on the per-node
+  // `matched` words) and the completion-order merge of LP scan candidates
+  // (per-chunk buffers appended under a mutex as chunks finish). Run both
+  // at 8 chunks across the pool, repeatedly, and check the structural
+  // invariants that must hold whatever interleaving TSan provokes: the
+  // matching is valid (symmetric, edge-backed), the derived coarse-id map
+  // is a bijection onto [0, coarse_n), and LP never worsens the exact
+  // lexicographic goodness.
+  const auto g = make_shared_graph(77, 2000);
+  support::ThreadPool& pool = support::ThreadPool::global();
+  part::ParallelOptions popts;
+  popts.threads = 8;
+  popts.deterministic = false;
+
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    part::Workspace ws;
+    part::Matching m;
+    const graph::Weight w =
+        part::parallel_heavy_edge_matching(*g, popts, m, ws, pool);
+    ASSERT_EQ(part::validate_matching(*g, m), "");
+    EXPECT_EQ(w, part::matched_edge_weight(*g, m));
+
+    std::vector<graph::NodeId> f2c;
+    const graph::NodeId coarse_n =
+        part::parallel_fine_to_coarse(*g, m, popts, f2c, ws, pool);
+    std::vector<std::uint8_t> hit(coarse_n, 0);
+    for (const graph::NodeId c : f2c) {
+      ASSERT_LT(c, coarse_n);
+      hit[c] = 1;
+    }
+    for (const std::uint8_t h : hit) EXPECT_EQ(h, 1);
+
+    part::Constraints c;
+    c.rmax = g->total_node_weight() / 3;
+    part::Partition p(g->num_nodes(), 4);
+    for (graph::NodeId u = 0; u < g->num_nodes(); ++u)
+      p.set(u, static_cast<part::PartId>((u + iteration) % 4));
+    const part::Goodness before = part::compute_goodness(*g, p, c);
+    part::LpRefineOptions lp;
+    part::parallel_lp_refine(*g, p, c, lp, popts, ws, pool);
+    const part::Goodness after = part::compute_goodness(*g, p, c);
+    EXPECT_FALSE(before < after);
+  }
 }
 
 }  // namespace

@@ -40,6 +40,15 @@
 // (completed + rejected + shed covers every arrival), typed refusal codes,
 // the inline projected answer, and schedule replay across identical bursts.
 //
+// PR 10 adds the "parallel_scale" block: one GP run on a 1M-node streamed
+// PN per thread count (1, 2, 4, 8) — wall-clock speedup vs the exact serial
+// path, cut quality vs serial, peak RSS (the streamed generator keeps it
+// near the finished CSR size), and the deterministic-mode contract that the
+// parallel answer is bit-identical at every thread count. --check gates the
+// structural facts everywhere (validity, thread-count invariance, repeat
+// reproducibility, cut ratio <= 1.05) and arms the >= 3x speedup-at-8 gate
+// only on >= 8-core hardware.
+//
 // Modes:
 //   bench_json            full workload, writes BENCH_multilevel.json
 //   bench_json --stdout   full workload, JSON to stdout only
@@ -522,6 +531,87 @@ NearTwinBurstResult run_neartwin_burst_case(const graph::Graph& base,
   return r;
 }
 
+/// The shared-memory scaling scenario (PR 10): one GP run on a large
+/// streamed PN at increasing per-run thread counts. Reports wall clock,
+/// speedup vs the exact serial path (threads=1), cut quality vs serial, and
+/// whether the parallel path is bit-identical across thread counts (the
+/// deterministic-mode contract: the answer is a function of the input, not
+/// of the executing thread count). Peak RSS is sampled after the large
+/// instance is built and partitioned — the streamed generator exists so
+/// this number stays near the finished CSR size instead of a sorted
+/// edge-list multiple of it.
+struct ParallelScalePoint {
+  unsigned threads = 0;
+  double seconds = 0;
+  double speedup_vs_serial = 0;
+  long long cut = 0;
+};
+
+struct ParallelScaleResult {
+  graph::NodeId nodes = 0;
+  std::uint64_t edges = 0;
+  unsigned hardware_threads = 0;
+  double serial_seconds = 0;
+  long long serial_cut = 0;
+  std::vector<ParallelScalePoint> points;  // threads >= 2
+  double worst_cut_ratio_vs_serial = 0;
+  bool bit_identical_across_threads = false;
+  long peak_rss_kb = 0;
+};
+
+ParallelScaleResult run_parallel_scale_case(
+    graph::NodeId nodes, const std::vector<unsigned>& thread_counts) {
+  ParallelScaleResult r;
+  graph::ProcessNetworkParams params;
+  params.num_nodes = nodes;
+  params.layers = std::max<std::uint32_t>(8, nodes / 64);
+  support::Rng rng(4242);
+  const graph::Graph g = graph::streamed_process_network(params, rng);
+  r.nodes = g.num_nodes();
+  r.edges = g.num_edges();
+  r.hardware_threads = std::thread::hardware_concurrency();
+
+  part::Workspace ws;
+  part::GpOptions options;
+  options.max_cycles = 2;
+  part::GpPartitioner gp(options);
+  part::PartitionRequest request = bench::multilevel_workload_request(g, ws);
+
+  request.threads = 1;  // the untouched serial path is the baseline
+  (void)gp.run(g, request);  // warm the workspace once, untimed
+  support::Timer serial_timer;
+  const part::PartitionResult serial = gp.run(g, request);
+  r.serial_seconds = serial_timer.seconds();
+  r.serial_cut = static_cast<long long>(serial.metrics.total_cut);
+
+  std::vector<part::PartId> reference;
+  r.bit_identical_across_threads = true;
+  for (const unsigned p : thread_counts) {
+    request.threads = p;
+    support::Timer timer;
+    const part::PartitionResult res = gp.run(g, request);
+    ParallelScalePoint point;
+    point.threads = p;
+    point.seconds = timer.seconds();
+    point.speedup_vs_serial =
+        point.seconds > 0 ? r.serial_seconds / point.seconds : 0;
+    point.cut = static_cast<long long>(res.metrics.total_cut);
+    r.points.push_back(point);
+    if (reference.empty())
+      reference = res.partition.assignments();
+    else if (res.partition.assignments() != reference)
+      r.bit_identical_across_threads = false;
+    if (r.serial_cut > 0) {
+      const double ratio = static_cast<double>(point.cut) /
+                           static_cast<double>(r.serial_cut);
+      r.worst_cut_ratio_vs_serial =
+          std::max(r.worst_cut_ratio_vs_serial, ratio);
+    }
+  }
+  r.peak_rss_kb = peak_rss_kb();
+  return r;
+}
+
 CaseResult run_case(const char* name, part::Partitioner& p,
                     const graph::Graph& g, part::Workspace& ws, int reps) {
   // The shared bench harness defines the workload and the warm-then-time
@@ -542,7 +632,8 @@ CaseResult run_case(const char* name, part::Partitioner& p,
 void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
                const IncrementalResult& inc, const SimilarityResult& sim,
                const RobustnessResult& rob, const NearTwinBurstResult& burst,
-               graph::NodeId n, double span_ns) {
+               const ParallelScaleResult& scale, graph::NodeId n,
+               double span_ns) {
   // Baseline: pre-workspace implementation (commit bb85fa0), same workload,
   // same machine class as the numbers committed with PR 3.
   struct Baseline {
@@ -688,7 +779,7 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       "\"max_submit_seconds\": %.6f, \"inline_serves\": %llu, "
       "\"invalid_serves\": %llu, \"full_member_runs\": %llu, "
       "\"probes\": %llu, \"near_hits\": %llu, \"declines\": %llu, "
-      "\"parked\": %llu, \"counters_solvent\": %s}\n",
+      "\"parked\": %llu, \"counters_solvent\": %s},\n",
       burst.twins, burst.divergence, burst.max_submit_seconds,
       static_cast<unsigned long long>(burst.inline_serves),
       static_cast<unsigned long long>(burst.invalid_serves),
@@ -698,6 +789,33 @@ void emit_json(std::FILE* out, const std::vector<CaseResult>& results,
       static_cast<unsigned long long>(burst.declines),
       static_cast<unsigned long long>(burst.parked),
       burst.counters_solvent ? "true" : "false");
+  // Shared-memory scaling scenario (PR 10): one GP run on a large streamed
+  // PN per thread count. `bit_identical_across_threads` is the
+  // deterministic-mode contract; speedups are honest wall-clock ratios on
+  // THIS machine (`hardware_threads` says how many cores backed them).
+  std::fprintf(
+      out,
+      "  \"parallel_scale\": {\"graph\": \"streamed_process_network\", "
+      "\"nodes\": %u, \"edges\": %llu, \"hardware_threads\": %u, "
+      "\"peak_rss_kb\": %ld, \"serial_seconds\": %.4f, \"serial_cut\": "
+      "%lld,\n",
+      scale.nodes, static_cast<unsigned long long>(scale.edges),
+      scale.hardware_threads, scale.peak_rss_kb, scale.serial_seconds,
+      scale.serial_cut);
+  std::fprintf(out, "    \"points\": [\n");
+  for (std::size_t i = 0; i < scale.points.size(); ++i) {
+    const ParallelScalePoint& p = scale.points[i];
+    std::fprintf(out,
+                 "      {\"threads\": %u, \"seconds\": %.4f, "
+                 "\"speedup_vs_serial\": %.2f, \"cut\": %lld}%s\n",
+                 p.threads, p.seconds, p.speedup_vs_serial, p.cut,
+                 i + 1 < scale.points.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "    ],\n    \"worst_cut_ratio_vs_serial\": %.4f, "
+               "\"bit_identical_across_threads\": %s}\n",
+               scale.worst_cut_ratio_vs_serial,
+               scale.bit_identical_across_threads ? "true" : "false");
   std::fprintf(out, "}\n");
 }
 
@@ -985,15 +1103,79 @@ int self_check() {
     return 1;
   }
 
+  // Parallel-scale gates (PR 10), on a mid-size streamed PN so CI stays
+  // fast. Structural gates run everywhere: the streamed graph is valid, the
+  // parallel path is bit-identical across thread counts AND across repeat
+  // runs (deterministic mode), and parallel cut quality stays within 5% of
+  // the exact serial path. The >= 3x speedup-at-8-threads gate is hardware-
+  // aware: wall-clock ratios are only meaningful when 8 cores exist, so the
+  // gate arms at hardware_concurrency >= 8 and is reported as skipped
+  // otherwise (the committed BENCH_multilevel.json still records the
+  // honest numbers for the machine that produced it).
+  const ParallelScaleResult ps =
+      run_parallel_scale_case(/*nodes=*/20'000, {2u, 8u});
+  {
+    graph::ProcessNetworkParams sp;
+    sp.num_nodes = 20'000;
+    sp.layers = std::max<std::uint32_t>(8, sp.num_nodes / 64);
+    support::Rng srng(4242);
+    const graph::Graph sg = graph::streamed_process_network(sp, srng);
+    if (const std::string err = sg.validate(); !err.empty()) {
+      std::fprintf(stderr,
+                   "bench_json --check: streamed PN invalid: %s\n",
+                   err.c_str());
+      return 1;
+    }
+  }
+  if (!ps.bit_identical_across_threads) {
+    std::fprintf(stderr,
+                 "bench_json --check: parallel partitions differ across "
+                 "thread counts (deterministic mode broken)\n");
+    return 1;
+  }
+  const ParallelScaleResult ps_repeat =
+      run_parallel_scale_case(/*nodes=*/20'000, {8u});
+  if (ps.points.empty() || ps_repeat.points.empty() ||
+      ps.points.back().cut != ps_repeat.points.back().cut ||
+      ps.serial_cut != ps_repeat.serial_cut) {
+    std::fprintf(stderr,
+                 "bench_json --check: parallel run not reproducible across "
+                 "repeats\n");
+    return 1;
+  }
+  if (ps.worst_cut_ratio_vs_serial > 1.05) {
+    std::fprintf(stderr,
+                 "bench_json --check: parallel cut degraded %.4fx vs serial "
+                 "(bound 1.05)\n",
+                 ps.worst_cut_ratio_vs_serial);
+    return 1;
+  }
+  const bool speedup_gate_armed = ps.hardware_threads >= 8;
+  if (speedup_gate_armed) {
+    double speedup_at_8 = 0;
+    for (const ParallelScalePoint& p : ps.points)
+      if (p.threads == 8) speedup_at_8 = p.speedup_vs_serial;
+    if (speedup_at_8 < 3.0) {
+      std::fprintf(stderr,
+                   "bench_json --check: %.2fx speedup at 8 threads "
+                   "(bound 3.0 on %u-core hardware)\n",
+                   speedup_at_8, ps.hardware_threads);
+      return 1;
+    }
+  }
+
   std::printf("bench_json --check: ok (deterministic, allocation-free "
               "steady state; incremental chain deterministic and "
               "fallback-free; similarity admission all-hit, valid, "
               "stale-free, cut ratio %.3f; phase shares consistent, "
               "tracing-off hook %.1f ns; overload burst exact and "
               "replayable, shed rate %.2f; near-twin burst non-blocking, "
-              "%d twins -> 1 full run + %llu warm starts)\n",
+              "%d twins -> 1 full run + %llu warm starts; parallel scale "
+              "thread-count-invariant, cut ratio %.3f, speedup gate %s)\n",
               sim_check.mean_cut_ratio_vs_scratch, span_ns, rob.shed_rate,
-              nb.twins, static_cast<unsigned long long>(nb.near_hits));
+              nb.twins, static_cast<unsigned long long>(nb.near_hits),
+              ps.worst_cut_ratio_vs_serial,
+              speedup_gate_armed ? "armed" : "skipped (< 8 cores)");
   return 0;
 }
 
@@ -1032,16 +1214,21 @@ int main(int argc, char** argv) {
   // submit path and cohort coalescing, not partitioner throughput.
   const NearTwinBurstResult burst = run_neartwin_burst_case(
       bench::multilevel_workload_graph(800), /*twins=*/8, /*divergence=*/0.01);
+  // The shared-memory scaling scenario runs on a 1M-node streamed PN — the
+  // instance class the streamed generator and the parallel kernels exist
+  // for. One warm + one timed serial run, then one run per thread count.
+  const ParallelScaleResult scale =
+      run_parallel_scale_case(/*nodes=*/1'000'000, {2u, 4u, 8u});
 
   const double span_ns = disabled_span_ns();
-  emit_json(stdout, results, inc, sim, rob, burst, n, span_ns);
+  emit_json(stdout, results, inc, sim, rob, burst, scale, n, span_ns);
   if (!to_stdout) {
     std::FILE* f = std::fopen("BENCH_multilevel.json", "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench_json: cannot write BENCH_multilevel.json\n");
       return 1;
     }
-    emit_json(f, results, inc, sim, rob, burst, n, span_ns);
+    emit_json(f, results, inc, sim, rob, burst, scale, n, span_ns);
     std::fclose(f);
     std::fprintf(stderr, "bench_json: wrote BENCH_multilevel.json\n");
   }

@@ -31,6 +31,15 @@ Rules (each has a stable id, used in the allowlist):
                           exists only for legacy callers; new errors must be
                           typed so callers can branch on *why* (retry on
                           kUnavailable, give up on kInvalidArgument).
+  parallel-reduction-order  a lambda handed to the pool (submit/parallel_for/
+                          run_chunks) that merges per-thread buffers into a
+                          shared container under a mutex — completion-order
+                          reductions silently break the fixed-seed bit-
+                          reproducibility contract, so every such merge must
+                          be gated behind the deterministic flag (an
+                          identifier matching `determin` or the conventional
+                          `det` bool in the lambda) or allowlisted as a
+                          knowingly free-running path.
   workspace-pool-lease    an ad-hoc `Workspace <name>` local/member declared
                           in src/engine/ — engine code (warm-start tasks
                           especially, which run concurrently on the pool)
@@ -289,6 +298,61 @@ def rule_status_error_code(path, stripped, lines):
     return found
 
 
+REDUCTION_CALL_RE = re.compile(r"\b(?:submit|parallel_for|run_chunks)\s*\(")
+LOCK_RE = re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock)\b")
+MERGE_RE = re.compile(r"\b(?:push_back|emplace_back|insert|append)\s*\(")
+DET_GATE_RE = re.compile(r"determin|\bdet\b")
+
+
+def _lambda_span(stripped, call_end, limit=6000):
+    """Full text of the first lambda argument of a pool call: capture list
+    through the matching close brace of its body (None if no lambda)."""
+    region = stripped[call_end : call_end + limit]
+    lb = region.find("[")
+    if lb == -1:
+        return None
+    brace = region.find("{", lb)
+    if brace == -1:
+        return None
+    depth = 0
+    for j in range(brace, len(region)):
+        if region[j] == "{":
+            depth += 1
+        elif region[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return region[lb : j + 1]
+    return None
+
+
+def rule_parallel_reduction_order(path, stripped, lines):
+    if "support/thread_pool" in path:
+        return []
+    found = []
+    for call in REDUCTION_CALL_RE.finditer(stripped):
+        body = _lambda_span(stripped, call.end())
+        if body is None:
+            continue
+        if (
+            LOCK_RE.search(body)
+            and MERGE_RE.search(body)
+            and not DET_GATE_RE.search(body)
+        ):
+            line_no = stripped.count("\n", 0, call.start()) + 1
+            found.append(
+                Finding(
+                    "parallel-reduction-order",
+                    path,
+                    line_no,
+                    enclosing_function(lines, line_no),
+                    "completion-order merge in a pool task; gate it behind "
+                    "the deterministic flag or allowlist the free-running "
+                    "path",
+                )
+            )
+    return found
+
+
 WORKSPACE_DECL_RE = re.compile(
     r"\b(?:part\s*::\s*)?Workspace\s+[A-Za-z_]\w*\s*[;{=(]"
 )
@@ -311,6 +375,7 @@ RULES = [
     rule_thread_outside_pool,
     rule_result_cache_write,
     rule_workspace_ref_capture,
+    rule_parallel_reduction_order,
     rule_raw_new_delete,
     rule_tracer_in_header,
     rule_status_error_code,
@@ -425,6 +490,21 @@ SELF_TESTS = [
         "void f(Workspace& ws) {\n"
         "  auto run = [&](std::size_t r) { results[r] = grow(r); };\n"
         "  parallel_for(0, n, run);\n  ws.fm.log.clear();\n}\n",
+    ),
+    (
+        "parallel-reduction-order",
+        "src/partition/parallel.cpp",
+        "void f() {\n"
+        "  run_chunks(pool, chunks, [out, mu](const Chunk& ch) {\n"
+        "    std::lock_guard<std::mutex> lock(*mu);\n"
+        "    out->insert(out->end(), local.begin(), local.end());\n"
+        "  });\n}\n",
+        "void f() {\n"
+        "  run_chunks(pool, chunks, [out, mu, det](const Chunk& ch) {\n"
+        "    if (!det) {\n"
+        "      std::lock_guard<std::mutex> lock(*mu);\n"
+        "      out->insert(out->end(), local.begin(), local.end());\n"
+        "    }\n  });\n}\n",
     ),
     (
         "raw-new-delete",

@@ -21,6 +21,12 @@
 //                       ("default" = gp,metislike,annealing,tabu; when
 //                       omitted, --algorithm runs as a 1-member portfolio)
 //   --time-budget-ms N  per-job wall-clock budget (cooperative)
+//   --threads-per-job N shared-memory threads inside each partitioner run
+//                       (default 1 = exact serial path, 0 = auto); the
+//                       engine caps members × threads at the pool size.
+//                       Deterministic mode (always on here) makes results
+//                       identical at any thread count; also honoured in
+//                       direct single-algorithm mode
 //   --jobs N            batch N jobs with seeds seed..seed+N-1 and report
 //                       the best answer plus engine throughput/cache stats
 //   --similarity on|off similarity-aware admission (default off): arrivals
@@ -227,6 +233,9 @@ int main(int argc, char** argv) {
                "engine mode: per-job wall-clock budget (0 = unlimited)");
   args.add_int("jobs", 1,
                "engine mode: batch N jobs with seeds seed..seed+N-1");
+  args.add_int("threads-per-job", 1,
+               "shared-memory threads per partitioner run (1 = serial, "
+               "0 = auto); deterministic, so results do not depend on it");
   args.add_string("delta", "",
                   "replay an edit script against the input network "
                   "(incremental repartitioning per commit)");
@@ -292,6 +301,8 @@ int main(int argc, char** argv) {
   // Overload protection + fault injection knobs, resolved before any work.
   const auto queue_cap =
       static_cast<std::size_t>(std::max<long long>(0, args.get_int("queue-cap")));
+  const auto threads_per_job = static_cast<std::uint32_t>(
+      std::max<long long>(0, args.get_int("threads-per-job")));
   auto shed_policy = engine::parse_shed_policy(args.get_string("shed"));
   if (!shed_policy.is_ok()) {
     std::fprintf(stderr, "ppnpart: --shed: %s\n",
@@ -390,6 +401,9 @@ int main(int argc, char** argv) {
   request.k = k;
   request.constraints = constraints;
   request.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  // Direct mode honours the flag as-is; engine mode overrides per member
+  // with the capped Engine::threads_per_job() value.
+  request.threads = threads_per_job;
 
   const std::string algo_name = args.get_string("algorithm");
   const int num_jobs = std::max(1, static_cast<int>(args.get_int("jobs")));
@@ -417,6 +431,7 @@ int main(int argc, char** argv) {
           static_cast<double>(args.get_int("time-budget-ms"));
       eopts.similarity.enabled = similarity_on;
       eopts.queue_capacity = queue_cap;
+      eopts.threads_per_job = threads_per_job;
       eopts.shed_policy = shed_policy.value();
       engine::Engine eng(eopts);
 
@@ -504,9 +519,10 @@ int main(int argc, char** argv) {
 
       const engine::EngineStats stats = eng.stats();
       std::printf(
-          "engine deltas=%d incremental=%llu fallbacks=%llu "
-          "repart_cache_hits=%llu ws_growths=%llu\n",
-          step, static_cast<unsigned long long>(stats.repartitions_incremental),
+          "engine deltas=%d threads_per_job=%u incremental=%llu "
+          "fallbacks=%llu repart_cache_hits=%llu ws_growths=%llu\n",
+          step, eng.threads_per_job(),
+          static_cast<unsigned long long>(stats.repartitions_incremental),
           static_cast<unsigned long long>(stats.repartitions_fallback),
           static_cast<unsigned long long>(stats.repartition_cache_hits),
           static_cast<unsigned long long>(stats.repartition_ws_growths));
@@ -531,6 +547,7 @@ int main(int argc, char** argv) {
           static_cast<double>(args.get_int("time-budget-ms"));
       eopts.similarity.enabled = similarity_on;
       eopts.queue_capacity = queue_cap;
+      eopts.threads_per_job = threads_per_job;
       eopts.shed_policy = shed_policy.value();
       engine::Engine eng(eopts);
 
@@ -615,13 +632,14 @@ int main(int argc, char** argv) {
       // followers' warm starts also run on the pool once the leader
       // lands). sim_* stay 0 under --similarity off.
       std::printf(
-          "engine jobs=%zu seconds=%.4f throughput=%.2f cache_hits=%llu "
+          "engine jobs=%zu threads_per_job=%u seconds=%.4f throughput=%.2f "
+          "cache_hits=%llu "
           "members_run=%llu members_skipped=%llu members_failed=%llu "
           "coalesced=%llu fingerprints=%llu coarsen_hits=%llu "
           "coarsen_builds=%llu sim_probes=%llu sim_near_hits=%llu "
           "sim_declines=%llu sim_deferred=%llu sim_parked=%llu "
           "rejected=%llu shed=%llu degraded=%llu\n",
-          outcomes.size(), batch_seconds,
+          outcomes.size(), eng.threads_per_job(), batch_seconds,
           batch_seconds > 0 ? outcomes.size() / batch_seconds : 0.0,
           static_cast<unsigned long long>(stats.cache.hits),
           static_cast<unsigned long long>(stats.members_run),
